@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def save_artifact(artifact_dir: Path, name: str, text: str) -> None:
+    """Write a rendered figure/table and echo it to the console."""
+    (artifact_dir / name).write_text(text + "\n")
+    print("\n" + text)

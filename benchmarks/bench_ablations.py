@@ -1,0 +1,80 @@
+"""Ablations around the ST2 design point (DESIGN.md design-choice
+studies).
+
+These quantify the paper's qualitative arguments:
+
+* deeper history buys nothing (the paper stops at Prev = depth 1);
+* CRF write-port contention with random arbitration costs little even
+  under worst-case retirement adjacency (Section IV-B's argument);
+* wider slices mispredict less but waste voltage headroom — together
+  with the circuit sweep this pins the 8-bit choice from both sides.
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import table
+from repro.st2.ablations import (contention_sweep, history_depth_sweep,
+                                 slice_width_speculation_sweep)
+
+KERNELS = ("pathfinder", "dwt2d_K1", "kmeans_K1", "msort_K1", "sad_K1")
+
+
+def _run_all(suite_runs):
+    depth, width, contention = {}, {}, {}
+    for name in KERNELS:
+        trace = suite_runs[name].trace
+        depth[name] = history_depth_sweep(trace)
+        width[name] = slice_width_speculation_sweep(trace)
+        contention[name] = contention_sweep(trace)
+    return depth, width, contention
+
+
+def test_ablations(benchmark, suite_runs, artifact_dir):
+    depth, width, contention = benchmark.pedantic(
+        _run_all, args=(suite_runs,), rounds=1, iterations=1)
+
+    depth_rows = []
+    for name in KERNELS:
+        depth_rows.append(
+            (name, *[f"{p.misprediction_rate:.1%}"
+                     for p in depth[name]]))
+    txt = table("history-depth ablation (misprediction rate)",
+                ["kernel", "depth 1 (ST2)", "depth 2", "depth 3",
+                 "depth 4"], depth_rows)
+
+    width_rows = []
+    for name in KERNELS:
+        width_rows.append(
+            (name, *[f"{p.misprediction_rate:.1%}"
+                     for p in width[name]]))
+    txt += "\n\n" + table(
+        "slice-width ablation (misprediction rate; energy favours "
+        "narrow, prediction favours wide — 8b balances)",
+        ["kernel", "4-bit slices", "8-bit (ST2)", "16-bit"], width_rows)
+
+    cont_rows = [(name,
+                  f"{contention[name].ideal_rate:.1%}",
+                  f"{contention[name].contended_rate:.1%}",
+                  f"{contention[name].rate_penalty:+.1%}",
+                  f"{contention[name].updates_dropped_fraction:.0%}")
+                 for name in KERNELS]
+    txt += "\n\n" + table(
+        "CRF write-contention ablation (random arbitration, worst-case "
+        "retirement adjacency)",
+        ["kernel", "ideal", "contended", "penalty", "updates dropped"],
+        cont_rows)
+    save_artifact(artifact_dir, "ablations.txt", txt)
+
+    # depth-1 is within noise of the best depth (paper's choice)
+    for name in KERNELS:
+        rates = [p.misprediction_rate for p in depth[name]]
+        assert rates[0] <= min(rates) + 0.02, name
+    # wider slices always mispredict less (fewer boundaries)
+    for name in KERNELS:
+        r = [p.misprediction_rate for p in width[name]]
+        assert r[0] >= r[1] >= r[2] - 0.01, name
+    # contention penalty stays small even with most updates dropped
+    for name in KERNELS:
+        assert contention[name].rate_penalty < 0.05, name
+        assert contention[name].contended_rate < 0.45, name

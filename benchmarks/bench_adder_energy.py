@@ -1,0 +1,58 @@
+"""Section IV/V headline — ST2 adder power vs reference and CSLA.
+
+Paper: ST2 adders save ~70 % of the nominal adder power while
+guaranteeing correct results; unlike CSLA they compute second carry
+cases only for suspect slices.
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import table
+from repro.circuits.characterize import characterize_adders
+from repro.core.speculation import ST2_DESIGN
+from repro.core.predictors import run_speculation
+
+
+def _suite_weighted_saving(suite_runs, model):
+    rows = []
+    for name, run in suite_runs.items():
+        spec = run_speculation(run.trace, ST2_DESIGN)
+        saving = model.saving(spec.thread_misprediction_rate,
+                              spec.recomputed_per_misprediction)
+        rows.append((name, spec.thread_misprediction_rate, saving))
+    return rows
+
+
+def test_adder_energy(benchmark, suite_runs, artifact_dir):
+    model = characterize_adders()
+    rows = benchmark.pedantic(_suite_weighted_saving,
+                              args=(suite_runs, model), rounds=1,
+                              iterations=1)
+
+    txt = table(
+        "per-adder energy at each kernel's misprediction rate",
+        ["kernel", "misprediction", "adder-power saving"],
+        [(n, f"{m:.1%}", f"{s:.1%}") for n, m, s in rows])
+    avg = float(np.mean([r[2] for r in rows]))
+    csla_saving = 1 - model.csla_energy_fj() / model.reference_fj
+    txt += (f"\n\nreference adder: {model.reference_fj:.0f} fJ/op at "
+            f"nominal Vdd\nST2 at 9% misprediction: "
+            f"{model.st2_adder_fj(0.09, 1.94):.0f} fJ/op "
+            f"({model.saving(0.09, 1.94):.1%} saving; paper: ~70%)"
+            f"\nsuite-weighted average saving: {avg:.1%}"
+            f"\nCSLA at the same voltage: {model.csla_energy_fj():.0f} "
+            f"fJ/op ({csla_saving:.1%} saving) — ST2 beats CSLA by "
+            "recomputing only suspect slices"
+            f"\nscaled slice voltage: {model.vdd:.2f} V")
+    save_artifact(artifact_dir, "adder_energy.txt", txt)
+
+    assert 0.60 < model.saving(0.09, 1.94) < 0.80
+    assert avg > 0.60
+    # ST2 cheaper than CSLA at every kernel's miss rate
+    for name, miss, saving in rows:
+        st2 = model.st2_energy_fj(miss, 3.0)
+        assert st2 < model.csla_energy_fj() * 1.05, name
+    # savings degrade gracefully with misprediction, never collapse
+    worst = min(r[2] for r in rows)
+    assert worst > 0.55

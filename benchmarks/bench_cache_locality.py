@@ -1,0 +1,55 @@
+"""Memory-locality study (extension): per-kernel L2 behaviour.
+
+Replays each kernel's recorded sector streams through the
+set-associative L2 model and reports the measured miss ratio versus the
+power model's first-order default — the DRAM component of Figure 7
+seen through actual locality instead of a constant.
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import table
+from repro.kernels.suite import spec_by_name
+from repro.power.activity import L2_MISS_RATIO
+from repro.sim.cache import l2_miss_ratio_for_run
+
+KERNELS = ("sgemm", "walsh_K1", "b+tree_K1", "pathfinder", "histo_K1",
+           "msort_K2", "kmeans_K1")
+
+
+def _measure(bench_scale):
+    rows = []
+    for name in KERNELS:
+        prep = spec_by_name(name).prepare(scale=min(bench_scale, 0.5),
+                                          seed=0)
+        # record_streams is consumed at run(): flip it on the
+        # launcher before executing
+        prep.launcher.record_streams = True
+        run = prep.run()
+        ratio = l2_miss_ratio_for_run(run)
+        rows.append((name, run.mem.global_load_transactions
+                     + run.mem.global_store_transactions, ratio))
+    return rows
+
+
+def test_cache_locality(benchmark, bench_scale, artifact_dir):
+    rows = benchmark.pedantic(_measure, args=(bench_scale,), rounds=1,
+                              iterations=1)
+
+    txt = table(
+        "measured L2 miss ratio per kernel (set-associative LRU model)",
+        ["kernel", "sector transactions", "measured miss ratio"],
+        [(n, t, f"{r:.1%}") for n, t, r in rows])
+    txt += (f"\n\nfirst-order model default: {L2_MISS_RATIO:.0%} "
+            "(used by the calibrated power model)\nnote: scaled-down "
+            "working sets inflate compulsory-miss shares; the spread\n"
+            "across kernels (reuse-heavy trees vs streaming "
+            "butterflies) is the signal.")
+    save_artifact(artifact_dir, "cache_locality.txt", txt)
+
+    ratios = {n: r for n, __, r in rows}
+    # locality structure: pointer-chasing tree reuses nodes, streaming
+    # walsh does not
+    assert ratios["b+tree_K1"] < ratios["walsh_K1"]
+    assert all(0.0 <= r <= 1.0 for r in ratios.values())

@@ -1,0 +1,46 @@
+"""Figure 1 — dynamic instruction mix per kernel.
+
+Paper claim: ALU and FPU operations are prevalent; 21 of 23 kernels
+execute more than 20 % ALU+FPU instructions.
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import table
+from repro.isa.opcodes import MixCategory
+
+CATEGORIES = (MixCategory.ALU_ADD, MixCategory.ALU_OTHER,
+              MixCategory.FPU_ADD, MixCategory.FPU_OTHER,
+              MixCategory.OTHER)
+
+
+def _mix_rows(suite_runs):
+    rows = []
+    for name, run in suite_runs.items():
+        mix = run.insts.mix()
+        total = sum(mix.values())
+        fracs = [mix.get(c, 0) / total for c in CATEGORIES]
+        rows.append((name, *fracs,
+                     sum(fracs[:4])))          # ALU+FPU share
+    return rows
+
+
+def test_fig1_instruction_mix(benchmark, suite_runs, artifact_dir):
+    rows = benchmark(_mix_rows, suite_runs)
+
+    arith = np.array([r[-1] for r in rows])
+    avg_row = ("Average", *[np.mean([r[i + 1] for r in rows])
+                            for i in range(5)], arith.mean())
+    txt = table(
+        "Figure 1: dynamic instruction mix (fraction of thread insts)",
+        ["kernel"] + [c.value for c in CATEGORIES] + ["ALU+FPU"],
+        rows + [avg_row],
+        ["{}"] + ["{:7.1%}"] * 6)
+    txt += ("\n\nkernels with >20% ALU+FPU instructions: "
+            f"{(arith > 0.20).sum()}/23   (paper: 21/23)")
+    save_artifact(artifact_dir, "fig1_instruction_mix.txt", txt)
+
+    # paper shape: arithmetic ops prevalent in nearly all kernels
+    assert (arith > 0.20).sum() >= 20
+    assert arith.mean() > 0.4

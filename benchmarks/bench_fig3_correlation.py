@@ -1,0 +1,52 @@
+"""Figure 3 — 8-bit slice carry-in correlation across the temporal and
+spatial axes.
+
+Paper numbers (averages over the suite): Prev+Gtid ~50 %,
+Prev+FullPC+Gtid ~83 %, Prev+FullPC+Ltid ~89 %.  The load-bearing shape
+is the ordering: PC indexing (spatial) must add a lot; lane-shared
+history (Ltid) must add a bit more.
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import grouped_bars
+from repro.core.correlation import slice_carry_correlation
+from repro.core.speculation import FIG3_CONFIGS
+
+PAPER_AVERAGES = {"Prev+Gtid": 0.50, "Prev+FullPC+Gtid": 0.83,
+                  "Prev+FullPC+Ltid": 0.89}
+
+
+def _correlate_all(suite_runs):
+    return {name: slice_carry_correlation(run.trace, name)
+            for name, run in suite_runs.items()}
+
+
+def test_fig3_slice_carry_correlation(benchmark, suite_runs,
+                                      artifact_dir):
+    summaries = benchmark.pedantic(_correlate_all, args=(suite_runs,),
+                                   rounds=1, iterations=1)
+
+    names = list(summaries)
+    series = {cfg.name: [summaries[n].rate(cfg.name) for n in names]
+              for cfg in FIG3_CONFIGS}
+    txt = grouped_bars("Figure 3: slice carry-in match rate per kernel",
+                       names, series)
+    txt += "\naverages (ours vs paper):"
+    averages = {}
+    for cfg_name, values in series.items():
+        avg = float(np.nanmean(values))
+        averages[cfg_name] = avg
+        txt += (f"\n  {cfg_name:18s} {avg:6.1%}  "
+                f"(paper {PAPER_AVERAGES[cfg_name]:.0%})")
+    save_artifact(artifact_dir, "fig3_correlation.txt", txt)
+
+    # ordering claims
+    assert averages["Prev+FullPC+Gtid"] > averages["Prev+Gtid"], \
+        "spatio-temporal must beat temporal-only"
+    assert averages["Prev+FullPC+Ltid"] > averages["Prev+FullPC+Gtid"], \
+        "lane-shared history must find matches fastest"
+    # magnitudes in the paper's regime
+    assert averages["Prev+FullPC+Gtid"] > 0.7
+    assert averages["Prev+FullPC+Ltid"] > 0.8

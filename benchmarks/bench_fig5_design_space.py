@@ -1,0 +1,58 @@
+"""Figure 5 — design-space exploration of the carry-speculation
+mechanism.
+
+Paper claims (suite-average thread misprediction rates):
+staticZero/staticOne poor; VaLHALLA ~26 %; +Peek −18 % relative;
+Prev+Peek ~20 %; ModPC4 ~12 % (57 % below VaLHALLA); Gtid significantly
+*worse* than sharing; the final Ltid+Prev+ModPC4+Peek ~9 % (65 % below
+VaLHALLA); XOR hashing adds nothing.
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import hbar_chart
+from repro.core.speculation import DESIGN_LADDER, explore
+
+PAPER = {
+    "VaLHALLA": 0.26, "Prev+Peek": 0.20, "Prev+ModPC4+Peek": 0.12,
+    "Ltid+Prev+ModPC4+Peek": 0.09,
+}
+
+
+def _explore_all(suite_runs):
+    rates = {cfg.name: [] for cfg in DESIGN_LADDER}
+    for run in suite_runs.values():
+        for point in explore(run.trace):
+            rates[point.config.name].append(point.misprediction_rate)
+    return {name: float(np.mean(vals)) for name, vals in rates.items()}
+
+
+def test_fig5_design_space(benchmark, suite_runs, artifact_dir):
+    rates = benchmark.pedantic(_explore_all, args=(suite_runs,),
+                               rounds=1, iterations=1)
+
+    txt = hbar_chart(
+        "Figure 5: avg thread misprediction rate per mechanism",
+        list(rates), list(rates.values()))
+    txt += "\n\nanchors (ours vs paper):"
+    for name, paper in PAPER.items():
+        txt += f"\n  {name:24s} {rates[name]:6.1%}  (paper {paper:.0%})"
+    st2 = rates["Ltid+Prev+ModPC4+Peek"]
+    val = rates["VaLHALLA"]
+    txt += (f"\n\nST2 vs VaLHALLA: {1 - st2 / val:.0%} lower "
+            "misprediction (paper: 65% lower)")
+    save_artifact(artifact_dir, "fig5_design_space.txt", txt)
+
+    # ladder-shape claims
+    assert rates["staticOne"] > rates["staticZero"]
+    assert rates["VaLHALLA+Peek"] < rates["VaLHALLA"]
+    assert rates["Prev+Peek"] < rates["VaLHALLA+Peek"]
+    assert rates["Prev+ModPC4+Peek"] <= rates["Prev+ModPC1+Peek"]
+    assert rates["Gtid+Prev+ModPC4+Peek"] \
+        > rates["Ltid+Prev+ModPC4+Peek"], "Gtid must be worse (paper)"
+    assert abs(rates["Ltid+Prev+XorPC4+Peek"]
+               - rates["Ltid+Prev+ModPC4+Peek"]) < 0.02
+    # final design beats VaLHALLA decisively
+    assert st2 < 0.65 * val
+    assert st2 < 0.20

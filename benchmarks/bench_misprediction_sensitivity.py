@@ -1,0 +1,78 @@
+"""Sensitivity study: what if the predictor were worse (or perfect)?
+
+Sweeps an *injected* misprediction rate on a real kernel by corrupting
+a fraction of the ST2 predictions, and measures both the energy saving
+and the slowdown. The finding (which the paper implies but never
+plots): voltage-scaled slicing wins on energy even with a terrible
+predictor — prediction quality mostly buys *performance*; the slowdown
+is what grows with the miss rate.
+"""
+
+import numpy as np
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import table
+from repro.core.predictors import (Prediction, evaluate_trace,
+                                   predict_trace)
+from repro.core.speculation import ST2_DESIGN
+from repro.sim.pipeline import simulate_sm_pair, warp_misprediction_map
+from repro.st2.architecture import default_adder_model
+
+KERNEL = "pathfinder"
+INJECT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)
+
+
+def _sweep(run, adder_model):
+    trace = run.trace
+    base_pred = predict_trace(trace, ST2_DESIGN)
+    carries_pred = base_pred.bits
+    rng = np.random.default_rng(0)
+    rows = []
+    for rate in INJECT_RATES:
+        bits = carries_pred.copy()
+        flip = rng.random(bits.shape) < rate
+        bits = np.where(flip, 1 - bits, bits)
+        pred = Prediction(config=ST2_DESIGN, bits=bits,
+                          has_prev=base_pred.has_prev,
+                          peek_known=base_pred.peek_known)
+        res = evaluate_trace(trace, pred)
+        base_t, st2_t = simulate_sm_pair(
+            run.insts, run.launch,
+            warp_misprediction_map(trace, res.mispredicted))
+        slowdown = st2_t.total_cycles / base_t.total_cycles - 1
+        saving = adder_model.saving(
+            res.thread_misprediction_rate,
+            max(res.recomputed_per_misprediction, 1.0))
+        rows.append((rate, res.thread_misprediction_rate, saving,
+                     slowdown))
+    return rows
+
+
+def test_misprediction_sensitivity(benchmark, suite_runs, adder_model,
+                                   artifact_dir):
+    run = suite_runs[KERNEL]
+    rows = benchmark.pedantic(_sweep, args=(run, adder_model),
+                              rounds=1, iterations=1)
+
+    txt = table(
+        f"injected prediction corruption on {KERNEL}",
+        ["injected flip rate", "resulting miss rate",
+         "adder-power saving", "slowdown"],
+        [(f"{r:.0%}", f"{m:.1%}", f"{s:.1%}", f"{sl:.2%}")
+         for r, m, s, sl in rows])
+    txt += ("\n\nfinding: the energy saving barely moves (voltage "
+            "scaling dominates);\nthe *performance* cost is what a bad "
+            "predictor buys — which is why the\npaper's design effort "
+            "goes into the misprediction rate.")
+    save_artifact(artifact_dir, "misprediction_sensitivity.txt", txt)
+
+    miss = [m for __, m, __, __ in rows]
+    savings = [s for __, __, s, __ in rows]
+    slows = [sl for __, __, __, sl in rows]
+    # monotone structure
+    assert miss == sorted(miss)
+    assert slows[-1] > slows[0]
+    # energy saving stays strongly positive even at 80% corruption
+    assert min(savings) > 0.5
+    # but degrades monotonically
+    assert savings == sorted(savings, reverse=True)

@@ -1,0 +1,55 @@
+"""Section V-C — power-model calibration and validation.
+
+Paper: the model is trained on 123 component stressors against silicon,
+then validated on the 23-kernel suite (a held-out set), achieving a
+10.5 % +/- 3.8 % mean absolute relative error and Pearson r = 0.8.
+"""
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import scatter, table
+from repro.power.activity import activity_from_run
+from repro.power.calibration import calibrate
+from repro.power.components import Component
+from repro.power.hardware import SyntheticSilicon
+from repro.power.validation import validate
+from repro.sim.pipeline import simulate_sm
+
+
+def _calibrate_and_validate(suite_runs):
+    silicon = SyntheticSilicon(seed=0)
+    cal = calibrate(silicon)
+    activities = {
+        name: activity_from_run(run, simulate_sm(run.insts, run.launch),
+                                name=name)
+        for name, run in suite_runs.items()}
+    result = validate(cal.model, activities, silicon)
+    return cal, result
+
+
+def test_power_model_validation(benchmark, suite_runs, artifact_dir):
+    cal, result = benchmark.pedantic(
+        _calibrate_and_validate, args=(suite_runs,), rounds=1,
+        iterations=1)
+
+    txt = table(
+        "calibrated Eq.(1) parameters",
+        ["term", "fitted"],
+        [(c.value, f"{cal.model.scales[c]:.3f}") for c in Component]
+        + [("P_const (W)", f"{cal.model.p_const_w:.1f}"),
+           ("P_idleSM (W)", f"{cal.model.p_idle_sm_w:.3f}")])
+    txt += "\n\n" + scatter(
+        "validation: measured vs predicted power (23 kernels)",
+        result.measured_w, result.predicted_w,
+        x_label="measured W", y_label="predicted W")
+    txt += (f"\n\ntraining MAPE (123 stressors): "
+            f"{cal.training_mape:.1%}"
+            f"\nvalidation: {result.summary()}"
+            "\n(paper: 10.5% +/- 3.8%, Pearson r 0.8)")
+    save_artifact(artifact_dir, "power_model_validation.txt", txt)
+
+    assert cal.n_benchmarks == 123
+    assert cal.training_mape < 0.06
+    assert result.mape < 0.20, "validation error must stay usable"
+    assert result.pearson_r > 0.75, "strong correlation as in paper"
+    for c, s in cal.model.scales.items():
+        assert 0.2 < s < 5.0, f"degenerate scale for {c}"

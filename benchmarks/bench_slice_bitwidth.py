@@ -1,0 +1,44 @@
+"""Section V-B — slice bit-width design space.
+
+Paper: 8-bit slices are the best option; they let the supply scale to
+~60 % of the reference voltage and give 75-87 % potential energy
+savings per adder.
+"""
+
+from _bench_utils import save_artifact
+from repro.analysis.ascii_charts import table
+from repro.circuits.characterize import (best_slice_width,
+                                         nominal_period_ps,
+                                         slice_bitwidth_sweep)
+
+
+def test_slice_bitwidth_sweep(benchmark, artifact_dir):
+    points = benchmark.pedantic(slice_bitwidth_sweep, rounds=1,
+                                iterations=1)
+
+    rows = [(p.slice_width, p.n_slices, f"{p.vdd:.2f}",
+             f"{p.vdd_fraction:.0%}", f"{p.datapath_energy_fj:.0f}",
+             f"{p.overhead_energy_fj:.0f}", f"{p.total_energy_fj:.0f}",
+             f"{p.potential_saving:.1%}", f"{p.net_saving:.1%}")
+            for p in points]
+    txt = table(
+        "slice bit-width design space (64-bit adder)",
+        ["width", "slices", "Vdd", "Vdd/nom", "datapath fJ",
+         "overhead fJ", "total fJ", "potential", "net"],
+        rows)
+    best = best_slice_width(points)
+    p8 = next(p for p in points if p.slice_width == 8)
+    txt += (f"\n\nnominal period: {nominal_period_ps():.0f} ps"
+            f"\nbest slice width: {best}   (paper: 8)"
+            f"\n8-bit voltage: {p8.vdd_fraction:.0%} of nominal "
+            "(paper: 60%)"
+            f"\n8-bit potential saving: {p8.potential_saving:.1%} "
+            "(paper band: 75-87%)")
+    save_artifact(artifact_dir, "slice_bitwidth.txt", txt)
+
+    assert best == 8, "the paper's chosen slice width must win"
+    assert 0.50 <= p8.vdd_fraction <= 0.70
+    assert 0.65 <= p8.potential_saving <= 0.90
+    savings = [p.potential_saving for p in points]
+    assert savings == sorted(savings, reverse=True), \
+        "smaller slices always have more datapath headroom"

@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures.  The
+23-kernel traces, the calibrated power model and the circuit-level adder
+characterisation are session-scoped: they are exactly the shared inputs
+the paper's experiments reuse.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales workload sizes; the rendered
+figures and measured-vs-paper records are written to
+``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def suite_runs():
+    from repro.kernels.suite import run_suite
+    return run_suite(scale=BENCH_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def power_model():
+    from repro.power.calibration import calibrated_model
+    return calibrated_model(seed=0)
+
+
+@pytest.fixture(scope="session")
+def adder_model():
+    from repro.st2.architecture import default_adder_model
+    return default_adder_model()
+
+
+@pytest.fixture(scope="session")
+def suite_evaluations(suite_runs, power_model, adder_model):
+    from repro.st2.architecture import evaluate_run
+    return {name: evaluate_run(run, model=power_model,
+                               adder_model=adder_model)
+            for name, run in suite_runs.items()}
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(artifact_dir: Path, name: str, text: str) -> None:
+    (artifact_dir / name).write_text(text + "\n")
+    print("\n" + text)

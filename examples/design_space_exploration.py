@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Figure 5 walkthrough: exploring the carry-speculation design space
+on a subset of the suite, plus a custom mechanism of your own.
+
+Shows how to (a) sweep the paper's ladder, (b) define a new
+SpeculationConfig and see where it lands, and (c) inspect the
+contention-free CRF behaviour of the final design.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_charts import hbar_chart
+from repro.core.predictors import SpeculationConfig, run_speculation
+from repro.core.speculation import DESIGN_LADDER, ST2_DESIGN
+from repro.kernels.suite import run_suite
+
+KERNELS = ("pathfinder", "sad_K1", "msort_K1", "dwt2d_K1", "sgemm")
+
+
+def main() -> None:
+    runs = run_suite(scale=0.5, names=KERNELS)
+
+    # -- the paper's ladder ------------------------------------------------
+    averages = {}
+    for config in DESIGN_LADDER:
+        rates = [run_speculation(r.trace, config)
+                 .thread_misprediction_rate for r in runs.values()]
+        averages[config.name] = float(np.mean(rates))
+    print(hbar_chart(
+        f"Figure 5 ladder (avg over {len(KERNELS)} kernels)",
+        list(averages), list(averages.values())))
+
+    # -- roll your own mechanism -------------------------------------------
+    # e.g.: what if we spent 6 PC bits and scoped tables per SM (a
+    # physically larger CRF)?
+    custom = SpeculationConfig("Ltid+Prev+ModPC6+Peek+SMscope", "prev",
+                               peek=True, pc_index="mod", pc_bits=6,
+                               thread_key="ltid", sm_scoped=True)
+    rates = [run_speculation(r.trace, custom).thread_misprediction_rate
+             for r in runs.values()]
+    print(f"\ncustom {custom.name}: {np.mean(rates):.1%} "
+          f"(ST2 baseline: {averages[ST2_DESIGN.name]:.1%})")
+    print(f"custom CRF entries: {custom.table_entries()} vs "
+          f"ST2's {ST2_DESIGN.table_entries()} "
+          "(diminishing returns, as the paper found for k > 4)")
+
+    # -- per-kernel detail for the final design -----------------------------
+    print("\nper-kernel ST2 behaviour:")
+    for name, run in runs.items():
+        res = run_speculation(run.trace, ST2_DESIGN)
+        print(f"  {name:12s} miss={res.thread_misprediction_rate:6.1%}"
+              f"  recompute/miss={res.recomputed_per_misprediction:.2f}"
+              f"  wrong bits/op={res.wrong_bits.mean():.3f}")
+
+
+if __name__ == "__main__":
+    main()

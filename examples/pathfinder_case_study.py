@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The paper's Figure 2 case study: spatio-temporal value correlation
+in the pathfinder hot loop.
+
+Reproduces Section III's observation on the real kernel: values at one
+PC evolve gradually within a narrow magnitude band, values across PCs
+differ wildly — and that translates directly into predictable per-slice
+carries.
+
+Run:  python examples/pathfinder_case_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_charts import hbar_chart, table
+from repro.core.correlation import (slice_carry_correlation,
+                                    value_evolution)
+from repro.kernels import pathfinder
+
+
+def main() -> None:
+    run = pathfinder.prepare(scale=1.0, seed=0).run()
+    print(f"pathfinder executed: {len(run.trace):,} additions across "
+          f"{run.n_static_pcs} static PCs\n")
+
+    # -- Figure 2: per-PC value bands ------------------------------------
+    series = value_evolution(run.trace, max_pcs=7)
+    rows = []
+    for s in series:
+        lo, hi = s.magnitude_band
+        rows.append((f"PC{s.pc}", s.label,
+                     f"{np.min(s.values):.0f}..{np.max(s.values):.0f}",
+                     f"{lo:.0f}..{hi:.0f}",
+                     f"{np.mean(s.chain_lengths):.1f}"))
+    print(table("hot-loop additions (compare the paper's Figure 2)",
+                ["pc", "call site", "value range", "|v| p10..p90",
+                 "avg carry chain"], rows))
+
+    # a small sample of each PC's value series, in logical time
+    print("\nvalue evolution (first 8 executions of each PC):")
+    for s in series[:4]:
+        sample = ", ".join(f"{v:.0f}" for v in s.values[:8])
+        print(f"  PC{s.pc:<3d} {s.label:28s} {sample}")
+
+    # -- how correlation turns into carry predictability -----------------
+    summary = slice_carry_correlation(run.trace, "pathfinder")
+    print("\n" + hbar_chart(
+        "slice carry-in match rate (the paper's Figure 3 keys)",
+        list(summary.match_rates), list(summary.match_rates.values()),
+        vmax=1.0))
+    print("\ntakeaway: indexing history by PC (spatial axis) recovers "
+          "the correlation\nthe purely temporal Prev+Gtid key misses.")
+
+
+if __name__ == "__main__":
+    main()

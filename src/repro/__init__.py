@@ -1,0 +1,48 @@
+"""repro — a full reproduction of *ST2 GPU: An Energy-Efficient GPU
+Design with Spatio-Temporal Shared-Thread Speculative Adders*
+(Kandiah, Gok, Tziantzioulis, Hardavellas — DAC 2021).
+
+Public API highlights
+---------------------
+
+* :class:`repro.core.adder.ST2Adder` — the speculative sliced adder.
+* :class:`repro.core.predictors.SpeculationConfig` /
+  :func:`repro.core.predictors.run_speculation` — the carry-speculation
+  design space over execution traces.
+* :data:`repro.core.speculation.ST2_DESIGN` — the paper's final design
+  point (``Ltid+Prev+ModPC4+Peek``).
+* :mod:`repro.kernels.suite` — the 23-kernel evaluation suite.
+* :func:`repro.st2.architecture.evaluate_suite` — the end-to-end
+  Section VI evaluation (misprediction, timing, energy).
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core.adder import CarrySelectAdder, ReferenceAdder, ST2Adder
+from repro.core.predictors import (SpeculationConfig, SpeculationResult,
+                                   run_speculation)
+from repro.core.slices import AdderGeometry
+from repro.core.speculation import DESIGN_LADDER, ST2_DESIGN
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher, KernelRun, run_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdderGeometry",
+    "CarrySelectAdder",
+    "DESIGN_LADDER",
+    "GPUConfig",
+    "GridLauncher",
+    "KernelRun",
+    "LaunchConfig",
+    "ReferenceAdder",
+    "ST2Adder",
+    "ST2_DESIGN",
+    "SpeculationConfig",
+    "SpeculationResult",
+    "TITAN_V",
+    "run_kernel",
+    "run_speculation",
+]

@@ -1,0 +1,8 @@
+"""Statistics helpers and terminal figure rendering."""
+
+from repro.analysis.ascii_charts import (grouped_bars, hbar_chart, scatter,
+                                         stacked_pair, table)
+from repro.analysis.stats import geometric_mean, mean_ci95, pearson_r
+
+__all__ = ["geometric_mean", "grouped_bars", "hbar_chart", "mean_ci95",
+           "pearson_r", "scatter", "stacked_pair", "table"]

@@ -1,0 +1,112 @@
+"""Terminal renderings of the paper's figures.
+
+Every benchmark prints its figure as an ASCII chart so results are
+inspectable without any plotting dependency: horizontal bar charts for
+the per-kernel figures, grouped/stacked variants for Figure 7, and a
+simple scatter for the power-model validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hbar_chart(title: str, labels, values, width: int = 46,
+               fmt: str = "{:6.1%}", vmax: float = None) -> str:
+    """Horizontal bar chart, one row per label."""
+    values = list(values)
+    vmax = vmax if vmax is not None else max(
+        [v for v in values if not np.isnan(v)] + [1e-12])
+    label_w = max((len(str(l)) for l in labels), default=4)
+    lines = [title, "-" * len(title)]
+    for label, v in zip(labels, values):
+        if np.isnan(v):
+            bar, txt = "", "   n/a"
+        else:
+            bar = "#" * max(int(round(width * v / vmax)), 0)
+            txt = fmt.format(v)
+        lines.append(f"{str(label):>{label_w}} |{bar:<{width}}| {txt}")
+    return "\n".join(lines)
+
+
+def grouped_bars(title: str, labels, series: dict, width: int = 40,
+                 fmt: str = "{:6.1%}") -> str:
+    """Several series per label (e.g. Figure 3's three configs)."""
+    vmax = max(max(vals) for vals in series.values()) or 1e-12
+    label_w = max(len(str(l)) for l in labels)
+    key_w = max(len(k) for k in series)
+    lines = [title, "-" * len(title)]
+    for i, label in enumerate(labels):
+        for j, (key, vals) in enumerate(series.items()):
+            v = vals[i]
+            bar = "" if np.isnan(v) else \
+                "#" * max(int(round(width * v / vmax)), 0)
+            txt = "   n/a" if np.isnan(v) else fmt.format(v)
+            name = str(label) if j == 0 else ""
+            lines.append(f"{name:>{label_w}} {key:<{key_w}} "
+                         f"|{bar:<{width}}| {txt}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def stacked_pair(title: str, labels, baseline_stacks, st2_stacks,
+                 components, width: int = 50) -> str:
+    """Figure 7: two normalised stacked bars per kernel.
+
+    ``*_stacks`` are dicts component-name -> fraction per kernel.
+    """
+    glyphs = "#@%*+=~-:."
+    comp_glyph = {c: glyphs[i % len(glyphs)]
+                  for i, c in enumerate(components)}
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title, "-" * len(title),
+             "legend: " + "  ".join(f"{comp_glyph[c]}={c}"
+                                    for c in components)]
+    for label, b, s in zip(labels, baseline_stacks, st2_stacks):
+        for tag, stack in (("base", b), ("ST2 ", s)):
+            bar = ""
+            for c in components:
+                bar += comp_glyph[c] * int(round(width * stack.get(c, 0)))
+            total = sum(stack.values())
+            lines.append(f"{str(label):>{label_w}} {tag} "
+                         f"|{bar:<{width}}| {total:5.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def scatter(title: str, xs, ys, x_label: str = "x", y_label: str = "y",
+            width: int = 56, height: int = 18) -> str:
+    """Scatter plot with a y=x guide (power-model validation)."""
+    xs = np.asarray(list(xs), dtype=float)
+    ys = np.asarray(list(ys), dtype=float)
+    lo = min(xs.min(), ys.min())
+    hi = max(xs.max(), ys.max())
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for frac in np.linspace(0, 1, max(width, height)):
+        col = int(frac * (width - 1))
+        row = height - 1 - int(frac * (height - 1))
+        grid[row][col] = "."
+    for x, y in zip(xs, ys):
+        col = int((x - lo) / span * (width - 1))
+        row = height - 1 - int((y - lo) / span * (height - 1))
+        grid[row][col] = "o"
+    lines = [title, "-" * len(title)]
+    lines += ["|" + "".join(row) + "|" for row in grid]
+    lines.append(f"x: {x_label} [{lo:.0f}..{hi:.0f}]  "
+                 f"y: {y_label}  (. = y=x)")
+    return "\n".join(lines)
+
+
+def table(title: str, headers, rows, fmts=None) -> str:
+    """Fixed-width text table."""
+    fmts = fmts or ["{}"] * len(headers)
+    rendered = [[f.format(v) for f, v in zip(fmts, row)] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rendered))
+              for i, h in enumerate(headers)]
+    lines = [title, "-" * len(title),
+             "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    for r in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

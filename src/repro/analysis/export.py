@@ -1,0 +1,76 @@
+"""Structured export of experiment results (CSV / JSON).
+
+The ASCII artifacts in ``benchmarks/out/`` are for humans; downstream
+analysis (plotting the figures with matplotlib, meta-studies) wants the
+raw numbers. These helpers serialise the main result objects without
+any dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.power.components import Component
+
+
+def write_csv(path, headers, rows) -> None:
+    """Plain CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_evaluations_csv(path, evaluations: dict) -> None:
+    """Per-kernel ST2 evaluation (the Figure 6/7 numbers) as CSV."""
+    rows = []
+    for name, e in evaluations.items():
+        rows.append((
+            name,
+            f"{e.misprediction_rate:.6f}",
+            f"{e.recomputed_per_misprediction:.4f}",
+            f"{e.slowdown:.6f}",
+            f"{e.energy.alu_fpu_share:.6f}",
+            f"{e.system_saving:.6f}",
+            f"{e.chip_saving:.6f}",
+            int(e.arithmetic_intensive),
+        ))
+    write_csv(path,
+              ["kernel", "misprediction_rate",
+               "recomputed_per_misprediction", "slowdown",
+               "alu_fpu_share", "system_saving", "chip_saving",
+               "arithmetic_intensive"], rows)
+
+
+def export_energy_stacks_json(path, evaluations: dict) -> None:
+    """Figure 7's normalised component stacks as JSON."""
+    out = {}
+    for name, e in evaluations.items():
+        base, st2 = e.energy.normalized_stacks()
+        out[name] = {"baseline": base, "st2": st2}
+    Path(path).write_text(json.dumps(out, indent=2, sort_keys=True))
+
+
+def export_ladder_csv(path, ladder_rates: dict) -> None:
+    """Figure 5's design-space ladder (config -> rate[s]) as CSV."""
+    rows = []
+    for config_name, rates in ladder_rates.items():
+        if isinstance(rates, (int, float)):
+            rates = [rates]
+        rows.append((config_name,
+                     *(f"{r:.6f}" for r in rates)))
+    n_cols = max(len(r) - 1 for r in rows)
+    headers = ["config"] + [f"rate_{i}" for i in range(n_cols)]
+    write_csv(path, headers, rows)
+
+
+def export_breakdown_csv(path, breakdown) -> None:
+    """One EnergyBreakdown's per-component joules as CSV."""
+    rows = [(c.value, f"{breakdown.components[c]:.9e}")
+            for c in Component]
+    rows.append(("constant", f"{breakdown.constant_j:.9e}"))
+    rows.append(("idle_sm", f"{breakdown.idle_j:.9e}"))
+    write_csv(path, ["component", "energy_j"], rows)

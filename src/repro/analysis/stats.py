@@ -1,0 +1,36 @@
+"""Small statistics helpers shared by the benchmarks and reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_ci95(values) -> tuple:
+    """Mean and half-width of the normal-approximation 95 % CI."""
+    arr = np.asarray([v for v in values if not np.isnan(v)], dtype=float)
+    if len(arr) == 0:
+        return float("nan"), float("nan")
+    if len(arr) == 1:
+        return float(arr[0]), 0.0
+    return (float(arr.mean()),
+            float(1.96 * arr.std(ddof=1) / np.sqrt(len(arr))))
+
+
+def geometric_mean(values) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0 or (arr <= 0).any():
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def pearson_r(x, y) -> float:
+    x = np.asarray(list(x), dtype=float)
+    y = np.asarray(list(y), dtype=float)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("pearson_r needs two equal-length series (>=2)")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def nanmean(values) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    return float(np.nanmean(arr)) if len(arr) else float("nan")

@@ -1,0 +1,11 @@
+"""Circuit characterisation substrate (the Synopsys-flow stand-in):
+gate-level adder netlists, toggle-based energy, voltage scaling."""
+
+from repro.circuits.characterize import (AdderEnergyModel,
+                                         characterize_adders,
+                                         slice_bitwidth_sweep)
+from repro.circuits.netlist import Netlist
+from repro.circuits.technology import SAED90, Technology
+
+__all__ = ["AdderEnergyModel", "Netlist", "SAED90", "Technology",
+           "characterize_adders", "slice_bitwidth_sweep"]

@@ -1,0 +1,200 @@
+"""Gate-level adder datapaths: ripple, parallel-prefix, and the ST2
+sliced datapath.
+
+* :func:`ripple_carry_adder` — the minimal-area design, one full adder
+  per bit (long carry chain).
+* :func:`kogge_stone_adder` — the speed-optimal parallel-prefix design;
+  our stand-in for the DesignWare reference adder the paper synthesises
+  with default balanced settings.
+* :func:`sliced_adder` — the ST2 datapath: independent prefix sub-adders
+  per 8-bit slice, each with its own carry-in input (driven by the
+  speculation unit), plus the per-slice XOR comparator that detects
+  carry mispredictions.
+
+All builders return a :class:`~repro.circuits.netlist.Netlist` whose
+inputs are ``a[width] | b[width] | cin...`` and whose outputs are the
+sum bits (plus carry/error outputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+
+
+def _full_adder(net: Netlist, a: int, b: int, cin: int) -> tuple:
+    """Returns (sum, cout) nodes using the standard 5-gate mapping."""
+    axb = net.gate("XOR", a, b)
+    s = net.gate("XOR", axb, cin)
+    g = net.gate("AND", a, b)
+    p = net.gate("AND", axb, cin)
+    cout = net.gate("OR", g, p)
+    return s, cout
+
+
+def ripple_carry_adder(width: int, with_cin: bool = True) -> Netlist:
+    """Chain of full adders — minimal gates, O(width) delay."""
+    net = Netlist(f"rca{width}")
+    a = net.input(width)
+    b = net.input(width)
+    carry = net.input() if with_cin else net.gate("XOR", a[0], a[0])
+    sums = []
+    for i in range(width):
+        s, carry = _full_adder(net, a[i], b[i], carry)
+        sums.append(s)
+    net.mark_output(*sums, carry)
+    return net
+
+
+def kogge_stone_adder(width: int, with_cin: bool = True) -> Netlist:
+    """Parallel-prefix adder — O(log width) delay, the fast reference."""
+    net = Netlist(f"ks{width}")
+    a = net.input(width)
+    b = net.input(width)
+    cin = net.input() if with_cin else None
+
+    p = [net.gate("XOR", a[i], b[i]) for i in range(width)]
+    g = [net.gate("AND", a[i], b[i]) for i in range(width)]
+    if cin is not None:
+        # fold the carry-in into bit 0's generate
+        g[0] = net.gate("OR", g[0], net.gate("AND", p[0], cin))
+
+    # Kogge-Stone prefix tree over (g, p)
+    gp, pp = list(g), list(p)
+    dist = 1
+    while dist < width:
+        new_g, new_p = list(gp), list(pp)
+        for i in range(dist, width):
+            new_g[i] = net.gate(
+                "OR", gp[i], net.gate("AND", pp[i], gp[i - dist]))
+            new_p[i] = net.gate("AND", pp[i], pp[i - dist])
+        gp, pp = new_g, new_p
+        dist *= 2
+
+    # carry into bit i is gp[i-1]; sum_i = p_i ^ carry_i
+    sums = [p[0] if cin is None else net.gate("XOR", p[0], cin)]
+    for i in range(1, width):
+        sums.append(net.gate("XOR", p[i], gp[i - 1]))
+    net.mark_output(*sums, gp[width - 1])
+    return net
+
+
+def brent_kung_adder(width: int, with_cin: bool = True) -> Netlist:
+    """Area-balanced parallel-prefix adder (Brent-Kung tree).
+
+    Our stand-in for the DesignWare reference adder synthesised with the
+    *default balanced* settings the paper uses: fewer prefix nodes than
+    Kogge-Stone, but roughly 2*log2(w) prefix levels — slower and, with
+    its deep unbalanced paths, glitch-prone.
+    """
+    net = Netlist(f"bk{width}")
+    a = net.input(width)
+    b = net.input(width)
+    cin = net.input() if with_cin else None
+
+    p = [net.gate("XOR", a[i], b[i]) for i in range(width)]
+    g = [net.gate("AND", a[i], b[i]) for i in range(width)]
+    if cin is not None:
+        g[0] = net.gate("OR", g[0], net.gate("AND", p[0], cin))
+
+    gp, pp = list(g), list(p)
+
+    def combine(hi, lo):
+        new_g = net.gate("OR", gp[hi], net.gate("AND", pp[hi], gp[lo]))
+        new_p = net.gate("AND", pp[hi], pp[lo])
+        gp[hi], pp[hi] = new_g, new_p
+
+    # Build the tree of the next power-of-two width, skipping combines
+    # whose target lies beyond `width` (their sources always lie within
+    # range whenever the target does, so skipping is safe).
+    padded = 1
+    while padded < width:
+        padded *= 2
+    # up-sweep (reduce)
+    dist = 1
+    while dist < padded:
+        for i in range(2 * dist - 1, padded, 2 * dist):
+            if i < width:
+                combine(i, i - dist)
+        dist *= 2
+    # down-sweep (distribute)
+    dist = padded // 4
+    while dist >= 1:
+        for i in range(3 * dist - 1, padded, 2 * dist):
+            if i < width:
+                combine(i, i - dist)
+        dist //= 2
+
+    sums = [p[0] if cin is None else net.gate("XOR", p[0], cin)]
+    for i in range(1, width):
+        sums.append(net.gate("XOR", p[i], gp[i - 1]))
+    net.mark_output(*sums, gp[width - 1])
+    return net
+
+
+def sliced_adder(width: int, slice_width: int = 8) -> Netlist:
+    """The ST2 datapath: per-slice prefix adders with predicted carries.
+
+    Inputs: ``a[width] | b[width] | cin | cpred[n_slices-1]``.
+    Outputs: per-slice sums, per-slice carry-outs, and the per-slice
+    error signals ``E[i] = cpred[i-1] XOR cout[i-1]`` that trigger the
+    second-cycle recompute.
+    """
+    net = Netlist(f"st2_{width}x{slice_width}")
+    a = net.input(width)
+    b = net.input(width)
+    cin = net.input()
+    bounds = []
+    lo = 0
+    while lo < width:
+        bounds.append((lo, min(lo + slice_width, width)))
+        lo = min(lo + slice_width, width)
+    cpred = net.input(len(bounds) - 1) if len(bounds) > 1 else []
+    if isinstance(cpred, int):
+        cpred = [cpred]
+
+    slice_couts = []
+    all_sums = []
+    for idx, (s_lo, s_hi) in enumerate(bounds):
+        w = s_hi - s_lo
+        carry = cin if idx == 0 else cpred[idx - 1]
+        # per-slice Kogge-Stone
+        p = [net.gate("XOR", a[s_lo + i], b[s_lo + i]) for i in range(w)]
+        g = [net.gate("AND", a[s_lo + i], b[s_lo + i]) for i in range(w)]
+        g[0] = net.gate("OR", g[0], net.gate("AND", p[0], carry))
+        gp, pp = list(g), list(p)
+        dist = 1
+        while dist < w:
+            ng, npp = list(gp), list(pp)
+            for i in range(dist, w):
+                ng[i] = net.gate(
+                    "OR", gp[i], net.gate("AND", pp[i], gp[i - dist]))
+                npp[i] = net.gate("AND", pp[i], pp[i - dist])
+            gp, pp = ng, npp
+            dist *= 2
+        sums = [net.gate("XOR", p[0], carry)]
+        for i in range(1, w):
+            sums.append(net.gate("XOR", p[i], gp[i - 1]))
+        all_sums.extend(sums)
+        slice_couts.append(gp[w - 1])
+
+    # misprediction detectors: E[i] = cpred[i-1] ^ cout[i-1]
+    errors = [net.gate("XOR", cpred[i], slice_couts[i])
+              for i in range(len(bounds) - 1)]
+    net.mark_output(*all_sums, *slice_couts, *errors)
+    return net
+
+
+def random_add_stimulus(rng, width: int, n_vectors: int,
+                        extra_inputs: int = 0) -> np.ndarray:
+    """Random operand stream: bits for a, b, cin(=0) and extras(=0)."""
+    bits = rng.integers(0, 2, (n_vectors, 2 * width)).astype(bool)
+    zeros = np.zeros((n_vectors, 1 + extra_inputs), dtype=bool)
+    return np.hstack([bits, zeros])
+
+
+def adder_outputs_to_int(outputs: np.ndarray, width: int) -> np.ndarray:
+    """Decode the sum bits of an adder output matrix to integers."""
+    weights = (1 << np.arange(width, dtype=np.uint64))
+    return (outputs[:, :width].astype(np.uint64) * weights).sum(axis=1)

@@ -1,0 +1,232 @@
+"""Circuit characterisation — the stand-in for the paper's Section V-B
+Synopsys flow.
+
+The reference adder is the 64-bit Brent-Kung parallel-prefix design at
+nominal voltage (our stand-in for the DesignWare default *balanced*
+adder the paper synthesises); its critical path defines the *nominal clock
+period*.  For a sliced design we search for the minimum supply voltage
+at which the slice datapath (including the misprediction comparator)
+still fits in that period — voltage scaling is where the quadratic
+energy savings come from.
+
+:func:`slice_bitwidth_sweep` reproduces the design-space exploration
+that led the paper to 8-bit slices: smaller slices allow lower voltage
+but pay more per-prediction overhead (State/Cout DFFs, CRF bits,
+comparators and a higher expected recompute cost); wider slices waste
+voltage headroom.
+
+:class:`AdderEnergyModel` packages the characterised energies for the
+GPU power model: reference energy per add, ST2 first-cycle energy,
+per-slice recompute energy, and the speculation-unit overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.adders_rtl import (brent_kung_adder,
+                                       random_add_stimulus, sliced_adder)
+from repro.circuits.technology import SAED90, Technology
+
+REFERENCE_WIDTH = 64
+
+# per-bit sequential/storage energies (fJ per operation), 90 nm-ish
+DFF_ENERGY_FJ = 5.0           # one State/Cout flop clocking per cycle
+CRF_BIT_ENERGY_FJ = 1.0       # read + conditional write-back, per bit
+LEVEL_SHIFTER_FJ = 1.38       # per transition [Shapiro & Friedman]
+LEVEL_SHIFTER_TOGGLE_RATE = 0.3
+
+
+def nominal_period_ps(tech: Technology = SAED90,
+                      width: int = REFERENCE_WIDTH) -> float:
+    """Clock period defined by the reference adder at nominal Vdd."""
+    return brent_kung_adder(width).critical_path_ps(tech)
+
+
+def min_slice_voltage(slice_width: int, tech: Technology = SAED90,
+                      width: int = REFERENCE_WIDTH,
+                      period_ps: float = None) -> float:
+    """Lowest Vdd at which the sliced datapath fits the nominal period."""
+    period = nominal_period_ps(tech, width) if period_ps is None \
+        else period_ps
+    net = sliced_adder(width, slice_width)
+    lo, hi = tech.min_vdd, tech.vdd_nominal
+    if net.critical_path_ps(tech, hi) > period:
+        return hi      # cannot scale at all
+    if net.critical_path_ps(tech, lo) <= period:
+        return lo      # floor reached
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        if net.critical_path_ps(tech, mid) <= period:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass
+class SlicePoint:
+    """One column of the slice-bitwidth design space."""
+
+    slice_width: int
+    n_slices: int
+    vdd: float
+    vdd_fraction: float              # of nominal
+    datapath_energy_fj: float        # all slices, one computation
+    overhead_energy_fj: float        # DFFs + CRF bits + level shifters
+    expected_recompute_fj: float     # misprediction recompute expectation
+    reference_energy_fj: float
+
+    @property
+    def total_energy_fj(self) -> float:
+        return (self.datapath_energy_fj + self.overhead_energy_fj
+                + self.expected_recompute_fj)
+
+    @property
+    def potential_saving(self) -> float:
+        """Datapath-only saving (the paper's 75-87 % 'potential')."""
+        return 1.0 - self.datapath_energy_fj / self.reference_energy_fj
+
+    @property
+    def net_saving(self) -> float:
+        return 1.0 - self.total_energy_fj / self.reference_energy_fj
+
+
+def _boundary_miss_rate(rng, width: int, slice_width: int,
+                        n_vectors: int = 2000) -> float:
+    """Fraction of ops mispredicted on random vectors with a
+    previous-carry predictor (used only for the sweep's recompute
+    expectation; workload-driven rates come from the trace study)."""
+    from repro.core import bitops
+    a = rng.integers(0, 1 << 63, n_vectors, dtype=np.uint64) << np.uint64(1)
+    b = rng.integers(0, 1 << 63, n_vectors, dtype=np.uint64) << np.uint64(1)
+    carries = bitops.slice_carry_ins(a, b, width, slice_width, 0)[:, 1:]
+    if carries.shape[1] == 0:
+        return 0.0
+    mismatch = (carries[1:] != carries[:-1]).any(axis=1)
+    return float(mismatch.mean())
+
+
+def slice_bitwidth_sweep(widths=(2, 4, 8, 16, 32),
+                         tech: Technology = SAED90, seed: int = 0,
+                         n_vectors: int = 1200) -> list:
+    """The Section V-B exploration; returns one SlicePoint per width."""
+    rng = np.random.default_rng(seed)
+    period = nominal_period_ps(tech)
+    reference = brent_kung_adder(REFERENCE_WIDTH)
+    ref_stim = random_add_stimulus(rng, REFERENCE_WIDTH, n_vectors)
+    ref_energy = reference.energy_per_op_fj(ref_stim, tech)
+
+    points = []
+    for sw in widths:
+        net = sliced_adder(REFERENCE_WIDTH, sw)
+        n_slices = (REFERENCE_WIDTH + sw - 1) // sw
+        n_preds = n_slices - 1
+        vdd = min_slice_voltage(sw, tech, period_ps=period)
+        stim = random_add_stimulus(rng, REFERENCE_WIDTH, n_vectors,
+                                   extra_inputs=n_preds)
+        datapath = net.energy_per_op_fj(stim, tech, vdd)
+        overhead = (2 * n_preds * DFF_ENERGY_FJ
+                    + 2 * n_preds * CRF_BIT_ENERGY_FJ
+                    + 2 * (REFERENCE_WIDTH + 1) * LEVEL_SHIFTER_FJ
+                    * LEVEL_SHIFTER_TOGGLE_RATE)
+        miss = _boundary_miss_rate(rng, REFERENCE_WIDTH, sw)
+        recompute = miss * 0.5 * datapath   # about half the slices redo
+        points.append(SlicePoint(
+            slice_width=sw, n_slices=n_slices, vdd=vdd,
+            vdd_fraction=vdd / tech.vdd_nominal,
+            datapath_energy_fj=datapath, overhead_energy_fj=overhead,
+            expected_recompute_fj=recompute,
+            reference_energy_fj=ref_energy))
+    return points
+
+
+def best_slice_width(points=None) -> int:
+    points = slice_bitwidth_sweep() if points is None else points
+    return min(points, key=lambda p: p.total_energy_fj).slice_width
+
+
+@dataclass
+class AdderEnergyModel:
+    """Characterised adder energies consumed by the GPU power model."""
+
+    reference_fj: float          # monolithic adder @ nominal Vdd
+    st2_cycle_fj: float          # all slices, one speculative cycle
+    slice_recompute_fj: float    # one slice's second computation
+    crf_fj: float                # CRF read/write-back bits per operation
+    dff_fj: float                # State/Cout flop clocking per operation
+    level_shifter_fj: float      # level shifting per operation
+    vdd: float
+    slice_width: int = 8
+    n_slices: int = 8
+
+    @property
+    def speculation_fj(self) -> float:
+        return self.crf_fj + self.dff_fj
+
+    def st2_adder_fj(self, misprediction_rate: float,
+                     recomputed_per_miss: float) -> float:
+        """The quantity behind the paper's "70 % of the nominal adder
+        power" headline: scaled datapath + CRF accesses + recompute.
+        The DFF and level-shifter overheads are accounted separately,
+        exactly as the paper reports them (Sections V-B and VI)."""
+        recompute = (misprediction_rate * recomputed_per_miss
+                     * self.slice_recompute_fj)
+        return self.st2_cycle_fj + self.crf_fj + recompute
+
+    def st2_energy_fj(self, misprediction_rate: float,
+                      recomputed_per_miss: float) -> float:
+        """Everything included — what the GPU power model charges."""
+        return (self.st2_adder_fj(misprediction_rate, recomputed_per_miss)
+                + self.dff_fj + self.level_shifter_fj)
+
+    def saving(self, misprediction_rate: float,
+               recomputed_per_miss: float) -> float:
+        """Headline adder-power saving (paper: ~70 %)."""
+        return 1.0 - (self.st2_adder_fj(misprediction_rate,
+                                        recomputed_per_miss)
+                      / self.reference_fj)
+
+    def saving_with_overheads(self, misprediction_rate: float,
+                              recomputed_per_miss: float) -> float:
+        """Net saving including DFF clocking and level shifters."""
+        return 1.0 - (self.st2_energy_fj(misprediction_rate,
+                                         recomputed_per_miss)
+                      / self.reference_fj)
+
+    def csla_energy_fj(self) -> float:
+        """Carry-select adder at the same scaled voltage: every slice
+        above slice 0 computes both carry cases every cycle."""
+        per_slice = self.st2_cycle_fj / self.n_slices
+        return self.st2_cycle_fj + (self.n_slices - 1) * per_slice
+
+
+def characterize_adders(tech: Technology = SAED90, seed: int = 0,
+                        slice_width: int = 8,
+                        n_vectors: int = 1500) -> AdderEnergyModel:
+    """Full characterisation at the chosen slice width."""
+    rng = np.random.default_rng(seed)
+    reference = brent_kung_adder(REFERENCE_WIDTH)
+    ref_stim = random_add_stimulus(rng, REFERENCE_WIDTH, n_vectors)
+    ref_energy = reference.energy_per_op_fj(ref_stim, tech)
+
+    vdd = min_slice_voltage(slice_width, tech)
+    net = sliced_adder(REFERENCE_WIDTH, slice_width)
+    n_slices = (REFERENCE_WIDTH + slice_width - 1) // slice_width
+    stim = random_add_stimulus(rng, REFERENCE_WIDTH, n_vectors,
+                               extra_inputs=n_slices - 1)
+    st2_cycle = net.energy_per_op_fj(stim, tech, vdd)
+
+    n_preds = n_slices - 1
+    shifters = (2 * (REFERENCE_WIDTH + 1) * LEVEL_SHIFTER_FJ
+                * LEVEL_SHIFTER_TOGGLE_RATE)
+    return AdderEnergyModel(
+        reference_fj=ref_energy,
+        st2_cycle_fj=st2_cycle,
+        slice_recompute_fj=st2_cycle / n_slices,
+        crf_fj=2 * n_preds * CRF_BIT_ENERGY_FJ,
+        dff_fj=2 * n_preds * DFF_ENERGY_FJ,
+        level_shifter_fj=shifters,
+        vdd=vdd, slice_width=slice_width, n_slices=n_slices)

@@ -1,0 +1,68 @@
+"""Technology model — the stand-in for the Synopsys SAED 90 nm flow.
+
+The paper's circuit study needs three things from its EDA flow:
+
+1. gate delays at a given supply voltage (to find the nominal clock
+   period and the minimum voltage at which a slice still fits in it);
+2. per-toggle switching energy (scaling quadratically with voltage);
+3. leakage power (scaling roughly linearly with voltage).
+
+We model delay with the alpha-power law
+``t_d = K * Vdd / (Vdd - Vth)**alpha`` [Sakurai & Newton], switching
+energy as ``E = 0.5 * C * Vdd**2`` per output toggle, and leakage as
+``P = I0 * Vdd`` — standard first-order device physics, calibrated to
+90 nm-ish constants.  Only *relative* energies across adder designs
+matter to the paper's conclusions (Section V-B states the same), so the
+absolute calibration is unimportant as long as it is consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """First-order 90 nm-like CMOS constants."""
+
+    name: str = "saed90-like"
+    vdd_nominal: float = 1.2          # volts
+    vth: float = 0.35                 # threshold voltage
+    alpha: float = 1.3               # velocity-saturation exponent
+    delay_k: float = 28.0            # ps scaling constant per gate level
+    cap_per_gate_input_ff: float = 1.8   # switched capacitance per input
+    leakage_na_per_gate: float = 12.0    # nA per gate at nominal Vdd
+    min_vdd: float = 0.7             # library characterisation floor:
+    #   standard-cell timing below ~0.7 V would need a near-threshold
+    #   library; slices cannot scale past this regardless of slack
+
+    def gate_delay_ps(self, fanin: int = 2, vdd: float = None) -> float:
+        """Propagation delay of one gate at the given supply."""
+        vdd = self.vdd_nominal if vdd is None else vdd
+        if vdd <= self.vth:
+            raise ValueError(f"Vdd {vdd} below threshold {self.vth}")
+        base = self.delay_k * vdd / (vdd - self.vth) ** self.alpha
+        return base * (0.7 + 0.3 * fanin)
+
+    def toggle_energy_fj(self, fanin: int = 2, vdd: float = None) -> float:
+        """Switching energy of one output toggle, in femtojoules."""
+        vdd = self.vdd_nominal if vdd is None else vdd
+        cap_ff = self.cap_per_gate_input_ff * fanin
+        return 0.5 * cap_ff * vdd * vdd
+
+    def leakage_nw(self, n_gates: int, vdd: float = None) -> float:
+        """Static power of ``n_gates`` gates, in nanowatts."""
+        vdd = self.vdd_nominal if vdd is None else vdd
+        return self.leakage_na_per_gate * n_gates * vdd
+
+    def delay_scale(self, vdd: float) -> float:
+        """Delay at ``vdd`` relative to nominal (alpha-power law)."""
+        return (self.gate_delay_ps(2, vdd)
+                / self.gate_delay_ps(2, self.vdd_nominal))
+
+    def energy_scale(self, vdd: float) -> float:
+        """Dynamic energy at ``vdd`` relative to nominal (quadratic)."""
+        return (vdd / self.vdd_nominal) ** 2
+
+
+SAED90 = Technology()

@@ -1,0 +1,235 @@
+"""Behavioural models of the adders studied in the paper.
+
+Three designs:
+
+* :class:`ReferenceAdder` — the monolithic DesignWare-style adder at
+  nominal voltage; always one cycle; the energy baseline.
+* :class:`CarrySelectAdder` — classic CSLA: every slice always computes
+  with *both* possible carry-ins, carries resolved by a select chain.
+  Always one cycle, but pays ~2x slice energy on every operation.
+* :class:`ST2Adder` — the paper's design (Figure 4).  Slices compute once
+  with predicted carry-ins; at the end of the nominal cycle each slice
+  compares its prediction against the carry-out its predecessor actually
+  produced.  A mismatch raises the error signal ``E[i]``; the OR-chain
+  ``S[i] = E[1] | ... | E[i]`` marks every higher-order slice suspect, and
+  all suspect slices recompute in a second cycle with the inverted
+  carry-in (CSLA-style select then picks the right result per slice).
+  Results are therefore always correct; the cost is 1 extra cycle and the
+  recomputation energy of the suspect slices.
+
+All models are vectorised over a leading lane axis so a whole warp (32
+threads) is evaluated per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import bitops
+from repro.core.slices import AdderGeometry
+
+U64 = np.uint64
+
+
+@dataclass
+class AddOutcome:
+    """Result of executing one (possibly warp-wide) sliced addition.
+
+    Attributes
+    ----------
+    result:
+        The (always correct) sums, ``uint64`` wrapped to the adder width.
+    carry_out:
+        Carry out of the most significant slice (per lane).
+    slice_carries:
+        True carry-in of every slice, shape ``(lanes, n_slices)``; column 0
+        is the architectural carry-in.  These are the values written back
+        to the history table.
+    errors:
+        Per-slice error signals ``E[i]`` (prediction mismatch at slice i),
+        shape ``(lanes, n_slices)``; column 0 is always 0.
+    mispredicted:
+        Per-lane bool — any slice mispredicted, i.e. the lane needed a
+        second cycle.
+    cycles:
+        Per-lane latency in cycles (1 or 2).
+    recomputed_slices:
+        Per-lane count of slices that ran a second computation
+        (the suspect set ``S[i]``); drives the energy penalty and the
+        paper's "1.94 slices recompute per thread misprediction" stat.
+    """
+
+    result: np.ndarray
+    carry_out: np.ndarray
+    slice_carries: np.ndarray
+    errors: np.ndarray
+    mispredicted: np.ndarray
+    cycles: np.ndarray
+    recomputed_slices: np.ndarray
+
+
+def _as_lanes(values) -> np.ndarray:
+    arr = np.atleast_1d(np.asarray(values))
+    if arr.ndim != 1:
+        raise ValueError("operands must be scalars or 1-D lane vectors")
+    return arr
+
+
+class ReferenceAdder:
+    """Monolithic full-width adder at nominal voltage (the baseline)."""
+
+    def __init__(self, geometry: AdderGeometry):
+        self.geometry = geometry
+
+    def add(self, a, b, cin=0) -> AddOutcome:
+        geo = self.geometry
+        a = _as_lanes(a)
+        b = _as_lanes(b)
+        result = bitops.add_wrapped(a, b, geo.width, cin)
+        cout = bitops.carry_out(a, b, geo.width, cin)
+        carries = bitops.slice_carry_ins(a, b, geo.width, geo.slice_width, cin)
+        lanes = result.shape[0]
+        zeros = np.zeros((lanes, geo.n_slices), dtype=np.uint8)
+        return AddOutcome(
+            result=result,
+            carry_out=cout,
+            slice_carries=carries,
+            errors=zeros,
+            mispredicted=np.zeros(lanes, dtype=bool),
+            cycles=np.ones(lanes, dtype=np.int64),
+            recomputed_slices=np.zeros(lanes, dtype=np.int64),
+        )
+
+    def sub(self, a, b) -> AddOutcome:
+        """a - b, implemented as a + ~b + 1 (the SUB path of Figure 4)."""
+        return self.add(a, bitops.invert(b, self.geometry.width), cin=1)
+
+
+class CarrySelectAdder(ReferenceAdder):
+    """Classic CSLA [Bedrij 1962]: both carry cases computed always.
+
+    Functionally identical to the reference; it differs only in the
+    energy model (every slice above slice 0 computes twice, every cycle).
+    Exposed so the energy study can contrast ST2 against it.
+    """
+
+    def slice_computations_per_add(self) -> int:
+        """Slice-computation count per operation (energy proxy)."""
+        geo = self.geometry
+        return geo.n_slices + geo.n_predictions  # low slice once, rest twice
+
+
+class ST2Adder:
+    """The paper's spatio-temporal speculative sliced adder (Figure 4).
+
+    The adder itself is speculation-agnostic: callers supply the predicted
+    carry-ins (``Cpred``) obtained from a
+    :class:`~repro.core.predictors.CarryPredictor`, and read back
+    ``slice_carries`` to update the history.
+    """
+
+    def __init__(self, geometry: AdderGeometry):
+        self.geometry = geometry
+
+    def add(self, a, b, predictions, cin=0) -> AddOutcome:
+        """Execute a (warp-wide) speculative addition.
+
+        Parameters
+        ----------
+        a, b:
+            Operand lane vectors (any integer dtype; wrapped to width).
+        predictions:
+            Predicted carry-ins for slices ``1..n_slices-1``, shape
+            ``(lanes, n_predictions)`` of 0/1.
+        cin:
+            Architectural carry-in of slice 0 (0=ADD, 1=SUB-preinverted).
+        """
+        geo = self.geometry
+        a = _as_lanes(a)
+        b = _as_lanes(b)
+        lanes = a.shape[0]
+        predictions = np.asarray(predictions, dtype=np.uint8)
+        if predictions.shape != (lanes, geo.n_predictions):
+            raise ValueError(
+                f"predictions shape {predictions.shape} != "
+                f"{(lanes, geo.n_predictions)}")
+
+        true_carries = bitops.slice_carry_ins(
+            a, b, geo.width, geo.slice_width, cin)
+
+        # Cycle 1: slice i computes with carry-in pred[i-1]; its carry-out
+        # is a pure function of its own operand bits and that carry-in.
+        cycle1_couts = self._slice_carry_outs(a, b, true_carries,
+                                              predictions, cin)
+
+        # E[i]: slice i's received prediction vs predecessor's actual
+        # cycle-1 carry-out.  Slice 0 never errors.
+        errors = np.zeros((lanes, geo.n_slices), dtype=np.uint8)
+        if geo.n_predictions:
+            errors[:, 1:] = (predictions != cycle1_couts[:, :-1]).astype(np.uint8)
+
+        # S[i] = OR of E[1..i]: every slice at or above the first error
+        # recomputes in cycle 2.
+        suspect = np.cumsum(errors, axis=1) > 0
+        mispredicted = suspect.any(axis=1)
+        recomputed = suspect.sum(axis=1).astype(np.int64)
+        cycles = np.where(mispredicted, 2, 1).astype(np.int64)
+
+        # The recompute + select step is what guarantees correctness; the
+        # final value equals the plain sum (proved by the CSLA argument,
+        # checked exhaustively in tests).
+        result = bitops.add_wrapped(a, b, geo.width, cin)
+        cout = bitops.carry_out(a, b, geo.width, cin)
+        return AddOutcome(
+            result=result,
+            carry_out=cout,
+            slice_carries=true_carries,
+            errors=errors,
+            mispredicted=mispredicted,
+            cycles=cycles,
+            recomputed_slices=recomputed,
+        )
+
+    def sub(self, a, b, predictions) -> AddOutcome:
+        """a - b via a + ~b + 1 (matching the hardware SUB mux)."""
+        return self.add(a, bitops.invert(b, self.geometry.width),
+                        predictions, cin=1)
+
+    def _slice_carry_outs(self, a, b, true_carries, predictions,
+                          cin: int) -> np.ndarray:
+        """Cycle-1 carry-out of every slice, shape ``(lanes, n_slices)``.
+
+        Slice i's cycle-1 carry-out depends on its own bits and its
+        *assumed* carry-in (the prediction, or the architectural carry-in
+        for slice 0).  Computed per slice from generate/propagate facts:
+        ``cout = G | (P & cin_assumed)`` where G/P summarise the slice.
+        """
+        geo = self.geometry
+        a_u = bitops.to_unsigned(a, geo.width)
+        b_u = bitops.to_unsigned(b, geo.width)
+        lanes = a_u.shape[0]
+        couts = np.zeros((lanes, geo.n_slices), dtype=np.uint8)
+        for idx, (lo, hi) in enumerate(geo.bounds):
+            w = hi - lo
+            sl_a = (a_u >> U64(lo)) & U64(bitops.mask(w))
+            sl_b = (b_u >> U64(lo)) & U64(bitops.mask(w))
+            if idx == 0:
+                assumed = np.broadcast_to(
+                    np.asarray(cin, dtype=np.uint8), (lanes,))
+            else:
+                assumed = predictions[:, idx - 1]
+            # G: carry out with cin=0;  cout(cin)=G | (P & cin) where
+            # P is detected by comparing cout under both cins.
+            g = bitops.carry_out(sl_a, sl_b, w, 0).astype(np.uint8)
+            cout1 = bitops.carry_out(sl_a, sl_b, w, 1).astype(np.uint8)
+            p = (cout1 & ~g) & 1
+            couts[:, idx] = g | (p & assumed)
+        return couts
+
+
+def verify_outcome(outcome: AddOutcome, a, b, width: int, cin=0) -> bool:
+    """Cross-check an outcome against plain modular addition."""
+    expect = bitops.add_wrapped(_as_lanes(a), _as_lanes(b), width, cin)
+    return bool(np.array_equal(outcome.result, expect))

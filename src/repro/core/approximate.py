@@ -1,0 +1,152 @@
+"""Related-work adder baselines (paper Section VII).
+
+The paper positions ST2 against two families:
+
+* **Approximate speculative adders** — ACA [Kahng & Kang, DAC'12] and
+  ETAII-style segmented adders [Chen ICCD'17, Hu DATE'15]: every sum bit
+  is computed from a bounded window of lower-order bits, so carries
+  longer than the window produce *wrong results* with no detection or
+  correction.  We model the classic ACA: sum bit ``i`` sees only the
+  ``window`` bits below it.
+* **VLSA** [Verma, Brisk & Ienne, DATE'08] — speculates that no carry
+  chain exceeds a lookahead window, detects violations at the end of
+  the nominal cycle and takes extra cycles to patch, so results are
+  always correct but latency is variable (like ST2, but with
+  operand-local speculation instead of history).
+
+These models let the benchmarks reproduce the qualitative trade-off the
+paper draws: approximate adders are cheap but silently wrong on long
+carry chains; VLSA is correct but mispredicts whenever a chain exceeds
+its window; ST2's history-based speculation beats both on real value
+streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import bitops
+from repro.core.slices import AdderGeometry
+
+U64 = np.uint64
+
+
+@dataclass
+class ApproximateOutcome:
+    """Result of an approximate (uncorrected) addition."""
+
+    result: np.ndarray          # possibly wrong sums
+    exact: np.ndarray           # ground truth
+    erroneous: np.ndarray       # per-lane bool
+    error_magnitude: np.ndarray  # |result - exact| (wrapped domain)
+
+    @property
+    def error_rate(self) -> float:
+        return float(self.erroneous.mean()) if len(self.erroneous) \
+            else 0.0
+
+    @property
+    def mean_relative_error(self) -> float:
+        """Mean |error| / 2^width — the usual approximate-adder metric."""
+        if not len(self.exact):
+            return 0.0
+        return float(self.error_magnitude.mean())
+
+
+class AccuracyConfigurableAdder:
+    """ACA: sum bit i uses only the ``window`` lower bits' carries.
+
+    Carry into bit ``i`` is computed as if the carry chain started at
+    bit ``i - window`` (carry-in 0 there); any true chain longer than the
+    window is silently truncated — the canonical approximate-adder
+    failure mode.
+    """
+
+    def __init__(self, geometry: AdderGeometry, window: int = 8):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.geometry = geometry
+        self.window = window
+
+    def add(self, a, b, cin: int = 0) -> ApproximateOutcome:
+        geo = self.geometry
+        a_u = bitops.to_unsigned(np.atleast_1d(a), geo.width)
+        b_u = bitops.to_unsigned(np.atleast_1d(b), geo.width)
+        exact = bitops.add_wrapped(a_u, b_u, geo.width, cin)
+
+        # approximate carry into bit i: the carry that a window-limited
+        # chain starting at max(i-window, 0) would deliver
+        result = np.zeros_like(exact)
+        width = geo.width
+        w = self.window
+        # compute sum bits in blocks: for bit i, evaluate the window
+        # addition (a>>lo + b>>lo) and take its bit (i - lo)
+        for i in range(width):
+            lo = max(i - w, 0)
+            local_cin = cin if lo == 0 else 0
+            local = bitops.add_wrapped(
+                a_u >> U64(lo), b_u >> U64(lo), width, local_cin)
+            bit = (local >> U64(i - lo)) & U64(1)
+            result |= bit << U64(i)
+
+        erroneous = result != exact
+        diff = np.where(result >= exact, result - exact, exact - result)
+        # normalise to the value range
+        magnitude = diff.astype(np.float64) / float(1 << geo.width) \
+            if geo.width < 63 else diff.astype(np.float64) / 2.0**64
+        return ApproximateOutcome(result=result, exact=exact,
+                                  erroneous=erroneous,
+                                  error_magnitude=magnitude)
+
+
+class VLSAAdder:
+    """VLSA: speculate 'no carry chain exceeds the window'; detect and
+    repair violations with extra cycles (always correct)."""
+
+    def __init__(self, geometry: AdderGeometry, window: int = 8):
+        self.geometry = geometry
+        self.window = window
+
+    def add(self, a, b, cin: int = 0):
+        """Returns ``(result, mispredicted, cycles)`` per lane."""
+        geo = self.geometry
+        a_u = bitops.to_unsigned(np.atleast_1d(a), geo.width)
+        b_u = bitops.to_unsigned(np.atleast_1d(b), geo.width)
+        result = bitops.add_wrapped(a_u, b_u, geo.width, cin)
+
+        # a speculation violation occurs when some carry chain is
+        # longer than the window: propagate runs of >= window bits that
+        # actually receive a carry
+        carries = bitops.carry_into_bits(a_u, b_u, geo.width, cin)
+        propagate = (a_u ^ b_u) & U64(bitops.mask(geo.width))
+        # run-length of propagate ending at each bit
+        run = np.zeros((len(a_u),), dtype=np.int64)
+        max_run_with_carry = np.zeros(len(a_u), dtype=np.int64)
+        run_now = np.zeros(len(a_u), dtype=np.int64)
+        for i in range(geo.width):
+            p = ((propagate >> U64(i)) & U64(1)).astype(np.int64)
+            run_now = (run_now + 1) * p
+            carry_here = ((carries >> U64(i)) & U64(1)).astype(bool)
+            max_run_with_carry = np.where(
+                carry_here,
+                np.maximum(max_run_with_carry, run_now),
+                max_run_with_carry)
+        mispredicted = max_run_with_carry >= self.window
+        cycles = np.where(mispredicted, 2, 1)
+        return result, mispredicted, cycles
+
+
+def compare_on_stream(a, b, width: int = 64, window: int = 8,
+                      cin: int = 0) -> dict:
+    """Error/misprediction statistics of every adder family on one
+    operand stream — the Related Work comparison in one call."""
+    geo = AdderGeometry(width)
+    aca = AccuracyConfigurableAdder(geo, window).add(a, b, cin)
+    __, vlsa_miss, __ = VLSAAdder(geo, window).add(a, b, cin)
+    return {
+        "aca_error_rate": aca.error_rate,
+        "aca_mean_relative_error": aca.mean_relative_error,
+        "vlsa_misprediction_rate": float(vlsa_miss.mean()),
+    }

@@ -1,0 +1,168 @@
+"""Vectorised two's-complement carry-chain arithmetic.
+
+Everything in the ST2 study reduces to one question: *given the two
+operands of an addition, what carry flows into each 8-bit slice of the
+adder?*  This module answers it with plain bit identities, vectorised over
+numpy ``uint64`` arrays so that whole warps (and whole traces) can be
+analysed at once.
+
+The identities used throughout:
+
+* sum bit:        ``s_i = a_i ^ b_i ^ c_i``  hence  ``c_i = a_i ^ b_i ^ s_i``
+* carry out of i: ``c_{i+1} = majority(a_i, b_i, c_i)``
+
+where ``c_0`` is the adder's carry-in (0 for ADD, 1 for SUB with the second
+operand pre-inverted, exactly as the SUB signal does in the paper's
+Figure 4 slice schematic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+U64 = np.uint64
+_ONE = U64(1)
+
+
+def mask(width: int) -> int:
+    """All-ones mask of ``width`` bits as a Python int."""
+    if not 1 <= width <= 64:
+        raise ValueError(f"width must be in [1, 64], got {width}")
+    return (1 << width) - 1
+
+
+def to_unsigned(values, width: int) -> np.ndarray:
+    """Reinterpret (possibly negative) integers as ``width``-bit unsigned.
+
+    Accepts scalars or arrays; returns a ``uint64`` array.  Python ints of
+    arbitrary magnitude are wrapped into the two's-complement range first.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == object or arr.dtype.kind not in "iu":
+        wrapped = [int(v) & mask(width) for v in np.ravel(arr)]
+        return np.array(wrapped, dtype=U64).reshape(arr.shape)
+    out = arr.astype(np.int64, copy=True).view(np.uint64)
+    return out & U64(mask(width))
+
+
+def _cin_u64(cin) -> np.ndarray:
+    """Carry-in as uint64 (scalar or per-element vector)."""
+    return np.asarray(cin, dtype=U64)
+
+
+def add_wrapped(a, b, width: int, cin=0) -> np.ndarray:
+    """``(a + b + cin) mod 2**width`` on uint64 arrays.
+
+    ``cin`` may be a scalar or a vector matching the operand shape.
+    """
+    a = to_unsigned(a, width)
+    b = to_unsigned(b, width)
+    with np.errstate(over="ignore"):  # uint64 wrap-around is the point
+        total = a + b + _cin_u64(cin)
+    return total & U64(mask(width))
+
+
+def carry_into_bits(a, b, width: int, cin=0) -> np.ndarray:
+    """Carry *into* every bit position, as a packed ``width``-bit word.
+
+    Bit ``i`` of the result is the carry flowing into full-adder ``i``
+    (bit 0 of the result equals ``cin``).  Derived from ``c = a ^ b ^ s``.
+    """
+    a = to_unsigned(a, width)
+    b = to_unsigned(b, width)
+    s = add_wrapped(a, b, width, cin)
+    return (a ^ b ^ s) & U64(mask(width))
+
+
+def carry_out(a, b, width: int, cin=0) -> np.ndarray:
+    """Carry out of the most significant bit (0 or 1)."""
+    a = to_unsigned(a, width)
+    b = to_unsigned(b, width)
+    s = add_wrapped(a, b, width, cin)
+    msb = U64(width - 1)
+    # c_out = majority(a_msb, b_msb, c_msb); c_msb = (a^b^s)_msb
+    generate = (a & b) >> msb & _ONE
+    propagate = (a ^ b) >> msb & _ONE
+    c_msb = (a ^ b ^ s) >> msb & _ONE
+    return generate | (propagate & c_msb)
+
+
+def slice_bounds(width: int, slice_width: int = 8) -> list:
+    """Bit ranges ``[(lo, hi), ...]`` of each slice, LSB slice first.
+
+    The last slice absorbs the remainder when ``width`` is not a multiple
+    of ``slice_width`` (e.g. a 23-bit FP32 mantissa adder has slices of
+    8, 8 and 7 bits — three slices, as in the paper).
+    """
+    if slice_width < 1:
+        raise ValueError("slice_width must be >= 1")
+    bounds = []
+    lo = 0
+    while lo < width:
+        hi = min(lo + slice_width, width)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def n_slices(width: int, slice_width: int = 8) -> int:
+    """Number of slices a ``width``-bit adder is split into."""
+    return len(slice_bounds(width, slice_width))
+
+
+def slice_carry_ins(a, b, width: int, slice_width: int = 8,
+                    cin=0) -> np.ndarray:
+    """True carry-in of every slice, shape ``(..., n_slices)``.
+
+    Column 0 is always ``cin`` (architecturally known); columns 1..n-1 are
+    the carries the ST2 mechanism must predict (the paper's
+    ``Cpred[0] .. Cpred[n-2]`` correspond to columns 1..n-1 here).
+    """
+    carries = carry_into_bits(a, b, width, cin)
+    carries = np.asarray(carries)
+    cols = [((carries >> U64(lo)) & _ONE).astype(np.uint8)
+            for lo, _hi in slice_bounds(width, slice_width)]
+    return np.stack(cols, axis=-1)
+
+
+def slice_operand_bits(op, width: int, slice_width: int = 8) -> np.ndarray:
+    """MSB of each slice of an operand, shape ``(..., n_slices)``.
+
+    Used by the *Peek* mechanism: slice ``i`` peeks at the most significant
+    bit of slice ``i-1`` of both operands.
+    """
+    op = to_unsigned(op, width)
+    cols = [((op >> U64(hi - 1)) & _ONE).astype(np.uint8)
+            for _lo, hi in slice_bounds(width, slice_width)]
+    return np.stack(cols, axis=-1)
+
+
+def carry_chain_length(a, b, width: int, cin=0) -> np.ndarray:
+    """Index of the highest bit that receives a carry (+1), 0 if none.
+
+    A crude measure of how far the carry chain propagates — used in the
+    value-correlation study to relate result magnitude to chain length.
+    """
+    carries = np.asarray(carry_into_bits(a, b, width, cin))
+    out = np.zeros(carries.shape, dtype=np.int64)
+    remaining = carries.copy()
+    # position of highest set bit via repeated shift (width <= 64 so this
+    # loop is at most 64 iterations and fully vectorised per iteration)
+    for bit in range(width):
+        out = np.where((remaining >> U64(bit)) & _ONE == _ONE, bit + 1, out)
+    return out
+
+
+def popcount(values) -> np.ndarray:
+    """Per-element population count of a uint64 array."""
+    v = np.asarray(values, dtype=U64).copy()
+    count = np.zeros(v.shape, dtype=np.int64)
+    while np.any(v):
+        count += (v & _ONE).astype(np.int64)
+        v >>= _ONE
+    return count
+
+
+def invert(op, width: int) -> np.ndarray:
+    """Bitwise NOT within ``width`` bits (for SUB's pre-inverted operand)."""
+    return (~to_unsigned(op, width)) & U64(mask(width))

@@ -1,0 +1,107 @@
+"""Mantissa-adder operand extraction for FP32/FP64 operations.
+
+ST2 GPU applies speculative adders to the *mantissa* additions inside
+FPUs and DPUs (23- and 52-bit adders; exponent logic is excluded,
+Section IV-C).  To study carry behaviour we must therefore reconstruct
+the operands the mantissa adder actually sees for a floating-point
+``x + y`` (or the accumulate step of an FMA):
+
+1. order the operands by magnitude;
+2. align the smaller significand by the exponent difference;
+3. on an effective subtraction (opposite signs) feed the inverted
+   aligned significand with carry-in 1 — exactly the SUB path of the
+   slice schematic in the paper's Figure 4.
+
+Only the low ``width`` fraction bits (23 or 52) participate in the sliced
+adder, so operands are masked to that width.  Zeros, denormals, infs and
+NaNs are mapped to all-zero / saturated significands: they are rare in
+the workloads and their carry behaviour is trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FP32_FRAC_BITS = 23
+FP64_FRAC_BITS = 52
+
+
+def _decompose(bits: np.ndarray, frac_bits: int, exp_bits: int):
+    """(sign, biased exponent, significand incl. hidden bit) as uint64."""
+    bits = bits.astype(np.uint64)
+    frac_mask = np.uint64((1 << frac_bits) - 1)
+    exp_mask = np.uint64((1 << exp_bits) - 1)
+    frac = bits & frac_mask
+    exp = (bits >> np.uint64(frac_bits)) & exp_mask
+    sign = (bits >> np.uint64(frac_bits + exp_bits)) & np.uint64(1)
+    hidden = np.where(exp > 0, np.uint64(1 << frac_bits), np.uint64(0))
+    return sign, exp.astype(np.int64), frac | hidden
+
+
+def _adder_operands(sign_a, exp_a, sig_a, sign_b, exp_b, sig_b,
+                    frac_bits: int):
+    """Aligned mantissa-adder operands for a floating add.
+
+    Returns ``(op1, op2, cin)`` in the ``frac_bits``-wide adder domain.
+    """
+    mag_a = (exp_a.astype(np.int64) << np.int64(frac_bits + 1)) \
+        + sig_a.astype(np.int64)
+    mag_b = (exp_b.astype(np.int64) << np.int64(frac_bits + 1)) \
+        + sig_b.astype(np.int64)
+    a_is_large = mag_a >= mag_b
+
+    exp_l = np.where(a_is_large, exp_a, exp_b)
+    exp_s = np.where(a_is_large, exp_b, exp_a)
+    sig_l = np.where(a_is_large, sig_a, sig_b)
+    sig_s = np.where(a_is_large, sig_b, sig_a)
+    sign_l = np.where(a_is_large, sign_a, sign_b)
+    sign_s = np.where(a_is_large, sign_b, sign_a)
+
+    shift = np.clip(exp_l - exp_s, 0, 63).astype(np.uint64)
+    aligned_s = sig_s >> shift
+
+    width_mask = np.uint64((1 << frac_bits) - 1)
+    op1 = sig_l & width_mask
+    effective_sub = (sign_l != sign_s)
+    op2_add = aligned_s & width_mask
+    op2_sub = (~aligned_s) & width_mask
+    op2 = np.where(effective_sub, op2_sub, op2_add)
+    cin = effective_sub.astype(np.uint8)
+    return op1.astype(np.uint64), op2.astype(np.uint64), cin
+
+
+def fp32_add_operands(x, y):
+    """Mantissa-adder operands of FP32 ``x + y`` → (op1, op2, cin)."""
+    xb = np.atleast_1d(np.asarray(x, dtype=np.float32)).view(np.uint32)
+    yb = np.atleast_1d(np.asarray(y, dtype=np.float32)).view(np.uint32)
+    sa, ea, ma = _decompose(xb, FP32_FRAC_BITS, 8)
+    sb, eb, mb = _decompose(yb, FP32_FRAC_BITS, 8)
+    return _adder_operands(sa, ea, ma, sb, eb, mb, FP32_FRAC_BITS)
+
+
+def fp64_add_operands(x, y):
+    """Mantissa-adder operands of FP64 ``x + y`` → (op1, op2, cin)."""
+    xb = np.atleast_1d(np.asarray(x, dtype=np.float64)).view(np.uint64)
+    yb = np.atleast_1d(np.asarray(y, dtype=np.float64)).view(np.uint64)
+    sa, ea, ma = _decompose(xb, FP64_FRAC_BITS, 11)
+    sb, eb, mb = _decompose(yb, FP64_FRAC_BITS, 11)
+    return _adder_operands(sa, ea, ma, sb, eb, mb, FP64_FRAC_BITS)
+
+
+def fp32_fma_operands(a, b, c):
+    """Mantissa-adder operands of the accumulate step of ``a*b + c``.
+
+    The product's significand is formed in the multiplier array; the
+    sliced adder only performs the accumulation, so we reconstruct the
+    (truncated) product significand and align it against ``c``.
+    """
+    prod = np.atleast_1d(np.asarray(a, dtype=np.float32)
+                         * np.asarray(b, dtype=np.float32))
+    return fp32_add_operands(prod, c)
+
+
+def fp64_fma_operands(a, b, c):
+    """FP64 analogue of :func:`fp32_fma_operands`."""
+    prod = np.atleast_1d(np.asarray(a, dtype=np.float64)
+                         * np.asarray(b, dtype=np.float64))
+    return fp64_add_operands(prod, c)

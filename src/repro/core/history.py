@@ -1,0 +1,158 @@
+"""History-table reference implementation and the hardware CRF model.
+
+:class:`ReferencePredictor` is a deliberately simple, dict-based,
+row-at-a-time implementation of the ``prev`` speculation mechanism with
+identical semantics to the vectorised
+:func:`repro.core.predictors.predict_trace`.  It exists as a correctness
+oracle (the tests cross-check the two on random traces) and as the
+model that can additionally simulate *write-port contention*.
+
+:class:`CarryRegisterFile` models the physical per-SM CRF of Section
+IV-C: 16 entries x 224 bits (7 carry bits for each of 32 lanes), read
+with ``PC[3:0]`` during register read, written back at write-back.  When
+several warps in the same SM reach write-back in the same cycle and
+target the same entry, the design resolves the conflict by *random
+arbitration* — losing warps simply drop their update (predictions are
+hints; dropping one never affects correctness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predictors import (MAX_PREDICTIONS, SpeculationConfig,
+                                   trace_n_predictions, trace_peek,
+                                   trace_slice_carries)
+
+
+class ReferencePredictor:
+    """Sequential oracle for the ``prev`` mechanism (tests only)."""
+
+    def __init__(self, config: SpeculationConfig):
+        if config.mechanism != "prev":
+            raise ValueError("ReferencePredictor models the prev mechanism")
+        self.config = config
+        self._table: dict = {}
+
+    def _key(self, pc: int, gtid: int, ltid: int, sm: int):
+        cfg = self.config
+        if cfg.pc_index == "none":
+            pc_part = 0
+        elif cfg.pc_index == "full":
+            pc_part = pc
+        elif cfg.pc_index == "mod":
+            pc_part = pc % (1 << cfg.pc_bits)
+        else:  # xor fold
+            pc_part, v, m = 0, pc, (1 << cfg.pc_bits) - 1
+            while v:
+                pc_part ^= v & m
+                v >>= cfg.pc_bits
+        thread_part = {"": 0, "gtid": gtid, "ltid": ltid}[cfg.thread_key]
+        sm_part = sm if cfg.sm_scoped else 0
+        return (pc_part, thread_part, sm_part)
+
+    def predict_row(self, pc: int, gtid: int, ltid: int, sm: int,
+                    n_preds: int) -> np.ndarray:
+        entry = self._table.get(self._key(pc, gtid, ltid, sm))
+        bits = np.zeros(MAX_PREDICTIONS, dtype=np.uint8)
+        if entry is not None:
+            bits[:] = entry
+        return bits[:n_preds]
+
+    def update_row(self, pc: int, gtid: int, ltid: int, sm: int,
+                   carries: np.ndarray) -> None:
+        """Store a row's true slice carries (bits it produced only)."""
+        key = self._key(pc, gtid, ltid, sm)
+        entry = self._table.setdefault(
+            key, np.zeros(MAX_PREDICTIONS, dtype=np.uint8))
+        entry[:len(carries)] = carries
+
+    def predict_trace(self, trace) -> np.ndarray:
+        """Group-at-a-time predictions over a trace (slow; tests only).
+
+        All lanes of one warp instruction (same ``seq`` and ``warp``)
+        read the table before any of them writes back, matching the
+        hardware register-read / write-back staging.
+        """
+        n_preds = trace_n_predictions(trace)
+        carries = trace_slice_carries(trace)
+        groups = (trace.seq.astype(np.int64) << 24) \
+            + trace.warp.astype(np.int64)
+        out = np.zeros((len(trace), MAX_PREDICTIONS), dtype=np.uint8)
+        i = 0
+        n = len(trace)
+        while i < n:
+            j = i
+            while j < n and groups[j] == groups[i]:
+                j += 1
+            for r in range(i, j):
+                kk = int(n_preds[r])
+                out[r, :kk] = self.predict_row(
+                    int(trace.pc[r]), int(trace.gtid[r]),
+                    int(trace.ltid[r]), int(trace.sm[r]), kk)
+            for r in range(i, j):
+                kk = int(n_preds[r])
+                self.update_row(int(trace.pc[r]), int(trace.gtid[r]),
+                                int(trace.ltid[r]), int(trace.sm[r]),
+                                carries[r, 1:kk + 1])
+            i = j
+        if self.config.peek:
+            known, value = trace_peek(trace)
+            out = np.where(known, value, out)
+        return out
+
+
+class CarryRegisterFile:
+    """The per-SM 16 x 224-bit Carry Register File (Section IV-C)."""
+
+    def __init__(self, n_entries: int = 16, n_lanes: int = 32,
+                 bits_per_lane: int = MAX_PREDICTIONS, seed: int = 0):
+        self.n_entries = n_entries
+        self.n_lanes = n_lanes
+        self.bits_per_lane = bits_per_lane
+        self._bits = np.zeros((n_entries, n_lanes, bits_per_lane),
+                              dtype=np.uint8)
+        self._rng = np.random.default_rng(seed)
+        self.reads = 0
+        self.writes = 0
+        self.conflicts_dropped = 0
+
+    @property
+    def entry_bits(self) -> int:
+        return self.n_lanes * self.bits_per_lane
+
+    def storage_bytes(self) -> int:
+        return self.n_entries * self.entry_bits // 8
+
+    def read(self, pc: int) -> np.ndarray:
+        """Register-read-stage fetch: all 224 bits of entry ``PC[3:0]``."""
+        self.reads += 1
+        return self._bits[pc % self.n_entries].copy()
+
+    def writeback(self, pc: int, lanes: np.ndarray,
+                  bits: np.ndarray) -> None:
+        """Write-back-stage update of the given lanes' prediction bits."""
+        self.writes += 1
+        entry = self._bits[pc % self.n_entries]
+        bits = np.asarray(bits, dtype=np.uint8)
+        entry[np.asarray(lanes), :bits.shape[1]] = bits
+
+    def writeback_cycle(self, updates: list) -> None:
+        """One write-back cycle with random port arbitration.
+
+        ``updates`` is a list of ``(pc, lanes, bits)`` from warps reaching
+        write-back in the same cycle.  Updates targeting distinct entries
+        proceed in parallel; among updates to the *same* entry one random
+        winner is applied and the rest are dropped (the paper's random
+        arbitration, Section IV-B: contention is rare because only warps
+        in the same SM cluster at the same write-back cycle can conflict).
+        """
+        by_entry: dict = {}
+        for pc, lanes, bits in updates:
+            by_entry.setdefault(pc % self.n_entries, []).append(
+                (pc, lanes, bits))
+        for contenders in by_entry.values():
+            winner = (contenders[0] if len(contenders) == 1 else
+                      contenders[self._rng.integers(len(contenders))])
+            self.conflicts_dropped += len(contenders) - 1
+            self.writeback(*winner)

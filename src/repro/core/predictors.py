@@ -1,0 +1,382 @@
+"""Carry-speculation mechanisms (the paper's Section IV-B design space).
+
+A :class:`SpeculationConfig` names one point in the design space:
+
+* ``mechanism`` — how the *dynamic* prediction is produced:
+  ``static0`` / ``static1`` (always 0 / 1), ``operand`` (CASA-style
+  stateless prediction from the operands), ``valhalla`` (a single
+  history bit per adder broadcast to every slice — our reconstruction of
+  the VaLHALLA GLSVLSI'17 predictor) or ``prev`` (the paper's
+  per-slice previous-carry history table).
+* ``peek`` — overlay the Peek rule: when the MSbs of both operands of
+  the previous slice agree, the carry-in is statically known and no
+  dynamic speculation is used (Section IV-B).
+* ``pc_index`` / ``pc_bits`` — how the PC participates in the history
+  index: ``none`` (all instructions alias), ``full``, ``mod`` (lowest k
+  bits — ModPCk) or ``xor`` (XOR-hash of k-bit PC chunks).
+* ``thread_key`` — history sharing across threads: ``None`` (all threads
+  share), ``"gtid"`` (fully private per thread) or ``"ltid"`` (shared
+  across warps by lane — the ST2 choice).
+* ``sm_scoped`` — scope tables per SM (the physical CRF is per-SM).
+
+Predictions are computed over an entire :class:`~repro.sim.trace.AddTrace`
+at once.  The history-table semantics ("the prediction for an operation
+is the carry vector stored by the most recent earlier operation with the
+same index") vectorises into a grouped shift along the trace's logical
+time order; a dict-based sequential reference implementation lives in
+:mod:`repro.core.history` and the two are cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core import bitops
+from repro.core.adder import ST2Adder
+from repro.core.slices import AdderGeometry, geometry_for
+
+MAX_PREDICTIONS = 7  # the widest adder (64-bit) has 8 slices
+
+_U64 = np.uint64
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """One point in the carry-speculation design space."""
+
+    name: str
+    mechanism: str = "prev"         # static0|static1|operand|valhalla|prev
+    peek: bool = False
+    pc_index: str = "none"          # none|full|mod|xor
+    pc_bits: int = 0
+    thread_key: str = ""            # ""|gtid|ltid
+    sm_scoped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in ("static0", "static1", "operand",
+                                  "valhalla", "prev"):
+            raise ValueError(f"unknown mechanism {self.mechanism!r}")
+        if self.pc_index not in ("none", "full", "mod", "xor"):
+            raise ValueError(f"unknown pc_index {self.pc_index!r}")
+        if self.pc_index in ("mod", "xor") and self.pc_bits < 1:
+            raise ValueError("mod/xor PC indexing needs pc_bits >= 1")
+        if self.thread_key not in ("", "gtid", "ltid"):
+            raise ValueError(f"unknown thread_key {self.thread_key!r}")
+
+    def table_entries(self, max_threads: int = 2048) -> int:
+        """History-table entry count implied by the index (for sizing)."""
+        pc_entries = {"none": 1, "full": 1 << 16}.get(
+            self.pc_index, 1 << self.pc_bits)
+        thread_entries = {"": 1, "gtid": max_threads, "ltid": 32}[
+            self.thread_key]
+        return pc_entries * thread_entries
+
+
+# ----------------------------------------------------------------------
+# trace-level derived quantities
+# ----------------------------------------------------------------------
+
+def trace_n_predictions(trace) -> np.ndarray:
+    """Per-row number of speculated carries (slices - 1)."""
+    return (trace.width.astype(np.int64) + 7) // 8 - 1
+
+
+def trace_slice_carries(trace) -> np.ndarray:
+    """True carry-in of every slice, padded to 8 columns."""
+    n = len(trace)
+    out = np.zeros((n, MAX_PREDICTIONS + 1), dtype=np.uint8)
+    for w in np.unique(trace.width):
+        rows = np.nonzero(trace.width == w)[0]
+        carries = bitops.slice_carry_ins(
+            trace.op_a[rows], trace.op_b[rows], int(w), 8, trace.cin[rows])
+        out[rows[:, None], np.arange(carries.shape[1])[None, :]] = carries
+    return out
+
+
+def trace_peek(trace) -> tuple:
+    """Peek rule over the whole trace.
+
+    Returns ``(known, value)`` of shape ``(N, 7)``: ``known[r, j]`` is
+    True when the carry into slice ``j+1`` is statically determined by
+    the MSbs of slice ``j`` of both operands (both zero → 0, both one →
+    1), and ``value`` holds that static carry.
+    """
+    n = len(trace)
+    known = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
+    value = np.zeros((n, MAX_PREDICTIONS), dtype=np.uint8)
+    for w in np.unique(trace.width):
+        rows = np.nonzero(trace.width == w)[0]
+        msb_a = bitops.slice_operand_bits(trace.op_a[rows], int(w), 8)
+        msb_b = bitops.slice_operand_bits(trace.op_b[rows], int(w), 8)
+        n_pred = msb_a.shape[1] - 1
+        if n_pred <= 0:
+            continue
+        both_one = (msb_a[:, :n_pred] & msb_b[:, :n_pred]) == 1
+        both_zero = (msb_a[:, :n_pred] | msb_b[:, :n_pred]) == 0
+        known[rows[:, None], np.arange(n_pred)[None, :]] = \
+            both_one | both_zero
+        value[rows[:, None], np.arange(n_pred)[None, :]] = \
+            both_one.astype(np.uint8)
+    return known, value
+
+
+def previous_same_key(keys: np.ndarray, valid: np.ndarray,
+                      groups: np.ndarray = None) -> np.ndarray:
+    """Index of the previous valid row with the same key (or -1).
+
+    ``keys`` must be one int64 per row; rows are in logical-time order.
+    This is the vectorised core of every history-table mechanism.
+
+    ``groups`` (optional) marks rows that execute *simultaneously* (the
+    lanes of one warp instruction): a row never takes its prediction
+    from another row of the same group, because in hardware every lane
+    reads the history entry in the register-read stage, before any lane
+    of that instruction has written back.  Rows of one group sharing a
+    key all see the last write from *before* the group.
+    """
+    n = len(keys)
+    prev = np.full(n, -1, dtype=np.int64)
+    idx = np.nonzero(np.asarray(valid, dtype=bool))[0]
+    if len(idx) < 2:
+        return prev
+    k = keys[idx]
+    order = np.argsort(k, kind="stable")
+    si = idx[order]
+    sk = k[order]
+    if groups is None:
+        same = sk[1:] == sk[:-1]
+        prev[si[1:][same]] = si[:-1][same]
+        return prev
+    sg = groups[idx][order]
+    m = len(si)
+    pos = np.arange(m)
+    # start of each (key, group) run; runs are contiguous because rows
+    # of one group are consecutive in time, hence in the stable sort
+    run_start = np.ones(m, dtype=bool)
+    run_start[1:] = (sk[1:] != sk[:-1]) | (sg[1:] != sg[:-1])
+    start_pos = np.maximum.accumulate(np.where(run_start, pos, 0))
+    source = start_pos - 1
+    ok = (source >= 0) & (sk[np.maximum(source, 0)] == sk)
+    prev[si[ok]] = si[source[ok]]
+    return prev
+
+
+def trace_groups(trace) -> np.ndarray:
+    """Simultaneity groups: one id per dynamic warp instruction."""
+    return (trace.seq.astype(np.int64) << 24) + trace.warp.astype(np.int64)
+
+
+def _xor_fold(pc: np.ndarray, bits: int) -> np.ndarray:
+    """XOR-hash of ``bits``-wide PC chunks (the paper's 'more complex
+    PC-based indexing', shown to provide no additional benefit)."""
+    folded = np.zeros(len(pc), dtype=np.int64)
+    v = pc.astype(np.int64).copy()
+    m = (1 << bits) - 1
+    while np.any(v):
+        folded ^= v & m
+        v >>= bits
+    return folded
+
+
+def history_keys(trace, config: SpeculationConfig) -> np.ndarray:
+    """Combined history-table index per trace row."""
+    pc = trace.pc.astype(np.int64)
+    if config.pc_index == "none":
+        pc_part = np.zeros(len(trace), dtype=np.int64)
+    elif config.pc_index == "full":
+        pc_part = pc
+    elif config.pc_index == "mod":
+        pc_part = pc & ((1 << config.pc_bits) - 1)
+    else:  # xor
+        pc_part = _xor_fold(pc, config.pc_bits)
+    if config.thread_key == "gtid":
+        thread_part = trace.gtid.astype(np.int64)
+    elif config.thread_key == "ltid":
+        thread_part = trace.ltid.astype(np.int64)
+    else:
+        thread_part = np.zeros(len(trace), dtype=np.int64)
+    sm_part = (trace.sm.astype(np.int64) if config.sm_scoped
+               else np.zeros(len(trace), dtype=np.int64))
+    return pc_part + (thread_part << 24) + (sm_part << 56)
+
+
+# ----------------------------------------------------------------------
+# prediction
+# ----------------------------------------------------------------------
+
+def _operand_predictions(trace) -> np.ndarray:
+    """CASA-style stateless prediction: the *generate* bit of the MSB
+    of the previous slice (carry assumed to come only from local
+    generation, never long propagation)."""
+    n = len(trace)
+    preds = np.zeros((n, MAX_PREDICTIONS), dtype=np.uint8)
+    for w in np.unique(trace.width):
+        rows = np.nonzero(trace.width == w)[0]
+        msb_a = bitops.slice_operand_bits(trace.op_a[rows], int(w), 8)
+        msb_b = bitops.slice_operand_bits(trace.op_b[rows], int(w), 8)
+        n_pred = msb_a.shape[1] - 1
+        if n_pred <= 0:
+            continue
+        preds[rows[:, None], np.arange(n_pred)[None, :]] = \
+            msb_a[:, :n_pred] & msb_b[:, :n_pred]
+    return preds
+
+
+def _valhalla_predictions(trace, carries: np.ndarray,
+                          n_preds: np.ndarray) -> np.ndarray:
+    """Single history bit per adder, broadcast to every slice.
+
+    Our VaLHALLA reconstruction: each (hardware) adder — identified by
+    the thread it serves — remembers whether the previous operation's
+    carry chain was carry-heavy (majority of slice boundaries saw a
+    carry) and broadcasts that single bit as the prediction for *all*
+    slices of the next operation.
+    """
+    keys = trace.gtid.astype(np.int64)
+    prev = previous_same_key(keys, np.ones(len(trace), dtype=bool))
+    carry_sum = np.zeros(len(trace), dtype=np.int64)
+    for j in range(MAX_PREDICTIONS):
+        carry_sum += carries[:, j + 1] * (n_preds > j)
+    broadcast = np.zeros(len(trace), dtype=np.uint8)
+    has = prev >= 0
+    prev_sum = carry_sum[prev[has]]
+    prev_n = np.maximum(n_preds[prev[has]], 1)
+    broadcast[has] = (2 * prev_sum > prev_n).astype(np.uint8)
+    return np.repeat(broadcast[:, None], MAX_PREDICTIONS, axis=1)
+
+
+def _prev_predictions(trace, carries: np.ndarray, n_preds: np.ndarray,
+                      config: SpeculationConfig) -> tuple:
+    """History-table predictions and per-bit has-predecessor mask."""
+    keys = history_keys(trace, config)
+    groups = trace_groups(trace)
+    n = len(trace)
+    preds = np.zeros((n, MAX_PREDICTIONS), dtype=np.uint8)
+    has_prev = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
+    for j in range(MAX_PREDICTIONS):
+        valid = n_preds > j
+        if not valid.any():
+            continue
+        prev = previous_same_key(keys, valid, groups)
+        rows = prev >= 0
+        preds[rows, j] = carries[prev[rows], j + 1]
+        has_prev[:, j] = rows
+    return preds, has_prev
+
+
+@dataclass
+class Prediction:
+    """Predictions for a whole trace, padded to 7 columns."""
+
+    config: SpeculationConfig
+    bits: np.ndarray            # (N, 7) uint8
+    has_prev: np.ndarray        # (N, 7) bool — history hit (prev mechanisms)
+    peek_known: np.ndarray      # (N, 7) bool — statically determined bits
+
+
+def predict_trace(trace, config: SpeculationConfig,
+                  carries: np.ndarray = None) -> Prediction:
+    """Compute every carry prediction the mechanism would make."""
+    n = len(trace)
+    n_preds = trace_n_predictions(trace)
+    if carries is None:
+        carries = trace_slice_carries(trace)
+    has_prev = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
+
+    if config.mechanism == "static0":
+        bits = np.zeros((n, MAX_PREDICTIONS), dtype=np.uint8)
+    elif config.mechanism == "static1":
+        bits = np.ones((n, MAX_PREDICTIONS), dtype=np.uint8)
+    elif config.mechanism == "operand":
+        bits = _operand_predictions(trace)
+    elif config.mechanism == "valhalla":
+        bits = _valhalla_predictions(trace, carries, n_preds)
+    else:  # prev
+        bits, has_prev = _prev_predictions(trace, carries, n_preds, config)
+
+    peek_known = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
+    if config.peek:
+        peek_known, peek_value = trace_peek(trace)
+        bits = np.where(peek_known, peek_value, bits)
+    return Prediction(config=config, bits=bits, has_prev=has_prev,
+                      peek_known=peek_known)
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+
+@dataclass
+class SpeculationResult:
+    """Outcome of running ST2 adders over a trace with a mechanism."""
+
+    config: SpeculationConfig
+    n_ops: int
+    mispredicted: np.ndarray        # (N,) bool — op needed a 2nd cycle
+    recomputed: np.ndarray          # (N,) int — suspect slices recomputed
+    wrong_bits: np.ndarray          # (N,) int — raw prediction errors
+
+    @property
+    def thread_misprediction_rate(self) -> float:
+        """The paper's Figures 5/6 metric."""
+        return float(self.mispredicted.mean()) if self.n_ops else 0.0
+
+    @property
+    def recomputed_per_misprediction(self) -> float:
+        """Average slices recomputed per mispredicted operation
+        (the paper reports 1.94 on average, up to 2.73)."""
+        n_miss = int(self.mispredicted.sum())
+        if not n_miss:
+            return 0.0
+        return float(self.recomputed.sum() / n_miss)
+
+    @property
+    def extra_cycle_fraction(self) -> float:
+        return self.thread_misprediction_rate
+
+
+def evaluate_trace(trace, prediction: Prediction) -> SpeculationResult:
+    """Run the ST2 adder over the trace with the given predictions."""
+    n = len(trace)
+    mispredicted = np.zeros(n, dtype=bool)
+    recomputed = np.zeros(n, dtype=np.int64)
+    wrong_bits = np.zeros(n, dtype=np.int64)
+    for w in np.unique(trace.width):
+        rows = np.nonzero(trace.width == w)[0]
+        geo = geometry_for(int(w))
+        if geo.n_predictions == 0:
+            continue
+        adder = ST2Adder(geo)
+        out = adder.add(trace.op_a[rows], trace.op_b[rows],
+                        prediction.bits[rows, :geo.n_predictions],
+                        cin=trace.cin[rows])
+        mispredicted[rows] = out.mispredicted
+        recomputed[rows] = out.recomputed_slices
+        truth = out.slice_carries[:, 1:]
+        wrong_bits[rows] = (
+            prediction.bits[rows, :geo.n_predictions] != truth).sum(axis=1)
+    return SpeculationResult(config=prediction.config, n_ops=n,
+                             mispredicted=mispredicted,
+                             recomputed=recomputed, wrong_bits=wrong_bits)
+
+
+def run_speculation(trace, config: SpeculationConfig) -> SpeculationResult:
+    """Predict + evaluate in one call."""
+    return evaluate_trace(trace, predict_trace(trace, config))
+
+
+def carry_match_rate(trace, config: SpeculationConfig) -> float:
+    """Figure 3 metric: fraction of slice carry-ins matching the
+    predecessor's, over (row, slice) pairs that have a predecessor."""
+    carries = trace_slice_carries(trace)
+    n_preds = trace_n_predictions(trace)
+    bits, has_prev = _prev_predictions(trace, carries, n_preds,
+                                       replace(config, mechanism="prev"))
+    valid = has_prev & (np.arange(MAX_PREDICTIONS)[None, :]
+                        < n_preds[:, None])
+    if not valid.any():
+        return float("nan")   # no (op, slice) pair has a predecessor
+    truth = carries[:, 1:]
+    return float((bits == truth)[valid].mean())

@@ -1,0 +1,81 @@
+"""Adder slice geometry.
+
+The paper splits every adder into 8-bit slices (Section V-B finds 8 bits
+to be the sweet spot).  A ``width``-bit adder therefore has
+``ceil(width / 8)`` slices; slice 0's carry-in is architecturally known
+(0 for ADD, 1 for SUB), so the speculation mechanism predicts
+``n_slices - 1`` carries per operation:
+
+* 64-bit integer adder — 8 slices, 7 predictions (``Cpred[6:0]``);
+* 32-bit integer adder — 4 slices, 3 predictions;
+* FP32 mantissa adder (23 bits) — 3 slices;
+* FP64 mantissa adder (52 bits) — 7 slices.
+
+The Carry Register File always stores 7 prediction bits per thread
+(sized for the widest adder); narrower adders use the low-order bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import bitops
+
+
+@dataclass(frozen=True)
+class AdderGeometry:
+    """Static shape of a sliced adder."""
+
+    width: int
+    slice_width: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= 64:
+            raise ValueError(f"adder width must be in [1, 64], got {self.width}")
+        if self.slice_width < 1:
+            raise ValueError("slice_width must be >= 1")
+
+    @property
+    def bounds(self) -> list:
+        """Per-slice ``(lo, hi)`` bit ranges, LSB slice first."""
+        return bitops.slice_bounds(self.width, self.slice_width)
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def n_predictions(self) -> int:
+        """Carries the speculation unit must supply (slices 1..n-1)."""
+        return max(self.n_slices - 1, 0)
+
+    @property
+    def slice_widths(self) -> list:
+        return [hi - lo for lo, hi in self.bounds]
+
+    def state_bits(self) -> int:
+        """Extra DFF bits per adder: 2 (State + Cout) per slice except 0.
+
+        Matches the paper's accounting: 14 bits for the 64-bit integer
+        adder, 4 for FP32 mantissa, 12 for FP64 mantissa.
+        """
+        return 2 * self.n_predictions
+
+
+# Canonical geometries used by ST2 GPU (paper Section IV-C).
+INT64 = AdderGeometry(64)
+INT32 = AdderGeometry(32)
+FP32_MANTISSA = AdderGeometry(23)
+FP64_MANTISSA = AdderGeometry(52)
+
+#: Width of a Carry Register File entry per thread: sized for the widest
+#: adder (7 predictions), shared by all adder types.
+CRF_BITS_PER_THREAD = INT64.n_predictions
+
+
+def geometry_for(width: int, slice_width: int = 8) -> AdderGeometry:
+    """Geometry for an arbitrary adder width (cached canonical cases)."""
+    for geo in (INT64, INT32, FP32_MANTISSA, FP64_MANTISSA):
+        if geo.width == width and geo.slice_width == slice_width:
+            return geo
+    return AdderGeometry(width, slice_width)

@@ -1,0 +1,100 @@
+"""The named design-space ladder of Figure 5 and its exploration runner.
+
+``DESIGN_LADDER`` lists, left to right, the configurations the paper
+sweeps: static predictions, VaLHALLA (with and without the Peek
+retrofit), the shared previous-carry table, progressively more PC index
+bits (ModPCk), full thread disambiguation (Gtid — shown to be *worse*,
+because it forfeits constructive cross-thread interference), the ST2
+choice (Ltid), and the XOR-hash variant shown to add nothing.
+
+``ST2_DESIGN`` is the paper's final pick: ``Ltid+Prev+ModPC4+Peek``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.predictors import (SpeculationConfig, SpeculationResult,
+                                   run_speculation)
+
+STATIC_ONE = SpeculationConfig("staticOne", "static1")
+STATIC_ZERO = SpeculationConfig("staticZero", "static0")
+CASA = SpeculationConfig("CASA", "operand")
+VALHALLA = SpeculationConfig("VaLHALLA", "valhalla")
+VALHALLA_PEEK = SpeculationConfig("VaLHALLA+Peek", "valhalla", peek=True)
+PREV = SpeculationConfig("Prev", "prev")
+PREV_PEEK = SpeculationConfig("Prev+Peek", "prev", peek=True)
+
+
+def prev_modpc(bits: int, peek: bool = True,
+               thread_key: str = "") -> SpeculationConfig:
+    """A Prev+ModPCk(+Peek) configuration, optionally thread-indexed."""
+    prefix = {"": "", "gtid": "Gtid+", "ltid": "Ltid+"}[thread_key]
+    suffix = "+Peek" if peek else ""
+    return SpeculationConfig(
+        f"{prefix}Prev+ModPC{bits}{suffix}", "prev", peek=peek,
+        pc_index="mod", pc_bits=bits, thread_key=thread_key)
+
+
+GTID_PREV_MODPC4_PEEK = prev_modpc(4, thread_key="gtid")
+LTID_PREV_MODPC4_PEEK = prev_modpc(4, thread_key="ltid")
+XOR_LTID = SpeculationConfig("Ltid+Prev+XorPC4+Peek", "prev", peek=True,
+                             pc_index="xor", pc_bits=4, thread_key="ltid")
+
+#: The ST2 GPU design point (Section IV-B conclusion).
+ST2_DESIGN = LTID_PREV_MODPC4_PEEK
+
+#: Figure 5's x-axis, left to right.
+DESIGN_LADDER = (
+    STATIC_ONE,
+    STATIC_ZERO,
+    VALHALLA,
+    VALHALLA_PEEK,
+    PREV_PEEK,
+    prev_modpc(1),
+    prev_modpc(2),
+    prev_modpc(4),
+    prev_modpc(8),
+    GTID_PREV_MODPC4_PEEK,
+    LTID_PREV_MODPC4_PEEK,
+    XOR_LTID,
+)
+
+#: Figure 3's three correlation configurations.
+FIG3_CONFIGS = (
+    SpeculationConfig("Prev+Gtid", "prev", thread_key="gtid"),
+    SpeculationConfig("Prev+FullPC+Gtid", "prev", pc_index="full",
+                      thread_key="gtid"),
+    SpeculationConfig("Prev+FullPC+Ltid", "prev", pc_index="full",
+                      thread_key="ltid"),
+)
+
+
+def config_by_name(name: str) -> SpeculationConfig:
+    """Look up a ladder configuration by its display name."""
+    for cfg in DESIGN_LADDER + FIG3_CONFIGS + (CASA, PREV):
+        if cfg.name == name:
+            return cfg
+    raise KeyError(f"unknown speculation config {name!r}")
+
+
+@dataclass
+class DesignSpacePoint:
+    """One bar of Figure 5 for one kernel."""
+
+    config: SpeculationConfig
+    misprediction_rate: float
+    recomputed_per_misprediction: float
+
+
+def explore(trace, configs=DESIGN_LADDER) -> list:
+    """Run the design-space exploration over one kernel trace."""
+    points = []
+    for cfg in configs:
+        result = run_speculation(trace, cfg)
+        points.append(DesignSpacePoint(
+            config=cfg,
+            misprediction_rate=result.thread_misprediction_rate,
+            recomputed_per_misprediction=(
+                result.recomputed_per_misprediction)))
+    return points

@@ -1,0 +1,6 @@
+"""PTX-like instruction-set substrate: opcodes and PC interning."""
+
+from repro.isa.opcodes import FunctionalUnit, MixCategory, Opcode
+from repro.isa.pc import PcTable
+
+__all__ = ["FunctionalUnit", "MixCategory", "Opcode", "PcTable"]

@@ -1,0 +1,156 @@
+"""PTX-like opcode taxonomy.
+
+Each opcode carries the attributes the study needs:
+
+* which functional unit executes it (TITAN V has per-SM pools of ALUs,
+  FPUs, DPUs, SFUs, load/store units — Section II-A);
+* whether it exercises an *adder* (and which adder geometry), i.e. whether
+  ST2 applies to it — integer add/sub/min/max on the ALU adder, FP32
+  add/sub/FMA on the 23-bit mantissa adder, FP64 on the 52-bit one.
+  Multipliers, dividers and exponent logic are explicitly excluded
+  (Section IV-C);
+* the instruction-mix category used by the paper's Figure 1
+  (ALU Add / ALU Other / FPU Add / FPU Other / Other);
+* a nominal pipeline latency for the cycle-approximate timing model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FunctionalUnit(enum.Enum):
+    """Execution resource pools of a Volta SM."""
+
+    ALU = "alu"
+    FPU = "fpu"
+    DPU = "dpu"
+    SFU = "sfu"
+    INT_MUL = "int_mul"   # shares ALU issue ports but modelled separately
+    FP_MUL = "fp_mul"
+    LDST = "ldst"
+    CONTROL = "control"
+    TENSOR = "tensor"
+
+
+class MixCategory(enum.Enum):
+    """Figure 1 dynamic-instruction categories."""
+
+    ALU_ADD = "ALU Add"
+    ALU_OTHER = "ALU Other"
+    FPU_ADD = "FPU Add"
+    FPU_OTHER = "FPU Other"
+    OTHER = "Other"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    name: str
+    unit: FunctionalUnit
+    mix: MixCategory
+    #: adder width when the op exercises a sliced adder, else 0.
+    adder_width: int
+    latency: int
+
+
+class Opcode(enum.Enum):
+    """The mini-ISA executed by the functional simulator."""
+
+    # -- integer ALU, adder class -------------------------------------
+    IADD = OpcodeInfo("iadd", FunctionalUnit.ALU, MixCategory.ALU_ADD, 32, 4)
+    ISUB = OpcodeInfo("isub", FunctionalUnit.ALU, MixCategory.ALU_ADD, 32, 4)
+    IMIN = OpcodeInfo("imin", FunctionalUnit.ALU, MixCategory.ALU_ADD, 32, 4)
+    IMAX = OpcodeInfo("imax", FunctionalUnit.ALU, MixCategory.ALU_ADD, 32, 4)
+    #: 64-bit address arithmetic (base + byte offset) emitted by memory ops.
+    LEA = OpcodeInfo("lea", FunctionalUnit.ALU, MixCategory.ALU_ADD, 64, 4)
+
+    # -- integer ALU, non-adder ---------------------------------------
+    IAND = OpcodeInfo("iand", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 4)
+    IOR = OpcodeInfo("ior", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 4)
+    IXOR = OpcodeInfo("ixor", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 4)
+    SHL = OpcodeInfo("shl", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 4)
+    SHR = OpcodeInfo("shr", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 4)
+    SETP = OpcodeInfo("setp", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 4)
+    SEL = OpcodeInfo("sel", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 4)
+    MOV = OpcodeInfo("mov", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 2)
+    CVT = OpcodeInfo("cvt", FunctionalUnit.ALU, MixCategory.ALU_OTHER, 0, 4)
+
+    # -- integer multiply / divide (separate power component) ----------
+    IMUL = OpcodeInfo("imul", FunctionalUnit.INT_MUL, MixCategory.ALU_OTHER, 0, 5)
+    IMAD = OpcodeInfo("imad", FunctionalUnit.INT_MUL, MixCategory.ALU_OTHER, 0, 5)
+    IDIV = OpcodeInfo("idiv", FunctionalUnit.INT_MUL, MixCategory.ALU_OTHER, 0, 20)
+    IREM = OpcodeInfo("irem", FunctionalUnit.INT_MUL, MixCategory.ALU_OTHER, 0, 20)
+
+    # -- FP32, adder class (23-bit mantissa adder) ----------------------
+    FADD = OpcodeInfo("fadd", FunctionalUnit.FPU, MixCategory.FPU_ADD, 23, 4)
+    FSUB = OpcodeInfo("fsub", FunctionalUnit.FPU, MixCategory.FPU_ADD, 23, 4)
+    FFMA = OpcodeInfo("ffma", FunctionalUnit.FPU, MixCategory.FPU_ADD, 23, 4)
+    FMIN = OpcodeInfo("fmin", FunctionalUnit.FPU, MixCategory.FPU_ADD, 23, 4)
+    FMAX = OpcodeInfo("fmax", FunctionalUnit.FPU, MixCategory.FPU_ADD, 23, 4)
+
+    # -- FP32, non-adder -------------------------------------------------
+    FMUL = OpcodeInfo("fmul", FunctionalUnit.FP_MUL, MixCategory.FPU_OTHER, 0, 4)
+    FDIV = OpcodeInfo("fdiv", FunctionalUnit.FP_MUL, MixCategory.FPU_OTHER, 0, 30)
+    FNEG = OpcodeInfo("fneg", FunctionalUnit.FPU, MixCategory.FPU_OTHER, 0, 4)
+    FABS = OpcodeInfo("fabs", FunctionalUnit.FPU, MixCategory.FPU_OTHER, 0, 4)
+    FSETP = OpcodeInfo("fsetp", FunctionalUnit.FPU, MixCategory.FPU_OTHER, 0, 4)
+
+    # -- FP64 (DPU), adder class (52-bit mantissa adder) ----------------
+    DADD = OpcodeInfo("dadd", FunctionalUnit.DPU, MixCategory.FPU_ADD, 52, 8)
+    DSUB = OpcodeInfo("dsub", FunctionalUnit.DPU, MixCategory.FPU_ADD, 52, 8)
+    DFMA = OpcodeInfo("dfma", FunctionalUnit.DPU, MixCategory.FPU_ADD, 52, 8)
+    DMUL = OpcodeInfo("dmul", FunctionalUnit.FP_MUL, MixCategory.FPU_OTHER, 0, 8)
+
+    # -- special function unit ------------------------------------------
+    SIN = OpcodeInfo("sin", FunctionalUnit.SFU, MixCategory.OTHER, 0, 16)
+    COS = OpcodeInfo("cos", FunctionalUnit.SFU, MixCategory.OTHER, 0, 16)
+    EXP = OpcodeInfo("exp", FunctionalUnit.SFU, MixCategory.OTHER, 0, 16)
+    LOG = OpcodeInfo("log", FunctionalUnit.SFU, MixCategory.OTHER, 0, 16)
+    SQRT = OpcodeInfo("sqrt", FunctionalUnit.SFU, MixCategory.OTHER, 0, 16)
+    RSQRT = OpcodeInfo("rsqrt", FunctionalUnit.SFU, MixCategory.OTHER, 0, 16)
+    RCP = OpcodeInfo("rcp", FunctionalUnit.SFU, MixCategory.OTHER, 0, 16)
+
+    # -- memory ----------------------------------------------------------
+    LDG = OpcodeInfo("ld.global", FunctionalUnit.LDST, MixCategory.OTHER, 0, 300)
+    STG = OpcodeInfo("st.global", FunctionalUnit.LDST, MixCategory.OTHER, 0, 300)
+    LDS = OpcodeInfo("ld.shared", FunctionalUnit.LDST, MixCategory.OTHER, 0, 24)
+    STS = OpcodeInfo("st.shared", FunctionalUnit.LDST, MixCategory.OTHER, 0, 24)
+    LDC = OpcodeInfo("ld.const", FunctionalUnit.LDST, MixCategory.OTHER, 0, 24)
+
+    # -- control ----------------------------------------------------------
+    BRA = OpcodeInfo("bra", FunctionalUnit.CONTROL, MixCategory.OTHER, 0, 2)
+    BAR = OpcodeInfo("bar.sync", FunctionalUnit.CONTROL, MixCategory.OTHER, 0, 2)
+    RET = OpcodeInfo("ret", FunctionalUnit.CONTROL, MixCategory.OTHER, 0, 2)
+
+    # -- tensor core (cudaTensorCoreGemm extension) -----------------------
+    HMMA = OpcodeInfo("hmma", FunctionalUnit.TENSOR, MixCategory.OTHER, 0, 16)
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return self.value
+
+    @property
+    def unit(self) -> FunctionalUnit:
+        return self.value.unit
+
+    @property
+    def mix(self) -> MixCategory:
+        return self.value.mix
+
+    @property
+    def is_adder_op(self) -> bool:
+        """True when the op exercises a sliced adder (ST2 applies)."""
+        return self.value.adder_width > 0
+
+    @property
+    def adder_width(self) -> int:
+        return self.value.adder_width
+
+    @property
+    def latency(self) -> int:
+        return self.value.latency
+
+
+#: Opcodes whose adder the ST2 design replaces, by geometry.
+ADDER_OPCODES = tuple(op for op in Opcode if op.is_adder_op)

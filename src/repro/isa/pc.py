@@ -1,0 +1,57 @@
+"""Program-counter interning for DSL kernels.
+
+The ST2 mechanism indexes its history by "the PC" — i.e. the identity of
+the *static instruction*.  Our kernels are Python functions, so we map
+every DSL call site (code object + bytecode offset) to a small integer
+PC, assigned sequentially in first-execution order, exactly like the
+index of a static instruction in a compiled kernel.
+
+``ModPCk`` indexing then uses ``pc % 2**k``, matching the paper's use of
+the lowest k bits of the (instruction-granular) PC.
+
+A fresh :class:`PcTable` is used per kernel launch so PCs are
+deterministic for a given kernel and scale.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+class PcTable:
+    """Interns call sites into dense integer PCs."""
+
+    def __init__(self) -> None:
+        self._sites: dict = {}
+        self._labels: list = []
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def intern(self, depth: int = 2, tag: str = "") -> int:
+        """PC of the caller's call site.
+
+        ``depth`` is how many frames above this call the kernel code
+        lives (the DSL op helpers pass their own depth).  ``tag``
+        distinguishes implicit sub-operations emitted from the same site
+        (e.g. the address-arithmetic LEA a load emits).
+        """
+        frame = sys._getframe(depth)
+        key = (id(frame.f_code), frame.f_lasti, tag)
+        pc = self._sites.get(key)
+        if pc is None:
+            pc = len(self._sites)
+            self._sites[key] = pc
+            label = f"{frame.f_code.co_name}:{frame.f_lineno}"
+            if tag:
+                label += f"#{tag}"
+            self._labels.append(label)
+        return pc
+
+    def label(self, pc: int) -> str:
+        """Human-readable ``function:line`` label of a PC."""
+        return self._labels[pc]
+
+    @property
+    def labels(self) -> list:
+        return list(self._labels)

@@ -1,0 +1,3 @@
+"""The 23-kernel evaluation suite (Rodinia, CUDA Samples, Parboil),
+re-implemented against the CUDA-like DSL, plus the tensorGemm
+extension.  See :mod:`repro.kernels.suite` for the registry."""

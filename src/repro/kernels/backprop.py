@@ -1,0 +1,133 @@
+"""Rodinia *backprop* — ``bprop_K1`` (layerforward) and ``bprop_K2``
+(adjust_weights).
+
+K1: a 16x16 block computes ``input[i] * weight[i][j]`` partial products
+into shared memory and reduces them with a log-step FADD tree — the
+forward pass of one hidden layer.
+
+K2: the weight update ``w += (eta * delta[j] * ly[i]) + (momentum *
+oldw)``, an FFMA + FADD per weight, plus the index arithmetic to locate
+the weight — the paper's Figure 1 shows this kernel as FPU-add heavy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+WIDTH = 16          # hidden units per block (blockDim.x)
+HEIGHT = 16         # input rows per block (blockDim.y)
+BLOCK = WIDTH * HEIGHT
+ETA = 0.3
+MOMENTUM = 0.3
+
+
+def layerforward_kernel(k, inputs, weights, partial_sums, n_inputs,
+                        n_hidden):
+    """bprop_K1: hidden-layer forward pass with shared-memory reduction."""
+    tx = k.thread_id() % WIDTH           # hidden-unit lane
+    ty = k.thread_id() // WIDTH          # input row within tile
+    by = k.block_id
+    row = k.imad(by, HEIGHT, ty)         # global input index
+
+    node = k.shared(HEIGHT, np.float32)
+    prods = k.shared(BLOCK, np.float32)
+
+    with k.where(k.eq(tx, 0)):
+        k.st_shared(node, ty, k.ld_global(inputs, row))
+    k.syncthreads()
+
+    widx = k.iadd(k.imul(row, n_hidden), tx)
+    w = k.ld_global(weights, widx)
+    prod = k.fmul(w, k.ld_shared(node, ty))
+    sidx = k.imad(ty, WIDTH, tx)
+    k.st_shared(prods, sidx, prod)
+    k.syncthreads()
+
+    stride = 1
+    while stride < HEIGHT:
+        k.syncthreads()
+        take = (ty % (2 * stride) == 0)
+        with k.where(take):
+            lo = k.ld_shared(prods, sidx)
+            hi = k.ld_shared(prods, k.imad(stride, WIDTH, sidx))
+            k.st_shared(prods, sidx, k.fadd(lo, hi))
+        stride *= 2
+    k.syncthreads()
+
+    with k.where(k.eq(ty, 0)):
+        out = k.imad(by, n_hidden, tx)
+        k.st_global(partial_sums, out, k.ld_shared(prods, tx))
+
+
+def adjust_weights_kernel(k, ly, delta, w, oldw, n_inputs, n_hidden):
+    """bprop_K2: momentum SGD weight update."""
+    tx = k.thread_id() % WIDTH
+    ty = k.thread_id() // WIDTH
+    by = k.block_id
+    row = k.imad(by, HEIGHT, ty)
+    index = k.iadd(k.imul(k.iadd(row, 1), n_hidden + 1), k.iadd(tx, 1))
+
+    d = k.ld_global(delta, k.iadd(tx, 1))
+    l = k.ld_global(ly, k.iadd(row, 1))
+    old = k.ld_global(oldw, index)
+    grad = k.fmul(k.fmul(ETA, d), l)
+    dw = k.ffma(MOMENTUM, old, grad)
+    cur = k.ld_global(w, index)
+    k.st_global(w, index, k.fadd(cur, dw))
+    k.st_global(oldw, index, dw)
+
+
+def _net(rng, scale):
+    n_hidden = WIDTH
+    n_rows = scaled(16, scale, minimum=4) * HEIGHT
+    return n_rows, n_hidden
+
+
+def prepare_k1(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n_inputs, n_hidden = _net(rng, scale)
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    grid = n_inputs // HEIGHT
+    return PreparedKernel(
+        name="bprop_K1",
+        fn=layerforward_kernel,
+        launch=LaunchConfig(grid, BLOCK),
+        params=dict(
+            inputs=launcher.buffer(
+                "inputs", rng.uniform(0, 1, n_inputs).astype(np.float32)),
+            weights=launcher.buffer(
+                "weights", rng.normal(0, 0.3, n_inputs * n_hidden)
+                .astype(np.float32)),
+            partial_sums=launcher.buffer(
+                "sums", np.zeros(grid * n_hidden, np.float32)),
+            n_inputs=n_inputs, n_hidden=n_hidden),
+        launcher=launcher)
+
+
+def prepare_k2(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n_inputs, n_hidden = _net(rng, scale)
+    n_w = (n_inputs + 2) * (n_hidden + 2)
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="bprop_K2",
+        fn=adjust_weights_kernel,
+        launch=LaunchConfig(n_inputs // HEIGHT, BLOCK),
+        params=dict(
+            ly=launcher.buffer(
+                "ly", rng.uniform(0, 1, n_inputs + 2).astype(np.float32)),
+            delta=launcher.buffer(
+                "delta", rng.normal(0, 0.1, n_hidden + 2)
+                .astype(np.float32)),
+            w=launcher.buffer(
+                "w", rng.normal(0, 0.3, n_w).astype(np.float32)),
+            oldw=launcher.buffer(
+                "oldw", rng.normal(0, 0.03, n_w).astype(np.float32)),
+            n_inputs=n_inputs, n_hidden=n_hidden),
+        launcher=launcher)

@@ -1,0 +1,148 @@
+"""Rodinia *b+tree* — ``b+tree_K1`` (findK) and ``b+tree_K2``
+(findRangeK).
+
+One thread per query descends a B+ tree of fan-out ``ORDER``: at each
+level it scans the node's sorted keys, picks the child whose key range
+covers the query (integer compares + offset arithmetic), and follows the
+child index.  K2 performs the descent for a *range* query — two bounds
+per thread — roughly doubling the integer work.
+
+The tree is stored as flat arrays: ``keys[node * ORDER + i]`` and
+``children[node * ORDER + i]``, built over sorted random keys, so the
+traversal index arithmetic is the dominant ALU-add source (as in the
+paper's Figure 1, where both b+tree kernels are ALU-heavy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+ORDER = 8
+BLOCK = 128
+
+
+def _find_child(k, keys, node, query):
+    """Scan a node's keys; return the index of the covering child."""
+    child = np.zeros(k.n_threads, dtype=np.int64)
+    base = k.imul(node, ORDER)
+    for i in k.range(ORDER - 1):
+        key_i = k.ld_global(keys, k.iadd(base, i))
+        go_right = k.ge(query, key_i)
+        child = k.sel(go_right, k.iadd(i, 1), child)
+    return child
+
+
+def findk_kernel(k, keys, children, leaf_values, queries, answers,
+                 height, n_queries):
+    """b+tree_K1: point lookups."""
+    q = k.global_id()
+    with k.where(k.lt(q, n_queries)):
+        query = k.ld_global(queries, q)
+        node = np.zeros(k.n_threads, dtype=np.int64)
+        for _level in k.range(height):
+            child = _find_child(k, keys, node, query)
+            ptr = k.iadd(k.imul(node, ORDER), child)
+            node = k.ld_global(children, ptr)
+        k.st_global(answers, q, k.ld_global(leaf_values, node))
+
+
+def findrangek_kernel(k, keys, children, leaf_values, starts, ends,
+                      answers, height, n_queries):
+    """b+tree_K2: range queries (descend for both bounds)."""
+    q = k.global_id()
+    with k.where(k.lt(q, n_queries)):
+        lo = k.ld_global(starts, q)
+        hi = k.ld_global(ends, q)
+        node_lo = np.zeros(k.n_threads, dtype=np.int64)
+        node_hi = np.zeros(k.n_threads, dtype=np.int64)
+        for _level in k.range(height):
+            c_lo = _find_child(k, keys, node_lo, lo)
+            c_hi = _find_child(k, keys, node_hi, hi)
+            node_lo = k.ld_global(children,
+                                  k.iadd(k.imul(node_lo, ORDER), c_lo))
+            node_hi = k.ld_global(children,
+                                  k.iadd(k.imul(node_hi, ORDER), c_hi))
+        span = k.isub(k.ld_global(leaf_values, node_hi),
+                      k.ld_global(leaf_values, node_lo))
+        k.st_global(answers, q, span)
+
+
+def _build_tree(rng, height):
+    """Flat implicit B+ tree: ORDER^height leaves, separator keys at
+    inner nodes.  Node ids are breadth-first; children[] holds node ids
+    at the next level (leaf level holds value indices)."""
+    n_nodes = sum(ORDER ** level for level in range(height))
+    n_leaves = ORDER ** height
+    key_universe = np.sort(rng.integers(0, 1 << 22, n_leaves))
+    keys = np.zeros(n_nodes * ORDER, dtype=np.int32)
+    children = np.zeros(n_nodes * ORDER, dtype=np.int32)
+    node = 0
+    level_start = 0
+    for level in range(height):
+        level_nodes = ORDER ** level
+        next_start = level_start + level_nodes
+        leaves_per_child = ORDER ** (height - level - 1)
+        for n in range(level_nodes):
+            first_leaf = (node - level_start) * ORDER * leaves_per_child
+            for i in range(ORDER):
+                child_leaf = first_leaf + (i + 1) * leaves_per_child
+                if i < ORDER - 1:
+                    keys[node * ORDER + i] = key_universe[
+                        min(child_leaf, n_leaves - 1)]
+                if level == height - 1:
+                    children[node * ORDER + i] = first_leaf + i
+                else:
+                    children[node * ORDER + i] = \
+                        next_start + (node - level_start) * ORDER + i
+            node += 1
+        level_start = next_start
+    return keys, children, key_universe
+
+
+def _prepare(kernel_name, scale, seed, gpu):
+    rng = np.random.default_rng(seed)
+    height = 3
+    n_queries = scaled(1024, scale, minimum=BLOCK, multiple=BLOCK)
+    keys, children, universe = _build_tree(rng, height)
+    leaf_values = (universe + 1).astype(np.int32)
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    grid = n_queries // BLOCK
+    common = dict(
+        keys=launcher.buffer("keys", keys),
+        children=launcher.buffer("children", children),
+        leaf_values=launcher.buffer("leaf_values", leaf_values),
+        height=height, n_queries=n_queries)
+    q = rng.choice(universe, n_queries).astype(np.int32)
+    if kernel_name == "b+tree_K1":
+        params = dict(common,
+                      queries=launcher.buffer("queries", q),
+                      answers=launcher.buffer(
+                          "answers", np.zeros(n_queries, np.int32)))
+        fn = findk_kernel
+    else:
+        span = rng.integers(1, 1 << 12, n_queries)
+        params = dict(common,
+                      starts=launcher.buffer("starts", q),
+                      ends=launcher.buffer(
+                          "ends", (q + span).astype(np.int32)),
+                      answers=launcher.buffer(
+                          "answers", np.zeros(n_queries, np.int32)))
+        fn = findrangek_kernel
+    return PreparedKernel(name=kernel_name, fn=fn,
+                          launch=LaunchConfig(grid, BLOCK),
+                          params=params, launcher=launcher)
+
+
+def prepare_k1(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    return _prepare("b+tree_K1", scale, seed, gpu)
+
+
+def prepare_k2(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    return _prepare("b+tree_K2", scale, seed, gpu)

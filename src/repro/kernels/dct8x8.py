@@ -1,0 +1,119 @@
+"""CUDA Samples *dct8x8* — ``dct8x8_K1`` (CUDAkernel1DCT).
+
+Each thread computes one output coefficient of an 8-point DCT over a
+row of its 8x8 block held in shared memory: an FFMA chain against the
+cosine basis (constant memory), over pixel data centred at zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BS = 8                      # DCT block edge
+BLOCK = BS * BS             # one thread per coefficient
+
+
+def dct_kernel(k, image, coeffs, basis, blocks_per_row):
+    """CUDAkernel1DCT: row-wise 8-point DCT of an 8x8 tile."""
+    tx = k.thread_id() % BS          # output frequency index
+    ty = k.thread_id() // BS         # row within tile
+    bx = k.block_id % blocks_per_row
+    by = k.block_id // blocks_per_row
+    img_w = blocks_per_row * BS
+
+    tile = k.shared(BLOCK, np.float32)
+    row = k.imad(by, BS, ty)
+    col = k.imad(bx, BS, tx)
+    src = k.imad(row, img_w, col)
+    pix = k.ld_global(image, src)
+    centred = k.fsub(pix, 128.0)
+    sidx = k.imad(ty, BS, tx)
+    k.st_shared(tile, sidx, centred)
+    k.syncthreads()
+
+    acc = np.zeros(k.n_threads, dtype=np.float32)
+    row_base = k.imul(ty, BS)
+    for i in k.range(BS):
+        v = k.ld_shared(tile, k.iadd(row_base, i))
+        c = k.ld_const(basis, k.imad(tx, BS, i))
+        acc = k.ffma(v, c, acc)
+    k.st_global(coeffs, src, acc)
+
+
+def dct_columns_kernel(k, coeffs, out, basis, blocks_per_row):
+    """Extension (CUDAkernel2DCT-style): the column pass completing the
+    2-D transform over the row-DCT coefficients."""
+    tx = k.thread_id() % BS          # column within tile
+    ty = k.thread_id() // BS         # output frequency index
+    bx = k.block_id % blocks_per_row
+    by = k.block_id // blocks_per_row
+    img_w = blocks_per_row * BS
+
+    tile = k.shared(BLOCK, np.float32)
+    row = k.imad(by, BS, ty)
+    col = k.imad(bx, BS, tx)
+    src = k.imad(row, img_w, col)
+    k.st_shared(tile, k.imad(ty, BS, tx), k.ld_global(coeffs, src))
+    k.syncthreads()
+
+    acc = np.zeros(k.n_threads, dtype=np.float32)
+    for i in k.range(BS):
+        v = k.ld_shared(tile, k.imad(i, BS, tx))
+        c = k.ld_const(basis, k.imad(ty, BS, i))
+        acc = k.ffma(v, c, acc)
+    k.st_global(out, src, acc)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    blocks_per_row = scaled(8, scale, minimum=2)
+    blocks_per_col = scaled(8, scale, minimum=2)
+    w, h = blocks_per_row * BS, blocks_per_col * BS
+
+    yy, xx = np.indices((h, w))
+    img = (128 + 80 * np.sin(xx / 11.0) * np.cos(yy / 13.0)
+           + rng.normal(0, 8, (h, w)))
+    image = np.clip(img, 0, 255).astype(np.float32)
+
+    n = np.arange(BS)
+    basis = np.cos((2 * n[None, :] + 1) * n[:, None] * np.pi / 16.0)
+    basis *= np.where(n[:, None] == 0, np.sqrt(1 / BS), np.sqrt(2 / BS))
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="dct8x8_K1",
+        fn=dct_kernel,
+        launch=LaunchConfig(blocks_per_row * blocks_per_col, BLOCK),
+        params=dict(
+            image=launcher.buffer("image", image.reshape(-1)),
+            coeffs=launcher.buffer("coeffs",
+                                   np.zeros(w * h, np.float32)),
+            basis=launcher.buffer(
+                "basis", basis.astype(np.float32).reshape(-1)),
+            blocks_per_row=blocks_per_row),
+        launcher=launcher)
+
+
+def prepare_k2(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """Extension kernel: the column DCT pass over K1's coefficients."""
+    k1 = prepare(scale=scale, seed=seed, gpu=gpu)
+    k1.run()
+    p = k1.params
+    launcher = k1.launcher
+    n = len(p["coeffs"].data)
+    return PreparedKernel(
+        name="dct8x8_K2",
+        fn=dct_columns_kernel,
+        launch=k1.launch,
+        params=dict(
+            coeffs=p["coeffs"],
+            out=launcher.buffer("coeffs2", np.zeros(n, np.float32)),
+            basis=p["basis"],
+            blocks_per_row=p["blocks_per_row"]),
+        launcher=launcher)

@@ -1,0 +1,63 @@
+"""Extension workload: a double-precision Jacobi stencil.
+
+None of the paper's 23 figure kernels is FP64-heavy, but ST2 GPU
+explicitly covers the DPUs' 52-bit mantissa adders (7 slices, 12 state
+DFF bits — Sections IV-C and VI). This kernel exercises that path: a
+classic 5-point Jacobi relaxation in double precision, the core of the
+HPC codes the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+
+
+def jacobi_kernel(k, grid_in, grid_out, rows, cols):
+    """One FP64 Jacobi sweep: out = 0.25*(N+S+E+W) via DADD/DFMA."""
+    idx = k.global_id()
+    n_pix = rows * cols
+    row = k.idiv(idx, cols)
+    col = k.irem(idx, cols)
+    interior = (np.asarray(row) > 0) & (np.asarray(row) < rows - 1) \
+        & (np.asarray(col) > 0) & (np.asarray(col) < cols - 1) \
+        & (np.asarray(idx) < n_pix)
+    with k.where(interior):
+        north = k.ld_global(grid_in, k.isub(idx, cols))
+        south = k.ld_global(grid_in, k.iadd(idx, cols))
+        west = k.ld_global(grid_in, k.isub(idx, 1))
+        east = k.ld_global(grid_in, k.iadd(idx, 1))
+        total = k.dadd(k.dadd(north, south), k.dadd(west, east))
+        k.st_global(grid_out, idx, k.dmul(total, 0.25))
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """A smooth potential field with fixed hot/cold boundaries."""
+    rng = np.random.default_rng(seed)
+    rows = scaled(48, scale, minimum=8)
+    cols = scaled(64, scale, minimum=16)
+    yy, xx = np.indices((rows, cols))
+    field = (100.0 * np.exp(-((xx - cols / 2) ** 2
+                              + (yy - rows / 2) ** 2)
+                            / (rows * cols / 8))
+             + rng.normal(0, 0.5, (rows, cols)))
+    grid = field.astype(np.float64).reshape(-1)
+
+    n_pix = rows * cols
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    blocks = max(1, (n_pix + BLOCK - 1) // BLOCK)
+    return PreparedKernel(
+        name="jacobiDP",
+        fn=jacobi_kernel,
+        launch=LaunchConfig(blocks, BLOCK),
+        params=dict(
+            grid_in=launcher.buffer("grid_in", grid),
+            grid_out=launcher.buffer("grid_out", grid.copy()),
+            rows=rows, cols=cols),
+        launcher=launcher)

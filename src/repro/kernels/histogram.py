@@ -1,0 +1,110 @@
+"""CUDA Samples *histogram* — ``histo_K1`` (histogram256Kernel).
+
+Each thread strides through the input, extracts four byte-bins per word
+(shift/AND), and increments per-block shared-memory counters; a final
+phase adds the block-local counts into the global histogram.  Counter
+increments are small-int IADDs with extremely strong temporal
+correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+BINS = 64
+
+
+def histogram_kernel(k, data, partial_hist, n, words_per_thread):
+    """histo_K1: per-thread shared sub-histograms, then a block merge.
+
+    Per-thread counters (as in the CUDA sample's histogram64) avoid
+    intra-warp increment conflicts entirely; the merge phase is a
+    BINS-wide reduction across the block's threads.
+    """
+    tx = k.thread_id()
+    t = k.global_id()
+    # s_hist[bin * n_threads + thread]
+    s_hist = k.shared(BINS * k.n_threads, np.int32)
+    for b in k.range(BINS):
+        k.st_shared(s_hist, k.imad(b, k.n_threads, tx), 0)
+    k.syncthreads()
+
+    total_threads = k.launch.total_threads
+    for w in k.range(words_per_thread):
+        idx = k.imad(w, total_threads, t)
+        with k.where(k.lt(idx, n)):
+            word = k.ld_global(data, idx)
+            for byte in range(4):       # unrolled, like the sample
+                bin_ = k.iand(k.shr(word, byte * 8), BINS - 1)
+                slot = k.imad(bin_, k.n_threads, tx)
+                cur = k.ld_shared(s_hist, slot)
+                k.st_shared(s_hist, slot, k.iadd(cur, 1))
+    k.syncthreads()
+
+    with k.where(k.lt(tx, BINS)):
+        total = np.zeros(k.n_threads, dtype=np.int64)
+        slot = k.imul(tx, k.n_threads)
+        for _i in k.range(k.n_threads):
+            total = k.iadd(total, k.ld_shared(s_hist, slot))
+            slot = k.iadd(slot, 1)
+        out = k.imad(k.block_id, BINS, tx)
+        k.st_global(partial_hist, out, total)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    grid = scaled(8, scale, minimum=2)
+    words_per_thread = scaled(8, scale, minimum=2)
+    n = grid * BLOCK * words_per_thread
+    # image-like byte data: clustered around mid-grey
+    raw = np.clip(rng.normal(32, 12, n * 4), 0, 63).astype(np.uint8)
+    words = raw.view(np.uint32).astype(np.int32)
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="histo_K1",
+        fn=histogram_kernel,
+        launch=LaunchConfig(grid, BLOCK),
+        params=dict(
+            data=launcher.buffer("data", words),
+            partial_hist=launcher.buffer(
+                "partial", np.zeros(grid * BINS, np.int32)),
+            n=n, words_per_thread=words_per_thread),
+        launcher=launcher)
+
+
+def merge_histogram_kernel(k, partial_hist, hist, n_partials):
+    """Extension (mergeHistogram256-style): one block sums the partial
+    histograms; each thread owns one bin and runs an IADD chain."""
+    tx = k.thread_id()
+    with k.where(k.lt(tx, BINS)):
+        total = np.zeros(k.n_threads, dtype=np.int64)
+        idx = tx.copy()
+        for _p in k.range(n_partials):
+            total = k.iadd(total, k.ld_global(partial_hist, idx))
+            idx = k.iadd(idx, BINS)
+        k.st_global(hist, tx, total)
+
+
+def prepare_merge(scale: float = 1.0, seed: int = 0,
+                  gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """Extension kernel: merge the per-block partial histograms."""
+    k1 = prepare(scale=scale, seed=seed, gpu=gpu)
+    k1.run()
+    launcher = k1.launcher
+    n_partials = len(k1.params["partial_hist"].data) // BINS
+    return PreparedKernel(
+        name="histo_K2",
+        fn=merge_histogram_kernel,
+        launch=LaunchConfig(1, BLOCK),
+        params=dict(partial_hist=k1.params["partial_hist"],
+                    hist=launcher.buffer("hist",
+                                         np.zeros(BINS, np.int32)),
+                    n_partials=n_partials),
+        launcher=launcher)

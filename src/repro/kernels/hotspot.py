@@ -1,0 +1,75 @@
+"""Extension workload: Rodinia *hotspot* (thermal simulation).
+
+One transient step of the chip-temperature ODE: per cell, the new
+temperature blends the neighbour differences and the local power
+density — an FFMA/FADD-dense stencil over smoothly-varying physical
+fields, exactly the gradually-evolving data Section III describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+
+
+def hotspot_kernel(k, temp_in, power, temp_out, rows, cols, cap,
+                   rx, ry, rz, amb):
+    """One step: T' = T + dt/C * (conduction + P + (Tamb-T)/Rz)."""
+    idx = k.global_id()
+    n = rows * cols
+    row = k.idiv(idx, cols)
+    col = k.irem(idx, cols)
+    interior = (np.asarray(row) > 0) & (np.asarray(row) < rows - 1) \
+        & (np.asarray(col) > 0) & (np.asarray(col) < cols - 1) \
+        & (np.asarray(idx) < n)
+    with k.where(interior):
+        t = k.ld_global(temp_in, idx)
+        tn = k.ld_global(temp_in, k.isub(idx, cols))
+        ts = k.ld_global(temp_in, k.iadd(idx, cols))
+        tw = k.ld_global(temp_in, k.isub(idx, 1))
+        te = k.ld_global(temp_in, k.iadd(idx, 1))
+        p = k.ld_global(power, idx)
+
+        two_t = k.fadd(t, t)
+        vert = k.fmul(k.fsub(k.fadd(tn, ts), two_t), ry)
+        horiz = k.fmul(k.fsub(k.fadd(tw, te), two_t), rx)
+        vert_sink = k.fmul(k.fsub(amb, t), rz)
+        delta = k.fadd(k.fadd(vert, horiz), k.fadd(p, vert_sink))
+        k.st_global(temp_out, idx, k.ffma(cap, delta, t))
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """Chip-like temperature and power maps: smooth background plus
+    hotspots (functional-unit blocks dissipating more)."""
+    rng = np.random.default_rng(seed)
+    rows = scaled(40, scale, minimum=8)
+    cols = scaled(64, scale, minimum=16)
+    yy, xx = np.indices((rows, cols))
+    temp = 323.0 + 6.0 * np.sin(xx / 9.0) * np.cos(yy / 7.0) \
+        + rng.normal(0, 0.3, (rows, cols))
+    power = 0.02 + 0.05 * (((xx // 16) + (yy // 10)) % 2) \
+        + rng.normal(0, 0.002, (rows, cols))
+
+    n = rows * cols
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="hotspot",
+        fn=hotspot_kernel,
+        launch=LaunchConfig(max(1, (n + BLOCK - 1) // BLOCK), BLOCK),
+        params=dict(
+            temp_in=launcher.buffer(
+                "temp_in", temp.astype(np.float32).reshape(-1)),
+            power=launcher.buffer(
+                "power", power.astype(np.float32).reshape(-1)),
+            temp_out=launcher.buffer(
+                "temp_out", np.zeros(n, np.float32)),
+            rows=rows, cols=cols, cap=np.float32(0.5),
+            rx=np.float32(0.1), ry=np.float32(0.1),
+            rz=np.float32(0.05), amb=np.float32(300.0)),
+        launcher=launcher)

@@ -1,0 +1,68 @@
+"""Rodinia *kmeans* — ``kmeans_K1`` (kmeansPoint).
+
+One thread per point: for every cluster, accumulate the squared
+Euclidean distance over the feature dimensions with an FFMA chain, keep
+the running minimum, and store the winning cluster index.  Features are
+laid out column-major (feature-major) as in the Rodinia CUDA version, so
+the per-feature loads stride by ``npoints``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, blocks_for, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+
+
+def kmeans_kernel(k, features, clusters, membership, npoints, nclusters,
+                  nfeatures):
+    """kmeansPoint: assign each point to its nearest cluster centre."""
+    pt = k.global_id()
+    with k.where(k.lt(pt, npoints)):
+        best_dist = np.full(k.n_threads, np.float32(3.4e38))
+        best_idx = np.zeros(k.n_threads, dtype=np.int64)
+        for c in k.range(nclusters):
+            dist = np.zeros(k.n_threads, dtype=np.float32)
+            base = k.imul(c, nfeatures)
+            for f in k.range(nfeatures):
+                addr = k.imad(f, npoints, pt)
+                val = k.ld_global(features, addr)
+                centre = k.ld_const(clusters, k.iadd(base, f))
+                diff = k.fsub(val, centre)
+                dist = k.ffma(diff, diff, dist)
+            closer = k.flt(dist, best_dist)
+            best_dist = k.fmin(dist, best_dist)
+            best_idx = k.sel(closer, c, best_idx)
+        k.st_global(membership, pt, best_idx)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """Clustered gaussian blobs (kdd_cup-shaped value ranges)."""
+    rng = np.random.default_rng(seed)
+    npoints = scaled(1024, scale, minimum=BLOCK, multiple=BLOCK)
+    nclusters = 5
+    nfeatures = scaled(12, scale, minimum=4)
+
+    centres = rng.uniform(0.0, 2.0, (nclusters, nfeatures))
+    labels = rng.integers(0, nclusters, npoints)
+    pts = centres[labels] + rng.normal(0, 0.15, (npoints, nfeatures))
+    features = np.ascontiguousarray(pts.T, dtype=np.float32)  # feature-major
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="kmeans_K1",
+        fn=kmeans_kernel,
+        launch=LaunchConfig(blocks_for(npoints, BLOCK), BLOCK),
+        params=dict(
+            features=launcher.buffer("features", features.reshape(-1)),
+            clusters=launcher.buffer("clusters",
+                                     centres.astype(np.float32).reshape(-1)),
+            membership=launcher.buffer("membership",
+                                       np.zeros(npoints, np.int32)),
+            npoints=npoints, nclusters=nclusters, nfeatures=nfeatures),
+        launcher=launcher)

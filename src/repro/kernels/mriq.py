@@ -1,0 +1,109 @@
+"""Parboil *mri-q* — ``mri-q_K1`` (ComputeQ).
+
+Non-Cartesian MRI reconstruction: each thread owns one voxel and sums
+the contribution of every k-space sample:
+
+    expArg = 2*pi * (kx*x + ky*y + kz*z)     (FFMA chain)
+    Qr += phiMag * cos(expArg)               (SFU + FFMA)
+    Qi += phiMag * sin(expArg)
+
+The k-space sample coordinates are streamed from constant-like memory,
+so consecutive iterations at the same PC see smoothly-varying operands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+TWO_PI = np.float32(2 * np.pi)
+
+
+def computeq_kernel(k, kx, ky, kz, phi_mag, x, y, z, qr, qi, n_voxels,
+                    n_samples):
+    """ComputeQ_GPU: accumulate k-space contributions per voxel."""
+    v = k.global_id()
+    with k.where(k.lt(v, n_voxels)):
+        xv = k.ld_global(x, v)
+        yv = k.ld_global(y, v)
+        zv = k.ld_global(z, v)
+        acc_r = np.zeros(k.n_threads, dtype=np.float32)
+        acc_i = np.zeros(k.n_threads, dtype=np.float32)
+        for s in k.range(n_samples):
+            arg = k.fmul(k.ld_const(kx, s), xv)
+            arg = k.ffma(k.ld_const(ky, s), yv, arg)
+            arg = k.ffma(k.ld_const(kz, s), zv, arg)
+            arg = k.fmul(TWO_PI, arg)
+            mag = k.ld_const(phi_mag, s)
+            acc_r = k.ffma(mag, k.cos(arg), acc_r)
+            acc_i = k.ffma(mag, k.sin(arg), acc_i)
+        k.st_global(qr, v, acc_r)
+        k.st_global(qi, v, acc_i)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n_voxels = scaled(512, scale, minimum=BLOCK, multiple=BLOCK)
+    n_samples = scaled(40, scale, minimum=8)
+
+    # radial k-space trajectory: coordinates sweep smoothly
+    t = np.linspace(0, 3 * np.pi, n_samples)
+    kx = (0.2 * t * np.cos(t)).astype(np.float32)
+    ky = (0.2 * t * np.sin(t)).astype(np.float32)
+    kz = np.linspace(-0.5, 0.5, n_samples).astype(np.float32)
+    phi = (1.0 / (1.0 + t)).astype(np.float32)
+
+    side = int(round(n_voxels ** (1 / 3))) + 1
+    coords = np.indices((side, side, side)).reshape(3, -1)[:, :n_voxels]
+    x, y, z = (c.astype(np.float32) / side - 0.5 for c in coords)
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="mri-q_K1",
+        fn=computeq_kernel,
+        launch=LaunchConfig(n_voxels // BLOCK, BLOCK),
+        params=dict(
+            kx=launcher.buffer("kx", kx), ky=launcher.buffer("ky", ky),
+            kz=launcher.buffer("kz", kz),
+            phi_mag=launcher.buffer("phiMag", phi),
+            x=launcher.buffer("x", x), y=launcher.buffer("y", y),
+            z=launcher.buffer("z", z),
+            qr=launcher.buffer("Qr", np.zeros(n_voxels, np.float32)),
+            qi=launcher.buffer("Qi", np.zeros(n_voxels, np.float32)),
+            n_voxels=n_voxels, n_samples=n_samples),
+        launcher=launcher)
+
+
+def phimag_kernel(k, phi_r, phi_i, phi_mag, n_samples):
+    """Extension (ComputePhiMag_GPU): |phi|^2 per k-space sample."""
+    t = k.global_id()
+    with k.where(k.lt(t, n_samples)):
+        r = k.ld_global(phi_r, t)
+        i = k.ld_global(phi_i, t)
+        k.st_global(phi_mag, t, k.ffma(r, r, k.fmul(i, i)))
+
+
+def prepare_phimag(scale: float = 1.0, seed: int = 0,
+                   gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """Extension kernel: the phiMag precomputation of mri-q."""
+    rng = np.random.default_rng(seed)
+    n_samples = scaled(2048, scale, minimum=BLOCK, multiple=BLOCK)
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="mri-q_K2",
+        fn=phimag_kernel,
+        launch=LaunchConfig(n_samples // BLOCK, BLOCK),
+        params=dict(
+            phi_r=launcher.buffer(
+                "phiR", rng.normal(0, 1, n_samples).astype(np.float32)),
+            phi_i=launcher.buffer(
+                "phiI", rng.normal(0, 1, n_samples).astype(np.float32)),
+            phi_mag=launcher.buffer(
+                "phiMag", np.zeros(n_samples, np.float32)),
+            n_samples=n_samples),
+        launcher=launcher)

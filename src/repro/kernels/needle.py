@@ -1,0 +1,84 @@
+"""Extension workload: Rodinia *nw* (Needleman-Wunsch alignment).
+
+Wavefront dynamic programming over the alignment score matrix: each
+anti-diagonal is processed in parallel; a cell takes ``max`` of its
+three predecessors plus the substitution score / gap penalty —
+IADD/IMAX chains over monotonically growing scores (strong temporal
+correlation, like pathfinder but with a 2-D dependence structure).
+
+Modelled as the cooperative single-launch variant: the block loops over
+diagonals with a barrier between them (the per-diagonal-launch original
+has identical arithmetic structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+GAP_PENALTY = 3
+
+
+def nw_kernel(k, score, reference, n):
+    """Wavefront over all anti-diagonals of the (n+1)^2 DP matrix."""
+    tx = k.thread_id()
+    for d in k.range(2, 2 * n + 1):
+        lo = max(1, d - n)
+        i = k.iadd(tx, lo)
+        j_host = d - np.asarray(i)
+        valid = (np.asarray(i) <= min(d - 1, n)) & (j_host >= 1) \
+            & (j_host <= n)
+        with k.where(valid):
+            j = k.isub(d, i)
+            cell = k.imad(i, n + 1, j)
+            up = k.isub(cell, n + 1)
+            left = k.isub(cell, 1)
+            upleft = k.isub(up, 1)
+
+            match = k.ld_global(
+                reference, k.imad(k.isub(i, 1), n, k.isub(j, 1)))
+            diag_score = k.iadd(k.ld_global(score, upleft), match)
+            up_score = k.isub(k.ld_global(score, up), GAP_PENALTY)
+            left_score = k.isub(k.ld_global(score, left), GAP_PENALTY)
+            best = k.imax(diag_score, k.imax(up_score, left_score))
+            k.st_global(score, cell, best)
+        k.syncthreads()
+
+
+def nw_reference(score0, ref, n):
+    """Host-side DP for validation."""
+    s = score0.reshape(n + 1, n + 1).astype(np.int64).copy()
+    r = ref.reshape(n, n)
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            s[i, j] = max(s[i - 1, j - 1] + r[i - 1, j - 1],
+                          s[i - 1, j] - GAP_PENALTY,
+                          s[i, j - 1] - GAP_PENALTY)
+    return s
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """Random substitution scores, gap-penalised borders (as in nw)."""
+    rng = np.random.default_rng(seed)
+    n = min(scaled(48, scale, minimum=12), BLOCK)
+    reference = rng.integers(-1, 10, (n, n)).astype(np.int32)
+    score = np.zeros((n + 1, n + 1), dtype=np.int32)
+    score[0, :] = -GAP_PENALTY * np.arange(n + 1)
+    score[:, 0] = -GAP_PENALTY * np.arange(n + 1)
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="needle",
+        fn=nw_kernel,
+        launch=LaunchConfig(1, BLOCK),
+        params=dict(
+            score=launcher.buffer("score", score.reshape(-1)),
+            reference=launcher.buffer("reference",
+                                      reference.reshape(-1)),
+            n=n),
+        launcher=launcher)

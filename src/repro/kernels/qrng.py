@@ -1,0 +1,122 @@
+"""CUDA Samples *quasirandomGenerator* — ``qrng_K1``
+(quasirandomGeneratorKernel) and ``qrng_K2`` (inverseCNDKernel).
+
+K1 builds Niederreiter quasirandom points: for every output index it
+XOR-accumulates direction-table entries selected by the index bits
+(shift/AND/XOR integer storm + the index adds), then scales to [0,1) —
+this is the kernel the paper singles out as spending 57 % of system
+energy in ALUs/FPUs.
+
+K2 applies Moro's inverse cumulative normal to the samples: a rational
+polynomial in FFMA form with log/sqrt on the tails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+QRNG_DIMENSIONS = 3
+INT_SCALE = np.float32(1.0 / (1 << 31))
+
+# Moro's MOROINV coefficients (central region)
+_A = (2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637)
+_B = (-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833)
+
+
+def qrng_kernel(k, tables, output, n, n_bits):
+    """qrng_K1: Niederreiter point generation for all dimensions."""
+    t = k.global_id()
+    with k.where(k.lt(t, n)):
+        for dim in k.range(QRNG_DIMENSIONS):
+            table_base = k.imul(dim, n_bits)
+            acc = np.zeros(k.n_threads, dtype=np.int64)
+            pos = k.iadd(t, 1)          # sequence index (1-based)
+            for bit in k.range(n_bits):
+                take = k.ne(k.iand(k.shr(pos, bit), 1), 0)
+                entry = k.ld_const(tables, k.iadd(table_base, bit))
+                acc = k.sel(take, k.ixor(acc, entry), acc)
+            val = k.fmul(k.cvt_f32(acc), INT_SCALE)
+            out_idx = k.imad(dim, n, t)
+            k.st_global(output, out_idx, val)
+
+
+def inverse_cnd_kernel(k, samples, output, n):
+    """qrng_K2: Moro's inverse cumulative normal distribution."""
+    t = k.global_id()
+    with k.where(k.lt(t, n)):
+        p = k.ld_global(samples, t)
+        x = k.fsub(p, 0.5)
+        z = k.fmul(x, x)
+        # central region rational polynomial (Horner FFMA chains)
+        num = np.full(k.n_threads, np.float32(_A[3]))
+        for c in (_A[2], _A[1], _A[0]):
+            num = k.ffma(num, z, np.float32(c))
+        num = k.fmul(num, x)
+        den = np.full(k.n_threads, np.float32(_B[3]))
+        for c in (_B[2], _B[1], _B[0]):
+            den = k.ffma(den, z, np.float32(c))
+        den = k.ffma(den, z, 1.0)
+        central = k.fdiv(num, den)
+        # tail region: rough log/sqrt based expansion
+        tail_p = k.fmin(p, k.fsub(1.0, p))
+        lg = k.log(tail_p)
+        tail = k.sqrt(k.fmul(-2.0, lg))
+        signed_tail = k.sel(k.fgt(p, 0.5), tail, k.fneg(tail))
+        in_tail = (np.asarray(p) < 0.08) | (np.asarray(p) > 0.92)
+        k.st_global(output, t, k.sel(in_tail, signed_tail, central))
+
+
+def _direction_tables(rng, n_bits):
+    """Niederreiter-like direction numbers: distinct bit patterns per
+    dimension with progressively lower-order structure."""
+    tables = np.zeros(QRNG_DIMENSIONS * n_bits, dtype=np.int64)
+    for dim in range(QRNG_DIMENSIONS):
+        v = 1 << 30
+        for bit in range(n_bits):
+            tables[dim * n_bits + bit] = v ^ int(
+                rng.integers(0, 1 << (10 + dim * 3)))
+            v >>= 1
+    return tables.astype(np.int32)
+
+
+def prepare_k1(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n = scaled(512, scale, minimum=BLOCK, multiple=BLOCK)
+    n_bits = 20
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="qrng_K1",
+        fn=qrng_kernel,
+        launch=LaunchConfig(n // BLOCK, BLOCK),
+        params=dict(
+            tables=launcher.buffer("tables",
+                                   _direction_tables(rng, n_bits)),
+            output=launcher.buffer(
+                "output", np.zeros(QRNG_DIMENSIONS * n, np.float32)),
+            n=n, n_bits=n_bits),
+        launcher=launcher)
+
+
+def prepare_k2(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n = scaled(2048, scale, minimum=BLOCK, multiple=BLOCK)
+    # quasirandom input: a scrambled van-der-Corput-like sequence
+    samples = ((np.arange(n) * 0.6180339887) % 1.0).astype(np.float32)
+    samples = np.clip(samples, 1e-6, 1 - 1e-6)
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="qrng_K2",
+        fn=inverse_cnd_kernel,
+        launch=LaunchConfig(n // BLOCK, BLOCK),
+        params=dict(
+            samples=launcher.buffer("samples", samples),
+            output=launcher.buffer("output", np.zeros(n, np.float32)),
+            n=n),
+        launcher=launcher)

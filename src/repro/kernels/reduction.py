@@ -1,0 +1,71 @@
+"""Extension workload: the canonical CUDA parallel reduction.
+
+Not in the paper's suite, but the idiom (grid-stride accumulation, then
+a shuffle-based warp reduction, then a shared-memory combine) dominates
+real GPU code and exercises ST2 on the *shrinking-operand* pattern: as
+partial sums accumulate, the aligned mantissa operands shrink and the
+carry predictions become progressively easier — a clean showcase of
+temporal correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+
+
+def reduce_kernel(k, data, partial, n, items_per_thread):
+    """Grid-stride sum + warp shuffle reduction + shared combine."""
+    t = k.global_id()
+    stride = k.launch.total_threads
+
+    acc = np.zeros(k.n_threads, dtype=np.float32)
+    for i in k.range(items_per_thread):
+        idx = k.imad(i, stride, t)
+        with k.where(k.lt(idx, n)):
+            acc = k.fadd(acc, k.ld_global(data, idx))
+
+    acc = k.warp_reduce_fadd(acc)
+
+    warp_sums = k.shared(k.n_threads // 32, np.float32)
+    lane_zero = k.eq(k.ltid, 0)
+    with k.where(lane_zero):
+        k.st_shared(warp_sums, k.thread_id() // 32, acc)
+    k.syncthreads()
+
+    with k.where(k.lt(k.thread_id(), k.n_threads // 32)):
+        block_acc = k.ld_shared(warp_sums, k.thread_id())
+        # small serial combine across the block's warps (few values)
+        total = block_acc
+        for w in k.range(1, k.n_threads // 32):
+            nxt = k.ld_shared(warp_sums, w)
+            total = k.sel(k.eq(k.thread_id(), 0),
+                          k.fadd(total, nxt), total)
+        with k.where(k.eq(k.thread_id(), 0)):
+            k.st_global(partial, k.block_id, total)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    grid = scaled(8, scale, minimum=2)
+    items_per_thread = scaled(8, scale, minimum=2)
+    n = grid * BLOCK * items_per_thread
+    data = rng.normal(0.5, 0.2, n).astype(np.float32)
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="reduction",
+        fn=reduce_kernel,
+        launch=LaunchConfig(grid, BLOCK),
+        params=dict(
+            data=launcher.buffer("data", data),
+            partial=launcher.buffer("partial",
+                                    np.zeros(grid, np.float32)),
+            n=n, items_per_thread=items_per_thread),
+        launcher=launcher)

@@ -1,0 +1,65 @@
+"""Kernel packaging: prepared launches and the suite registry machinery.
+
+Each workload module exposes one or more ``prepare_*`` functions that
+build device buffers with realistically-shaped inputs and return a
+:class:`PreparedKernel`.  A :class:`KernelSpec` names a kernel the way
+the paper's figures do (e.g. ``bprop_K2``) and knows how to prepare it
+at a given problem scale.
+
+``scale`` is a linear problem-size multiplier: 1.0 is the default used
+by the benchmark harness, tests use ~0.1 for speed.  Scaling changes
+trace length but not the *structure* (loop nests, PCs, data flow) the
+carry study depends on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher, KernelRun
+
+
+@dataclass
+class PreparedKernel:
+    """A kernel function bound to its launch geometry and inputs."""
+
+    name: str
+    fn: object
+    launch: LaunchConfig
+    params: dict
+    launcher: GridLauncher
+
+    def run(self) -> KernelRun:
+        return self.launcher.run(self.fn, self.launch, name=self.name,
+                                 **self.params)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One named kernel of the 23-kernel evaluation suite."""
+
+    name: str          # figure label, e.g. "bprop_K2"
+    workload: str      # source application, e.g. "backprop"
+    suite: str         # "Rodinia" | "CUDA Samples" | "Parboil"
+    prepare: object    # (scale, seed, gpu) -> PreparedKernel
+    description: str = ""
+
+    def run(self, scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> KernelRun:
+        return self.prepare(scale=scale, seed=seed, gpu=gpu).run()
+
+
+def scaled(value: int, scale: float, minimum: int = 1,
+           multiple: int = 1) -> int:
+    """Scale an integer dimension, keeping it a positive multiple."""
+    v = max(int(round(value * scale)), minimum)
+    if multiple > 1:
+        v = max(((v + multiple - 1) // multiple) * multiple, multiple)
+    return v
+
+
+def blocks_for(n_items: int, block_threads: int) -> int:
+    """Grid size covering ``n_items`` with one thread per item."""
+    return max(1, math.ceil(n_items / block_threads))

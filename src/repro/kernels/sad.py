@@ -1,0 +1,78 @@
+"""Parboil *sad* — ``sad_K1`` (mb_sad_calc).
+
+H.264 motion-estimation sum-of-absolute-differences: each thread
+evaluates one candidate motion vector for a 4x4 block, accumulating
+``|cur - ref|`` over the 16 pixels — a pure integer ISUB/IADD chain over
+8-bit pixel data, making this one of the most ALU-add-intensive kernels
+in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+BLK = 4          # 4x4 SAD blocks
+SEARCH = 8       # candidate vectors per macroblock position
+
+
+def sad_kernel(k, cur, ref, sad_out, width, n_positions):
+    """mb_sad_calc: SAD of one candidate offset per thread."""
+    t = k.global_id()
+    with k.where(k.lt(t, n_positions * SEARCH)):
+        pos = k.idiv(t, SEARCH)
+        cand = k.irem(t, SEARCH)
+        base_x = k.imul(k.irem(pos, width // BLK), BLK)
+        base_y = k.imul(k.idiv(pos, width // BLK), BLK)
+        ref_x = k.iadd(base_x, k.isub(cand, SEARCH // 2))
+
+        sad = np.zeros(k.n_threads, dtype=np.int64)
+        for dy in k.range(BLK):
+            row = k.iadd(base_y, dy)
+            row_off = k.imul(row, width)
+            for dx in k.range(BLK):
+                ci = k.iadd(row_off, k.iadd(base_x, dx))
+                ri = k.iadd(row_off, k.iadd(ref_x, dx))
+                diff = k.isub(k.ld_global(cur, ci),
+                              k.ld_global(ref, ri))
+                mag = k.imax(diff, k.isub(0, diff))   # |diff| via adder
+                sad = k.iadd(sad, mag)
+        k.st_global(sad_out, t, sad)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """Two consecutive 'video frames': the reference is the current
+    frame shifted by a small global motion plus noise, so SADs are
+    small ints with occasional outliers (realistic residuals)."""
+    rng = np.random.default_rng(seed)
+    width = scaled(64, scale, minimum=16, multiple=BLK)
+    height = scaled(32, scale, minimum=8, multiple=BLK)
+
+    yy, xx = np.indices((height, width))
+    frame = (128 + 60 * np.sin(xx / 9.0) + 40 * np.cos(yy / 7.0)
+             + rng.normal(0, 6, (height, width)))
+    cur = np.clip(frame, 0, 255).astype(np.int32)
+    ref = np.clip(np.roll(frame, (0, 1), axis=(0, 1))
+                  + rng.normal(0, 4, (height, width)), 0, 255) \
+        .astype(np.int32)
+
+    n_positions = (width // BLK) * (height // BLK)
+    n_threads = n_positions * SEARCH
+    grid = max(1, (n_threads + BLOCK - 1) // BLOCK)
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="sad_K1",
+        fn=sad_kernel,
+        launch=LaunchConfig(grid, BLOCK),
+        params=dict(
+            cur=launcher.buffer("cur", cur.reshape(-1)),
+            ref=launcher.buffer("ref", ref.reshape(-1)),
+            sad_out=launcher.buffer(
+                "sad", np.zeros(n_threads, np.int32)),
+            width=width, n_positions=n_positions),
+        launcher=launcher)

@@ -1,0 +1,85 @@
+"""Parboil *sgemm* — tiled single-precision matrix multiply.
+
+The classic shared-memory tile scheme: each thread owns one element of
+the C tile, loads A/B tile elements into shared memory, and runs an FFMA
+chain over the K dimension.  FFMA accumulation is the dominant FPU-add
+source (matching sgemm's tall FPU-Add bar in Figure 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+TILE = 16
+BLOCK = TILE * TILE
+
+
+def sgemm_kernel(k, a, b, c, m, n, kk, alpha, beta, tiles_per_row):
+    """C = alpha * A @ B + beta * C, one thread per C element."""
+    tx = k.thread_id() % TILE
+    ty = k.thread_id() // TILE
+    bx = k.block_id % tiles_per_row
+    by = k.block_id // tiles_per_row
+    row = k.imad(by, TILE, ty)
+    col = k.imad(bx, TILE, tx)
+
+    a_tile = k.shared(BLOCK, np.float32)
+    b_tile = k.shared(BLOCK, np.float32)
+    sidx = k.imad(ty, TILE, tx)
+
+    acc = np.zeros(k.n_threads, dtype=np.float32)
+    for t in k.range(kk // TILE):
+        a_col = k.imad(t, TILE, tx)
+        b_row = k.imad(t, TILE, ty)
+        k.st_shared(a_tile, sidx,
+                    k.ld_global(a, k.imad(row, kk, a_col)))
+        k.st_shared(b_tile, sidx,
+                    k.ld_global(b, k.imad(b_row, n, col)))
+        k.syncthreads()
+        # fully-unrolled inner product with strength-reduced indices,
+        # like the compiled inner loop (no per-iteration bookkeeping)
+        a_off = k.imul(ty, TILE)
+        b_off = tx
+        for _i in range(TILE):
+            av = k.ld_shared(a_tile, a_off)
+            bv = k.ld_shared(b_tile, b_off)
+            acc = k.ffma(av, bv, acc)
+            a_off = k.iadd(a_off, 1)
+            b_off = k.iadd(b_off, TILE)
+        k.syncthreads()
+
+    cidx = k.imad(row, n, col)
+    old = k.ld_global(c, cidx)
+    out = k.ffma(alpha, acc, k.fmul(beta, old))
+    k.st_global(c, cidx, out)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    m = scaled(2, scale, minimum=1) * TILE
+    n = scaled(4, scale, minimum=2) * TILE
+    kk = scaled(4, scale, minimum=2) * TILE
+
+    a = rng.normal(0.5, 0.4, (m, kk)).astype(np.float32)
+    b = rng.normal(0.5, 0.4, (kk, n)).astype(np.float32)
+    c = rng.normal(0, 0.1, (m, n)).astype(np.float32)
+
+    tiles_per_row = n // TILE
+    grid = (m // TILE) * tiles_per_row
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="sgemm",
+        fn=sgemm_kernel,
+        launch=LaunchConfig(grid, BLOCK),
+        params=dict(
+            a=launcher.buffer("A", a.reshape(-1)),
+            b=launcher.buffer("B", b.reshape(-1)),
+            c=launcher.buffer("C", c.reshape(-1)),
+            m=m, n=n, kk=kk, alpha=np.float32(1.0),
+            beta=np.float32(0.5), tiles_per_row=tiles_per_row),
+        launcher=launcher)

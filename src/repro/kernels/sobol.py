@@ -1,0 +1,62 @@
+"""CUDA Samples *SobolQRNG* — ``sobolQRNG`` (sobolGPU_kernel).
+
+Sobol' sequence generation: thread ``t`` produces points ``t, t+T,
+t+2T, ...`` of one dimension by XOR-combining direction vectors selected
+by the Gray-code bits of the index, then scaling to [0, 1).  The index
+arithmetic (sequential integers!) makes its ALU adds extremely
+predictable, while the XOR accumulation is classic "ALU Other".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+N_DIRECTIONS = 20
+INT_SCALE = np.float32(1.0 / (1 << 31))
+
+
+def sobol_kernel(k, directions, output, n, points_per_thread):
+    """sobolGPU: strided Sobol' point generation (one dimension)."""
+    t = k.global_id()
+    stride = k.launch.total_threads
+    for p in k.range(points_per_thread):
+        idx = k.imad(p, stride, t)
+        with k.where(k.lt(idx, n)):
+            gray = k.ixor(idx, k.shr(idx, 1))
+            acc = np.zeros(k.n_threads, dtype=np.int64)
+            for bit in k.range(N_DIRECTIONS):
+                take = k.ne(k.iand(k.shr(gray, bit), 1), 0)
+                v = k.ld_const(directions, bit)
+                acc = k.sel(take, k.ixor(acc, v), acc)
+            val = k.fmul(k.cvt_f32(acc), INT_SCALE)
+            k.st_global(output, idx, val)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    grid = scaled(4, scale, minimum=2)
+    points_per_thread = scaled(4, scale, minimum=2)
+    n = grid * BLOCK * points_per_thread
+
+    directions = np.zeros(N_DIRECTIONS, dtype=np.int32)
+    v = 1 << 30
+    for bit in range(N_DIRECTIONS):
+        directions[bit] = v ^ int(rng.integers(0, 1 << 12))
+        v >>= 1
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="sobolQRNG",
+        fn=sobol_kernel,
+        launch=LaunchConfig(grid, BLOCK),
+        params=dict(
+            directions=launcher.buffer("directions", directions),
+            output=launcher.buffer("output", np.zeros(n, np.float32)),
+            n=n, points_per_thread=points_per_thread),
+        launcher=launcher)

@@ -1,0 +1,97 @@
+"""CUDA Samples *sortingNetworks* — ``sortNets_K1``
+(bitonicSortShared) and ``sortNets_K2`` (bitonicMergeGlobal).
+
+Bitonic compare-exchange on integer keys: each exchange is a MIN/MAX
+pair executed on the ALU adder (compare = subtract), plus the shift/XOR
+index arithmetic selecting the partner element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+CHUNK = 2 * BLOCK
+
+
+def bitonic_sort_shared_kernel(k, keys, n):
+    """sortNets_K1: fully sort one CHUNK in shared memory."""
+    tx = k.thread_id()
+    base = k.block_id * CHUNK
+    s = k.shared(CHUNK, np.int32)
+    k.st_shared(s, tx, k.ld_global(keys, base + tx))
+    k.st_shared(s, tx + BLOCK, k.ld_global(keys, base + tx + BLOCK))
+    k.syncthreads()
+
+    size = 2
+    while size <= CHUNK:
+        # per-thread direction; the final merge stage sorts ascending
+        ddd = ((tx & (size // 2)) != 0) if size < CHUNK \
+            else np.zeros(k.n_threads, dtype=bool)
+        stride = size // 2
+        while stride > 0:
+            lo = k.isub(k.imul(2, tx), k.iand(tx, stride - 1))
+            hi = k.iadd(lo, stride)
+            a = k.ld_shared(s, lo)
+            b = k.ld_shared(s, hi)
+            small = k.imin(a, b)
+            large = k.imax(a, b)
+            k.st_shared(s, lo, k.sel(ddd, large, small))
+            k.st_shared(s, hi, k.sel(ddd, small, large))
+            k.syncthreads()
+            stride //= 2
+        size *= 2
+
+    k.st_global(keys, base + tx, k.ld_shared(s, tx))
+    k.st_global(keys, base + tx + BLOCK, k.ld_shared(s, tx + BLOCK))
+
+
+def bitonic_merge_global_kernel(k, keys, size, stride, n):
+    """sortNets_K2: one global compare-exchange pass."""
+    t = k.global_id()
+    with k.where(k.lt(t, n // 2)):
+        pos = k.isub(k.imul(2, t), k.iand(t, stride - 1))
+        partner = k.iadd(pos, stride)
+        ddd = (t & (size // 2)) != 0
+        a = k.ld_global(keys, pos)
+        b = k.ld_global(keys, partner)
+        small = k.imin(a, b)
+        large = k.imax(a, b)
+        k.st_global(keys, pos, k.sel(ddd, large, small))
+        k.st_global(keys, partner, k.sel(ddd, small, large))
+
+
+def _keys(rng, n):
+    # uniform 20-bit keys, like the sample's default key range
+    return rng.integers(0, 1 << 20, n).astype(np.int32)
+
+
+def prepare_k1(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n = scaled(6, scale, minimum=2) * CHUNK
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="sortNets_K1",
+        fn=bitonic_sort_shared_kernel,
+        launch=LaunchConfig(n // CHUNK, BLOCK),
+        params=dict(keys=launcher.buffer("keys", _keys(rng, n)), n=n),
+        launcher=launcher)
+
+
+def prepare_k2(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n = scaled(16, scale, minimum=4) * CHUNK
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="sortNets_K2",
+        fn=bitonic_merge_global_kernel,
+        launch=LaunchConfig(n // 2 // BLOCK, BLOCK),
+        params=dict(keys=launcher.buffer("keys", _keys(rng, n)),
+                    size=n // 2, stride=n // 4, n=n),
+        launcher=launcher)

@@ -1,0 +1,138 @@
+"""Rodinia *sradv1* — ``sradv1_K1`` (the srad diffusion-coefficient
+kernel, srad_cuda_1).
+
+Speckle-reducing anisotropic diffusion over an ultrasound-like image:
+each thread loads its pixel and four neighbours, forms the directional
+derivatives (FSUBs), the normalised gradient magnitude and Laplacian
+(FFMA/FADD chains with divisions), and the diffusion coefficient
+clamped to [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+
+
+def srad1_kernel(k, image, dn_out, ds_out, dw_out, de_out, c_out, rows,
+                 cols, q0sqr):
+    """srad_cuda_1: derivatives and diffusion coefficient per pixel."""
+    idx = k.global_id()
+    n_pix = rows * cols
+    with k.where(k.lt(idx, n_pix)):
+        row = k.idiv(idx, cols)
+        col = k.irem(idx, cols)
+        up = k.sel(row > 0, k.isub(idx, cols), idx)
+        down = k.sel(row < rows - 1, k.iadd(idx, cols), idx)
+        left = k.sel(col > 0, k.isub(idx, 1), idx)
+        right = k.sel(col < cols - 1, k.iadd(idx, 1), idx)
+
+        jc = k.ld_global(image, idx)
+        dn = k.fsub(k.ld_global(image, up), jc)
+        ds = k.fsub(k.ld_global(image, down), jc)
+        dw = k.fsub(k.ld_global(image, left), jc)
+        de = k.fsub(k.ld_global(image, right), jc)
+
+        g2 = k.ffma(dn, dn, np.float32(0))
+        g2 = k.ffma(ds, ds, g2)
+        g2 = k.ffma(dw, dw, g2)
+        g2 = k.ffma(de, de, g2)
+        jc2 = k.fmul(jc, jc)
+        g2 = k.fdiv(g2, jc2)
+
+        lap = k.fadd(k.fadd(dn, ds), k.fadd(dw, de))
+        lap = k.fdiv(lap, jc)
+
+        num = k.fsub(k.fmul(0.5, g2),
+                     k.fmul(1.0 / 16.0, k.fmul(lap, lap)))
+        den = k.fadd(1.0, k.fmul(0.25, lap))
+        qsqr = k.fdiv(num, k.fmul(den, den))
+
+        cden = k.fmul(k.fadd(1.0, q0sqr),
+                      k.fsub(qsqr, q0sqr))
+        coeff = k.rcp(k.fadd(1.0, k.fdiv(cden, q0sqr)))
+        coeff = k.fmax(k.fmin(coeff, 1.0), 0.0)
+
+        k.st_global(dn_out, idx, dn)
+        k.st_global(ds_out, idx, ds)
+        k.st_global(dw_out, idx, dw)
+        k.st_global(de_out, idx, de)
+        k.st_global(c_out, idx, coeff)
+
+
+def srad2_kernel(k, image, dn, ds, dw, de, c, rows, cols, lam):
+    """srad_cuda_2 (extension): apply the diffusion update.
+
+    ``J += 0.25 * lambda * div`` where the divergence weights each
+    directional derivative by the neighbour's diffusion coefficient.
+    """
+    idx = k.global_id()
+    n_pix = rows * cols
+    with k.where(k.lt(idx, n_pix)):
+        row = k.idiv(idx, cols)
+        col = k.irem(idx, cols)
+        down = k.sel(row < rows - 1, k.iadd(idx, cols), idx)
+        right = k.sel(col < cols - 1, k.iadd(idx, 1), idx)
+
+        cc = k.ld_global(c, idx)
+        cs = k.ld_global(c, down)
+        ce = k.ld_global(c, right)
+
+        div = k.ffma(cs, k.ld_global(ds, idx),
+                     k.fmul(cc, k.ld_global(dn, idx)))
+        div = k.ffma(ce, k.ld_global(de, idx), div)
+        div = k.ffma(cc, k.ld_global(dw, idx), div)
+
+        jc = k.ld_global(image, idx)
+        k.st_global(image, idx,
+                    k.ffma(np.float32(0.25) * lam, div, jc))
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """A smooth speckled image (exponential of a low-pass field), like
+    the srad input after the extract step."""
+    rng = np.random.default_rng(seed)
+    rows = scaled(48, scale, minimum=8)
+    cols = scaled(64, scale, minimum=16)
+    base = np.cumsum(rng.normal(0, 0.02, (rows, cols)), axis=1)
+    base += np.cumsum(rng.normal(0, 0.02, (rows, cols)), axis=0)
+    image = np.exp(base).astype(np.float32).reshape(-1)
+
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    n_pix = rows * cols
+    grid = max(1, (n_pix + BLOCK - 1) // BLOCK)
+    zeros = lambda name: launcher.buffer(name, np.zeros(n_pix, np.float32))
+    return PreparedKernel(
+        name="sradv1_K1",
+        fn=srad1_kernel,
+        launch=LaunchConfig(grid, BLOCK),
+        params=dict(
+            image=launcher.buffer("image", image),
+            dn_out=zeros("dN"), ds_out=zeros("dS"), dw_out=zeros("dW"),
+            de_out=zeros("dE"), c_out=zeros("c"),
+            rows=rows, cols=cols, q0sqr=np.float32(0.05)),
+        launcher=launcher)
+
+
+def prepare_k2(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    """Extension kernel: the srad update step, fed by a K1 execution."""
+    k1 = prepare(scale=scale, seed=seed, gpu=gpu)
+    k1.run()
+    p = k1.params
+    launcher = k1.launcher
+    return PreparedKernel(
+        name="sradv1_K2",
+        fn=srad2_kernel,
+        launch=k1.launch,
+        params=dict(image=p["image"], dn=p["dn_out"], ds=p["ds_out"],
+                    dw=p["dw_out"], de=p["de_out"], c=p["c_out"],
+                    rows=p["rows"], cols=p["cols"],
+                    lam=np.float32(0.5)),
+        launcher=launcher)

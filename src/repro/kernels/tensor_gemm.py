@@ -1,0 +1,76 @@
+"""CUDA Samples *cudaTensorCoreGemm* — extension workload.
+
+The paper lists this workload in Section V-A but it appears on none of
+the evaluation figures (the 23-kernel axes); we provide it as an
+extension.  Tensor cores themselves contain no ST2 adders (the design
+explicitly targets ALUs/FPUs/DPUs only), but the kernel's *epilogue* —
+scaling and accumulating the FP32 tile results, plus the tile address
+arithmetic — runs on regular FPUs/ALUs and is what an ST2 GPU would
+speculate on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+WMMA = 16            # tensor-core tile edge
+BLOCK = 256          # 8 warps, one WMMA tile each
+
+
+def tensor_gemm_kernel(k, a, b, c, d, m, n, kk, alpha, beta,
+                       tiles_per_row):
+    """compute_gemm: HMMA tile loop + FP32 epilogue per element."""
+    warp = k.thread_id() // 32
+    lane = k.thread_id() % 32
+    tile = k.imad(k.block_id, 8, warp)
+    n_tiles = (m // WMMA) * tiles_per_row
+    with k.where(k.lt(tile, n_tiles)):
+        tile_row = k.idiv(tile, tiles_per_row)
+        tile_col = k.irem(tile, tiles_per_row)
+
+        # MMA main loop: one HMMA op per K-tile per warp (no ST2 adders)
+        for _t in k.range(kk // WMMA):
+            k.tensor_mma()
+
+        # epilogue: each lane owns 8 elements of the 16x16 tile
+        for e in k.range(8):
+            elem = k.imad(lane, 8, e)
+            row = k.imad(tile_row, WMMA, k.idiv(elem, WMMA))
+            col = k.imad(tile_col, WMMA, k.irem(elem, WMMA))
+            idx = k.imad(row, n, col)
+            acc = k.ld_global(c, idx)        # the MMA accumulator value
+            old = k.ld_global(d, idx)
+            out = k.ffma(alpha, acc, k.fmul(beta, old))
+            k.st_global(d, idx, out)
+
+
+def prepare(scale: float = 1.0, seed: int = 0,
+            gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    tiles_per_row = scaled(4, scale, minimum=2)
+    tiles_per_col = scaled(4, scale, minimum=2)
+    m, n = tiles_per_col * WMMA, tiles_per_row * WMMA
+    kk = scaled(8, scale, minimum=2) * WMMA
+
+    c = rng.normal(0, 1, m * n).astype(np.float32)   # MMA results
+    d = rng.normal(0, 0.2, m * n).astype(np.float32)
+
+    n_tiles = tiles_per_row * tiles_per_col
+    grid = max(1, (n_tiles + 7) // 8)
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="tensorGemm",
+        fn=tensor_gemm_kernel,
+        launch=LaunchConfig(grid, BLOCK),
+        params=dict(
+            a=launcher.buffer("A", np.zeros(4, np.float32)),
+            b=launcher.buffer("B", np.zeros(4, np.float32)),
+            c=launcher.buffer("C", c),
+            d=launcher.buffer("D", d),
+            m=m, n=n, kk=kk, alpha=np.float32(1.0),
+            beta=np.float32(0.8), tiles_per_row=tiles_per_row),
+        launcher=launcher)

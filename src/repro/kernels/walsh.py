@@ -1,0 +1,95 @@
+"""CUDA Samples *fastWalshTransform* — ``walsh_K1`` (fwtBatch2, global
+strided butterflies) and ``walsh_K2`` (fwtBatch1, shared-memory stage).
+
+Both stages are pure add/sub butterflies ``(a+b, a-b)`` — the canonical
+FPU-add workload.  K1 runs the coarse strided passes in global memory;
+K2 runs the fine-grained passes of one 2*BLOCK chunk in shared memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.runtime import PreparedKernel, scaled
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher
+
+BLOCK = 128
+
+
+def fwt_batch2_kernel(k, data, stride, n):
+    """walsh_K1: one global butterfly pass at the given stride."""
+    t = k.global_id()
+    pos = k.iadd(k.imul(k.idiv(t, stride), k.imul(stride, 2)),
+                 k.irem(t, stride))
+    with k.where(k.lt(pos, n - stride)):
+        i1 = k.iadd(pos, stride)
+        d0 = k.ld_global(data, pos)
+        d1 = k.ld_global(data, i1)
+        k.st_global(data, pos, k.fadd(d0, d1))
+        k.st_global(data, i1, k.fsub(d0, d1))
+
+
+def fwt_batch1_kernel(k, data, n_passes):
+    """walsh_K2: all fine butterflies of one chunk in shared memory."""
+    tx = k.thread_id()
+    base = k.block_id * (2 * BLOCK)
+    s_data = k.shared(2 * BLOCK, np.float32)
+    k.st_shared(s_data, tx, k.ld_global(data, base + tx))
+    k.st_shared(s_data, tx + BLOCK,
+                k.ld_global(data, base + tx + BLOCK))
+    k.syncthreads()
+
+    stride = BLOCK
+    for _p in k.range(n_passes):
+        lo = k.iadd(k.imul(k.idiv(tx, stride), k.imul(stride, 2)),
+                    k.irem(tx, stride))
+        hi = k.iadd(lo, stride)
+        d0 = k.ld_shared(s_data, lo)
+        d1 = k.ld_shared(s_data, hi)
+        k.st_shared(s_data, lo, k.fadd(d0, d1))
+        k.st_shared(s_data, hi, k.fsub(d0, d1))
+        k.syncthreads()
+        stride = max(stride // 2, 1)
+
+    k.st_global(data, base + tx, k.ld_shared(s_data, tx))
+    k.st_global(data, base + tx + BLOCK,
+                k.ld_shared(s_data, tx + BLOCK))
+
+
+def _signal(rng, n):
+    """A mixed-tone signal: Walsh spectra concentrate, so butterfly
+    operands shrink as passes proceed (temporal correlation)."""
+    t = np.arange(n)
+    sig = (np.sin(t / 17.0) + 0.5 * np.sign(np.sin(t / 5.0))
+           + rng.normal(0, 0.1, n))
+    return sig.astype(np.float32)
+
+
+def prepare_k1(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n = scaled(8, scale, minimum=2) * 2 * BLOCK
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="walsh_K1",
+        fn=fwt_batch2_kernel,
+        launch=LaunchConfig(n // (2 * BLOCK), BLOCK),
+        params=dict(data=launcher.buffer("data", _signal(rng, n)),
+                    stride=n // 4, n=n),
+        launcher=launcher)
+
+
+def prepare_k2(scale: float = 1.0, seed: int = 0,
+               gpu: GPUConfig = TITAN_V) -> PreparedKernel:
+    rng = np.random.default_rng(seed)
+    n = scaled(8, scale, minimum=2) * 2 * BLOCK
+    n_passes = int(np.log2(2 * BLOCK))
+    launcher = GridLauncher(gpu=gpu, seed=seed)
+    return PreparedKernel(
+        name="walsh_K2",
+        fn=fwt_batch1_kernel,
+        launch=LaunchConfig(n // (2 * BLOCK), BLOCK),
+        params=dict(data=launcher.buffer("data", _signal(rng, n)),
+                    n_passes=n_passes),
+        launcher=launcher)

@@ -1,0 +1,13 @@
+"""GPUWattch-style power modelling: Eq. (1), the 123-stressor
+calibration workflow against synthetic silicon, and validation."""
+
+from repro.power.activity import ActivityVector, activity_from_run
+from repro.power.calibration import calibrate, calibrated_model
+from repro.power.components import Component
+from repro.power.hardware import SyntheticSilicon
+from repro.power.model import GPUPowerModel
+from repro.power.validation import validate
+
+__all__ = ["ActivityVector", "Component", "GPUPowerModel",
+           "SyntheticSilicon", "activity_from_run", "calibrate",
+           "calibrated_model", "validate"]

@@ -1,0 +1,150 @@
+"""Activity vectors: what a kernel *did*, per power-model component.
+
+An :class:`ActivityVector` carries the coarse per-component event counts
+the linear power model consumes, a finer per-event-subtype breakdown
+(used only by the synthetic silicon, whose true energies differ by
+subtype — the model mismatch the calibration study quantifies), the
+kernel duration and the number of active SMs.
+
+:func:`activity_from_run` derives all of it from a functional
+:class:`~repro.sim.functional.KernelRun` plus its timing result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.opcodes import FunctionalUnit, MixCategory, Opcode
+from repro.power.components import Component
+from repro.sim.config import GPUConfig, TITAN_V
+
+#: fraction of L2 sector accesses that miss to DRAM (fixed first-order
+#: cache model; per-kernel locality enters through transaction counts)
+L2_MISS_RATIO = 0.45
+
+
+@dataclass
+class ActivityVector:
+    """Event counts per component for one kernel execution."""
+
+    name: str
+    counts: dict                       # Component -> event count
+    fine: dict = field(default_factory=dict)   # subtype -> count
+    duration_s: float = 1e-3
+    n_active_sms: int = 80
+    gpu: GPUConfig = TITAN_V
+
+    @property
+    def n_idle_sms(self) -> int:
+        return max(self.gpu.n_sms - self.n_active_sms, 0)
+
+    def rate(self, component: Component) -> float:
+        """Events per second for a component."""
+        return self.counts.get(component, 0.0) / self.duration_s
+
+    def scaled(self, factor: float) -> "ActivityVector":
+        """Uniformly scale all event counts (intensity sweeps)."""
+        return ActivityVector(
+            name=f"{self.name}x{factor:g}",
+            counts={c: v * factor for c, v in self.counts.items()},
+            fine={k: v * factor for k, v in self.fine.items()},
+            duration_s=self.duration_s,
+            n_active_sms=self.n_active_sms, gpu=self.gpu)
+
+
+def activity_from_run(run, timing, gpu: GPUConfig = TITAN_V,
+                      name: str = "", full_chip: bool = True,
+                      l2_miss_ratio: float = None) -> ActivityVector:
+    """Derive the activity vector of a kernel run.
+
+    ``timing`` is the :class:`~repro.sim.pipeline.TimingResult` whose
+    makespan defines the kernel duration.
+
+    With ``full_chip`` (the default), the simulated launch — which is a
+    scaled-down replica of the paper's full-size workload — is treated
+    as representative of every SM: event counts are scaled so that all
+    ``gpu.n_sms`` SMs run the same resident-block load over the same
+    makespan, matching the evaluation condition of the paper (largest
+    available input per workload, chip fully occupied).
+
+    ``l2_miss_ratio`` overrides the fixed first-order default with a
+    measured value (e.g. from :func:`repro.sim.cache.l2_miss_ratio_for_run`).
+    """
+    by_op = run.insts.counts_by_opcode()
+
+    fine = {
+        "alu_add": 0.0, "alu_other": 0.0, "fpu_add": 0.0,
+        "fpu_other": 0.0, "dpu_add": 0.0, "int_muldiv": 0.0,
+        "fp_muldiv": 0.0, "sfu": 0.0, "ld_sectors": 0.0,
+        "st_sectors": 0.0, "shared": 0.0, "warp_insts": 0.0,
+    }
+    counts = {c: 0.0 for c in Component}
+
+    for op, n in by_op.items():
+        unit = op.unit
+        if unit in (FunctionalUnit.ALU, FunctionalUnit.FPU,
+                    FunctionalUnit.DPU):
+            counts[Component.ALU_FPU] += n
+            if op.is_adder_op:
+                if unit is FunctionalUnit.ALU:
+                    fine["alu_add"] += n
+                elif unit is FunctionalUnit.FPU:
+                    fine["fpu_add"] += n
+                else:
+                    fine["dpu_add"] += n
+            elif unit is FunctionalUnit.ALU:
+                fine["alu_other"] += n
+            else:
+                fine["fpu_other"] += n
+        elif unit is FunctionalUnit.INT_MUL:
+            counts[Component.INT_MULDIV] += n
+            fine["int_muldiv"] += n
+        elif unit is FunctionalUnit.FP_MUL:
+            counts[Component.FP_MULDIV] += n
+            fine["fp_muldiv"] += n
+        elif unit is FunctionalUnit.SFU:
+            counts[Component.SFU] += n
+            fine["sfu"] += n
+
+    # register file: 2 operand reads + 1 write per thread-level
+    # arithmetic op, 1 read/write per memory op lane
+    arith_ops = (counts[Component.ALU_FPU] + counts[Component.INT_MULDIV]
+                 + counts[Component.FP_MULDIV] + counts[Component.SFU])
+    mem_lanes = run.mem.global_loads + run.mem.global_stores \
+        + run.mem.shared_loads + run.mem.shared_stores
+    counts[Component.REGFILE] = 3 * arith_ops + 2 * mem_lanes
+
+    # memory hierarchy: L2 sectors from the coalescing model
+    ld_tx = run.mem.global_load_transactions
+    st_tx = run.mem.global_store_transactions
+    miss = L2_MISS_RATIO if l2_miss_ratio is None else l2_miss_ratio
+    counts[Component.CACHES_MC] = ld_tx + st_tx
+    counts[Component.NOC] = 2 * (ld_tx + st_tx)
+    counts[Component.DRAM] = miss * (ld_tx + st_tx)
+    fine["ld_sectors"] = ld_tx
+    fine["st_sectors"] = st_tx
+
+    # front end / shared memory / scheduling
+    warp_insts = len(run.insts)
+    shared = run.mem.shared_loads + run.mem.shared_stores
+    counts[Component.OTHERS] = warp_insts + 0.1 * shared
+    fine["warp_insts"] = warp_insts
+    fine["shared"] = shared
+
+    duration = max(timing.duration_s(gpu), 1e-7)
+    if full_chip:
+        resident = max(1, min(gpu.max_blocks_per_sm,
+                              gpu.max_threads_per_sm
+                              // run.launch.block_threads))
+        parallel = resident * gpu.n_sms
+        scale = parallel * timing.waves / run.launch.grid_blocks
+        counts = {c: v * scale for c, v in counts.items()}
+        fine = {k: v * scale for k, v in fine.items()}
+        n_active = gpu.n_sms
+    else:
+        n_active = min(run.launch.grid_blocks, gpu.n_sms)
+    return ActivityVector(name=name or run.name, counts=counts,
+                          fine=fine, duration_s=duration,
+                          n_active_sms=n_active, gpu=gpu)

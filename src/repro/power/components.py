@@ -1,0 +1,69 @@
+"""Power-model component taxonomy and per-access model energies.
+
+The component set follows the paper's Figure 7 legend: ALU+FPU, int
+Mul/Div, fp Mul/Div, SFU, RegFile, Caches+MC, NoC, Others, DRAM — plus
+the constant board power and per-idle-SM static power of Eq. (1).
+
+``MODEL_ENERGY_PJ`` holds the *model's* per-event energies (the ``P_i``
+of Eq. (1), before the least-squares scale factors).  The synthetic
+silicon in :mod:`repro.power.hardware` deliberately deviates from these
+at a finer granularity, which is exactly the error a GPUWattch-style
+calibration has to absorb.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Component(enum.Enum):
+    """Figure 7 energy-breakdown components."""
+
+    ALU_FPU = "ALU+FPU"
+    INT_MULDIV = "int Mul/Div"
+    FP_MULDIV = "fp Mul/Div"
+    SFU = "SFU"
+    REGFILE = "RegFile"
+    CACHES_MC = "Caches+MC"
+    NOC = "NoC"
+    OTHERS = "Others"
+    DRAM = "DRAM"
+
+
+#: Components counted as "chip" energy (the paper's 21 % claim excludes
+#: DRAM; the 19 % system number includes it).
+CHIP_COMPONENTS = tuple(c for c in Component if c is not Component.DRAM)
+
+#: Model energy per counted event, picojoules.  Events are:
+#: ALU_FPU/INT_MULDIV/FP_MULDIV/SFU — one thread-level operation;
+#: REGFILE — one 32-bit register access; CACHES_MC — one 32-byte sector
+#: access; NOC — one flit; OTHERS — one warp-level instruction through
+#: fetch/decode/issue (plus shared-memory accesses folded in);
+#: DRAM — one 32-byte DRAM access.
+MODEL_ENERGY_PJ = {
+    Component.ALU_FPU: 40.0,     # fallback; see MODEL_ALU_SUBTYPE_PJ
+    Component.INT_MULDIV: 60.0,
+    Component.FP_MULDIV: 70.0,
+    Component.SFU: 130.0,
+    Component.REGFILE: 8.0,
+    Component.CACHES_MC: 180.0,
+    Component.NOC: 90.0,
+    Component.OTHERS: 140.0,
+    Component.DRAM: 1400.0,
+}
+
+#: The ALU+FPU component is modelled per *operation subtype*, the way
+#: GPUWattch models per-op access energies: adds (whose datapath is the
+#: adder ST2 replaces) are costlier than simple logic ops.
+MODEL_ALU_SUBTYPE_PJ = {
+    "alu_add": 46.0,
+    "alu_other": 24.0,
+    "fpu_add": 56.0,
+    "fpu_other": 32.0,
+    "dpu_add": 102.0,
+}
+
+#: Nominal board-constant and idle-SM powers (watts) — the model's
+#: starting guesses; the solver calibrates its own values.
+MODEL_P_CONST_W = 38.0
+MODEL_P_IDLE_SM_W = 0.55

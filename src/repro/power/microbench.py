@@ -1,0 +1,137 @@
+"""The 123 calibration micro-benchmarks (paper Section V-C).
+
+Following the GPUWattch methodology, each stressor isolates one
+component at a swept intensity while keeping a small, known background
+activity (instruction fetch, register traffic).  Stressors are
+expressed directly as :class:`ActivityVector`\\ s with known event
+counts — the microbenchmark kernels of the paper are tiny loops whose
+counts are known statically, so this is the same information content
+without simulation cost.
+
+The stressor set:
+
+* 9 components x 12 intensity points = 108 component stressors;
+* 15 occupancy stressors sweeping the number of active SMs (these
+  expose ``P_idleSM`` and ``P_const`` to the solver);
+
+123 micro-benchmarks in total, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power.activity import ActivityVector
+from repro.power.components import Component
+from repro.sim.config import TITAN_V
+
+#: how a stressor's component events split into hardware subtypes —
+#: the calibration only ever sees these blends, while real kernels have
+#: their own (that difference is the validation error's main source).
+STRESSOR_SUBTYPES = {
+    Component.ALU_FPU: {"alu_add": 0.55, "alu_other": 0.30,
+                        "fpu_add": 0.12, "fpu_other": 0.03},
+    Component.INT_MULDIV: {"int_muldiv": 1.0},
+    Component.FP_MULDIV: {"fp_muldiv": 1.0},
+    Component.SFU: {"sfu": 1.0},
+    Component.REGFILE: {},
+    Component.CACHES_MC: {"ld_sectors": 0.75, "st_sectors": 0.25},
+    Component.NOC: {"ld_sectors": 0.5, "st_sectors": 0.5},
+    Component.OTHERS: {"warp_insts": 0.95, "shared": 0.05},
+    Component.DRAM: {"ld_sectors": 0.8, "st_sectors": 0.2},
+}
+
+#: peak sustainable event rate per component (events/s, whole chip):
+#: 80 SMs x unit counts x ~1.2 GHz for compute, bandwidth-derived for
+#: the memory hierarchy.  Stressors sweep a fraction of peak, so their
+#: dynamic power spans a realistic tens-to-~150 W range.
+_PEAK_EVENTS = {
+    Component.ALU_FPU: 4.0e12,
+    Component.INT_MULDIV: 1.5e12,
+    Component.FP_MULDIV: 1.5e12,
+    Component.SFU: 3.8e11,
+    Component.REGFILE: 1.2e13,
+    Component.CACHES_MC: 1.6e11,
+    Component.NOC: 3.0e11,
+    Component.OTHERS: 3.8e11,
+    Component.DRAM: 2.1e10,
+}
+_BACKGROUND_WARP_INSTS = 4.0e10
+_DURATION_S = 0.25
+
+
+def _stressor(component: Component, intensity: float, variant: int = 0,
+              n_active_sms: int = 80) -> ActivityVector:
+    """One stressor run.
+
+    ``variant`` perturbs the *coupling ratios* (register accesses per
+    op, NoC flits per sector, DRAM miss ratio ...) the way different
+    micro-kernel bodies would — without this, register traffic would be
+    perfectly collinear with compute ops and the least-squares system
+    would be rank-deficient.
+    """
+    events = _PEAK_EVENTS[component] * intensity * _DURATION_S
+    counts = {c: 0.0 for c in Component}
+    counts[component] = events
+    fine = {k: frac * events
+            for k, frac in STRESSOR_SUBTYPES[component].items()}
+
+    # background front-end + register traffic every kernel has
+    bg_insts = _BACKGROUND_WARP_INSTS * _DURATION_S
+    counts[Component.OTHERS] += bg_insts
+    fine["warp_insts"] = fine.get("warp_insts", 0.0) + bg_insts
+
+    # register accesses per compute op: 1..3 depending on how much the
+    # stressor body reuses operands (breaks REGFILE/compute collinearity)
+    reg_per_op = 1.0 + (variant % 3)
+    if component in (Component.ALU_FPU, Component.INT_MULDIV,
+                     Component.FP_MULDIV, Component.SFU):
+        counts[Component.REGFILE] += reg_per_op * events
+    else:
+        counts[Component.REGFILE] += 32 * bg_insts
+
+    # memory stressors imply hierarchy traffic with variant-dependent
+    # locality (decouples CACHES_MC / NOC / DRAM columns)
+    miss = 0.15 + 0.1 * (variant % 6)
+    flits = 1.0 + 0.5 * (variant % 4)
+    if component is Component.CACHES_MC:
+        counts[Component.NOC] += flits * events
+        counts[Component.DRAM] += miss * events
+    elif component is Component.DRAM:
+        counts[Component.CACHES_MC] += (0.5 + 0.25 * (variant % 3)) \
+            * events
+        counts[Component.NOC] += flits * events
+    elif component is Component.NOC:
+        counts[Component.CACHES_MC] += (0.2 + 0.2 * (variant % 4)) \
+            * events
+
+    return ActivityVector(
+        name=f"stress_{component.name.lower()}_x{intensity:g}",
+        counts=counts, fine=fine, duration_s=_DURATION_S,
+        n_active_sms=n_active_sms, gpu=TITAN_V)
+
+
+def _occupancy_stressor(n_active_sms: int) -> ActivityVector:
+    light = _stressor(Component.ALU_FPU, 0.5, variant=1,
+                      n_active_sms=n_active_sms)
+    # scale dynamic work with active SMs so idle power is identifiable
+    factor = n_active_sms / TITAN_V.n_sms
+    vec = light.scaled(factor)
+    vec.n_active_sms = n_active_sms
+    vec.name = f"stress_occupancy_{n_active_sms}sm"
+    return vec
+
+
+def build_microbenchmarks() -> list:
+    """The full 123-stressor calibration suite."""
+    intensities = (0.08, 0.15, 0.25, 0.33, 0.42, 0.5, 0.58, 0.67, 0.75,
+                   0.83, 0.92, 1.0)
+    suite = [
+        _stressor(component, intensity, variant)
+        for component in Component
+        for variant, intensity in enumerate(intensities)
+    ]
+    occupancies = np.linspace(4, 80, 15).astype(int)
+    suite.extend(_occupancy_stressor(int(n)) for n in occupancies)
+    assert len(suite) == 123, f"expected 123 stressors, got {len(suite)}"
+    return suite

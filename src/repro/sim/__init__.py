@@ -1,0 +1,14 @@
+"""GPU simulator substrate: configuration, kernel DSL, functional
+execution, trace capture and the cycle-approximate timing pipeline."""
+
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.functional import GridLauncher, KernelRun, run_kernel
+from repro.sim.pipeline import (TimingResult, compare_baseline_st2,
+                                simulate_sm)
+from repro.sim.trace import AddTrace, InstStream
+
+__all__ = [
+    "AddTrace", "GPUConfig", "GridLauncher", "InstStream", "KernelRun",
+    "LaunchConfig", "TITAN_V", "TimingResult", "compare_baseline_st2",
+    "run_kernel", "simulate_sm",
+]

@@ -1,0 +1,87 @@
+"""GPU configuration — an NVIDIA TITAN V (Volta GV100) shaped model.
+
+Parameters follow Section II-A of the paper and the Volta whitepaper:
+80 SMs, each with 64 ALUs, 64 FPUs, 32 DPUs, 4 SFUs; 32-thread warps;
+up to 2048 resident threads per SM.  The numbers drive the functional
+executor (block→SM placement), the cycle-approximate timing model
+(functional-unit pool widths) and the overhead accounting (CRF bytes per
+SM, level shifters per adder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Chip-level parameters of the simulated GPU."""
+
+    name: str = "TITAN V (Volta GV100)"
+    n_sms: int = 80
+    warp_size: int = 32
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+
+    # functional-unit pool sizes per SM (units able to start an op/cycle)
+    alus_per_sm: int = 64
+    fpus_per_sm: int = 64
+    dpus_per_sm: int = 32
+    sfus_per_sm: int = 4
+    ldst_per_sm: int = 32
+    tensor_cores_per_sm: int = 8
+
+    # issue machinery: 4 processing blocks per SM, one warp issued per
+    # block per cycle
+    schedulers_per_sm: int = 4
+
+    core_clock_ghz: float = 1.2
+    chip_area_mm2: float = 815.0
+    #: on-chip SRAM the paper compares the ST2 storage overhead against
+    #: (register files + caches), bytes.
+    onchip_sram_bytes: int = 80 * (256 * 1024 + 128 * 1024) + 4608 * 1024
+
+    # Carry Register File (Section IV-C): 16 entries x 224 bits per SM.
+    crf_entries: int = 16
+    crf_bits_per_entry: int = 224
+
+    def crf_bytes_per_sm(self) -> int:
+        return self.crf_entries * self.crf_bits_per_entry // 8
+
+    def warps_per_block(self, block_threads: int) -> int:
+        return (block_threads + self.warp_size - 1) // self.warp_size
+
+
+#: Default chip model used across the repository.
+TITAN_V = GPUConfig()
+
+#: A Turing-class gaming chip (TU102-like): fewer SMs, vestigial FP64
+#: (2 DPUs/SM). Exists to show every study runs on other chip shapes —
+#: the ST2 design is parameterised, not hard-wired to GV100.
+TURING_TU102 = GPUConfig(
+    name="TU102-like (Turing)",
+    n_sms=68,
+    dpus_per_sm=2,
+    tensor_cores_per_sm=8,
+    core_clock_ghz=1.35,
+    chip_area_mm2=754.0,
+    onchip_sram_bytes=68 * (256 * 1024 + 96 * 1024) + 5632 * 1024,
+)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A kernel launch: grid of thread blocks."""
+
+    grid_blocks: int
+    block_threads: int
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 1:
+            raise ValueError("grid must contain at least one block")
+        if self.block_threads < 1 or self.block_threads % 32:
+            raise ValueError("block size must be a positive multiple of 32")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.block_threads

@@ -1,0 +1,117 @@
+"""Device memory objects and access statistics.
+
+The power model needs memory activity (register file, shared memory,
+caches, NoC, DRAM); the DSL funnels every load/store through here.  A
+simple coalescing model counts 32-byte sectors touched per warp access,
+which determines L2/DRAM traffic the way GPGPU-Sim's interconnect model
+would.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Synthetic base of the global-memory address space (value is arbitrary
+#: but realistic: a 47-bit canonical pointer, so address arithmetic
+#: exercises high adder slices the way real pointers do).
+GLOBAL_BASE = 0x7F40_0000_0000
+SHARED_BASE = 0x0100_0000
+SECTOR_BYTES = 32
+
+
+class DeviceBuffer:
+    """A named global-memory array with a synthetic base address."""
+
+    def __init__(self, name: str, data: np.ndarray, base: int):
+        self.name = name
+        self.data = data
+        self.base = base
+
+    def __len__(self) -> int:
+        return self.data.size
+
+    @property
+    def itemsize(self) -> int:
+        return self.data.itemsize
+
+    def byte_offsets(self, idx: np.ndarray) -> np.ndarray:
+        return idx.astype(np.int64) * self.itemsize
+
+
+class Allocator:
+    """Assigns synthetic base addresses to buffers.
+
+    Like ``cudaMalloc``, bases are 256-byte aligned but otherwise
+    arbitrary: a deterministic per-name jitter scatters the higher
+    address bits, so the carry behaviour of address arithmetic is
+    buffer-dependent (spatially correlated per PC) instead of trivially
+    carry-free — important for the Figure 3/5 studies.
+    """
+
+    def __init__(self, base: int = GLOBAL_BASE, align: int = 256):
+        self._next = base
+        self._align = align
+
+    def alloc(self, name: str, data: np.ndarray) -> DeviceBuffer:
+        jitter = (zlib.crc32(name.encode()) % 4096) * self._align
+        base = self._next + jitter
+        buf = DeviceBuffer(name, data, base)
+        nbytes = data.size * data.itemsize
+        self._next = base + \
+            (nbytes + self._align - 1) // self._align * self._align
+        return buf
+
+
+@dataclass
+class MemoryStats:
+    """Thread- and transaction-level memory activity counters."""
+
+    global_loads: int = 0          # thread-level
+    global_stores: int = 0
+    global_load_transactions: int = 0   # 32B sectors
+    global_store_transactions: int = 0
+    shared_loads: int = 0
+    shared_stores: int = 0
+    const_loads: int = 0
+    #: when enabled, per-access sector-address batches are retained so
+    #: a cache model (:mod:`repro.sim.cache`) can replay them
+    record_streams: bool = False
+    address_batches: list = field(default_factory=list)
+
+    def record_global(self, addrs: np.ndarray, warp_of: np.ndarray,
+                      is_store: bool) -> None:
+        """Account one warp-divergent global access.
+
+        ``addrs`` are the active lanes' byte addresses, ``warp_of`` the
+        owning warp of each lane (within the block); sectors are counted
+        per warp, modelling intra-warp coalescing.
+        """
+        n = len(addrs)
+        if n == 0:
+            return
+        sectors = addrs // SECTOR_BYTES
+        # distinct (warp, sector) pairs
+        key = warp_of.astype(np.int64) * (1 << 48) + sectors
+        n_tx = len(np.unique(key))
+        if is_store:
+            self.global_stores += n
+            self.global_store_transactions += n_tx
+        else:
+            self.global_loads += n
+            self.global_load_transactions += n_tx
+        if self.record_streams:
+            self.address_batches.append(
+                np.unique(sectors) * SECTOR_BYTES)
+
+    def merge(self, other: "MemoryStats") -> None:
+        self.address_batches.extend(other.address_batches)
+        self.global_loads += other.global_loads
+        self.global_stores += other.global_stores
+        self.global_load_transactions += other.global_load_transactions
+        self.global_store_transactions += other.global_store_transactions
+        self.shared_loads += other.shared_loads
+        self.shared_stores += other.shared_stores
+        self.const_loads += other.const_loads

@@ -1,0 +1,74 @@
+"""Trace persistence: save and reload captured traces as ``.npz``.
+
+Functional execution is cheap but not free; persisting an
+:class:`~repro.sim.trace.AddTrace` (plus its instruction stream) lets
+design-space studies iterate on fixed traces — the same decoupling
+GPGPU-Sim users get from PTX trace files.  The format is a single
+compressed ``.npz`` with a small JSON header for metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.trace import AddTrace, InstStream
+
+FORMAT_VERSION = 1
+
+_ADD_COLUMNS = ("pc", "gtid", "ltid", "warp", "sm", "block", "seq",
+                "op_a", "op_b", "cin", "width", "opcode", "value")
+_INST_COLUMNS = ("seq", "block", "warp", "sm", "opcode", "active")
+
+
+def save_trace(path, trace: AddTrace, insts: InstStream = None,
+               metadata: dict = None) -> None:
+    """Write a trace (and optionally its InstStream) to ``path``."""
+    path = Path(path)
+    arrays = {f"add_{c}": getattr(trace, c) for c in _ADD_COLUMNS}
+    if insts is not None:
+        arrays.update({f"inst_{c}": getattr(insts, c)
+                       for c in _INST_COLUMNS})
+    header = {
+        "format_version": FORMAT_VERSION,
+        "n_rows": len(trace),
+        "pc_labels": list(trace.pc_labels),
+        "metadata": metadata or {},
+        "has_insts": insts is not None,
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path) -> tuple:
+    """Read back ``(AddTrace, InstStream-or-None, metadata)``."""
+    path = Path(path)
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format "
+                f"{header.get('format_version')!r} in {path}")
+        trace = AddTrace(
+            **{c: data[f"add_{c}"] for c in _ADD_COLUMNS},
+            pc_labels=list(header["pc_labels"]))
+        insts = None
+        if header.get("has_insts"):
+            insts = InstStream(
+                **{c: data[f"inst_{c}"] for c in _INST_COLUMNS})
+    return trace, insts, header.get("metadata", {})
+
+
+def save_kernel_run(path, run, extra_metadata: dict = None) -> None:
+    """Persist a :class:`~repro.sim.functional.KernelRun`'s trace."""
+    metadata = {
+        "kernel": run.name,
+        "grid_blocks": run.launch.grid_blocks,
+        "block_threads": run.launch.block_threads,
+        "n_static_pcs": run.n_static_pcs,
+    }
+    metadata.update(extra_metadata or {})
+    save_trace(path, run.trace, run.insts, metadata)

@@ -1,0 +1,11 @@
+"""The integrated ST2 GPU architecture: end-to-end evaluation, energy
+breakdowns, overhead accounting and design-point ablations."""
+
+from repro.st2.architecture import (KernelEvaluation, evaluate_kernel,
+                                    evaluate_run, evaluate_suite)
+from repro.st2.energy import EnergyBreakdown, EnergyComparison
+from repro.st2.overheads import OverheadReport, overhead_report
+
+__all__ = ["EnergyBreakdown", "EnergyComparison", "KernelEvaluation",
+           "OverheadReport", "evaluate_kernel", "evaluate_run",
+           "evaluate_suite", "overhead_report"]

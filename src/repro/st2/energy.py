@@ -1,0 +1,162 @@
+"""ST2 GPU energy accounting — how the speculative adders transform the
+per-component energy breakdown (the paper's Figure 7).
+
+ST2 replaces the main adder datapath inside every ALU (and the mantissa
+adder inside every FPU/DPU) with the voltage-scaled sliced design.  The
+energy of an adder-class operation therefore splits into
+
+* an *adder fraction* — the sliced, voltage-scaled datapath (nearly the
+  whole unit for an integer add; the mantissa path for FP, whose
+  exponent/align/normalise logic is untouched, Section IV-C), and
+* the remainder, which ST2 does not change.
+
+The scaled adder energy comes from the circuit characterisation
+(:class:`~repro.circuits.characterize.AdderEnergyModel`), applied at
+the workload's measured misprediction statistics; CRF accesses, the
+State/Cout DFFs and the level shifters are charged on top.  Non-add
+operations, and every other component, are unchanged — except the small
+extra static/idle energy of the longer ST2 runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.characterize import AdderEnergyModel
+from repro.power.components import Component
+from repro.power.model import GPUPowerModel
+
+#: fraction of an adder-class op's unit energy that is the sliced,
+#: voltage-scalable adder datapath (the rest is operand staging for
+#: integer ops; exponent/align/round logic for FP mantissa adds).
+ADDER_FRACTION = {
+    "alu_add": 0.94,     # the ALU *is* essentially its adder
+    "fpu_add": 0.78,     # 23-bit mantissa path dominates the FP32 add
+    "dpu_add": 0.82,     # 52-bit mantissa path of the FP64 add
+}
+
+#: 64-bit address adds (LEA) ride the integer adder too.
+_ADD_SUBTYPES = ("alu_add", "fpu_add", "dpu_add")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy of one kernel on one architecture (joules)."""
+
+    name: str
+    components: dict                 # Component -> J
+    constant_j: float
+    idle_j: float
+
+    @property
+    def dynamic_j(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def system_j(self) -> float:
+        """Everything — what Figure 7 normalises against."""
+        return self.dynamic_j + self.constant_j + self.idle_j
+
+    @property
+    def chip_j(self) -> float:
+        """On-chip energy: excludes DRAM and the board-constant power
+        (fans, regulators), includes idle-SM static energy."""
+        return (self.dynamic_j - self.components[Component.DRAM]
+                + self.idle_j)
+
+    def share(self, component: Component) -> float:
+        return self.components[component] / self.system_j
+
+
+def baseline_breakdown(model: GPUPowerModel, activity) -> EnergyBreakdown:
+    comps = model.component_energy_j(activity)
+    const = model.p_const_w * activity.duration_s
+    idle = (model.p_idle_sm_w * activity.n_idle_sms
+            * activity.duration_s)
+    return EnergyBreakdown(name=activity.name, components=comps,
+                           constant_j=const, idle_j=idle)
+
+
+def st2_breakdown(model: GPUPowerModel, activity, speculation,
+                  adder_model: AdderEnergyModel,
+                  duration_scale: float = 1.0) -> EnergyBreakdown:
+    """Transform a baseline breakdown into the ST2 GPU's.
+
+    ``speculation`` is the kernel's
+    :class:`~repro.core.predictors.SpeculationResult` under the ST2
+    design; ``duration_scale`` is the (tiny) runtime ratio from the
+    timing model, which stretches static/constant energy.
+    """
+    comps = model.component_energy_j(activity)
+
+    # Relative shrink of the adder datapath: the circuit-characterised
+    # saving (voltage scaling + fewer toggles, net of CRF accesses and
+    # the workload's recompute energy).  This ratio applies to the whole
+    # datapath share of the op — local wiring and drivers scale with
+    # V^2 exactly like the gates do.
+    miss = speculation.thread_misprediction_rate
+    rec = speculation.recomputed_per_misprediction
+    datapath_saving = adder_model.saving(miss, rec)
+
+    # Absolute per-op overheads: the State/Cout flops and the level
+    # shifters are small standalone cells, charged at face value (they
+    # do NOT inherit the system-level wiring multiplier — the paper
+    # likewise reports them separately and finds them negligible).
+    overhead_per_op_j = (adder_model.dff_fj
+                         + adder_model.level_shifter_fj) * 1e-15
+
+    saved_j = 0.0
+    n_adds = 0.0
+    for subtype in _ADD_SUBTYPES:
+        n_ops = activity.fine.get(subtype, 0.0)
+        n_adds += n_ops
+        adder_j = (model.alu_subtype_energy_j(activity, subtype)
+                   * ADDER_FRACTION[subtype])
+        saved_j += adder_j * datapath_saving
+    saved_j -= n_adds * overhead_per_op_j
+    comps = dict(comps)
+    comps[Component.ALU_FPU] = max(
+        comps[Component.ALU_FPU] - saved_j, 0.0)
+
+    duration = activity.duration_s * duration_scale
+    const = model.p_const_w * duration
+    idle = model.p_idle_sm_w * activity.n_idle_sms * duration
+    return EnergyBreakdown(name=activity.name, components=comps,
+                           constant_j=const, idle_j=idle)
+
+
+@dataclass
+class EnergyComparison:
+    """Baseline vs ST2 for one kernel — one column pair of Figure 7."""
+
+    name: str
+    baseline: EnergyBreakdown
+    st2: EnergyBreakdown
+
+    @property
+    def system_saving(self) -> float:
+        return 1.0 - self.st2.system_j / self.baseline.system_j
+
+    @property
+    def chip_saving(self) -> float:
+        return 1.0 - self.st2.chip_j / self.baseline.chip_j
+
+    @property
+    def alu_fpu_share(self) -> float:
+        """Baseline ALU+FPU share of system energy (the >20 %
+        'arithmetic intensive' criterion of Section VI)."""
+        return self.baseline.share(Component.ALU_FPU)
+
+    def normalized_stacks(self) -> tuple:
+        """(baseline, st2) component stacks normalised to the baseline
+        system energy — exactly Figure 7's bar pairs."""
+        total = self.baseline.system_j
+        order = list(Component) + ["static"]
+
+        def stack(b: EnergyBreakdown) -> dict:
+            out = {c.value: b.components[c] / total for c in Component}
+            out["static"] = (b.constant_j + b.idle_j) / total
+            return out
+        return stack(self.baseline), stack(self.st2)

@@ -1,0 +1,118 @@
+"""ST2 GPU area and power overhead accounting (paper Section VI).
+
+Reproduces the paper's overhead arithmetic:
+
+* level shifters — 2.8 um^2 each at 45 nm, one per adder input/output
+  bit; 307 nW static and 1.38 fJ/transition at 16 nm FinFET; totals per
+  chip and the resulting penalty on the average savings;
+* the Carry Register File — 448 B per SM (16 x 224 bits), ~35 kB chip;
+* the per-slice State/Cout DFFs — 14 bits per integer adder, 4 per FP32
+  mantissa adder, 12 per FP64 — ~15 kB chip;
+* the total ~50 kB, a ~0.09 % overhead on on-chip SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.slices import FP32_MANTISSA, FP64_MANTISSA, INT64
+from repro.sim.config import GPUConfig, TITAN_V
+
+LEVEL_SHIFTER_AREA_UM2 = 2.8          # 45 nm [Liu et al., ISCAS'15]
+LEVEL_SHIFTER_STATIC_NW = 307.0       # 16 nm FinFET [Shapiro, TVLSI'16]
+LEVEL_SHIFTER_DYNAMIC_FJ = 1.38       # per transition
+LEVEL_SHIFTER_DELAY_PS = 20.8         # 500 mV -> 790 mV crossing
+
+
+@dataclass
+class OverheadReport:
+    """All ST2 GPU area/power overheads for one chip configuration."""
+
+    gpu: GPUConfig
+
+    # -- level shifters ----------------------------------------------------
+
+    @property
+    def adders_per_sm(self) -> int:
+        """Adder units that get shifters: ALUs + FPUs + DPUs."""
+        g = self.gpu
+        return g.alus_per_sm + g.fpus_per_sm + g.dpus_per_sm
+
+    @property
+    def shifters_per_adder(self) -> int:
+        """One shifter per input-operand bit and per output bit, on the
+        general 64-bit datapath: 2 x 64 inputs + 65 outputs."""
+        return 2 * 64 + 65
+
+    @property
+    def n_level_shifters(self) -> int:
+        return self.adders_per_sm * self.gpu.n_sms \
+            * self.shifters_per_adder
+
+    @property
+    def shifter_area_mm2(self) -> float:
+        return self.n_level_shifters * LEVEL_SHIFTER_AREA_UM2 * 1e-6
+
+    @property
+    def shifter_area_fraction(self) -> float:
+        """Paper: < 0.68 % of the 815 mm^2 chip."""
+        return self.shifter_area_mm2 / self.gpu.chip_area_mm2
+
+    @property
+    def shifter_static_w(self) -> float:
+        """Paper: ~0.6 W total."""
+        return self.n_level_shifters * LEVEL_SHIFTER_STATIC_NW * 1e-9
+
+    def shifter_dynamic_w(self, adder_ops_per_s: float,
+                          bits_toggling: int = 193) -> float:
+        """Worst case: every shifter bit flips on every op (paper's
+        overestimate gives ~470 uW averaged across the suite)."""
+        return (adder_ops_per_s * bits_toggling
+                * LEVEL_SHIFTER_DYNAMIC_FJ * 1e-15)
+
+    # -- storage -----------------------------------------------------------
+
+    @property
+    def crf_bytes_per_sm(self) -> int:
+        """448 B: 16 entries x 224 bits."""
+        return self.gpu.crf_bytes_per_sm()
+
+    @property
+    def crf_bytes_chip(self) -> int:
+        return self.crf_bytes_per_sm * self.gpu.n_sms
+
+    @property
+    def dff_bits_per_sm(self) -> int:
+        """State + Cout flops: 14 per ALU adder, 4 per FP32 mantissa
+        adder, 12 per FP64 mantissa adder."""
+        g = self.gpu
+        return (g.alus_per_sm * INT64.state_bits()
+                + g.fpus_per_sm * FP32_MANTISSA.state_bits()
+                + g.dpus_per_sm * FP64_MANTISSA.state_bits())
+
+    @property
+    def dff_bytes_chip(self) -> int:
+        return self.dff_bits_per_sm * self.gpu.n_sms // 8
+
+    @property
+    def total_storage_bytes(self) -> int:
+        return self.crf_bytes_chip + self.dff_bytes_chip
+
+    @property
+    def storage_fraction(self) -> float:
+        """Paper: ~0.09 % of on-chip caches + register files."""
+        return self.total_storage_bytes / self.gpu.onchip_sram_bytes
+
+    # -- savings penalty -----------------------------------------------------
+
+    def savings_penalty(self, avg_system_power_w: float,
+                        adder_ops_per_s: float) -> float:
+        """Fraction of system power the shifters cost (paper: ~0.5 %
+        absolute on the average system-energy savings)."""
+        total_w = self.shifter_static_w \
+            + self.shifter_dynamic_w(adder_ops_per_s)
+        return total_w / avg_system_power_w
+
+
+def overhead_report(gpu: GPUConfig = TITAN_V) -> OverheadReport:
+    return OverheadReport(gpu=gpu)

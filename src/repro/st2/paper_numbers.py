@@ -1,0 +1,111 @@
+"""The paper's published numbers, as a single structured registry.
+
+Every quantitative claim the reproduction targets lives here with its
+source location in the paper, so benchmarks, the report and the
+documentation all quote one canonical set (and a test keeps them
+consistent with EXPERIMENTS.md's prose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One published number."""
+
+    key: str
+    value: float
+    unit: str           # "fraction" | "ratio" | "bytes" | "count" | ...
+    source: str         # where in the paper
+    note: str = ""
+
+
+PAPER_CLAIMS = {
+    c.key: c for c in (
+        # abstract / headline
+        PaperClaim("adder_power_saving", 0.70, "fraction", "Abstract",
+                   "ST2 saves 70% of nominal adder power"),
+        PaperClaim("chip_energy_saving", 0.21, "fraction", "Abstract",
+                   "21% chip energy (excl. DRAM)"),
+        PaperClaim("system_energy_saving", 0.19, "fraction", "§VI",
+                   "19% system energy (incl. DRAM)"),
+        # instruction mix
+        PaperClaim("arith_intensive_kernels", 21, "count", "§I Fig 1",
+                   ">20% ALU+FPU instructions, out of 23"),
+        # correlation study
+        PaperClaim("corr_prev_gtid", 0.50, "fraction", "§III Fig 3"),
+        PaperClaim("corr_prev_fullpc_gtid", 0.83, "fraction",
+                   "§III Fig 3"),
+        PaperClaim("corr_prev_fullpc_ltid", 0.89, "fraction",
+                   "§III Fig 3"),
+        # design space
+        PaperClaim("miss_valhalla", 0.26, "fraction", "§IV-B Fig 5",
+                   "reconstructed from '57% lower at 12%'"),
+        PaperClaim("miss_modpc4", 0.12, "fraction", "§IV-B"),
+        PaperClaim("miss_st2", 0.09, "fraction", "§IV-B / §VI Fig 6"),
+        PaperClaim("st2_vs_valhalla_reduction", 0.65, "fraction",
+                   "§IV-B"),
+        PaperClaim("valhalla_peek_reduction", 0.18, "fraction",
+                   "§IV-B", "retrofit VaLHALLA with Peek"),
+        # recompute statistics
+        PaperClaim("recompute_per_miss_avg", 1.94, "ratio", "§VI"),
+        PaperClaim("recompute_per_miss_max", 2.73, "ratio", "§VI"),
+        # energy structure
+        PaperClaim("alu_fpu_system_share", 0.27, "fraction", "§VI"),
+        PaperClaim("alu_fpu_chip_share", 0.30, "fraction", "§VI"),
+        PaperClaim("alu_fpu_share_max", 0.57, "fraction", "§VI",
+                   "qrng_K1"),
+        PaperClaim("ai_kernel_count", 14, "count", "§VI",
+                   ">20% of system energy in ALU+FPU"),
+        PaperClaim("ai_system_saving", 0.26, "fraction", "§VI"),
+        PaperClaim("ai_chip_saving", 0.28, "fraction", "§VI"),
+        PaperClaim("max_system_saving", 0.40, "fraction", "§VI",
+                   "msort_K2"),
+        PaperClaim("max_chip_saving", 0.42, "fraction", "§VI"),
+        # performance
+        PaperClaim("avg_slowdown", 0.0036, "fraction", "§VI"),
+        PaperClaim("worst_slowdown", 0.035, "fraction", "§VI",
+                   "dwt2d_K1"),
+        # circuit study
+        PaperClaim("slice_width", 8, "bits", "§V-B"),
+        PaperClaim("slice_vdd_fraction", 0.60, "fraction", "§V-B"),
+        PaperClaim("potential_saving_lo", 0.75, "fraction", "§V-B"),
+        PaperClaim("potential_saving_hi", 0.87, "fraction", "§V-B"),
+        # power model validation
+        PaperClaim("power_model_mape", 0.105, "fraction", "§V-C"),
+        PaperClaim("power_model_mape_ci", 0.038, "fraction", "§V-C"),
+        PaperClaim("power_model_pearson_r", 0.8, "ratio", "§V-C"),
+        PaperClaim("n_microbenchmarks", 123, "count", "§V-C"),
+        # overheads
+        PaperClaim("crf_bytes_per_sm", 448, "bytes", "§VI"),
+        PaperClaim("crf_kb_chip", 35, "kB", "§VI"),
+        PaperClaim("dff_kb_chip", 15, "kB", "§VI"),
+        PaperClaim("total_storage_kb", 50, "kB", "§VI"),
+        PaperClaim("storage_sram_fraction", 0.0009, "fraction", "§VI"),
+        PaperClaim("shifter_area_fraction", 0.0068, "fraction", "§VI"),
+        PaperClaim("shifter_static_w", 0.6, "watts", "§VI"),
+        PaperClaim("shifter_dynamic_uw", 470, "microwatts", "§VI",
+                   "worst-case every-bit-flips estimate"),
+        PaperClaim("shifter_savings_penalty", 0.005, "fraction", "§VI",
+                   "net system saving drops to 18.5%"),
+        PaperClaim("dff_bits_alu_adder", 14, "bits", "§VI"),
+        PaperClaim("dff_bits_fp32_adder", 4, "bits", "§VI"),
+        PaperClaim("dff_bits_fp64_adder", 12, "bits", "§VI"),
+        # methodology
+        PaperClaim("n_kernels", 23, "count", "§V-A"),
+        PaperClaim("n_workloads", 18, "count", "§V-A"),
+        PaperClaim("prediction_accuracy", 0.91, "fraction", "§VIII",
+                   "91% average accuracy of the final design"),
+    )
+}
+
+
+def claim(key: str) -> PaperClaim:
+    """Look up one paper number by key."""
+    return PAPER_CLAIMS[key]
+
+
+def value(key: str) -> float:
+    return PAPER_CLAIMS[key].value

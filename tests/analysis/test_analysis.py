@@ -1,0 +1,70 @@
+"""Statistics helpers and ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_charts import (grouped_bars, hbar_chart, scatter,
+                                         stacked_pair, table)
+from repro.analysis.stats import (geometric_mean, mean_ci95, nanmean,
+                                  pearson_r)
+
+
+class TestStats:
+    def test_mean_ci95(self):
+        mean, ci = mean_ci95([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert ci == pytest.approx(1.96 * 1.0 / np.sqrt(3))
+
+    def test_mean_ci95_skips_nan(self):
+        mean, __ = mean_ci95([1.0, np.nan, 3.0])
+        assert mean == pytest.approx(2.0)
+
+    def test_mean_ci95_degenerate(self):
+        assert mean_ci95([5.0]) == (5.0, 0.0)
+        assert np.isnan(mean_ci95([])[0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_pearson_r_perfect(self):
+        assert pearson_r([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            pearson_r([1], [2])
+
+    def test_nanmean(self):
+        assert nanmean([1.0, np.nan, 3.0]) == pytest.approx(2.0)
+
+
+class TestCharts:
+    def test_hbar_renders_all_rows(self):
+        out = hbar_chart("T", ["a", "bb"], [0.5, 1.0])
+        assert "a" in out and "bb" in out
+        assert out.count("|") == 4
+        assert "100.0%" in out
+
+    def test_hbar_handles_nan(self):
+        out = hbar_chart("T", ["x"], [float("nan")])
+        assert "n/a" in out
+
+    def test_grouped_bars(self):
+        out = grouped_bars("G", ["k1"], {"s1": [0.5], "s2": [1.0]})
+        assert "s1" in out and "s2" in out
+
+    def test_stacked_pair_legend(self):
+        base = [{"A": 0.6, "B": 0.4}]
+        st2 = [{"A": 0.3, "B": 0.4}]
+        out = stacked_pair("F7", ["k"], base, st2, ["A", "B"])
+        assert "legend" in out
+        assert "base" in out and "ST2" in out
+
+    def test_scatter_contains_points_and_guide(self):
+        out = scatter("V", [1, 2, 3], [1.1, 2.2, 2.9])
+        assert "o" in out and "." in out
+
+    def test_table_alignment(self):
+        out = table("T", ["name", "val"], [("x", 1.5)],
+                    ["{}", "{:.2f}"])
+        assert "1.50" in out
+        assert "name" in out

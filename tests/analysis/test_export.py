@@ -1,0 +1,60 @@
+"""Structured result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (export_breakdown_csv,
+                                   export_energy_stacks_json,
+                                   export_evaluations_csv,
+                                   export_ladder_csv, write_csv)
+from repro.st2.architecture import evaluate_kernel
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return {"pathfinder": evaluate_kernel("pathfinder", scale=0.2)}
+
+
+class TestExports:
+    def test_write_csv(self, tmp_path):
+        p = tmp_path / "t.csv"
+        write_csv(p, ["a", "b"], [(1, 2), (3, 4)])
+        rows = list(csv.reader(p.open()))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_evaluations_csv_roundtrip(self, tmp_path, evaluation):
+        p = tmp_path / "eval.csv"
+        export_evaluations_csv(p, evaluation)
+        rows = list(csv.DictReader(p.open()))
+        assert rows[0]["kernel"] == "pathfinder"
+        e = evaluation["pathfinder"]
+        assert float(rows[0]["system_saving"]) == pytest.approx(
+            e.system_saving, abs=1e-6)
+        assert rows[0]["arithmetic_intensive"] in ("0", "1")
+
+    def test_energy_stacks_json(self, tmp_path, evaluation):
+        p = tmp_path / "stacks.json"
+        export_energy_stacks_json(p, evaluation)
+        data = json.loads(p.read_text())
+        base = data["pathfinder"]["baseline"]
+        assert sum(base.values()) == pytest.approx(1.0, abs=1e-6)
+        assert "ALU+FPU" in base
+        assert sum(data["pathfinder"]["st2"].values()) < 1.0
+
+    def test_ladder_csv(self, tmp_path):
+        p = tmp_path / "ladder.csv"
+        export_ladder_csv(p, {"VaLHALLA": 0.26, "ST2": [0.09, 0.10]})
+        rows = list(csv.reader(p.open()))
+        assert rows[0][0] == "config"
+        assert rows[1] == ["VaLHALLA", "0.260000"]
+        assert rows[2][0] == "ST2" and len(rows[2]) == 3
+
+    def test_breakdown_csv(self, tmp_path, evaluation):
+        p = tmp_path / "bd.csv"
+        export_breakdown_csv(p, evaluation["pathfinder"].energy.baseline)
+        rows = list(csv.DictReader(p.open()))
+        names = {r["component"] for r in rows}
+        assert {"ALU+FPU", "DRAM", "constant", "idle_sm"} <= names
+        assert all(float(r["energy_j"]) >= 0 for r in rows)

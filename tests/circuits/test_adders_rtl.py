@@ -1,0 +1,118 @@
+"""Gate-level adders must agree with integer arithmetic bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders_rtl import (adder_outputs_to_int,
+                                       brent_kung_adder, kogge_stone_adder,
+                                       random_add_stimulus,
+                                       ripple_carry_adder, sliced_adder)
+
+BUILDERS = [ripple_carry_adder, kogge_stone_adder, brent_kung_adder]
+
+
+def _stimulus(rng, width, n, a=None, b=None, cin=None, extra=0):
+    lim = (1 << width) if width < 64 else (1 << 63)
+    a = rng.integers(0, lim, n, dtype=np.uint64) if a is None else a
+    b = rng.integers(0, lim, n, dtype=np.uint64) if b is None else b
+    cin = rng.integers(0, 2, n, dtype=np.uint64) if cin is None else cin
+    stim = np.zeros((n, 2 * width + 1 + extra), dtype=bool)
+    for i in range(width):
+        stim[:, i] = (a >> np.uint64(i)) & np.uint64(1)
+        stim[:, width + i] = (b >> np.uint64(i)) & np.uint64(1)
+    stim[:, 2 * width] = cin.astype(bool)
+    return stim, a, b, cin
+
+
+def _expected(a, b, cin, width):
+    with np.errstate(over="ignore"):
+        total = a + b + cin
+    if width < 64:
+        return total & np.uint64((1 << width) - 1)
+    return total
+
+
+class TestAddersFunctional:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    @pytest.mark.parametrize("width", [4, 8, 13, 32, 64])
+    def test_random_vectors(self, builder, width, rng):
+        net = builder(width)
+        stim, a, b, cin = _stimulus(rng, width, 200)
+        got = adder_outputs_to_int(net.outputs(stim), width)
+        assert np.array_equal(got, _expected(a, b, cin, width))
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_carry_out(self, builder, rng):
+        width = 16
+        net = builder(width)
+        stim, a, b, cin = _stimulus(rng, width, 300)
+        cout = net.outputs(stim)[:, width].astype(np.uint64)
+        expect = (a + b + cin) >> np.uint64(width)
+        assert np.array_equal(cout, expect)
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_exhaustive_4bit(self, builder):
+        net = builder(4)
+        cases = [(a, b, c) for a in range(16) for b in range(16)
+                 for c in range(2)]
+        a = np.array([x[0] for x in cases], dtype=np.uint64)
+        b = np.array([x[1] for x in cases], dtype=np.uint64)
+        c = np.array([x[2] for x in cases], dtype=np.uint64)
+        stim, *_ = _stimulus(None, 4, len(cases), a, b, c)
+        got = adder_outputs_to_int(net.outputs(stim), 4)
+        assert np.array_equal(got, (a + b + c) & np.uint64(15))
+
+
+class TestSlicedAdder:
+    def test_correct_when_predictions_correct(self, rng):
+        """Feeding the TRUE slice carries as predictions must give the
+        exact sum (the single-cycle happy path of the ST2 datapath)."""
+        from repro.core import bitops
+        width = 64
+        net = sliced_adder(width, 8)
+        n = 150
+        stim, a, b, cin = _stimulus(rng, width, n, extra=7)
+        true_carries = bitops.slice_carry_ins(a, b, width, 8, cin)
+        stim[:, 2 * width + 1:] = true_carries[:, 1:].astype(bool)
+        out = net.outputs(stim)
+        got = adder_outputs_to_int(out, width)
+        assert np.array_equal(got, _expected(a, b, cin, width))
+        # all error detectors quiet
+        errors = out[:, width + 8:]
+        assert not errors.any()
+
+    def test_error_signal_fires_on_wrong_prediction(self, rng):
+        from repro.core import bitops
+        width = 16
+        net = sliced_adder(width, 8)   # 2 slices, 1 prediction
+        n = 200
+        stim, a, b, cin = _stimulus(rng, width, n, extra=1)
+        true_carries = bitops.slice_carry_ins(a, b, width, 8, cin)
+        wrong = 1 - true_carries[:, 1]
+        stim[:, 2 * width + 1] = wrong.astype(bool)
+        out = net.outputs(stim)
+        # E[1] = cpred ^ cout[0]; cout[0] is correct (true carry), so the
+        # inverted prediction must always raise the error
+        errors = out[:, width + 2]
+        assert errors.all()
+
+    def test_structure_counts(self):
+        net = sliced_adder(64, 8)
+        # inputs: 64 + 64 + 1 + 7
+        assert len(net.input_nodes) == 136
+        # outputs: 64 sums + 8 couts + 7 errors
+        assert len(net.output_nodes) == 79
+
+
+class TestDelayOrdering:
+    def test_prefix_faster_than_ripple(self):
+        assert kogge_stone_adder(64).critical_path_ps() \
+            < ripple_carry_adder(64).critical_path_ps()
+
+    def test_slice_path_shorter_than_reference(self):
+        assert sliced_adder(64, 8).critical_path_ps() \
+            < brent_kung_adder(64).critical_path_ps()
+
+    def test_ripple_gate_count_linear(self):
+        assert ripple_carry_adder(32).n_gates \
+            == 2 * ripple_carry_adder(16).n_gates

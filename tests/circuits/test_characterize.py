@@ -1,0 +1,83 @@
+"""Characterisation flow: voltage search, bitwidth sweep, energy model."""
+
+import pytest
+
+from repro.circuits.characterize import (AdderEnergyModel, best_slice_width,
+                                         characterize_adders,
+                                         min_slice_voltage,
+                                         nominal_period_ps,
+                                         slice_bitwidth_sweep)
+from repro.circuits.technology import SAED90
+
+
+class TestVoltageSearch:
+    def test_slice_voltage_below_nominal(self):
+        vdd = min_slice_voltage(8)
+        assert SAED90.min_vdd <= vdd < SAED90.vdd_nominal
+
+    def test_wider_slices_need_more_voltage(self):
+        assert min_slice_voltage(32) >= min_slice_voltage(8) \
+            >= min_slice_voltage(4)
+
+    def test_scaled_slice_meets_period(self):
+        from repro.circuits.adders_rtl import sliced_adder
+        vdd = min_slice_voltage(8)
+        period = nominal_period_ps()
+        assert sliced_adder(64, 8).critical_path_ps(SAED90, vdd) \
+            <= period + 1e-6
+
+
+class TestBitwidthSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return slice_bitwidth_sweep(n_vectors=400)
+
+    def test_eight_bit_is_optimal(self, points):
+        """The paper's Section V-B conclusion."""
+        assert best_slice_width(points) == 8
+
+    def test_potential_savings_band(self, points):
+        """8-bit slices give roughly the paper's 75-87 % potential."""
+        p8 = next(p for p in points if p.slice_width == 8)
+        assert 0.65 <= p8.potential_saving <= 0.90
+
+    def test_voltage_fraction_near_60_percent(self, points):
+        p8 = next(p for p in points if p.slice_width == 8)
+        assert 0.5 <= p8.vdd_fraction <= 0.7
+
+    def test_potential_monotone_in_slice_width(self, points):
+        """Smaller slices always have more datapath headroom."""
+        savings = [p.potential_saving for p in points]
+        assert savings == sorted(savings, reverse=True)
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return characterize_adders(n_vectors=500)
+
+    def test_headline_saving_near_70_percent(self, model):
+        """Paper: ST2 saves ~70 % of nominal adder power."""
+        assert 0.6 <= model.saving(0.09, 1.94) <= 0.8
+
+    def test_saving_degrades_with_mispredictions(self, model):
+        assert model.saving(0.0, 0.0) > model.saving(0.5, 4.0)
+
+    def test_net_saving_below_headline(self, model):
+        assert model.saving_with_overheads(0.09, 1.94) \
+            < model.saving(0.09, 1.94)
+
+    def test_st2_cheaper_than_csla(self, model):
+        """ST2 computes suspect slices only; CSLA computes both cases
+        for every slice every time."""
+        assert model.st2_energy_fj(0.09, 1.94) < model.csla_energy_fj()
+
+    def test_csla_cheaper_than_reference(self, model):
+        assert model.csla_energy_fj() < model.reference_fj
+
+    def test_energy_components_positive(self, model):
+        assert model.st2_cycle_fj > 0
+        assert model.crf_fj > 0
+        assert model.dff_fj > 0
+        assert model.slice_recompute_fj == pytest.approx(
+            model.st2_cycle_fj / model.n_slices)

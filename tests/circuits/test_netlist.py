@@ -1,0 +1,132 @@
+"""Netlist construction, simulation and characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.technology import SAED90, Technology
+
+
+def _xor2():
+    net = Netlist("xor2")
+    a = net.input()
+    b = net.input()
+    net.mark_output(net.gate("XOR", a, b))
+    return net
+
+
+class TestConstruction:
+    def test_gate_returns_fresh_node(self):
+        net = Netlist()
+        a = net.input()
+        g1 = net.gate("NOT", a)
+        g2 = net.gate("NOT", g1)
+        assert len({a, g1, g2}) == 3
+        assert net.n_gates == 2
+
+    def test_unknown_gate_kind(self):
+        net = Netlist()
+        a = net.input()
+        with pytest.raises(ValueError):
+            net.gate("MAJ3", a, a, a)
+
+    def test_multi_input_allocation(self):
+        net = Netlist()
+        ids = net.input(4)
+        assert ids == [0, 1, 2, 3]
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("kind,table", [
+        ("AND", [0, 0, 0, 1]),
+        ("OR", [0, 1, 1, 1]),
+        ("XOR", [0, 1, 1, 0]),
+        ("NAND", [1, 1, 1, 0]),
+        ("NOR", [1, 0, 0, 0]),
+        ("XNOR", [1, 0, 0, 1]),
+    ])
+    def test_truth_tables(self, kind, table):
+        net = Netlist()
+        a = net.input()
+        b = net.input()
+        net.mark_output(net.gate(kind, a, b))
+        stim = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=bool)
+        out = net.outputs(stim)[:, 0].astype(int)
+        assert list(out) == table
+
+    def test_not_and_buf(self):
+        net = Netlist()
+        a = net.input()
+        net.mark_output(net.gate("NOT", a), net.gate("BUF", a))
+        out = net.outputs(np.array([[0], [1]], dtype=bool)).astype(int)
+        assert out.tolist() == [[1, 0], [0, 1]]
+
+    def test_stimulus_width_checked(self):
+        net = _xor2()
+        with pytest.raises(ValueError):
+            net.evaluate(np.zeros((4, 3), dtype=bool))
+
+
+class TestCharacterisation:
+    def test_critical_path_grows_with_depth(self):
+        shallow = _xor2()
+        deep = Netlist()
+        a = deep.input()
+        b = deep.input()
+        x = deep.gate("XOR", a, b)
+        for _ in range(10):
+            x = deep.gate("XOR", x, b)
+        deep.mark_output(x)
+        assert deep.critical_path_ps() > shallow.critical_path_ps()
+
+    def test_delay_rises_as_voltage_drops(self):
+        net = _xor2()
+        assert net.critical_path_ps(vdd=0.8) > net.critical_path_ps(vdd=1.2)
+
+    def test_logic_depth(self):
+        net = Netlist()
+        a = net.input()
+        x = net.gate("NOT", a)
+        y = net.gate("NOT", x)
+        net.mark_output(y)
+        assert net.logic_depth() == 2
+
+    def test_toggle_counts(self):
+        net = _xor2()
+        stim = np.array([[0, 0], [1, 0], [1, 0], [0, 0]], dtype=bool)
+        toggles = net.toggle_counts(stim)
+        assert toggles[0] == 2      # output flips at steps 0->1 and 2->3
+
+    def test_energy_scales_quadratically_with_vdd(self):
+        net = _xor2()
+        stim = np.array([[0, 0], [1, 0]] * 10, dtype=bool)
+        e_nom = net.switching_energy_fj(stim, vdd=1.2)
+        e_low = net.switching_energy_fj(stim, vdd=0.6)
+        assert e_low == pytest.approx(e_nom * 0.25, rel=1e-6)
+
+    def test_glitch_factor_monotone_in_depth(self):
+        shallow = _xor2()
+        deep = Netlist()
+        a = deep.input()
+        x = deep.gate("NOT", a)
+        for _ in range(20):
+            x = deep.gate("NOT", x)
+        deep.mark_output(x)
+        assert deep.glitch_factor() > shallow.glitch_factor()
+
+
+class TestTechnology:
+    def test_delay_diverges_near_threshold(self):
+        t = SAED90
+        assert t.gate_delay_ps(2, 0.4) > 5 * t.gate_delay_ps(2, 1.2)
+
+    def test_below_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SAED90.gate_delay_ps(2, 0.3)
+
+    def test_energy_scale(self):
+        assert SAED90.energy_scale(0.6) == pytest.approx(0.25)
+
+    def test_leakage_linear_in_gates(self):
+        assert SAED90.leakage_nw(200) == pytest.approx(
+            2 * SAED90.leakage_nw(100))

@@ -1,0 +1,64 @@
+"""Shared fixtures and trace-building helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import AddTrace, opcode_id
+from repro.isa.opcodes import Opcode
+
+
+def make_trace(pc, gtid, ltid, op_a, op_b, cin=None, width=64,
+               sm=None, warp=None, value=None) -> AddTrace:
+    """Build an AddTrace directly from arrays (synthetic test traces)."""
+    n = len(np.atleast_1d(pc))
+
+    def col(x, dtype, default=0):
+        if x is None:
+            x = default
+        arr = np.asarray(x)
+        if arr.ndim == 0:
+            arr = np.full(n, arr)
+        return arr.astype(dtype)
+
+    ltid = col(ltid, np.int8)
+    return AddTrace(
+        pc=col(pc, np.int32),
+        gtid=col(gtid, np.int64),
+        ltid=ltid,
+        warp=col(warp if warp is not None else np.asarray(gtid) // 32,
+                 np.int32),
+        sm=col(sm, np.int16),
+        block=col(0, np.int32),
+        seq=np.arange(n, dtype=np.int64),
+        op_a=col(op_a, np.uint64),
+        op_b=col(op_b, np.uint64),
+        cin=col(cin, np.uint8),
+        width=col(width, np.uint8),
+        opcode=col(opcode_id(Opcode.IADD), np.int16),
+        value=col(0.0, np.float64),
+        pc_labels=[],
+    )
+
+
+def random_trace(rng, n=256, n_pcs=6, n_threads=64, widths=(32, 64, 23, 52)):
+    """A random mixed-width trace for oracle cross-checks."""
+    pc = rng.integers(0, n_pcs, n)
+    gtid = rng.integers(0, n_threads, n)
+    ltid = gtid % 32
+    width = rng.choice(widths, n)
+    op_a = rng.integers(0, 2 ** 63, n, dtype=np.int64)
+    op_b = rng.integers(0, 2 ** 63, n, dtype=np.int64)
+    # clamp to each row's width
+    mask = (np.uint64(1) << width.astype(np.uint64)) - np.uint64(1)
+    cin = rng.integers(0, 2, n)
+    return make_trace(pc, gtid, ltid,
+                      op_a.astype(np.uint64) & mask,
+                      op_b.astype(np.uint64) & mask,
+                      cin=cin, width=width, sm=gtid % 4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,161 @@
+"""Correctness and latency semantics of the sliced adder models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitops
+from repro.core.adder import (CarrySelectAdder, ReferenceAdder, ST2Adder,
+                              verify_outcome)
+from repro.core.slices import (FP32_MANTISSA, FP64_MANTISSA, INT32, INT64,
+                               AdderGeometry)
+
+GEOMETRIES = [INT64, INT32, FP32_MANTISSA, FP64_MANTISSA]
+
+
+def _rand_ops(rng, geo, n=64):
+    m = bitops.mask(geo.width)
+    a = rng.integers(0, m + 1, n, dtype=np.uint64) & np.uint64(m)
+    b = rng.integers(0, m + 1, n, dtype=np.uint64) & np.uint64(m)
+    return a, b
+
+
+class TestReferenceAdder:
+    @pytest.mark.parametrize("geo", GEOMETRIES)
+    def test_always_one_cycle(self, geo, rng):
+        a, b = _rand_ops(rng, geo)
+        out = ReferenceAdder(geo).add(a, b)
+        assert (out.cycles == 1).all()
+        assert not out.mispredicted.any()
+        assert verify_outcome(out, a, b, geo.width)
+
+    def test_sub(self, rng):
+        adder = ReferenceAdder(INT32)
+        out = adder.sub(np.array([100]), np.array([42]))
+        assert int(out.result[0]) == 58
+
+
+class TestCSLA:
+    def test_slice_computations(self):
+        assert CarrySelectAdder(INT64).slice_computations_per_add() == 15
+        assert CarrySelectAdder(FP32_MANTISSA).slice_computations_per_add() == 5
+
+
+class TestST2Correctness:
+    """ST2 must produce the correct sum under ANY prediction vector."""
+
+    @pytest.mark.parametrize("geo", GEOMETRIES)
+    def test_correct_under_random_predictions(self, geo, rng):
+        a, b = _rand_ops(rng, geo, 256)
+        preds = rng.integers(0, 2, (256, geo.n_predictions)).astype(np.uint8)
+        out = ST2Adder(geo).add(a, b, preds)
+        assert verify_outcome(out, a, b, geo.width)
+
+    @given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1),
+           p=st.integers(0, 1))
+    @settings(max_examples=200)
+    def test_exhaustive_small(self, a, b, p):
+        geo = AdderGeometry(16)
+        out = ST2Adder(geo).add(np.array([a], dtype=np.uint64),
+                                np.array([b], dtype=np.uint64),
+                                np.array([[p]], dtype=np.uint8))
+        assert int(out.result[0]) == (a + b) % (1 << 16)
+
+    def test_sub_matches_arithmetic(self, rng):
+        geo = INT32
+        a = rng.integers(0, 2**31, 64)
+        b = rng.integers(0, 2**31, 64)
+        preds = rng.integers(0, 2, (64, 3)).astype(np.uint8)
+        out = ST2Adder(geo).sub(a, b, preds)
+        expect = bitops.to_unsigned(a - b, 32)
+        assert np.array_equal(out.result, expect)
+
+
+class TestST2Latency:
+    def test_perfect_prediction_single_cycle(self, rng):
+        geo = INT64
+        a, b = _rand_ops(rng, geo, 128)
+        adder = ST2Adder(geo)
+        truth = adder.add(a, b, np.zeros((128, 7), np.uint8)).slice_carries
+        out = adder.add(a, b, truth[:, 1:])
+        assert not out.mispredicted.any()
+        assert (out.cycles == 1).all()
+        assert (out.recomputed_slices == 0).all()
+
+    def test_single_low_error_recomputes_all_above(self):
+        """A mispredicted slice marks every higher slice suspect."""
+        geo = INT64
+        # operands with NO carries anywhere; mispredict slice 1's carry-in
+        a = np.array([0], dtype=np.uint64)
+        b = np.array([0], dtype=np.uint64)
+        preds = np.zeros((1, 7), dtype=np.uint8)
+        preds[0, 0] = 1  # wrong: carry into slice 1 predicted 1, actual 0
+        out = ST2Adder(geo).add(a, b, preds)
+        assert out.mispredicted[0]
+        assert int(out.cycles[0]) == 2
+        # slices 1..7 all suspect
+        assert int(out.recomputed_slices[0]) == 7
+
+    def test_high_slice_error_recomputes_few(self):
+        geo = INT64
+        a = np.array([0], dtype=np.uint64)
+        b = np.array([0], dtype=np.uint64)
+        preds = np.zeros((1, 7), dtype=np.uint8)
+        preds[0, 6] = 1  # only the top slice's carry-in is wrong
+        out = ST2Adder(geo).add(a, b, preds)
+        assert int(out.recomputed_slices[0]) == 1
+
+    def test_cascaded_error_detection(self):
+        """A wrong prediction that flips a propagating slice's carry-out
+        must flag downstream slices even if their predictions match the
+        true carries."""
+        geo = AdderGeometry(24)
+        # slice 0: generates carry (0xFF + 0x01); slice 1 propagates
+        # (0xFF + 0x00); slice 2 idle.
+        a = np.array([0x00FFFF], dtype=np.uint64)
+        b = np.array([0x000001], dtype=np.uint64)
+        true = bitops.slice_carry_ins(a, b, 24, 8, 0)[0]
+        assert list(true) == [0, 1, 1]
+        # predict slice1 carry-in wrong (0): slice 1 then produces wrong
+        # carry-out 0; slice 2's prediction (1, correct) now MISMATCHES
+        # the observed cout -> E[2] fires too.
+        preds = np.array([[0, 1]], dtype=np.uint8)
+        out = ST2Adder(geo).add(a, b, preds)
+        assert list(out.errors[0]) == [0, 1, 1]
+        assert int(out.recomputed_slices[0]) == 2
+        assert int(out.result[0]) == 0x010000
+
+    def test_wrong_prediction_masked_by_propagation(self):
+        """E[i] compares against the *observed* cycle-1 carry-out, so a
+        wrong carry-in to a generating slice is harmless downstream."""
+        geo = AdderGeometry(24)
+        # slice 1 generates regardless of carry-in: 0xFF00 + 0xFF00
+        a = np.array([0x00FF00], dtype=np.uint64)
+        b = np.array([0x00FF00], dtype=np.uint64)
+        true = bitops.slice_carry_ins(a, b, 24, 8, 0)[0]
+        assert list(true) == [0, 0, 1]
+        preds = np.array([[1, 1]], dtype=np.uint8)  # slice1 cin wrong
+        out = ST2Adder(geo).add(a, b, preds)
+        # E[1] fires (pred 1 vs slice0 cout 0); E[2] does not (slice1
+        # generates 1 either way and pred was 1)
+        assert list(out.errors[0]) == [0, 1, 0]
+        # but suspect chain still covers slice 2
+        assert int(out.recomputed_slices[0]) == 2
+
+    def test_prediction_shape_validated(self):
+        with pytest.raises(ValueError):
+            ST2Adder(INT64).add(np.array([1]), np.array([2]),
+                                np.zeros((1, 3), np.uint8))
+
+
+class TestST2VectorCin:
+    def test_per_lane_cin(self, rng):
+        geo = INT32
+        a = rng.integers(0, 2**31, 16)
+        b = rng.integers(0, 2**31, 16)
+        cin = rng.integers(0, 2, 16).astype(np.uint8)
+        preds = rng.integers(0, 2, (16, 3)).astype(np.uint8)
+        out = ST2Adder(geo).add(a, b, preds, cin=cin)
+        expect = bitops.add_wrapped(a, b, 32, cin)
+        assert np.array_equal(out.result, expect)

@@ -1,0 +1,124 @@
+"""Related-work adder baselines: ACA (approximate) and VLSA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitops
+from repro.core.approximate import (AccuracyConfigurableAdder,
+                                    ApproximateOutcome, VLSAAdder,
+                                    compare_on_stream)
+from repro.core.slices import AdderGeometry
+
+
+class TestACA:
+    def test_short_carries_exact(self, rng):
+        """Operands whose chains fit the window add exactly."""
+        adder = AccuracyConfigurableAdder(AdderGeometry(64), window=8)
+        a = rng.integers(0, 100, 200)
+        b = rng.integers(0, 100, 200)
+        out = adder.add(a, b)
+        assert out.error_rate == 0.0
+        assert np.array_equal(out.result, out.exact)
+
+    def test_long_chain_is_silently_wrong(self):
+        """The defining approximate-adder failure: a full-width
+        propagate chain truncated at the window."""
+        adder = AccuracyConfigurableAdder(AdderGeometry(32), window=8)
+        a = np.array([0x0000FFFF], dtype=np.uint64)
+        b = np.array([0x00000001], dtype=np.uint64)
+        out = adder.add(a, b)
+        assert out.erroneous[0]
+        assert int(out.result[0]) != 0x00010000
+
+    def test_wider_window_fewer_errors(self, rng):
+        a = rng.integers(0, 1 << 62, 2000).astype(np.uint64)
+        b = rng.integers(0, 1 << 62, 2000).astype(np.uint64)
+        geo = AdderGeometry(64)
+        e4 = AccuracyConfigurableAdder(geo, 4).add(a, b).error_rate
+        e8 = AccuracyConfigurableAdder(geo, 8).add(a, b).error_rate
+        e16 = AccuracyConfigurableAdder(geo, 16).add(a, b).error_rate
+        assert e4 >= e8 >= e16
+
+    def test_full_window_is_exact(self, rng):
+        adder = AccuracyConfigurableAdder(AdderGeometry(16), window=16)
+        a = rng.integers(0, 1 << 16, 500)
+        b = rng.integers(0, 1 << 16, 500)
+        assert adder.add(a, b).error_rate == 0.0
+
+    def test_error_magnitude_normalised(self, rng):
+        adder = AccuracyConfigurableAdder(AdderGeometry(32), window=4)
+        a = rng.integers(0, 1 << 31, 500)
+        b = rng.integers(0, 1 << 31, 500)
+        out = adder.add(a, b)
+        assert (out.error_magnitude >= 0).all()
+        assert (out.error_magnitude < 1).all()
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AccuracyConfigurableAdder(AdderGeometry(32), window=0)
+
+    @given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1))
+    @settings(max_examples=100)
+    def test_errors_detected_against_truth(self, a, b):
+        """erroneous is exactly (result != exact)."""
+        adder = AccuracyConfigurableAdder(AdderGeometry(16), window=4)
+        out = adder.add(np.array([a], np.uint64), np.array([b], np.uint64))
+        assert bool(out.erroneous[0]) == \
+            (int(out.result[0]) != (a + b) % (1 << 16))
+
+
+class TestVLSA:
+    def test_always_correct(self, rng):
+        """Unlike ACA, VLSA never produces a wrong result."""
+        adder = VLSAAdder(AdderGeometry(64), window=8)
+        a = rng.integers(0, 1 << 62, 1000).astype(np.uint64)
+        b = rng.integers(0, 1 << 62, 1000).astype(np.uint64)
+        result, miss, cycles = adder.add(a, b)
+        assert np.array_equal(result, bitops.add_wrapped(a, b, 64))
+        assert set(np.unique(cycles)).issubset({1, 2})
+
+    def test_misprediction_iff_long_chain(self):
+        adder = VLSAAdder(AdderGeometry(32), window=8)
+        # short chain: no violation
+        __, miss, cycles = adder.add(np.array([3]), np.array([5]))
+        assert not miss[0] and cycles[0] == 1
+        # 16-bit propagate chain >> window: violation
+        __, miss, cycles = adder.add(np.array([0x0000FFFF]),
+                                     np.array([0x00000001]))
+        assert miss[0] and cycles[0] == 2
+
+    def test_wider_window_fewer_mispredictions(self, rng):
+        a = rng.integers(0, 1 << 62, 2000).astype(np.uint64)
+        b = rng.integers(0, 1 << 62, 2000).astype(np.uint64)
+        geo = AdderGeometry(64)
+        m4 = VLSAAdder(geo, 4).add(a, b)[1].mean()
+        m16 = VLSAAdder(geo, 16).add(a, b)[1].mean()
+        assert m4 > m16
+
+
+class TestComparison:
+    def test_aca_and_vlsa_fail_on_the_same_streams(self, rng):
+        """Both families are defeated by long carry chains; VLSA pays
+        latency where ACA pays correctness."""
+        a = rng.integers(0, 1 << 62, 3000).astype(np.uint64)
+        b = rng.integers(0, 1 << 62, 3000).astype(np.uint64)
+        stats = compare_on_stream(a, b, 64, 8)
+        assert stats["aca_error_rate"] > 0
+        assert stats["vlsa_misprediction_rate"] > 0
+        assert stats["aca_error_rate"] == pytest.approx(
+            stats["vlsa_misprediction_rate"], abs=0.05)
+
+    def test_st2_correct_where_aca_wrong(self, rng):
+        """The paper's headline contrast: on operands where the
+        approximate adder is wrong, ST2 is merely slower."""
+        from repro.core.adder import ST2Adder
+        geo = AdderGeometry(32)
+        a = np.array([0x0000FFFF], dtype=np.uint64)
+        b = np.array([0x00000001], dtype=np.uint64)
+        aca = AccuracyConfigurableAdder(geo, 8).add(a, b)
+        assert aca.erroneous[0]
+        st2 = ST2Adder(geo).add(a, b, np.zeros((1, 3), np.uint8))
+        assert int(st2.result[0]) == 0x00010000   # correct
+        assert st2.mispredicted[0]                # just 2 cycles

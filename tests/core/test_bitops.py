@@ -1,0 +1,166 @@
+"""Bit-identity tests for the carry-chain substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitops
+
+
+class TestMask:
+    def test_small_masks(self):
+        assert bitops.mask(1) == 1
+        assert bitops.mask(8) == 0xFF
+        assert bitops.mask(64) == (1 << 64) - 1
+
+    @pytest.mark.parametrize("width", [0, -1, 65])
+    def test_invalid_width_rejected(self, width):
+        with pytest.raises(ValueError):
+            bitops.mask(width)
+
+
+class TestToUnsigned:
+    def test_negative_wraps_twos_complement(self):
+        assert bitops.to_unsigned(-1, 8) == 0xFF
+        assert bitops.to_unsigned(-1, 64) == (1 << 64) - 1
+        assert bitops.to_unsigned(-128, 8) == 0x80
+
+    def test_positive_masked(self):
+        assert bitops.to_unsigned(0x1FF, 8) == 0xFF
+
+    def test_array_input(self):
+        out = bitops.to_unsigned(np.array([-1, 0, 5]), 16)
+        assert out.dtype == np.uint64
+        assert list(out) == [0xFFFF, 0, 5]
+
+    def test_python_int_list(self):
+        out = bitops.to_unsigned([2 ** 70 + 3, -2], 8)
+        assert list(out) == [3, 0xFE]
+
+
+class TestAddWrapped:
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(-2**31, 2**31 - 1),
+           st.integers(0, 1))
+    def test_matches_python_mod_arith(self, a, b, cin):
+        got = int(bitops.add_wrapped(a, b, 32, cin))
+        assert got == (a + b + cin) % (1 << 32)
+
+    def test_vector_cin(self):
+        a = np.array([1, 1], dtype=np.int64)
+        b = np.array([2, 2], dtype=np.int64)
+        out = bitops.add_wrapped(a, b, 8, np.array([0, 1], dtype=np.uint8))
+        assert list(out) == [3, 4]
+
+
+class TestCarryIdentities:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1),
+           st.integers(0, 1))
+    @settings(max_examples=200)
+    def test_carry_into_bits_matches_longhand(self, a, b, cin):
+        """Bit-serial reference: simulate a 64-bit ripple adder."""
+        got = int(bitops.carry_into_bits(a, b, 64, cin))
+        carry, word = cin, 0
+        for i in range(64):
+            word |= carry << i
+            ai, bi = (a >> i) & 1, (b >> i) & 1
+            carry = (ai & bi) | (ai & carry) | (bi & carry)
+        assert got == word
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+           st.integers(0, 1))
+    @settings(max_examples=200)
+    def test_carry_out_is_overflow_bit(self, a, b, cin):
+        assert int(bitops.carry_out(a, b, 32, cin)) == \
+            (a + b + cin) >> 32
+
+    def test_sub_via_invert_carry(self):
+        """a - b == a + ~b + 1 for the recorded SUB operands."""
+        a, b = 1000, 42
+        res = bitops.add_wrapped(a, bitops.invert(b, 32), 32, 1)
+        assert int(res) == a - b
+
+
+class TestSliceBounds:
+    def test_exact_multiple(self):
+        assert bitops.slice_bounds(64, 8) == [
+            (0, 8), (8, 16), (16, 24), (24, 32),
+            (32, 40), (40, 48), (48, 56), (56, 64)]
+
+    def test_remainder_slice(self):
+        assert bitops.slice_bounds(23, 8) == [(0, 8), (8, 16), (16, 23)]
+        assert bitops.slice_bounds(52, 8) == [
+            (0, 8), (8, 16), (16, 24), (24, 32), (32, 40), (40, 48),
+            (48, 52)]
+
+    def test_n_slices(self):
+        assert bitops.n_slices(64) == 8
+        assert bitops.n_slices(32) == 4
+        assert bitops.n_slices(23) == 3
+        assert bitops.n_slices(52) == 7
+
+
+class TestSliceCarryIns:
+    def test_column_zero_is_cin(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2**63, 100)
+        b = rng.integers(0, 2**63, 100)
+        cin = rng.integers(0, 2, 100).astype(np.uint8)
+        sl = bitops.slice_carry_ins(a, b, 64, 8, cin)
+        assert np.array_equal(sl[:, 0], cin)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=100)
+    def test_slices_consistent_with_carry_word(self, a, b):
+        word = int(bitops.carry_into_bits(a, b, 64, 0))
+        sl = bitops.slice_carry_ins(a, b, 64, 8, 0)
+        for k in range(8):
+            assert int(sl[0, k] if sl.ndim == 2 else sl[k]) == \
+                (word >> (8 * k)) & 1
+
+    def test_known_example(self):
+        # 0x00FF + 0x0001 -> carry into slice 1
+        sl = bitops.slice_carry_ins(0x00FF, 0x0001, 16, 8, 0)
+        assert list(np.ravel(sl)) == [0, 1]
+
+
+class TestSliceOperandBits:
+    def test_msb_extraction(self):
+        # slice MSbs of 0x80_80: bit7=1, bit15=1
+        out = np.ravel(bitops.slice_operand_bits(0x8080, 16, 8))
+        assert list(out) == [1, 1]
+        out = np.ravel(bitops.slice_operand_bits(0x0080, 16, 8))
+        assert list(out) == [1, 0]
+
+    def test_partial_last_slice_uses_its_own_msb(self):
+        # width 23: last slice covers bits 16..22, MSB is bit 22
+        out = np.ravel(bitops.slice_operand_bits(1 << 22, 23, 8))
+        assert list(out) == [0, 0, 1]
+
+
+class TestCarryChainLength:
+    def test_no_carries(self):
+        assert int(bitops.carry_chain_length(1, 2, 64)) == 0
+
+    def test_full_propagation(self):
+        # -1 + 1 carries through every bit
+        a = bitops.to_unsigned(-1, 64)
+        assert int(bitops.carry_chain_length(a, 1, 64)) == 64
+
+    def test_short_chain(self):
+        # 1 + 1 = carry into bit 1 only
+        assert int(bitops.carry_chain_length(1, 1, 64)) == 2
+
+
+class TestPopcount:
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=50)
+    def test_matches_bin_count(self, v):
+        assert int(bitops.popcount(v)) == bin(v).count("1")
+
+
+class TestInvert:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_involution(self, v):
+        assert int(bitops.invert(bitops.invert(v, 32), 32)) == v

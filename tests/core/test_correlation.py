@@ -1,0 +1,71 @@
+"""Section III value-correlation study (Figures 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (intra_pc_value_spread,
+                                    inter_pc_value_spread,
+                                    slice_carry_correlation,
+                                    value_evolution)
+from repro.kernels import pathfinder
+
+
+@pytest.fixture(scope="module")
+def pf_trace():
+    return pathfinder.prepare(scale=0.3, seed=0).run().trace
+
+
+class TestValueEvolution:
+    def test_returns_busiest_pcs(self, pf_trace):
+        series = value_evolution(pf_trace, max_pcs=7)
+        assert len(series) == 7
+        counts = [len(s.values) for s in series]
+        assert counts == sorted(counts, reverse=True) or \
+            max(counts) >= min(counts)
+
+    def test_series_carry_labels_and_chains(self, pf_trace):
+        series = value_evolution(pf_trace, max_pcs=3)
+        for s in series:
+            assert s.label
+            assert len(s.chain_lengths) == len(s.values)
+            assert (s.chain_lengths >= 0).all()
+
+    def test_magnitude_band(self, pf_trace):
+        s = value_evolution(pf_trace, max_pcs=1)[0]
+        lo, hi = s.magnitude_band
+        assert lo <= hi
+
+    def test_point_cap(self, pf_trace):
+        series = value_evolution(pf_trace, max_pcs=2,
+                                 max_points_per_pc=50)
+        assert all(len(s.values) <= 50 for s in series)
+
+
+class TestSpreadStatistics:
+    def test_intra_pc_spread_below_inter(self, pf_trace):
+        """The paper's core Section III claim: values at one PC are of
+        similar magnitude; across PCs they vary wildly."""
+        assert intra_pc_value_spread(pf_trace) \
+            < inter_pc_value_spread(pf_trace)
+
+    def test_empty_trace(self):
+        from tests.conftest import make_trace
+        t = make_trace([], [], [], [], [])
+        assert intra_pc_value_spread(t) == 0.0
+        assert inter_pc_value_spread(t) == 0.0
+
+
+class TestFig3Correlation:
+    def test_spatio_temporal_beats_temporal(self, pf_trace):
+        """Fig 3: Prev+FullPC+Gtid >> Prev+Gtid on loop kernels."""
+        summary = slice_carry_correlation(pf_trace, "pathfinder")
+        assert summary.rate("Prev+FullPC+Gtid") \
+            > summary.rate("Prev+Gtid")
+
+    def test_rates_are_probabilities(self, pf_trace):
+        summary = slice_carry_correlation(pf_trace)
+        for rate in summary.match_rates.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_kernel_name_carried(self, pf_trace):
+        assert slice_carry_correlation(pf_trace, "pf").kernel == "pf"

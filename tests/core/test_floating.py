@@ -1,0 +1,104 @@
+"""FP mantissa-adder operand extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitops, floating
+
+finite_f32 = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestFp32Operands:
+    def test_shapes_and_ranges(self):
+        op1, op2, cin = floating.fp32_add_operands(
+            np.float32([1.5, 2.0]), np.float32([0.5, -1.0]))
+        assert op1.shape == (2,)
+        assert (op1 < (1 << 23)).all()
+        assert (op2 < (1 << 23)).all()
+        assert set(np.unique(cin)).issubset({0, 1})
+
+    def test_same_sign_is_effective_add(self):
+        __, __, cin = floating.fp32_add_operands(
+            np.float32([3.0]), np.float32([1.5]))
+        assert cin[0] == 0
+
+    def test_opposite_sign_is_effective_subtract(self):
+        __, __, cin = floating.fp32_add_operands(
+            np.float32([3.0]), np.float32([-1.5]))
+        assert cin[0] == 1
+
+    def test_larger_magnitude_is_op1(self):
+        # 1.0 has significand 0x800000 (fraction 0); 1.75 -> 0x600000
+        op1, __, __ = floating.fp32_add_operands(
+            np.float32([1.0]), np.float32([1.75]))
+        assert op1[0] == 0x600000  # fraction bits of 1.75
+
+    def test_alignment_shifts_small_operand(self):
+        # 2^10 vs 1.0: exponent diff 10, significand of 1.0 shifted
+        op1, op2, __ = floating.fp32_add_operands(
+            np.float32([1024.0]), np.float32([1.0]))
+        assert op2[0] == (1 << 23) >> 10 & ((1 << 23) - 1)
+
+    def test_zero_operand_contributes_nothing(self):
+        __, op2, cin = floating.fp32_add_operands(
+            np.float32([5.0]), np.float32([0.0]))
+        assert op2[0] == 0
+        assert cin[0] == 0
+
+    @given(x=finite_f32, y=finite_f32)
+    @settings(max_examples=200)
+    def test_never_crashes_and_stays_in_domain(self, x, y):
+        op1, op2, cin = floating.fp32_add_operands(
+            np.float32([x]), np.float32([y]))
+        assert op1[0] < (1 << 23)
+        assert op2[0] < (1 << 23)
+
+
+class TestFp64Operands:
+    def test_domain_width(self):
+        op1, op2, __ = floating.fp64_add_operands(
+            np.float64([1.5]), np.float64([2.5]))
+        assert op1[0] < (1 << 52)
+        assert op2[0] < (1 << 52)
+
+    def test_subtract_inverts_aligned_operand(self):
+        op1a, op2a, cina = floating.fp64_add_operands(
+            np.float64([4.0]), np.float64([1.0]))
+        op1s, op2s, cins = floating.fp64_add_operands(
+            np.float64([4.0]), np.float64([-1.0]))
+        assert op1a[0] == op1s[0]
+        mask52 = (1 << 52) - 1
+        assert op2s[0] == (~int(op2a[0])) & mask52
+        assert (cina[0], cins[0]) == (0, 1)
+
+
+class TestFmaOperands:
+    def test_fma_aligns_product_against_addend(self):
+        op1, op2, cin = floating.fp32_fma_operands(
+            np.float32([2.0]), np.float32([3.0]), np.float32([1.0]))
+        # product 6.0 dominates; addend 1.0 aligned by exp diff 2
+        p1, p2, c = floating.fp32_add_operands(
+            np.float32([6.0]), np.float32([1.0]))
+        assert op1[0] == p1[0] and op2[0] == p2[0] and cin[0] == c[0]
+
+    def test_accumulation_chain_shrinks_aligned_operand(self):
+        """As an accumulator grows, the addend's aligned significand
+        shrinks — the effect that makes FFMA chains predictable."""
+        acc = np.float32([2.0, 32.0, 512.0])
+        term = np.float32([1.5, 1.5, 1.5])
+        __, op2, __ = floating.fp32_add_operands(acc, term)
+        assert op2[0] > op2[1] > op2[2]
+
+
+class TestCarryConsistency:
+    def test_mantissa_carries_match_significand_math(self):
+        """Adding the extracted operands in the 23-bit domain must
+        reproduce the low bits of the true significand sum."""
+        x = np.float32([1.25])
+        y = np.float32([1.75])
+        op1, op2, cin = floating.fp32_add_operands(x, y)
+        total = bitops.add_wrapped(op1, op2, 23, cin)
+        sig_x, sig_y = 0x200000, 0x600000   # fraction fields
+        assert int(total[0]) == (sig_x + sig_y) & ((1 << 23) - 1)

@@ -1,0 +1,47 @@
+"""Adder geometry."""
+
+import pytest
+
+from repro.core.slices import (CRF_BITS_PER_THREAD, FP32_MANTISSA,
+                               FP64_MANTISSA, INT32, INT64, AdderGeometry,
+                               geometry_for)
+
+
+class TestGeometries:
+    def test_paper_slice_counts(self):
+        """Section IV-C: 3 slices for FP32 mantissa, 7 for FP64."""
+        assert INT64.n_slices == 8
+        assert INT32.n_slices == 4
+        assert FP32_MANTISSA.n_slices == 3
+        assert FP64_MANTISSA.n_slices == 7
+
+    def test_prediction_counts(self):
+        assert INT64.n_predictions == 7       # Cpred[6:0]
+        assert FP32_MANTISSA.n_predictions == 2
+
+    def test_state_bits_match_paper(self):
+        """Section VI: 14 bits per ALU adder, 4 per FP32, 12 per FP64."""
+        assert INT64.state_bits() == 14
+        assert FP32_MANTISSA.state_bits() == 4
+        assert FP64_MANTISSA.state_bits() == 12
+
+    def test_crf_entry_width(self):
+        assert CRF_BITS_PER_THREAD == 7       # 32 threads -> 224 bits
+
+    def test_partial_last_slice(self):
+        assert FP32_MANTISSA.slice_widths == [8, 8, 7]
+        assert FP64_MANTISSA.slice_widths[-1] == 4
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            AdderGeometry(0)
+        with pytest.raises(ValueError):
+            AdderGeometry(65)
+        with pytest.raises(ValueError):
+            AdderGeometry(32, slice_width=0)
+
+    def test_geometry_for_returns_canonical(self):
+        assert geometry_for(64) is INT64
+        assert geometry_for(23) is FP32_MANTISSA
+        custom = geometry_for(17)
+        assert custom.n_slices == 3

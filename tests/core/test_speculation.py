@@ -1,0 +1,89 @@
+"""The named design-space ladder (Figure 5 configurations)."""
+
+import pytest
+
+from repro.core.speculation import (CASA, DESIGN_LADDER, FIG3_CONFIGS,
+                                    LTID_PREV_MODPC4_PEEK, PREV_PEEK,
+                                    ST2_DESIGN, STATIC_ONE, STATIC_ZERO,
+                                    VALHALLA, VALHALLA_PEEK,
+                                    config_by_name, explore, prev_modpc)
+from repro.kernels import pathfinder
+
+
+class TestLadderDefinition:
+    def test_ladder_has_twelve_points(self):
+        assert len(DESIGN_LADDER) == 12
+
+    def test_ladder_order_matches_figure5(self):
+        names = [c.name for c in DESIGN_LADDER]
+        assert names[0] == "staticOne"
+        assert names[1] == "staticZero"
+        assert names[2] == "VaLHALLA"
+        assert "Prev+ModPC4+Peek" in names
+        assert names[-3] == "Gtid+Prev+ModPC4+Peek"
+        assert names[-2] == "Ltid+Prev+ModPC4+Peek"
+
+    def test_st2_design_is_ltid_prev_modpc4_peek(self):
+        assert ST2_DESIGN is LTID_PREV_MODPC4_PEEK
+        assert ST2_DESIGN.thread_key == "ltid"
+        assert ST2_DESIGN.pc_bits == 4
+        assert ST2_DESIGN.peek
+
+    def test_prev_modpc_naming(self):
+        assert prev_modpc(8).name == "Prev+ModPC8+Peek"
+        assert prev_modpc(4, thread_key="gtid").name \
+            == "Gtid+Prev+ModPC4+Peek"
+        assert prev_modpc(2, peek=False).name == "Prev+ModPC2"
+
+    def test_config_lookup(self):
+        assert config_by_name("VaLHALLA") is VALHALLA
+        assert config_by_name("CASA") is CASA
+        with pytest.raises(KeyError):
+            config_by_name("OraclePredictor")
+
+    def test_fig3_configs(self):
+        names = {c.name for c in FIG3_CONFIGS}
+        assert names == {"Prev+Gtid", "Prev+FullPC+Gtid",
+                         "Prev+FullPC+Ltid"}
+
+    def test_st2_table_size_is_practical(self):
+        """Ltid indexing needs 16 x 32 entries; Gtid would need
+        16 x 2048 (the paper's 15-bit-index objection)."""
+        assert ST2_DESIGN.table_entries() == 512
+        gtid = config_by_name("Gtid+Prev+ModPC4+Peek")
+        assert gtid.table_entries(2048) == 32768
+
+
+class TestExploration:
+    @pytest.fixture(scope="class")
+    def points(self):
+        run = pathfinder.prepare(scale=0.25, seed=0).run()
+        return explore(run.trace)
+
+    def test_one_point_per_config(self, points):
+        assert len(points) == len(DESIGN_LADDER)
+
+    def test_static_one_is_worst(self, points):
+        rates = {p.config.name: p.misprediction_rate for p in points}
+        assert rates["staticOne"] == max(rates.values())
+
+    def test_history_beats_static(self, points):
+        rates = {p.config.name: p.misprediction_rate for p in points}
+        assert rates["Ltid+Prev+ModPC4+Peek"] < rates["staticZero"]
+        assert rates["Prev+Peek"] < rates["VaLHALLA"]
+
+    def test_peek_helps_valhalla(self, points):
+        """Paper: retrofitting VaLHALLA with Peek cuts its miss rate."""
+        rates = {p.config.name: p.misprediction_rate for p in points}
+        assert rates["VaLHALLA+Peek"] < rates["VaLHALLA"]
+
+    def test_xor_hash_adds_nothing(self, points):
+        """Paper: more complex PC hashing provides no benefit."""
+        rates = {p.config.name: p.misprediction_rate for p in points}
+        assert rates["Ltid+Prev+XorPC4+Peek"] \
+            == pytest.approx(rates["Ltid+Prev+ModPC4+Peek"], abs=0.02)
+
+    def test_recompute_statistics_in_range(self, points):
+        for p in points:
+            if p.misprediction_rate > 0:
+                assert 1.0 <= p.recomputed_per_misprediction <= 7.0

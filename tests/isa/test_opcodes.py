@@ -1,0 +1,49 @@
+"""Opcode taxonomy invariants."""
+
+from repro.isa.opcodes import (ADDER_OPCODES, FunctionalUnit, MixCategory,
+                               Opcode)
+
+
+class TestAdderClassification:
+    def test_integer_adds_use_32bit_adder(self):
+        for op in (Opcode.IADD, Opcode.ISUB, Opcode.IMIN, Opcode.IMAX):
+            assert op.is_adder_op
+            assert op.adder_width == 32
+            assert op.mix is MixCategory.ALU_ADD
+
+    def test_address_adds_are_64bit(self):
+        assert Opcode.LEA.adder_width == 64
+
+    def test_fp_mantissa_widths(self):
+        assert Opcode.FADD.adder_width == 23
+        assert Opcode.FFMA.adder_width == 23
+        assert Opcode.DADD.adder_width == 52
+        assert Opcode.DFMA.adder_width == 52
+
+    def test_multipliers_excluded(self):
+        """Section IV-C: no speculation in multipliers or dividers."""
+        for op in (Opcode.IMUL, Opcode.IMAD, Opcode.FMUL, Opcode.FDIV,
+                   Opcode.DMUL, Opcode.IDIV):
+            assert not op.is_adder_op
+
+    def test_adder_opcode_set(self):
+        assert Opcode.IADD in ADDER_OPCODES
+        assert Opcode.IXOR not in ADDER_OPCODES
+
+
+class TestUnitsAndMix:
+    def test_muldiv_separate_units(self):
+        """Fig 7 separates int/fp Mul/Div from ALU+FPU."""
+        assert Opcode.IMUL.unit is FunctionalUnit.INT_MUL
+        assert Opcode.FMUL.unit is FunctionalUnit.FP_MUL
+
+    def test_memory_ops_are_other_category(self):
+        assert Opcode.LDG.mix is MixCategory.OTHER
+        assert Opcode.BAR.mix is MixCategory.OTHER
+
+    def test_every_opcode_has_positive_latency(self):
+        for op in Opcode:
+            assert op.latency > 0
+
+    def test_memory_slowest(self):
+        assert Opcode.LDG.latency > Opcode.IADD.latency

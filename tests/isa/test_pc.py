@@ -1,0 +1,57 @@
+"""Call-site PC interning semantics."""
+
+from repro.isa.pc import PcTable
+
+
+def _two_sites(pcs):
+    a = pcs.intern(depth=1)
+    b = pcs.intern(depth=1)
+    return a, b
+
+
+class TestPcTable:
+    def test_distinct_call_sites_get_distinct_pcs(self):
+        pcs = PcTable()
+        a, b = _two_sites(pcs)
+        assert a != b
+
+    def test_same_site_is_stable_across_calls(self):
+        pcs = PcTable()
+
+        def body():
+            return pcs.intern(depth=1)
+
+        first = body()
+        for _ in range(5):
+            assert body() == first
+
+    def test_pcs_are_dense_in_first_execution_order(self):
+        pcs = PcTable()
+        a, b = _two_sites(pcs)
+        assert (a, b) == (0, 1)
+        assert len(pcs) == 2
+
+    def test_tags_disambiguate_one_site(self):
+        pcs = PcTable()
+
+        def op():
+            main = pcs.intern(depth=1)
+            addr = pcs.intern(depth=1, tag="addr")
+            return main, addr
+
+        main, addr = op()
+        assert main != addr
+        assert op() == (main, addr)
+
+    def test_labels_carry_function_and_line(self):
+        pcs = PcTable()
+        pc = pcs.intern(depth=1)
+        label = pcs.label(pc)
+        assert "test_labels_carry_function_and_line" in label
+        assert ":" in label
+
+    def test_fresh_table_is_independent(self):
+        p1, p2 = PcTable(), PcTable()
+        site = p1.intern(depth=1)
+        assert len(p2) == 0
+        assert p1.label(site)

@@ -1,0 +1,76 @@
+"""Calibration + validation workflow (paper Section V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.suite import run_suite
+from repro.power.activity import activity_from_run
+from repro.power.calibration import calibrate, calibrated_model
+from repro.power.components import Component
+from repro.power.hardware import (TRUE_P_CONST_W, TRUE_P_IDLE_SM_W,
+                                  SyntheticSilicon)
+from repro.power.validation import validate
+from repro.sim.pipeline import simulate_sm
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(SyntheticSilicon(seed=11))
+
+
+class TestCalibration:
+    def test_recovers_constant_power(self, calibration):
+        assert calibration.model.p_const_w \
+            == pytest.approx(TRUE_P_CONST_W, rel=0.15)
+
+    def test_recovers_idle_sm_power(self, calibration):
+        assert calibration.model.p_idle_sm_w \
+            == pytest.approx(TRUE_P_IDLE_SM_W, rel=0.2)
+
+    def test_scales_near_unity(self, calibration):
+        """Model energies are roughly right, so fitted scales should be
+        O(1) — none degenerate to zero, none explode."""
+        for c, s in calibration.model.scales.items():
+            assert 0.2 < s < 5.0, f"{c} scale degenerate: {s}"
+
+    def test_training_error_small(self, calibration):
+        assert calibration.training_mape < 0.06
+
+    def test_uses_all_123_stressors(self, calibration):
+        assert calibration.n_benchmarks == 123
+
+    def test_memoised_model(self):
+        assert calibrated_model(seed=0) is calibrated_model(seed=0)
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def result(self, calibration):
+        runs = run_suite(scale=0.15, seed=0)
+        acts = {n: activity_from_run(r, simulate_sm(r.insts, r.launch),
+                                     name=n)
+                for n, r in runs.items()}
+        return validate(calibration.model, acts,
+                        SyntheticSilicon(seed=11))
+
+    def test_error_in_papers_regime(self, result):
+        """Paper: 10.5 % +/- 3.8 %; the kernel suite is a held-out set
+        so some error is expected, but it must stay usable."""
+        assert 0.01 < result.mape < 0.20
+
+    def test_strong_correlation(self, result):
+        """Paper: Pearson r = 0.8."""
+        assert result.pearson_r > 0.75
+
+    def test_ci_reported(self, result):
+        assert result.mape_ci95 > 0
+
+    def test_summary_format(self, result):
+        s = result.summary()
+        assert "MAPE" in s and "Pearson" in s and "23 kernels" in s
+
+    def test_validation_is_out_of_sample(self, result):
+        """No kernel name may appear among the stressor names."""
+        from repro.power.microbench import build_microbenchmarks
+        stressors = {m.name for m in build_microbenchmarks()}
+        assert not (set(result.kernel_names) & stressors)

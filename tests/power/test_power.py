@@ -1,0 +1,136 @@
+"""Power model stack: activity, Eq. (1), silicon, stressors."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import pathfinder
+from repro.power.activity import ActivityVector, activity_from_run
+from repro.power.components import (CHIP_COMPONENTS, MODEL_ALU_SUBTYPE_PJ,
+                                    Component)
+from repro.power.hardware import (TRUE_P_CONST_W, TRUE_P_IDLE_SM_W,
+                                  SyntheticSilicon)
+from repro.power.microbench import build_microbenchmarks
+from repro.power.model import GPUPowerModel
+from repro.sim.pipeline import simulate_sm
+
+
+@pytest.fixture(scope="module")
+def small_activity():
+    run = pathfinder.prepare(scale=0.3, seed=0).run()
+    timing = simulate_sm(run.insts, run.launch)
+    return activity_from_run(run, timing)
+
+
+class TestActivityVector:
+    def test_components_populated(self, small_activity):
+        a = small_activity
+        assert a.counts[Component.ALU_FPU] > 0
+        assert a.counts[Component.REGFILE] > 0
+        assert a.counts[Component.CACHES_MC] > 0
+        assert a.counts[Component.OTHERS] > 0
+        assert a.duration_s > 0
+
+    def test_fine_counts_sum_into_component(self, small_activity):
+        a = small_activity
+        fine_total = (a.fine["alu_add"] + a.fine["alu_other"]
+                      + a.fine["fpu_add"] + a.fine["fpu_other"]
+                      + a.fine["dpu_add"])
+        assert fine_total == pytest.approx(a.counts[Component.ALU_FPU])
+
+    def test_full_chip_scaling_occupies_all_sms(self, small_activity):
+        assert small_activity.n_active_sms == 80
+        assert small_activity.n_idle_sms == 0
+
+    def test_scaled(self, small_activity):
+        double = small_activity.scaled(2.0)
+        assert double.counts[Component.ALU_FPU] == pytest.approx(
+            2 * small_activity.counts[Component.ALU_FPU])
+        assert double.duration_s == small_activity.duration_s
+
+    def test_dram_below_l2(self, small_activity):
+        assert small_activity.counts[Component.DRAM] \
+            < small_activity.counts[Component.CACHES_MC]
+
+
+class TestPowerModel:
+    def test_eq1_structure(self):
+        model = GPUPowerModel()
+        act = ActivityVector("idle", {c: 0.0 for c in Component},
+                             duration_s=1.0, n_active_sms=0)
+        expect = model.p_const_w + 80 * model.p_idle_sm_w
+        assert model.total_power_w(act) == pytest.approx(expect)
+
+    def test_power_monotone_in_activity(self, small_activity):
+        model = GPUPowerModel()
+        p1 = model.total_power_w(small_activity)
+        p2 = model.total_power_w(small_activity.scaled(2.0))
+        assert p2 > p1
+
+    def test_alu_subtype_model_prefers_adds(self):
+        assert MODEL_ALU_SUBTYPE_PJ["alu_add"] \
+            > MODEL_ALU_SUBTYPE_PJ["alu_other"]
+
+    def test_component_energy_sums_to_dynamic(self, small_activity):
+        model = GPUPowerModel()
+        comp = model.component_energy_j(small_activity)
+        total = model.total_energy_j(small_activity)
+        static = model.static_energy_j(small_activity)
+        assert sum(comp.values()) + static == pytest.approx(total)
+
+    def test_chip_components_exclude_dram(self):
+        assert Component.DRAM not in CHIP_COMPONENTS
+        assert Component.ALU_FPU in CHIP_COMPONENTS
+
+
+class TestSyntheticSilicon:
+    def test_truth_above_static_floor(self, small_activity):
+        sil = SyntheticSilicon(seed=1)
+        assert sil.true_power_w(small_activity) > TRUE_P_CONST_W
+
+    def test_idle_sms_add_power(self):
+        sil = SyntheticSilicon(seed=1)
+        base = ActivityVector("x", {c: 0.0 for c in Component},
+                              duration_s=1.0, n_active_sms=80)
+        idle = ActivityVector("x", {c: 0.0 for c in Component},
+                              duration_s=1.0, n_active_sms=0)
+        assert sil.true_power_w(idle) - sil.true_power_w(base) \
+            == pytest.approx(80 * TRUE_P_IDLE_SM_W)
+
+    def test_measurement_noisy_but_unbiased(self, small_activity):
+        sil = SyntheticSilicon(seed=2)
+        truth = sil.true_power_w(small_activity)
+        samples = [sil.measure_w(small_activity) for _ in range(50)]
+        assert abs(np.mean(samples) - truth) < 0.05 * truth
+        assert np.std(samples) > 0
+
+    def test_sampling_rate_window(self, small_activity):
+        sil = SyntheticSilicon(seed=3)
+        assert sil.samples_for(small_activity, rate_hz=75.0) \
+            == int(small_activity.duration_s * 75)
+
+
+class TestMicrobenchmarks:
+    def test_exactly_123(self):
+        assert len(build_microbenchmarks()) == 123
+
+    def test_stressors_emphasise_their_component(self):
+        model = GPUPowerModel()
+        for mb in build_microbenchmarks()[:108:12]:
+            target = max(
+                Component,
+                key=lambda c: model.raw_component_power_w(mb, c)
+                * (0 if c is Component.OTHERS else 1))
+            assert mb.name.startswith("stress_"), mb.name
+
+    def test_occupancy_sweep_varies_idle_sms(self):
+        mbs = build_microbenchmarks()
+        occ = [m for m in mbs if "occupancy" in m.name]
+        assert len(occ) == 15
+        assert len({m.n_idle_sms for m in occ}) > 10
+
+    def test_variants_break_regfile_collinearity(self):
+        mbs = [m for m in build_microbenchmarks()
+               if m.name.startswith("stress_alu_fpu")]
+        ratios = {round(m.counts[Component.REGFILE]
+                        / m.counts[Component.ALU_FPU], 2) for m in mbs}
+        assert len(ratios) >= 3

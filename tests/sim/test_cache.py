@@ -1,0 +1,93 @@
+"""Set-associative L2 cache model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import (CacheStats, SetAssociativeCache,
+                             l2_miss_ratio_for_run, simulate_l2)
+from repro.sim.config import LaunchConfig
+from repro.sim.functional import GridLauncher
+
+
+class TestCacheMechanics:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(size_bytes=1024, line_bytes=64, ways=2)
+        assert c.access_block(np.array([0])) == 1
+        assert c.access_block(np.array([0])) == 0
+        assert c.stats.accesses == 2
+        assert c.stats.misses == 1
+
+    def test_same_line_coalesces(self):
+        c = SetAssociativeCache(size_bytes=1024, line_bytes=64, ways=2)
+        # three addresses in one 64B line = one access, one miss
+        c.access_block(np.array([0, 8, 63]))
+        assert c.stats.accesses == 1
+        assert c.stats.misses == 1
+
+    def test_lru_eviction(self):
+        # 2-way, 1 set: lines A, B fill; C evicts A (LRU)
+        c = SetAssociativeCache(size_bytes=128, line_bytes=64, ways=2)
+        assert c.n_sets == 1
+        a, b, cc = 0, 64 * 1, 64 * 2
+        c.access_block(np.array([a]))
+        c.access_block(np.array([b]))
+        c.access_block(np.array([a]))       # touch A: B is now LRU
+        assert c.access_block(np.array([cc])) == 1   # evicts B
+        assert c.access_block(np.array([a])) == 0    # A survived
+        assert c.access_block(np.array([b])) == 1    # B was evicted
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=100, line_bytes=64, ways=2)
+
+    def test_streaming_misses_everything(self):
+        c = SetAssociativeCache(size_bytes=1024, line_bytes=64, ways=2)
+        stream = [np.array([i * 64]) for i in range(200)]
+        stats = simulate_l2(stream, size_bytes=1024, line_bytes=64,
+                            ways=2)
+        assert stats.miss_ratio == 1.0
+
+    def test_resident_working_set_hits(self):
+        stream = [np.array([i * 64]) for i in range(8)] * 20
+        stats = simulate_l2(stream, size_bytes=4096, line_bytes=64,
+                            ways=4)
+        assert stats.miss_ratio < 0.1       # only compulsory misses
+
+
+class TestRunIntegration:
+    def test_recorded_streams_enable_simulation(self):
+        def kernel(k, buf):
+            # each thread reads one element twice -> strong reuse
+            v = k.ld_global(buf, k.thread_id())
+            w = k.ld_global(buf, k.thread_id())
+
+        launcher = GridLauncher(record_streams=True)
+        buf = launcher.buffer("b", np.zeros(64, np.float32))
+        run = launcher.run(kernel, LaunchConfig(1, 64), buf=buf)
+        assert len(run.mem.address_batches) > 0
+        ratio = l2_miss_ratio_for_run(run)
+        assert ratio <= 0.5     # second pass hits
+
+    def test_fallback_without_streams(self):
+        from repro.power.activity import L2_MISS_RATIO
+
+        def kernel(k, buf):
+            k.ld_global(buf, k.thread_id())
+
+        launcher = GridLauncher()       # streams off
+        buf = launcher.buffer("b", np.zeros(64, np.float32))
+        run = launcher.run(kernel, LaunchConfig(1, 64), buf=buf)
+        assert l2_miss_ratio_for_run(run) == L2_MISS_RATIO
+
+    def test_locality_differs_across_kernels(self):
+        """A pointer-chasing tree (heavy node reuse) must hit far more
+        than a streaming kernel."""
+        from repro.kernels import btree, walsh
+        tree = btree.prepare_k1(scale=0.4, seed=0)
+        tree.launcher.record_streams = True
+        tree_run = tree.run()
+        stream = walsh.prepare_k1(scale=0.4, seed=0)
+        stream.launcher.record_streams = True
+        stream_run = stream.run()
+        assert l2_miss_ratio_for_run(tree_run) \
+            < l2_miss_ratio_for_run(stream_run)

@@ -1,0 +1,41 @@
+"""GPU and launch configuration invariants."""
+
+import pytest
+
+from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+
+
+class TestTitanV:
+    def test_paper_section_2_parameters(self):
+        assert TITAN_V.n_sms == 80
+        assert TITAN_V.alus_per_sm == 64
+        assert TITAN_V.fpus_per_sm == 64
+        assert TITAN_V.dpus_per_sm == 32
+        assert TITAN_V.sfus_per_sm == 4
+        assert TITAN_V.warp_size == 32
+        assert TITAN_V.max_threads_per_sm == 2048
+
+    def test_crf_is_448_bytes_per_sm(self):
+        """Section VI: 16 x 224 bits = 448 B per SM."""
+        assert TITAN_V.crf_bytes_per_sm() == 448
+
+    def test_chip_area(self):
+        assert TITAN_V.chip_area_mm2 == pytest.approx(815.0)
+
+    def test_warps_per_block(self):
+        assert TITAN_V.warps_per_block(128) == 4
+        assert TITAN_V.warps_per_block(100) == 4
+
+
+class TestLaunchConfig:
+    def test_valid(self):
+        lc = LaunchConfig(4, 128)
+        assert lc.total_threads == 512
+
+    def test_block_must_be_warp_multiple(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(4, 100)
+
+    def test_grid_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 128)

@@ -1,0 +1,77 @@
+"""Device memory, allocation and coalescing statistics."""
+
+import numpy as np
+
+from repro.sim.memory import (SECTOR_BYTES, Allocator, DeviceBuffer,
+                              MemoryStats)
+
+
+class TestAllocator:
+    def test_bases_are_256_aligned(self):
+        alloc = Allocator()
+        for name in ("a", "b", "c"):
+            buf = alloc.alloc(name, np.zeros(100, np.float32))
+            assert buf.base % 256 == 0
+
+    def test_buffers_do_not_overlap(self):
+        alloc = Allocator()
+        a = alloc.alloc("a", np.zeros(1000, np.float64))
+        b = alloc.alloc("b", np.zeros(1000, np.float64))
+        assert b.base >= a.base + 8000
+
+    def test_name_jitter_is_deterministic(self):
+        a1 = Allocator().alloc("x", np.zeros(4, np.int32))
+        a2 = Allocator().alloc("x", np.zeros(4, np.int32))
+        assert a1.base == a2.base
+
+    def test_different_names_get_different_offsets(self):
+        a = Allocator().alloc("first", np.zeros(4, np.int32))
+        b = Allocator().alloc("second", np.zeros(4, np.int32))
+        assert a.base != b.base
+
+
+class TestDeviceBuffer:
+    def test_byte_offsets_scale_by_itemsize(self):
+        buf = DeviceBuffer("b", np.zeros(8, np.float64), 0)
+        offs = buf.byte_offsets(np.array([0, 1, 2]))
+        assert list(offs) == [0, 8, 16]
+
+    def test_len(self):
+        assert len(DeviceBuffer("b", np.zeros((4, 4)), 0)) == 16
+
+
+class TestCoalescing:
+    def test_sequential_access_coalesces(self):
+        stats = MemoryStats()
+        addrs = np.arange(32) * 4          # 128 B -> 4 sectors
+        stats.record_global(addrs, np.zeros(32, np.int64), is_store=False)
+        assert stats.global_loads == 32
+        assert stats.global_load_transactions == 4
+
+    def test_strided_access_explodes_transactions(self):
+        stats = MemoryStats()
+        addrs = np.arange(32) * SECTOR_BYTES * 2   # one sector each
+        stats.record_global(addrs, np.zeros(32, np.int64), is_store=False)
+        assert stats.global_load_transactions == 32
+
+    def test_sectors_counted_per_warp(self):
+        stats = MemoryStats()
+        addrs = np.zeros(64, dtype=np.int64)   # all the same sector
+        warps = np.repeat([0, 1], 32)          # but two warps
+        stats.record_global(addrs, warps, is_store=True)
+        assert stats.global_store_transactions == 2
+
+    def test_empty_access(self):
+        stats = MemoryStats()
+        stats.record_global(np.array([], dtype=np.int64),
+                            np.array([], dtype=np.int64), is_store=False)
+        assert stats.global_loads == 0
+
+    def test_merge(self):
+        a, b = MemoryStats(), MemoryStats()
+        a.shared_loads = 5
+        b.shared_loads = 7
+        b.global_loads = 3
+        a.merge(b)
+        assert a.shared_loads == 12
+        assert a.global_loads == 3

@@ -1,0 +1,92 @@
+"""Warp shuffle primitives and warp reductions."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import LaunchConfig
+from repro.sim.functional import GridLauncher
+
+
+def run_one(fn, threads=64, **params):
+    launcher = GridLauncher()
+    return launcher.run(fn, LaunchConfig(1, threads), **params)
+
+
+class TestShuffles:
+    def test_shfl_down_shifts_within_warp(self):
+        captured = {}
+
+        def kernel(k):
+            captured["out"] = k.shfl_down(k.thread_id(), 1)
+
+        run_one(kernel, threads=64)
+        out = captured["out"]
+        assert out[0] == 1 and out[5] == 6
+        # lane 31 is out of range -> keeps its own value; warps isolated
+        assert out[31] == 31
+        assert out[32] == 33      # second warp shifts within itself
+
+    def test_shfl_up(self):
+        captured = {}
+
+        def kernel(k):
+            captured["out"] = k.shfl_up(k.thread_id() * 10, 2)
+
+        run_one(kernel, threads=32)
+        out = captured["out"]
+        assert out[2] == 0 and out[31] == 290
+        assert out[0] == 0        # below lane 0: own value
+
+    def test_shfl_xor_butterfly(self):
+        captured = {}
+
+        def kernel(k):
+            captured["out"] = k.shfl_xor(k.thread_id(), 1)
+
+        run_one(kernel, threads=32)
+        out = captured["out"]
+        assert out[0] == 1 and out[1] == 0
+        assert out[30] == 31 and out[31] == 30
+
+    def test_shuffles_do_not_cross_warps(self):
+        captured = {}
+
+        def kernel(k):
+            captured["out"] = k.shfl_xor(k.global_id(), 16)
+
+        run_one(kernel, threads=64)
+        out = captured["out"]
+        assert out[0] == 16        # within warp 0
+        assert out[32] == 48       # within warp 1, not warp 0
+
+
+class TestWarpReductions:
+    def test_fadd_reduction_sums_each_warp(self):
+        captured = {}
+
+        def kernel(k):
+            vals = k.cvt_f32(k.thread_id())
+            captured["out"] = k.warp_reduce_fadd(vals)
+
+        run_one(kernel, threads=64)
+        out = captured["out"]
+        assert out[0] == pytest.approx(sum(range(32)))
+        assert out[32] == pytest.approx(sum(range(32, 64)))
+
+    def test_iadd_reduction_exact(self):
+        captured = {}
+
+        def kernel(k):
+            captured["out"] = k.warp_reduce_iadd(k.thread_id() + 1)
+
+        run_one(kernel, threads=32)
+        assert captured["out"][0] == sum(range(1, 33))
+
+    def test_reduction_adds_are_traced(self):
+        def kernel(k):
+            k.warp_reduce_iadd(k.thread_id())
+
+        run = run_one(kernel, threads=32)
+        # 5 shfl_down steps, each with one IADD over 32 lanes
+        assert len(run.trace) == 5 * 32
+        assert len(np.unique(run.trace.pc)) == 1   # one static add site

@@ -1,0 +1,68 @@
+"""Trace persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictors import run_speculation
+from repro.core.speculation import ST2_DESIGN
+from repro.kernels import pathfinder
+from repro.sim.trace_io import load_trace, save_kernel_run, save_trace
+
+
+@pytest.fixture(scope="module")
+def run():
+    return pathfinder.prepare(scale=0.2, seed=0).run()
+
+
+class TestRoundTrip:
+    def test_trace_columns_identical(self, run, tmp_path):
+        p = tmp_path / "t.npz"
+        save_trace(p, run.trace, run.insts, {"note": "test"})
+        trace, insts, meta = load_trace(p)
+        for col in ("pc", "gtid", "ltid", "op_a", "op_b", "cin",
+                    "width", "seq", "value"):
+            assert np.array_equal(getattr(trace, col),
+                                  getattr(run.trace, col)), col
+        assert np.array_equal(insts.opcode, run.insts.opcode)
+        assert meta == {"note": "test"}
+
+    def test_pc_labels_preserved(self, run, tmp_path):
+        p = tmp_path / "t.npz"
+        save_trace(p, run.trace)
+        trace, insts, __ = load_trace(p)
+        assert trace.pc_labels == run.trace.pc_labels
+        assert insts is None
+
+    def test_loaded_trace_analyses_identically(self, run, tmp_path):
+        """The entire speculation study must be reproducible from the
+        persisted trace alone."""
+        p = tmp_path / "t.npz"
+        save_trace(p, run.trace)
+        trace, __, __ = load_trace(p)
+        fresh = run_speculation(run.trace, ST2_DESIGN)
+        loaded = run_speculation(trace, ST2_DESIGN)
+        assert fresh.thread_misprediction_rate \
+            == loaded.thread_misprediction_rate
+        assert np.array_equal(fresh.mispredicted, loaded.mispredicted)
+
+    def test_kernel_run_metadata(self, run, tmp_path):
+        p = tmp_path / "r.npz"
+        save_kernel_run(p, run, {"scale": 0.2})
+        __, __, meta = load_trace(p)
+        assert meta["kernel"] == "pathfinder"
+        assert meta["scale"] == 0.2
+        assert meta["block_threads"] == 128
+
+    def test_version_checked(self, run, tmp_path):
+        import json
+        p = tmp_path / "t.npz"
+        save_trace(p, run.trace)
+        # corrupt the header version
+        data = dict(np.load(p))
+        header = json.loads(bytes(data["header"]).decode())
+        header["format_version"] = 99
+        data["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8)
+        np.savez_compressed(p, **data)
+        with pytest.raises(ValueError):
+            load_trace(p)

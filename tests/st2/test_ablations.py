@@ -1,0 +1,84 @@
+"""Ablation machinery: depth, contention, slice width."""
+
+import numpy as np
+import pytest
+
+from repro.core.speculation import ST2_DESIGN
+from repro.kernels import pathfinder
+from repro.st2.ablations import (contention_sweep, history_depth_sweep,
+                                 slice_width_speculation_sweep)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return pathfinder.prepare(scale=0.3, seed=0).run().trace
+
+
+class TestHistoryDepth:
+    def test_depth_one_matches_prev(self, trace):
+        """Depth-1 majority is exactly the Prev mechanism."""
+        from repro.core.predictors import run_speculation
+        points = history_depth_sweep(trace, depths=(1,))
+        direct = run_speculation(trace, ST2_DESIGN)
+        assert points[0].misprediction_rate == pytest.approx(
+            direct.thread_misprediction_rate, abs=1e-9)
+
+    def test_returns_requested_depths(self, trace):
+        points = history_depth_sweep(trace, depths=(1, 3))
+        assert [p.depth for p in points] == [1, 3]
+
+    def test_rates_are_probabilities(self, trace):
+        for p in history_depth_sweep(trace):
+            assert 0.0 <= p.misprediction_rate <= 1.0
+
+    def test_deeper_history_no_large_win(self, trace):
+        """The paper's implicit claim: last-carry history suffices."""
+        points = history_depth_sweep(trace, depths=(1, 2, 3, 4))
+        best = min(p.misprediction_rate for p in points)
+        assert points[0].misprediction_rate <= best + 0.03
+
+
+class TestContention:
+    def test_contention_never_helps(self, trace):
+        res = contention_sweep(trace)
+        assert res.contended_rate >= res.ideal_rate - 0.01
+        assert 0.0 <= res.updates_dropped_fraction <= 1.0
+
+    def test_wide_writeback_increases_conflicts(self, trace):
+        narrow = contention_sweep(trace, writeback_width=1)
+        wide = contention_sweep(trace, writeback_width=8)
+        assert wide.updates_dropped_fraction \
+            >= narrow.updates_dropped_fraction
+        # width-1 write-back can never conflict
+        assert narrow.updates_dropped_fraction == 0.0
+        assert narrow.contended_rate == pytest.approx(
+            narrow.ideal_rate, abs=0.02)
+
+    def test_penalty_is_small(self, trace):
+        """Section IV-B: random arbitration practically suffices."""
+        res = contention_sweep(trace, writeback_width=4)
+        assert res.rate_penalty < 0.05
+
+    def test_deterministic_given_seed(self, trace):
+        a = contention_sweep(trace, seed=5)
+        b = contention_sweep(trace, seed=5)
+        assert a.contended_rate == b.contended_rate
+
+
+class TestSliceWidth:
+    def test_boundary_counts(self, trace):
+        points = slice_width_speculation_sweep(trace, widths=(4, 8, 16))
+        assert [p.boundaries_per_64bit_op for p in points] == [15, 7, 3]
+
+    def test_wider_slices_mispredict_less(self, trace):
+        points = slice_width_speculation_sweep(trace, widths=(4, 8, 16))
+        rates = [p.misprediction_rate for p in points]
+        assert rates[0] >= rates[1] >= rates[2] - 0.01
+
+    def test_eight_bit_matches_main_path(self, trace):
+        """The sweep at 8 bits must agree with the primary machinery."""
+        from repro.core.predictors import run_speculation
+        point = slice_width_speculation_sweep(trace, widths=(8,))[0]
+        direct = run_speculation(trace, ST2_DESIGN)
+        assert point.misprediction_rate == pytest.approx(
+            direct.thread_misprediction_rate, abs=0.02)

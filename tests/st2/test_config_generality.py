@@ -1,0 +1,52 @@
+"""The ST2 machinery must be chip-shape agnostic: every study runs on
+a non-GV100 configuration with sensible results."""
+
+import pytest
+
+from repro.core.predictors import run_speculation
+from repro.core.speculation import ST2_DESIGN
+from repro.kernels import pathfinder
+from repro.sim.config import TITAN_V, TURING_TU102
+from repro.sim.pipeline import compare_baseline_st2
+from repro.st2.overheads import overhead_report
+
+
+@pytest.fixture(scope="module")
+def turing_run():
+    return pathfinder.prepare(scale=0.25, seed=0,
+                              gpu=TURING_TU102).run()
+
+
+class TestTuringConfig:
+    def test_config_differs_meaningfully(self):
+        assert TURING_TU102.n_sms != TITAN_V.n_sms
+        assert TURING_TU102.dpus_per_sm == 2
+
+    def test_functional_execution(self, turing_run):
+        assert len(turing_run.trace) > 0
+        assert turing_run.gpu is TURING_TU102
+
+    def test_speculation_unaffected_by_chip_shape(self, turing_run):
+        """Carry behaviour is a property of the values, not the chip."""
+        titan_run = pathfinder.prepare(scale=0.25, seed=0,
+                                       gpu=TITAN_V).run()
+        r_turing = run_speculation(turing_run.trace, ST2_DESIGN)
+        r_titan = run_speculation(titan_run.trace, ST2_DESIGN)
+        assert r_turing.thread_misprediction_rate == pytest.approx(
+            r_titan.thread_misprediction_rate, abs=0.02)
+
+    def test_timing_runs_on_turing(self, turing_run):
+        res = run_speculation(turing_run.trace, ST2_DESIGN)
+        base, st2 = compare_baseline_st2(turing_run, res.mispredicted,
+                                         gpu=TURING_TU102)
+        assert st2.total_cycles >= base.total_cycles
+        assert abs(st2.total_cycles / base.total_cycles - 1) < 0.05
+
+    def test_overheads_scale_with_chip(self):
+        titan = overhead_report(TITAN_V)
+        turing = overhead_report(TURING_TU102)
+        # fewer SMs and DPUs -> less CRF storage and fewer DFFs
+        assert turing.crf_bytes_chip < titan.crf_bytes_chip
+        assert turing.dff_bits_per_sm < titan.dff_bits_per_sm
+        # CRF entry geometry is per-SM, unchanged
+        assert turing.crf_bytes_per_sm == 448

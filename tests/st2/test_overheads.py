@@ -1,0 +1,57 @@
+"""Section VI overhead arithmetic — the paper's exact numbers."""
+
+import pytest
+
+from repro.st2.overheads import overhead_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return overhead_report()
+
+
+class TestStorage:
+    def test_crf_448_bytes_per_sm(self, report):
+        assert report.crf_bytes_per_sm == 448
+
+    def test_crf_chip_total_35kb(self, report):
+        """Paper: 'the entire chip requires just 35 kB'."""
+        assert report.crf_bytes_chip == 448 * 80
+        assert 34_000 <= report.crf_bytes_chip <= 36_000
+
+    def test_dff_bits_per_adder(self, report):
+        """14 per ALU adder, 4 per FP32, 12 per FP64 (Section VI)."""
+        expect = 64 * 14 + 64 * 4 + 32 * 12
+        assert report.dff_bits_per_sm == expect
+
+    def test_dff_chip_total_about_15kb(self, report):
+        assert 14_000 <= report.dff_bytes_chip <= 16_000
+
+    def test_total_storage_about_50kb(self, report):
+        assert 48_000 <= report.total_storage_bytes <= 52_000
+
+    def test_storage_fraction_below_two_permille(self, report):
+        """Paper: 0.09 % of on-chip SRAM."""
+        assert report.storage_fraction < 0.002
+
+
+class TestLevelShifters:
+    def test_area_below_one_percent(self, report):
+        """Paper: < 0.68 % of the 815 mm^2 chip."""
+        assert report.shifter_area_fraction < 0.012
+        assert report.shifter_area_mm2 < 10.0
+
+    def test_static_power_below_a_watt(self, report):
+        """Paper: ~0.6 W total static."""
+        assert 0.3 < report.shifter_static_w < 1.5
+
+    def test_dynamic_power_sub_milliwatt_at_suite_rates(self, report):
+        """Paper: ~470 uW averaged across the suite (worst-case
+        every-bit-flips estimate)."""
+        dyn = report.shifter_dynamic_w(adder_ops_per_s=1.8e9)
+        assert dyn < 0.002
+
+    def test_savings_penalty_below_one_percent(self, report):
+        pen = report.savings_penalty(avg_system_power_w=200.0,
+                                     adder_ops_per_s=1e12)
+        assert pen < 0.01

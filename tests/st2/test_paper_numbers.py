@@ -1,0 +1,62 @@
+"""Paper-claims registry consistency."""
+
+import pytest
+
+from repro.st2.paper_numbers import PAPER_CLAIMS, claim, value
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert value("miss_st2") == 0.09
+        assert claim("crf_bytes_per_sm").unit == "bytes"
+        with pytest.raises(KeyError):
+            claim("not_a_claim")
+
+    def test_every_claim_has_source(self):
+        for c in PAPER_CLAIMS.values():
+            assert c.source.startswith(("§", "Abstract")), c.key
+
+    def test_fractions_are_fractions(self):
+        for c in PAPER_CLAIMS.values():
+            if c.unit == "fraction":
+                assert 0.0 <= c.value <= 1.0, c.key
+
+    def test_internal_consistency(self):
+        """Claims that constrain each other must agree."""
+        # ST2's 65%-below-VaLHALLA and the two absolute rates
+        implied = value("miss_st2") / value("miss_valhalla")
+        assert 1 - implied == pytest.approx(
+            value("st2_vs_valhalla_reduction"), abs=0.02)
+        # 91% accuracy == 9% misprediction
+        assert value("prediction_accuracy") \
+            == pytest.approx(1 - value("miss_st2"), abs=1e-9)
+        # storage: CRF + DFF = total
+        assert value("crf_kb_chip") + value("dff_kb_chip") \
+            == value("total_storage_kb")
+        # chip > system savings (DRAM excluded from the former)
+        assert value("chip_energy_saving") > value("system_energy_saving")
+
+    def test_hardware_storage_matches_registry(self):
+        """The overhead accounting must reproduce the registry claims
+        exactly where the arithmetic is deterministic."""
+        from repro.st2.overheads import overhead_report
+        rep = overhead_report()
+        assert rep.crf_bytes_per_sm == value("crf_bytes_per_sm")
+        assert rep.crf_bytes_chip // 1024 == value("crf_kb_chip")
+        assert round(rep.total_storage_bytes / 1024) \
+            == value("total_storage_kb")
+
+    def test_geometry_matches_registry(self):
+        from repro.core.slices import (FP32_MANTISSA, FP64_MANTISSA,
+                                       INT64)
+        assert INT64.state_bits() == value("dff_bits_alu_adder")
+        assert FP32_MANTISSA.state_bits() == value("dff_bits_fp32_adder")
+        assert FP64_MANTISSA.state_bits() == value("dff_bits_fp64_adder")
+
+    def test_microbench_count_matches(self):
+        from repro.power.microbench import build_microbenchmarks
+        assert len(build_microbenchmarks()) == value("n_microbenchmarks")
+
+    def test_suite_size_matches(self):
+        from repro.kernels.suite import SUITE
+        assert len(SUITE) == value("n_kernels")

@@ -1,0 +1,102 @@
+"""Adversarial and degenerate inputs: the analysis stack must handle
+pathological traces gracefully (no crashes, sane statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (intra_pc_value_spread,
+                                    slice_carry_correlation,
+                                    value_evolution)
+from repro.core.predictors import (SpeculationConfig, carry_match_rate,
+                                   run_speculation)
+from repro.core.speculation import DESIGN_LADDER, ST2_DESIGN, explore
+from tests.conftest import make_trace
+
+
+def _spec_ok(trace):
+    res = run_speculation(trace, ST2_DESIGN)
+    assert 0.0 <= res.thread_misprediction_rate <= 1.0
+    return res
+
+
+class TestDegenerateTraces:
+    def test_empty_trace(self):
+        t = make_trace([], [], [], [], [])
+        res = _spec_ok(t)
+        assert res.n_ops == 0
+        assert res.recomputed_per_misprediction == 0.0
+        assert np.isnan(carry_match_rate(t, ST2_DESIGN))
+
+    def test_single_row(self):
+        t = make_trace([0], [0], [0], [1], [1])
+        res = _spec_ok(t)
+        assert res.n_ops == 1
+
+    def test_single_thread_single_pc(self):
+        t = make_trace([0] * 100, [0] * 100, [0] * 100,
+                       np.arange(100), [1] * 100, width=32)
+        _spec_ok(t)
+        for point in explore(t, DESIGN_LADDER[:3]):
+            assert 0.0 <= point.misprediction_rate <= 1.0
+
+    def test_huge_pcs_do_not_overflow_keys(self):
+        t = make_trace([2**20 - 1, 2**20 - 2] * 10, [0] * 20, [0] * 20,
+                       [1] * 20, [1] * 20)
+        cfg = SpeculationConfig("x", "prev", pc_index="full",
+                                thread_key="gtid")
+        rate = carry_match_rate(t, cfg)
+        assert 0.0 <= rate <= 1.0
+
+    def test_all_ones_operands(self):
+        ones = np.full(64, (1 << 32) - 1, dtype=np.uint64)
+        t = make_trace([0] * 64, range(64), np.arange(64) % 32,
+                       ones, ones, width=32)
+        res = _spec_ok(t)
+        # -1 + -1: carries everywhere after warmup; predictable
+        assert res.thread_misprediction_rate < 0.6
+
+    def test_alternating_extremes(self):
+        """Worst case for history: every op flips the carry pattern."""
+        n = 200
+        a = np.where(np.arange(n) % 2 == 0, 0,
+                     (1 << 32) - 1).astype(np.uint64)
+        t = make_trace([0] * n, [0] * n, [0] * n, a, a, width=32)
+        res = _spec_ok(t)
+        # same-key prediction is always one op behind -> mostly wrong,
+        # but Peek statically resolves every boundary here (operand
+        # slice MSbs agree with themselves), so ST2 still survives
+        assert res.thread_misprediction_rate <= 1.0
+
+    def test_antagonistic_alias_pattern(self):
+        """PCs 0 and 16 alias under ModPC4 with opposite behaviours."""
+        n = 400
+        pcs = np.tile([0, 16], n // 2)
+        a = np.where(pcs == 0, 1, (1 << 30) - 1).astype(np.uint64)
+        t = make_trace(pcs, [0] * n, [0] * n, a, a, width=32)
+        mod4 = run_speculation(t, SpeculationConfig(
+            "mod4", "prev", pc_index="mod", pc_bits=4))
+        mod8 = run_speculation(t, SpeculationConfig(
+            "mod8", "prev", pc_index="mod", pc_bits=8))
+        # more PC bits disambiguate the adversarial aliasing
+        assert mod8.thread_misprediction_rate \
+            <= mod4.thread_misprediction_rate
+
+
+class TestDegenerateAnalyses:
+    def test_value_evolution_on_tiny_trace(self):
+        t = make_trace([0, 1], [0, 0], [0, 0], [1, 2], [3, 4])
+        series = value_evolution(t, max_pcs=5)
+        assert len(series) == 2
+
+    def test_correlation_on_constant_values(self):
+        t = make_trace([0] * 50, [0] * 50, [0] * 50, [7] * 50,
+                       [7] * 50, width=32)
+        assert intra_pc_value_spread(t) == 0.0
+        summary = slice_carry_correlation(t)
+        for rate in summary.match_rates.values():
+            assert rate == 1.0 or np.isnan(rate)
+
+    def test_mixed_width_minimal(self):
+        t = make_trace([0, 0], [0, 0], [0, 0], [1, 1], [1, 1],
+                       width=[23, 64])
+        _spec_ok(t)

@@ -1,0 +1,46 @@
+"""The shipped examples must stay runnable.
+
+Fast examples execute end-to-end; the slower studies are compile- and
+import-checked (their machinery is covered by the benchmarks).
+"""
+
+import importlib.util
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES.glob("*.py"))
+FAST = ("quickstart.py", "pathfinder_case_study.py")
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        assert {"quickstart.py", "pathfinder_case_study.py",
+                "design_space_exploration.py",
+                "full_gpu_energy_study.py",
+                "approximate_vs_exact.py"} <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES,
+                             ids=[p.name for p in ALL_EXAMPLES])
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("name", FAST)
+    def test_fast_examples_run(self, name):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / name)],
+            capture_output=True, text=True, timeout=240)
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip()
+
+    def test_examples_have_docstrings_and_main(self):
+        for path in ALL_EXAMPLES:
+            src = path.read_text()
+            assert '"""' in src.split("\n", 2)[2] or \
+                src.lstrip().startswith(('#!', '"""')), path.name
+            assert "__main__" in src, path.name

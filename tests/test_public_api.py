@@ -1,0 +1,95 @@
+"""Public-API surface: everything documented in README must import and
+compose the way the examples show."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_readme_snippet_runs(self):
+        """The exact flow from README's quickstart."""
+        from repro import (GridLauncher, LaunchConfig, ST2_DESIGN,
+                           run_speculation)
+
+        def saxpy(k, a, x, y, out, n):
+            i = k.global_id()
+            with k.where(k.lt(i, n)):
+                xi = k.ld_global(x, i)
+                yi = k.ld_global(y, i)
+                k.st_global(out, i, k.ffma(a, xi, yi))
+
+        launcher = GridLauncher(seed=0)
+        x = launcher.buffer("x", np.random.rand(512).astype(np.float32))
+        y = launcher.buffer("y", np.random.rand(512).astype(np.float32))
+        out = launcher.buffer("out", np.zeros(512, np.float32))
+        run = launcher.run(saxpy, LaunchConfig(4, 128), a=2.0, x=x, y=y,
+                           out=out, n=512)
+        result = run_speculation(run.trace, ST2_DESIGN)
+        assert 0.0 <= result.thread_misprediction_rate <= 1.0
+        assert np.allclose(out.data, 2.0 * x.data + y.data, rtol=1e-5)
+
+
+class TestSubpackageApi:
+    def test_core_exports(self):
+        import repro.core as core
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_sim_exports(self):
+        import repro.sim as sim
+        for name in sim.__all__:
+            assert hasattr(sim, name), name
+
+    def test_power_exports(self):
+        import repro.power as power
+        for name in power.__all__:
+            assert hasattr(power, name), name
+
+    def test_st2_exports(self):
+        import repro.st2 as st2
+        for name in st2.__all__:
+            assert hasattr(st2, name), name
+
+    def test_circuits_exports(self):
+        import repro.circuits as circuits
+        for name in circuits.__all__:
+            assert hasattr(circuits, name), name
+
+    def test_analysis_and_isa_exports(self):
+        import repro.analysis as analysis
+        import repro.isa as isa
+        for mod in (analysis, isa):
+            for name in mod.__all__:
+                assert hasattr(mod, name), name
+
+
+class TestTensorGemmExtension:
+    def test_runs_and_traces(self):
+        from repro.kernels import tensor_gemm
+        prep = tensor_gemm.prepare(scale=0.5, seed=0)
+        run = prep.run()
+        assert len(run.trace) > 100
+        # HMMA ops present but not adder-class
+        from repro.isa.opcodes import Opcode
+        counts = run.insts.counts_by_opcode()
+        assert Opcode.HMMA in counts
+        assert not Opcode.HMMA.is_adder_op
+
+    def test_epilogue_math(self):
+        from repro.kernels import tensor_gemm
+        prep = tensor_gemm.prepare(scale=0.5, seed=1)
+        c = prep.params["c"].data.copy()
+        d0 = prep.params["d"].data.copy()
+        prep.run()
+        d = prep.params["d"].data
+        expect = 1.0 * c + 0.8 * d0
+        assert np.allclose(d, expect, rtol=1e-5)

@@ -1,0 +1,34 @@
+"""The one-command report must run end to end and contain every
+section of the reproduction."""
+
+import pytest
+
+from repro import report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def output(self):
+        import contextlib
+        import io
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            report.main(scale=0.1, seed=0)
+        return buf.getvalue()
+
+    def test_all_sections_present(self, output):
+        for section in ("Figure 1", "Figure 3", "Figure 5",
+                        "Section V-B", "Section V-C", "Section VI",
+                        "overheads"):
+            assert section in output, section
+
+    def test_paper_anchors_quoted(self, output):
+        for anchor in ("paper: 21/23", "paper: 8", "paper: ~70%",
+                       "paper 9%", "448 B"):
+            assert anchor in output, anchor
+
+    def test_reports_suite_size(self, output):
+        assert "23 kernels" in output
+
+    def test_finishes(self, output):
+        assert "report complete" in output
