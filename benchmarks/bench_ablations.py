@@ -10,7 +10,6 @@ These quantify the paper's qualitative arguments:
   with the circuit sweep this pins the 8-bit choice from both sides.
 """
 
-import numpy as np
 
 from _bench_utils import save_artifact
 from repro.analysis.ascii_charts import table

@@ -6,7 +6,6 @@ power model's first-order default — the DRAM component of Figure 7
 seen through actual locality instead of a constant.
 """
 
-import numpy as np
 
 from _bench_utils import save_artifact
 from repro.analysis.ascii_charts import table

@@ -6,7 +6,6 @@ negligible port pressure, write-back conflicts are rare, and the two
 independent timing models agree on kernel-duration magnitudes.
 """
 
-import numpy as np
 
 from _bench_utils import save_artifact
 from repro.analysis.ascii_charts import table

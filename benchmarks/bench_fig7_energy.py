@@ -5,6 +5,10 @@ Paper claims: the baseline spends 27 % of system energy in ALUs+FPUs
 excluding DRAM); for the >20 %-ALU+FPU 'arithmetic intensive' kernels
 the savings are 26 % system / 28 % chip, peaking at 40 %/42 %
 (msort_K2).
+
+The per-kernel energy records come from the parallel cached runner
+(the ``runner_results`` fixture): every number below is read from unit
+result dicts, exactly what ``st2-run`` writes to its JSONL manifest.
 """
 
 import numpy as np
@@ -14,26 +18,27 @@ from repro.analysis.ascii_charts import stacked_pair, table
 from repro.power.components import Component
 
 
-def _energy_rows(suite_evaluations):
+def _energy_rows(runner_results):
     rows = []
-    for name, e in suite_evaluations.items():
-        rows.append((name, e.energy.alu_fpu_share, e.system_saving,
-                     e.chip_saving, e.arithmetic_intensive))
+    for name, r in runner_results.items():
+        met = r["metrics"]
+        rows.append((name, met["alu_fpu_share"], met["system_saving"],
+                     met["chip_saving"], met["arithmetic_intensive"]))
     return rows
 
 
-def test_fig7_energy_breakdown(benchmark, suite_evaluations,
+def test_fig7_energy_breakdown(benchmark, runner_results,
                                artifact_dir):
-    rows = benchmark.pedantic(_energy_rows, args=(suite_evaluations,),
+    rows = benchmark.pedantic(_energy_rows, args=(runner_results,),
                               rounds=1, iterations=1)
 
     names = [r[0] for r in rows]
     comps = [c.value for c in Component] + ["static"]
     base_stacks, st2_stacks = [], []
     for name in names:
-        b, s = suite_evaluations[name].energy.normalized_stacks()
-        base_stacks.append(b)
-        st2_stacks.append(s)
+        stacks = runner_results[name]["energy_stacks"]
+        base_stacks.append(stacks["baseline"])
+        st2_stacks.append(stacks["st2"])
     txt = stacked_pair(
         "Figure 7: normalized system energy (baseline vs ST2)",
         names, base_stacks, st2_stacks, comps)

@@ -9,6 +9,11 @@ the match:
 * ``shape``  — the ordering/direction holds, magnitude differs (with
   the delta recorded in EXPERIMENTS.md).
 
+The per-kernel inputs come from the parallel cached runner
+(:mod:`repro.runner`, the ``runner_results`` fixture) rather than an
+in-process suite sweep; a one-kernel serial re-execution cross-checks
+that the pooled numbers are identical to in-process ones.
+
 This is the machine-checked version of EXPERIMENTS.md.
 """
 
@@ -18,51 +23,43 @@ from _bench_utils import save_artifact
 from repro.analysis.ascii_charts import table
 from repro.circuits.characterize import (best_slice_width,
                                          slice_bitwidth_sweep)
-from repro.core.correlation import slice_carry_correlation
-from repro.core.speculation import VALHALLA, explore
-from repro.core.predictors import run_speculation
 from repro.st2.overheads import overhead_report
 from repro.st2.paper_numbers import value
 
+CORR_KEYS = {
+    "corr_prev_gtid": "Prev+Gtid",
+    "corr_prev_fullpc_gtid": "Prev+FullPC+Gtid",
+    "corr_prev_fullpc_ltid": "Prev+FullPC+Ltid",
+}
 
-def _measure(suite_runs, suite_evaluations, adder_model):
+
+def _measure(runner_results, adder_model):
     m = {}
+    mets = [r["metrics"] for r in runner_results.values()]
+    aux = [r["aux"] for r in runner_results.values()]
     # misprediction + savings + performance
-    evals = suite_evaluations.values()
-    m["miss_st2"] = float(np.mean([e.misprediction_rate
-                                   for e in evals]))
+    m["miss_st2"] = float(np.mean(
+        [x["misprediction_rate"] for x in mets]))
     m["recompute_per_miss_avg"] = float(np.mean(
-        [e.recomputed_per_misprediction for e in suite_evaluations.values()
-         if e.misprediction_rate > 0]))
-    m["avg_slowdown"] = float(np.mean(
-        [e.slowdown for e in suite_evaluations.values()]))
-    m["worst_slowdown"] = max(e.slowdown
-                              for e in suite_evaluations.values())
+        [x["recomputed_per_misprediction"] for x in mets
+         if x["misprediction_rate"] > 0]))
+    m["avg_slowdown"] = float(np.mean([x["slowdown"] for x in mets]))
+    m["worst_slowdown"] = max(x["slowdown"] for x in mets)
     m["system_energy_saving"] = float(np.mean(
-        [e.system_saving for e in suite_evaluations.values()]))
+        [x["system_saving"] for x in mets]))
     m["chip_energy_saving"] = float(np.mean(
-        [e.chip_saving for e in suite_evaluations.values()]))
+        [x["chip_saving"] for x in mets]))
     m["alu_fpu_system_share"] = float(np.mean(
-        [e.energy.alu_fpu_share for e in suite_evaluations.values()]))
+        [x["alu_fpu_share"] for x in mets]))
     # VaLHALLA comparison
-    val_rates = [run_speculation(r.trace, VALHALLA)
-                 .thread_misprediction_rate
-                 for r in suite_runs.values()]
-    m["miss_valhalla"] = float(np.mean(val_rates))
+    m["miss_valhalla"] = float(np.mean(
+        [a["valhalla_misprediction_rate"] for a in aux]))
     m["st2_vs_valhalla_reduction"] = 1 - m["miss_st2"] \
         / m["miss_valhalla"]
     # correlation
-    rates = {k: [] for k in ("Prev+Gtid", "Prev+FullPC+Gtid",
-                             "Prev+FullPC+Ltid")}
-    for name, run in suite_runs.items():
-        for k, v in slice_carry_correlation(run.trace,
-                                            name).match_rates.items():
-            rates[k].append(v)
-    m["corr_prev_gtid"] = float(np.nanmean(rates["Prev+Gtid"]))
-    m["corr_prev_fullpc_gtid"] = float(
-        np.nanmean(rates["Prev+FullPC+Gtid"]))
-    m["corr_prev_fullpc_ltid"] = float(
-        np.nanmean(rates["Prev+FullPC+Ltid"]))
+    for out_key, rate_key in CORR_KEYS.items():
+        m[out_key] = float(np.nanmean(
+            [a["correlation"][rate_key] for a in aux]))
     # circuits
     points = slice_bitwidth_sweep()
     p8 = next(p for p in points if p.slice_width == 8)
@@ -101,11 +98,20 @@ GRADING = (
 )
 
 
-def test_headline_scorecard(benchmark, suite_runs, suite_evaluations,
-                            adder_model, artifact_dir):
+def test_headline_scorecard(benchmark, runner_results, adder_model,
+                            bench_scale, artifact_dir):
     measured = benchmark.pedantic(
-        _measure, args=(suite_runs, suite_evaluations, adder_model),
+        _measure, args=(runner_results, adder_model),
         rounds=1, iterations=1)
+
+    # parallel == serial: the pooled/cached unit for one kernel must be
+    # numerically identical to a fresh in-process serial execution
+    from repro.runner import build_units, execute_unit
+    from repro.runner.units import results_equal
+    probe = build_units(["qrng_K2"], scale=bench_scale, seed=0)[0]
+    assert results_equal(execute_unit(probe),
+                         runner_results["qrng_K2"]), \
+        "runner result diverged from serial in-process evaluation"
 
     rows = []
     failures = []

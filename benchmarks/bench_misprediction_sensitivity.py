@@ -16,7 +16,6 @@ from repro.core.predictors import (Prediction, evaluate_trace,
                                    predict_trace)
 from repro.core.speculation import ST2_DESIGN
 from repro.sim.pipeline import simulate_sm_pair, warp_misprediction_map
-from repro.st2.architecture import default_adder_model
 
 KERNEL = "pathfinder"
 INJECT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)

@@ -17,7 +17,6 @@ def _adder_rate(suite_evaluations):
     """Average chip-wide adder ops/s across the suite."""
     rates = []
     for e in suite_evaluations.values():
-        base = e.energy.baseline
         # reconstruct ops/s from the kernel's activity counts
         rates.append(e.speculation.n_ops
                      / max(e.timing_baseline.duration_s(), 1e-9))

@@ -53,6 +53,24 @@ def suite_evaluations(suite_runs, power_model, adder_model):
 
 
 @pytest.fixture(scope="session")
+def runner_results() -> dict:
+    """The 23-kernel ST2 evaluation driven through the parallel cached
+    runner (``repro.runner``) — kernel name -> unit result dict.
+
+    ``REPRO_BENCH_WORKERS`` overrides the pool size (0 = auto);
+    ``REPRO_BENCH_NO_CACHE=1`` bypasses the disk cache, forcing a
+    fresh in-process computation of every unit.
+    """
+    from repro.runner import build_units, default_workers, run_suite_units
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) \
+        or default_workers()
+    use_cache = not os.environ.get("REPRO_BENCH_NO_CACHE")
+    units = build_units("all", scale=BENCH_SCALE, seed=0)
+    keyed = run_suite_units(units, workers=workers, use_cache=use_cache)
+    return {kernel: result for (kernel, _cfg), result in keyed.items()}
+
+
+@pytest.fixture(scope="session")
 def artifact_dir() -> Path:
     OUT_DIR.mkdir(exist_ok=True)
     return OUT_DIR

@@ -14,7 +14,7 @@ Run:  python examples/approximate_vs_exact.py
 import numpy as np
 
 from repro.analysis.ascii_charts import table
-from repro.core.approximate import (AccuracyConfigurableAdder, VLSAAdder,
+from repro.core.approximate import (AccuracyConfigurableAdder,
                                     compare_on_stream)
 from repro.core.predictors import run_speculation
 from repro.core.slices import INT32

@@ -13,7 +13,7 @@ sets at once with numpy boolean vectors, and characterised for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

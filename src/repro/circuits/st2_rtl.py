@@ -22,7 +22,7 @@ cycle always suffices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core import bitops
 from repro.core.slices import AdderGeometry

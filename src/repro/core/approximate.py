@@ -122,7 +122,6 @@ class VLSAAdder:
         carries = bitops.carry_into_bits(a_u, b_u, geo.width, cin)
         propagate = (a_u ^ b_u) & U64(bitops.mask(geo.width))
         # run-length of propagate ending at each bit
-        run = np.zeros((len(a_u),), dtype=np.int64)
         max_run_with_carry = np.zeros(len(a_u), dtype=np.int64)
         run_now = np.zeros(len(a_u), dtype=np.int64)
         for i in range(geo.width):

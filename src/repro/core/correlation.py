@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import bitops
-from repro.core.predictors import SpeculationConfig, carry_match_rate
+from repro.core.predictors import carry_match_rate
 from repro.core.speculation import FIG3_CONFIGS
 
 

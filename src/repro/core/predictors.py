@@ -29,13 +29,13 @@ time order; a dict-based sequential reference implementation lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core import bitops
 from repro.core.adder import ST2Adder
-from repro.core.slices import AdderGeometry, geometry_for
+from repro.core.slices import geometry_for
 
 MAX_PREDICTIONS = 7  # the widest adder (64-bit) has 8 slices
 

@@ -12,10 +12,9 @@ choice (Ltid), and the XOR-hash variant shown to add nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from repro.core.predictors import (SpeculationConfig, SpeculationResult,
-                                   run_speculation)
+from repro.core.predictors import SpeculationConfig, run_speculation
 
 STATIC_ONE = SpeculationConfig("staticOne", "static1")
 STATIC_ZERO = SpeculationConfig("staticZero", "static0")

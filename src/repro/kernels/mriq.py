@@ -47,7 +47,6 @@ def computeq_kernel(k, kx, ky, kz, phi_mag, x, y, z, qr, qi, n_voxels,
 
 def prepare(scale: float = 1.0, seed: int = 0,
             gpu: GPUConfig = TITAN_V) -> PreparedKernel:
-    rng = np.random.default_rng(seed)
     n_voxels = scaled(512, scale, minimum=BLOCK, multiple=BLOCK)
     n_samples = scaled(40, scale, minimum=8)
 

@@ -105,7 +105,6 @@ def prepare_k1(scale: float = 1.0, seed: int = 0,
 
 def prepare_k2(scale: float = 1.0, seed: int = 0,
                gpu: GPUConfig = TITAN_V) -> PreparedKernel:
-    rng = np.random.default_rng(seed)
     n = scaled(2048, scale, minimum=BLOCK, multiple=BLOCK)
     # quasirandom input: a scrambled van-der-Corput-like sequence
     samples = ((np.arange(n) * 0.6180339887) % 1.0).astype(np.float32)

@@ -15,7 +15,7 @@ carry study depends on.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
 from repro.sim.functional import GridLauncher, KernelRun

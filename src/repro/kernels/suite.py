@@ -99,6 +99,38 @@ EXTENDED_SUITE = (
 
 EXTENDED_NAMES = tuple(spec.name for spec in EXTENDED_SUITE)
 
+#: Named kernel groups the runner CLI and CI accept in place of an
+#: explicit list.  ``smoke`` is a three-kernel subset (one slow tracer,
+#: one mid, one fast) sized for CI smoke jobs.
+KERNEL_GROUPS = {
+    "all": KERNEL_NAMES,
+    "extended": EXTENDED_NAMES,
+    "full": KERNEL_NAMES + EXTENDED_NAMES,
+    "smoke": ("binomial", "pathfinder", "qrng_K2"),
+}
+
+
+def resolve_kernels(spec) -> tuple:
+    """Resolve a kernel selection into a tuple of suite kernel names.
+
+    ``spec`` is a comma-separated string or an iterable; each element
+    is a kernel name or a group from :data:`KERNEL_GROUPS`.  Order is
+    preserved, duplicates dropped, unknown names raise ``KeyError``.
+    """
+    if isinstance(spec, str):
+        spec = [s for s in spec.split(",") if s]
+    names = []
+    for item in spec:
+        if item in KERNEL_GROUPS:
+            names.extend(KERNEL_GROUPS[item])
+        else:
+            spec_by_name(item)      # raises KeyError with valid names
+            names.append(item)
+    seen = set()
+    return tuple(n for n in names
+                 if not (n in seen or seen.add(n)))
+
+
 _run_cache: dict = {}
 
 

@@ -14,9 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.isa.opcodes import FunctionalUnit, MixCategory, Opcode
+from repro.isa.opcodes import FunctionalUnit
 from repro.power.components import Component
 from repro.sim.config import GPUConfig, TITAN_V
 

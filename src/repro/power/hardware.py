@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.power.activity import ActivityVector
-from repro.power.components import MODEL_ENERGY_PJ, Component
+from repro.power.components import Component
 
 #: Hidden true energies per fine event subtype (pJ).  Deliberately NOT
 #: proportional to the model's coarse per-component numbers.

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.power.activity import ActivityVector
 from repro.power.hardware import SyntheticSilicon
 from repro.power.model import GPUPowerModel
 

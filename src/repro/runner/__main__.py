@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.runner``."""
+
+import sys
+
+from repro.runner.cli import console_main
+
+if __name__ == "__main__":
+    sys.exit(console_main())

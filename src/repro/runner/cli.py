@@ -1,0 +1,163 @@
+"""``st2-run`` / ``python -m repro.runner`` — the experiment runner CLI.
+
+Examples::
+
+    st2-run --kernels all --workers 4
+    st2-run --kernels smoke --workers 2 --out manifest.jsonl
+    st2-run --kernels binomial,pathfinder --configs ladder --no-cache
+
+``--kernels`` takes a comma-separated list of suite kernel names or a
+group (``all``, ``extended``, ``full``, ``smoke``); ``--configs`` takes
+Figure 5 ladder names or an alias (``st2``, ``valhalla``, ``prev``,
+``casa``, ``ladder``, ``fig3``).  Results are cached on disk under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) and the run is
+recorded as a JSONL manifest (``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.kernels.suite import KERNEL_GROUPS, resolve_kernels
+from repro.runner.cache import ResultCache, code_version
+from repro.runner.manifest import write_manifest
+from repro.runner.pool import RunTimer, default_workers, run_units
+from repro.runner.units import build_units, resolve_configs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="st2-run",
+        description="Parallel cached runner for the ST2 GPU "
+                    "(kernel x SpeculationConfig) experiment grid.")
+    parser.add_argument("--kernels", default="all",
+                        help="comma-separated kernel names or a group: "
+                             + ", ".join(sorted(KERNEL_GROUPS)))
+    parser.add_argument("--configs", default="st2",
+                        help="comma-separated speculation configs "
+                             "(aliases: st2, valhalla, prev, casa, "
+                             "ladder, fig3)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: min(4, cores))")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed (default 0)")
+    parser.add_argument("--per-kernel-seeds", action="store_true",
+                        help="derive each unit's seed from "
+                             "(seed, kernel) instead of sharing it")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the disk cache (no reads, "
+                             "no writes)")
+    parser.add_argument("--no-aux", action="store_true",
+                        help="skip the VaLHALLA + correlation "
+                             "auxiliary measurements")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro)")
+    parser.add_argument("--out", default="st2_manifest.jsonl",
+                        help="JSONL manifest path "
+                             "(default st2_manifest.jsonl)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the resolved work list and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-unit progress lines")
+    return parser
+
+
+def _progress_printer(total: int, quiet: bool):
+    state = {"done": 0}
+
+    def progress(spec, result) -> None:
+        state["done"] += 1
+        if quiet:
+            return
+        origin = "cache" if result.get("cached") else \
+            f"{result['wall_time_s']:.2f}s"
+        print(f"[{state['done']:>3}/{total}] {spec.label:<42} "
+              f"miss={result['metrics']['misprediction_rate']:.4f} "
+              f"({origin})", flush=True)
+    return progress
+
+
+def _summary_table(results) -> str:
+    from repro.analysis.ascii_charts import table
+    rows = [(r["kernel"], r["config"],
+             "hit" if r.get("cached") else "miss",
+             f"{r['wall_time_s']:.2f}", f"{r['trace_rows']:,}",
+             f"{r['metrics']['misprediction_rate']:.4f}",
+             f"{r['metrics']['system_saving']:.1%}")
+            for r in results]
+    return table("st2-run results",
+                 ["kernel", "config", "cache", "unit s", "trace rows",
+                  "miss rate", "system saving"], rows)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        kernels = resolve_kernels(args.kernels)
+        configs = resolve_configs(args.configs)
+    except KeyError as exc:
+        print(f"st2-run: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    units = build_units(kernels, configs=configs, scale=args.scale,
+                        seed=args.seed, aux=not args.no_aux,
+                        per_kernel_seeds=args.per_kernel_seeds)
+    if not units:
+        print("st2-run: no work units selected", file=sys.stderr)
+        return 2
+    if args.list:
+        for spec in units:
+            print(f"{spec.label}  scale={spec.scale} seed={spec.seed}")
+        return 0
+
+    workers = args.workers if args.workers is not None \
+        else default_workers()
+    cache = ResultCache(args.cache_dir)
+    timer = RunTimer()
+    progress = _progress_printer(len(units), args.quiet)
+
+    def observe(spec, result):
+        timer.observe(spec, result)
+        progress(spec, result)
+
+    results = run_units(units, workers=workers, cache=cache,
+                        use_cache=not args.no_cache, progress=observe)
+
+    meta = {
+        "kernels": list(kernels),
+        "configs": [cfg.name for cfg in configs],
+        "scale": args.scale,
+        "seed": args.seed,
+        "workers": workers,
+        "use_cache": not args.no_cache,
+        "cache_dir": str(cache.root),
+        "code_version": code_version(),
+    }
+    meta.update(timer.summary())
+    path = write_manifest(args.out, results, meta=meta)
+
+    print()
+    print(_summary_table(results))
+    print(f"\n{len(results)} units in {timer.elapsed_s:.2f}s "
+          f"({timer.hits} cache hits, {timer.misses} computed, "
+          f"workers={workers})")
+    print(f"manifest: {path}")
+    return 0
+
+
+def console_main() -> int:
+    try:
+        return main()
+    except BrokenPipeError:      # e.g. `st2-run --list | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(console_main())

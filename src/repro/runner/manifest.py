@@ -1,0 +1,57 @@
+"""JSONL run manifests: the machine-readable record of one invocation.
+
+Line 1 is a ``{"type": "run", ...}`` header (work-list shape, worker
+count, code version, totals); every following line is a
+``{"type": "unit", ...}`` record holding one unit's full result dict —
+per-unit wall time, trace size, misprediction and energy summaries —
+plus its cache key and whether this run served it from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+MANIFEST_VERSION = 1
+
+
+def write_manifest(path, results, meta: dict = None) -> Path:
+    """Write a runner invocation's results as JSONL."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"type": "run", "manifest_version": MANIFEST_VERSION,
+              "n_units": len(results)}
+    header.update(meta or {})
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for result in results:
+            fh.write(json.dumps({"type": "unit", **result}) + "\n")
+    return path
+
+
+def read_manifest(path) -> tuple:
+    """Read back ``(header, [unit result dicts])``."""
+    header = None
+    units = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type", None)
+            if kind == "run":
+                header = record
+            elif kind == "unit":
+                units.append(record)
+            else:
+                raise ValueError(
+                    f"unknown manifest record type {kind!r} in {path}")
+    if header is None:
+        raise ValueError(f"manifest {path} has no run header")
+    if header.get("manifest_version") != MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version "
+            f"{header.get('manifest_version')!r} in {path}")
+    return header, units

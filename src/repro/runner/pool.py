@@ -1,0 +1,130 @@
+"""Parallel, cache-aware execution of runner work units.
+
+The schedule is: resolve every unit's cache key up front, serve hits
+from disk in the parent, then fan the misses out over a
+``multiprocessing`` pool (``workers > 1``) or run them inline
+(``workers <= 1`` — same code path as a pool worker, which is what the
+parallel-equals-serial guarantee rests on).  Results always come back
+in work-list order; the parent alone writes cache entries, so no two
+processes ever race on a cache file.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+from repro.runner.cache import ResultCache, code_version, unit_key
+from repro.runner.units import ModelBundle, UnitSpec, execute_unit
+
+_WORKER_MODELS = ModelBundle()
+
+
+def default_workers() -> int:
+    """A safe parallelism default: the pool pays off quickly but the
+    23-kernel suite cannot keep dozens of cores busy."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _init_worker() -> None:
+    """Pool initializer: build the calibrated power model and the
+    circuit-characterised adder model once per worker process."""
+    _WORKER_MODELS.ensure()
+
+
+def _run_one(item) -> tuple:
+    index, spec = item
+    return index, execute_unit(spec, models=_WORKER_MODELS)
+
+
+def _pool_context():
+    """Prefer fork (cheap, Linux CI); fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_units(specs, workers: int = 1, cache: ResultCache = None,
+              use_cache: bool = True, progress=None) -> list:
+    """Execute ``specs`` and return their result dicts, in order.
+
+    Each returned dict is the :func:`~repro.runner.units.execute_unit`
+    payload plus two runtime fields: ``key`` (the cache key) and
+    ``cached`` (whether this invocation served it from disk).
+
+    ``use_cache=False`` bypasses the disk cache entirely — no reads,
+    no writes.  ``progress`` is an optional ``callable(spec, result)``
+    invoked as each unit completes (cache hits included).
+    """
+    specs = list(specs)
+    for spec in specs:
+        if not isinstance(spec, UnitSpec):
+            raise TypeError(f"expected UnitSpec, got {type(spec)!r}")
+    cache = cache if cache is not None else ResultCache()
+    version = code_version()
+    keys = [unit_key(spec, version) for spec in specs]
+    results = [None] * len(specs)
+
+    pending = []
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        hit = cache.load(key) if use_cache else None
+        if hit is not None:
+            hit = dict(hit)
+            hit.update(key=key, cached=True)
+            results[i] = hit
+            if progress is not None:
+                progress(spec, hit)
+        else:
+            pending.append((i, spec))
+
+    def finish(i, result):
+        result.update(key=keys[i], cached=False)
+        if use_cache:
+            cache.store(keys[i], result)
+        results[i] = result
+        if progress is not None:
+            progress(specs[i], result)
+
+    if pending:
+        if workers > 1:
+            ctx = _pool_context()
+            with ctx.Pool(min(workers, len(pending)),
+                          initializer=_init_worker) as pool:
+                for i, result in pool.imap_unordered(_run_one, pending):
+                    finish(i, result)
+        else:
+            for item in pending:
+                finish(*_run_one(item))
+    return results
+
+
+def run_suite_units(specs, workers: int = 1, **kwargs) -> dict:
+    """Like :func:`run_units` but keyed ``{(kernel, config): result}``
+    — the shape the benchmark fixtures want."""
+    results = run_units(specs, workers=workers, **kwargs)
+    return {(spec.kernel, spec.config.name): result
+            for spec, result in zip(specs, results)}
+
+
+class RunTimer:
+    """Wall-clock + hit/miss accounting for one runner invocation."""
+
+    def __init__(self):
+        self.t0 = time.perf_counter()
+        self.hits = 0
+        self.misses = 0
+
+    def observe(self, spec, result) -> None:
+        if result.get("cached"):
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.t0
+
+    def summary(self) -> dict:
+        return {"wall_time_s": self.elapsed_s,
+                "cache_hits": self.hits, "cache_misses": self.misses}

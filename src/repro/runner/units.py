@@ -1,0 +1,232 @@
+"""Work units: the (kernel × SpeculationConfig) grid the runner executes.
+
+A :class:`UnitSpec` pins down *everything* that determines a unit's
+numbers — kernel name, workload scale, RNG seed and the full
+:class:`~repro.core.predictors.SpeculationConfig` — so results are
+reproducible regardless of execution order or worker count.  Seeds are
+fixed per unit at plan time (:func:`build_units`), never drawn from
+shared RNG state, which is what makes parallel and serial schedules
+produce bit-identical results.
+
+:func:`execute_unit` runs one unit end to end (trace → speculation →
+timing → energy) and flattens the outcome into the JSON-serialisable
+dict that the disk cache and the JSONL manifest both store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predictors import SpeculationConfig
+from repro.core.speculation import ST2_DESIGN
+from repro.kernels import suite as kernel_suite
+from repro.sim.trace_io import trace_nbytes
+
+#: Bump when the shape of the result dict changes; part of the cache key.
+RESULT_SCHEMA = 1
+
+#: Fields every valid result dict must carry (cache validation).
+RESULT_FIELDS = ("kernel", "scale", "seed", "config", "config_fields",
+                 "wall_time_s", "trace_rows", "trace_bytes",
+                 "n_static_pcs", "metrics", "energy_stacks")
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One (kernel, scale, seed, config) experiment cell."""
+
+    kernel: str
+    scale: float = 1.0
+    seed: int = 0
+    config: SpeculationConfig = ST2_DESIGN
+    aux: bool = True        # also measure VaLHALLA + Fig.3 correlation
+
+    @property
+    def label(self) -> str:
+        return f"{self.kernel}[{self.config.name}]"
+
+    def identity(self) -> dict:
+        """The JSON payload that (with the code version) keys the cache."""
+        return {
+            "kernel": self.kernel,
+            "scale": self.scale,
+            "seed": self.seed,
+            "config": dataclasses.asdict(self.config),
+            "aux": self.aux,
+            "schema": RESULT_SCHEMA,
+        }
+
+
+def resolve_configs(spec) -> tuple:
+    """Resolve a CLI ``--configs`` value into SpeculationConfigs.
+
+    Accepts a comma-separated string or an iterable of names; each name
+    is an alias (``st2``, ``valhalla``, ``prev``, ``casa``, ``ladder``,
+    ``fig3``) or an exact ladder name such as ``Ltid+Prev+ModPC4+Peek``.
+    """
+    from repro.core import speculation as spec_mod
+
+    aliases = {
+        "st2": (spec_mod.ST2_DESIGN,),
+        "valhalla": (spec_mod.VALHALLA,),
+        "prev": (spec_mod.PREV,),
+        "casa": (spec_mod.CASA,),
+        "ladder": tuple(spec_mod.DESIGN_LADDER),
+        "fig3": tuple(spec_mod.FIG3_CONFIGS),
+    }
+    if isinstance(spec, str):
+        spec = [s for s in spec.split(",") if s]
+    configs = []
+    for name in spec:
+        if name.lower() in aliases:
+            configs.extend(aliases[name.lower()])
+        else:
+            configs.append(spec_mod.config_by_name(name))
+    seen = set()
+    unique = []
+    for cfg in configs:
+        if cfg.name not in seen:
+            seen.add(cfg.name)
+            unique.append(cfg)
+    return tuple(unique)
+
+
+def derive_unit_seed(base_seed: int, kernel: str) -> int:
+    """A per-kernel seed that is a pure function of (base_seed, kernel).
+
+    Used by ``--per-kernel-seeds``; stable across processes and Python
+    versions (unlike ``hash``).
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{kernel}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def build_units(kernels, configs=(ST2_DESIGN,), scale: float = 1.0,
+                seed: int = 0, aux: bool = True,
+                per_kernel_seeds: bool = False) -> list:
+    """Expand the (kernel × config) grid into ordered :class:`UnitSpec`s.
+
+    Every unit's seed is fixed here, before any execution happens, so
+    the work list is identical no matter how it is later scheduled.
+    """
+    kernels = kernel_suite.resolve_kernels(kernels)
+    units = []
+    for kernel in kernels:
+        unit_seed = (derive_unit_seed(seed, kernel)
+                     if per_kernel_seeds else seed)
+        for config in configs:
+            units.append(UnitSpec(kernel=kernel, scale=scale,
+                                  seed=unit_seed, config=config, aux=aux))
+    return units
+
+
+@dataclass
+class ModelBundle:
+    """The session-scoped models every unit shares (built once per
+    process / pool worker; deterministic for a given seed)."""
+
+    power_model: object = None
+    adder_model: object = None
+    seed: int = 0
+    _built: bool = field(default=False, repr=False)
+
+    def ensure(self) -> "ModelBundle":
+        if not self._built:
+            from repro.power.calibration import calibrated_model
+            from repro.st2.architecture import default_adder_model
+            self.power_model = calibrated_model(seed=self.seed)
+            self.adder_model = default_adder_model()
+            self._built = True
+        return self
+
+
+def _aux_metrics(run) -> dict:
+    """The extra per-kernel measurements the headline scorecard needs:
+    the VaLHALLA comparison point and the Figure 3 correlation rates."""
+    from repro.core.correlation import slice_carry_correlation
+    from repro.core.predictors import run_speculation
+    from repro.core.speculation import VALHALLA
+
+    valhalla = run_speculation(run.trace, VALHALLA)
+    correlation = slice_carry_correlation(run.trace, run.name)
+    return {
+        "valhalla_misprediction_rate":
+            valhalla.thread_misprediction_rate,
+        "correlation": {k: float(v)
+                        for k, v in correlation.match_rates.items()},
+    }
+
+
+def execute_unit(spec: UnitSpec, models: ModelBundle = None,
+                 use_mem_cache: bool = True) -> dict:
+    """Run one unit end to end and return its flat result dict.
+
+    The dict contains only JSON-native values (plus NaN, which the
+    stdlib ``json`` round-trips), so it can be disk-cached and written
+    to the manifest verbatim.
+    """
+    from repro.st2.architecture import evaluate_run
+
+    models = (models or ModelBundle()).ensure()
+    t0 = time.perf_counter()
+    run = kernel_suite.run_kernel(spec.kernel, scale=spec.scale,
+                                  seed=spec.seed,
+                                  use_cache=use_mem_cache)
+    ev = evaluate_run(run, config=spec.config,
+                      model=models.power_model,
+                      adder_model=models.adder_model)
+    base_stack, st2_stack = ev.energy.normalized_stacks()
+    result = {
+        "kernel": spec.kernel,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "config": spec.config.name,
+        "config_fields": dataclasses.asdict(spec.config),
+        "wall_time_s": 0.0,     # patched below, after measuring
+        "trace_rows": int(len(run.trace)),
+        "trace_bytes": int(trace_nbytes(run.trace, run.insts)),
+        "n_static_pcs": int(run.n_static_pcs),
+        "metrics": {
+            "misprediction_rate": float(ev.misprediction_rate),
+            "recomputed_per_misprediction":
+                float(ev.recomputed_per_misprediction),
+            "slowdown": float(ev.slowdown),
+            "baseline_cycles": int(ev.timing_baseline.total_cycles),
+            "st2_cycles": int(ev.timing_st2.total_cycles),
+            "system_saving": float(ev.system_saving),
+            "chip_saving": float(ev.chip_saving),
+            "alu_fpu_share": float(ev.energy.alu_fpu_share),
+            "arithmetic_intensive": bool(ev.arithmetic_intensive),
+        },
+        "energy_stacks": {"baseline": base_stack, "st2": st2_stack},
+    }
+    if spec.aux:
+        result["aux"] = _aux_metrics(run)
+    result["wall_time_s"] = time.perf_counter() - t0
+    return result
+
+
+def comparable(result: dict) -> dict:
+    """Strip the runtime-only fields (wall time, cache bookkeeping) so
+    two results can be compared for numerical identity."""
+    out = {k: v for k, v in result.items()
+           if k not in ("wall_time_s", "cached", "key")}
+    return out
+
+
+def results_equal(a: dict, b: dict) -> bool:
+    """Exact numerical equality of two unit results (NaN == NaN)."""
+    def eq(x, y):
+        if isinstance(x, dict) and isinstance(y, dict):
+            return (x.keys() == y.keys()
+                    and all(eq(x[k], y[k]) for k in x))
+        if isinstance(x, float) and isinstance(y, float):
+            return x == y or (np.isnan(x) and np.isnan(y))
+        return x == y
+    return eq(comparable(a), comparable(b))

@@ -37,7 +37,7 @@ from repro.core import bitops, floating
 from repro.isa.opcodes import Opcode
 from repro.isa.pc import PcTable
 from repro.sim.config import GPUConfig, LaunchConfig
-from repro.sim.memory import (SHARED_BASE, Allocator, DeviceBuffer,
+from repro.sim.memory import (SHARED_BASE, DeviceBuffer,
                               MemoryStats)
 from repro.sim.trace import TraceBuilder
 

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.isa.opcodes import FunctionalUnit, Opcode
+from repro.isa.opcodes import FunctionalUnit
 from repro.sim.config import GPUConfig, TITAN_V
 from repro.sim.trace import opcode_from_id
 
@@ -109,7 +109,6 @@ def simulate_sm(insts, launch, gpu: GPUConfig = TITAN_V,
     warp_rows: dict = {int(w): np.nonzero(warps == w)[0]
                        for w in warp_ids}
     completions: dict = {int(w): [] for w in warp_ids}
-    warp_ready = {int(w): 0 for w in warp_ids}
 
     fu_free = {unit: 0 for unit in FunctionalUnit}
     stall_fu = 0

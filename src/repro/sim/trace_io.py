@@ -23,6 +23,16 @@ _ADD_COLUMNS = ("pc", "gtid", "ltid", "warp", "sm", "block", "seq",
 _INST_COLUMNS = ("seq", "block", "warp", "sm", "opcode", "active")
 
 
+def trace_nbytes(trace: AddTrace, insts: InstStream = None) -> int:
+    """In-memory footprint of a trace (and optional instruction
+    stream): the runner's per-unit trace-size metric, and a guide for
+    sizing trace archives before :func:`save_trace` compresses them."""
+    total = sum(getattr(trace, c).nbytes for c in _ADD_COLUMNS)
+    if insts is not None:
+        total += sum(getattr(insts, c).nbytes for c in _INST_COLUMNS)
+    return total
+
+
 def save_trace(path, trace: AddTrace, insts: InstStream = None,
                metadata: dict = None) -> None:
     """Write a trace (and optionally its InstStream) to ``path``."""

@@ -18,15 +18,14 @@ the circuit study). This module quantifies each on the actual traces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core import bitops
 from repro.core.predictors import (SpeculationConfig, history_keys,
-                                   predict_trace, previous_same_key,
-                                   run_speculation, trace_groups,
-                                   trace_peek)
+                                   previous_same_key, run_speculation,
+                                   trace_groups, trace_peek)
 from repro.core.speculation import ST2_DESIGN
 
 # ----------------------------------------------------------------------

@@ -20,9 +20,7 @@ extra static/idle energy of the longer ST2 runtime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.circuits.characterize import AdderEnergyModel
 from repro.power.components import Component
@@ -153,7 +151,6 @@ class EnergyComparison:
         """(baseline, st2) component stacks normalised to the baseline
         system energy — exactly Figure 7's bar pairs."""
         total = self.baseline.system_j
-        order = list(Component) + ["static"]
 
         def stack(b: EnergyBreakdown) -> dict:
             out = {c.value: b.components[c] / total for c in Component}

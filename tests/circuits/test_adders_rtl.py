@@ -5,7 +5,6 @@ import pytest
 
 from repro.circuits.adders_rtl import (adder_outputs_to_int,
                                        brent_kung_adder, kogge_stone_adder,
-                                       random_add_stimulus,
                                        ripple_carry_adder, sliced_adder)
 
 BUILDERS = [ripple_carry_adder, kogge_stone_adder, brent_kung_adder]

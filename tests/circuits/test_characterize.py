@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits.characterize import (AdderEnergyModel, best_slice_width,
+from repro.circuits.characterize import (best_slice_width,
                                          characterize_adders,
                                          min_slice_voltage,
                                          nominal_period_ps,

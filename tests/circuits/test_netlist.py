@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits.netlist import Netlist
-from repro.circuits.technology import SAED90, Technology
+from repro.circuits.technology import SAED90
 
 
 def _xor2():

@@ -7,8 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import bitops
 from repro.core.approximate import (AccuracyConfigurableAdder,
-                                    ApproximateOutcome, VLSAAdder,
-                                    compare_on_stream)
+                                    VLSAAdder, compare_on_stream)
 from repro.core.slices import AdderGeometry
 
 

@@ -1,6 +1,5 @@
 """Section III value-correlation study (Figures 2 and 3)."""
 
-import numpy as np
 import pytest
 
 from repro.core.correlation import (intra_pc_value_spread,

@@ -1,7 +1,6 @@
 """FP mantissa-adder operand extraction."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import bitops
 from repro.core.history import ReferencePredictor
 from repro.core.predictors import (MAX_PREDICTIONS, SpeculationConfig,
                                    predict_trace, run_speculation,

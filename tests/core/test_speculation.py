@@ -3,10 +3,9 @@
 import pytest
 
 from repro.core.speculation import (CASA, DESIGN_LADDER, FIG3_CONFIGS,
-                                    LTID_PREV_MODPC4_PEEK, PREV_PEEK,
-                                    ST2_DESIGN, STATIC_ONE, STATIC_ZERO,
-                                    VALHALLA, VALHALLA_PEEK,
-                                    config_by_name, explore, prev_modpc)
+                                    LTID_PREV_MODPC4_PEEK, ST2_DESIGN,
+                                    VALHALLA, config_by_name, explore,
+                                    prev_modpc)
 from repro.kernels import pathfinder
 
 

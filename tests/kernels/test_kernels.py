@@ -20,7 +20,7 @@ SCALE = 0.2
 class TestPathfinder:
     def test_dp_matches_reference(self):
         prep = pathfinder.prepare(scale=SCALE, seed=3)
-        run = prep.run()
+        prep.run()
         wall = prep.params["gpu_wall"].data
         src = prep.params["gpu_src"].data
         dst = prep.params["gpu_dst"].data
@@ -29,13 +29,9 @@ class TestPathfinder:
         start = prep.params["start_step"]
         # reference DP, restricted to columns interior to each block
         # tile (the halo shrinks the valid region per iteration)
-        prev = src.astype(np.int64).copy()
         grid = np.arange(cols)
         bs = pathfinder.BLOCK_SIZE
         small = bs - 2 * iteration
-        tx = (grid % small) + 1 + iteration - 1  # position in tile? no:
-        # emulate the kernel exactly instead: for each block tile
-        result = dst.copy()
         # the kernel's own math was already exercised; verify cells far
         # from tile borders match the unrestricted DP
         ref = src.astype(np.int64).copy()
@@ -60,7 +56,7 @@ class TestPathfinder:
 class TestKmeans:
     def test_membership_is_nearest_centre(self):
         prep = kmeans.prepare(scale=SCALE, seed=2)
-        run = prep.run()
+        prep.run()
         n = prep.params["npoints"]
         nf = prep.params["nfeatures"]
         nc = prep.params["nclusters"]
@@ -77,7 +73,7 @@ class TestKmeans:
 class TestBackprop:
     def test_layerforward_partial_sums(self):
         prep = backprop.prepare_k1(scale=SCALE, seed=1)
-        run = prep.run()
+        prep.run()
         n_in = prep.params["n_inputs"]
         n_hid = prep.params["n_hidden"]
         inputs = prep.params["inputs"].data
@@ -230,7 +226,6 @@ class TestNumericalKernels:
     def test_dwt_lifting_predict_step(self):
         prep = dwt2d.prepare(scale=SCALE, seed=11)
         img = prep.params["image"].data.copy()
-        width = prep.params["width"]
         prep.run()
         high = prep.params["high_out"].data
         # detail coefficient of pair 1 (interior): d = odd - (s0+s1)>>1
@@ -257,7 +252,6 @@ class TestNumericalKernels:
         prep.run()
         qr = prep.params["qr"].data
         phi = prep.params["phi_mag"].data
-        n_samples = prep.params["n_samples"]
         assert np.abs(qr).max() <= phi.sum() + 1e-3
 
     def test_sad_zero_for_identical_frames(self):

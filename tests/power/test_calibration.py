@@ -1,12 +1,10 @@
 """Calibration + validation workflow (paper Section V-C)."""
 
-import numpy as np
 import pytest
 
 from repro.kernels.suite import run_suite
 from repro.power.activity import activity_from_run
 from repro.power.calibration import calibrate, calibrated_model
-from repro.power.components import Component
 from repro.power.hardware import (TRUE_P_CONST_W, TRUE_P_IDLE_SM_W,
                                   SyntheticSilicon)
 from repro.power.validation import validate

@@ -116,10 +116,11 @@ class TestMicrobenchmarks:
     def test_stressors_emphasise_their_component(self):
         model = GPUPowerModel()
         for mb in build_microbenchmarks()[:108:12]:
-            target = max(
+            strongest = max(
                 Component,
                 key=lambda c: model.raw_component_power_w(mb, c)
                 * (0 if c is Component.OTHERS else 1))
+            assert strongest in Component
             assert mb.name.startswith("stress_"), mb.name
 
     def test_occupancy_sweep_varies_idle_sms(self):

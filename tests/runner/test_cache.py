@@ -1,0 +1,115 @@
+"""Disk-cache behaviour: keys, hits, invalidation, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.speculation import PREV_PEEK, ST2_DESIGN
+from repro.runner import (ResultCache, UnitSpec, build_units, run_units,
+                          unit_key)
+from repro.runner.units import results_equal
+
+FAST = "qrng_K2"        # smallest suite kernel: ~0.1 s per execution
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def unit(**kw):
+    kw.setdefault("kernel", FAST)
+    kw.setdefault("aux", False)
+    return UnitSpec(**kw)
+
+
+def test_key_is_deterministic_and_content_sensitive():
+    base = unit()
+    assert unit_key(base) == unit_key(unit())
+    assert unit_key(base) != unit_key(unit(seed=1))
+    assert unit_key(base) != unit_key(unit(scale=0.5))
+    assert unit_key(base) != unit_key(unit(aux=True))
+    assert unit_key(base) != unit_key(unit(config=PREV_PEEK))
+
+
+def test_key_invalidates_on_code_version_change():
+    spec = unit()
+    assert unit_key(spec, version="aaaa") != unit_key(spec,
+                                                      version="bbbb")
+
+
+def test_miss_then_hit(cache):
+    spec = unit()
+    (cold,) = run_units([spec], cache=cache)
+    assert cold["cached"] is False
+    assert len(cache) == 1
+
+    (warm,) = run_units([spec], cache=cache)
+    assert warm["cached"] is True
+    assert results_equal(cold, warm)
+
+
+def test_config_change_is_a_miss(cache):
+    (first,) = run_units([unit(config=ST2_DESIGN)], cache=cache)
+    (other,) = run_units([unit(config=PREV_PEEK)], cache=cache)
+    assert other["cached"] is False
+    assert len(cache) == 2
+    assert other["metrics"] != first["metrics"]
+
+
+def test_no_cache_bypasses_reads_and_writes(cache):
+    spec = unit()
+    run_units([spec], cache=cache)          # populate
+    (result,) = run_units([spec], cache=cache, use_cache=False)
+    assert result["cached"] is False
+    assert len(cache) == 1                  # nothing new written
+
+
+def test_corrupted_entry_recomputes_and_heals(cache):
+    spec = unit()
+    (cold,) = run_units([spec], cache=cache)
+    path = cache.path(cold["key"])
+
+    for garbage in (b"not json{", b"", json.dumps(
+            {"key": "wrong", "result": {}}).encode()):
+        path.write_bytes(garbage)
+        (again,) = run_units([spec], cache=cache)
+        assert again["cached"] is False     # recomputed, not crashed
+        assert results_equal(cold, again)
+        # the bad entry was overwritten with a valid one
+        (healed,) = run_units([spec], cache=cache)
+        assert healed["cached"] is True
+
+
+def test_truncated_result_payload_is_a_miss(cache):
+    spec = unit()
+    (cold,) = run_units([spec], cache=cache)
+    path = cache.path(cold["key"])
+    payload = json.loads(path.read_text())
+    del payload["result"]["metrics"]
+    path.write_text(json.dumps(payload))
+    (again,) = run_units([spec], cache=cache)
+    assert again["cached"] is False
+    assert results_equal(cold, again)
+
+
+def test_cache_dir_env_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    cache = ResultCache()
+    assert cache.root == tmp_path / "envcache"
+
+
+def test_build_units_grid_and_seeds():
+    units = build_units([FAST, "sortNets_K2"],
+                        configs=(ST2_DESIGN, PREV_PEEK), seed=7)
+    assert len(units) == 4
+    assert all(u.seed == 7 for u in units)
+    per_kernel = build_units([FAST, "sortNets_K2"], seed=7,
+                             per_kernel_seeds=True)
+    assert per_kernel[0].seed != per_kernel[1].seed
+    # derived seeds are pure functions of (base seed, kernel)
+    again = build_units([FAST, "sortNets_K2"], seed=7,
+                        per_kernel_seeds=True)
+    assert [u.seed for u in per_kernel] == [u.seed for u in again]

@@ -1,0 +1,111 @@
+"""The ``st2-run`` CLI and the JSONL manifest format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.kernels.suite import KERNEL_NAMES, resolve_kernels
+from repro.runner import read_manifest, resolve_configs, write_manifest
+from repro.runner.cli import main
+
+
+def test_resolve_kernels_groups_and_lists():
+    assert resolve_kernels("all") == KERNEL_NAMES
+    assert resolve_kernels("smoke") == ("binomial", "pathfinder",
+                                        "qrng_K2")
+    assert resolve_kernels("qrng_K2,binomial") == ("qrng_K2",
+                                                   "binomial")
+    assert resolve_kernels(["smoke", "binomial"]) == \
+        ("binomial", "pathfinder", "qrng_K2")     # deduplicated
+    with pytest.raises(KeyError):
+        resolve_kernels("no_such_kernel")
+
+
+def test_resolve_configs_aliases_and_names():
+    (st2,) = resolve_configs("st2")
+    assert st2.name == "Ltid+Prev+ModPC4+Peek"
+    ladder = resolve_configs("ladder")
+    assert len(ladder) == 12
+    assert len(resolve_configs("st2,Ltid+Prev+ModPC4+Peek")) == 1
+    with pytest.raises(KeyError):
+        resolve_configs("no_such_config")
+
+
+def test_cli_writes_manifest(tmp_path, capsys):
+    out = tmp_path / "run" / "manifest.jsonl"
+    rc = main(["--kernels", "qrng_K2", "--workers", "1", "--no-aux",
+               "--cache-dir", str(tmp_path / "cache"),
+               "--out", str(out)])
+    assert rc == 0
+    header, units = read_manifest(out)
+    assert header["kernels"] == ["qrng_K2"]
+    assert header["configs"] == ["Ltid+Prev+ModPC4+Peek"]
+    assert header["n_units"] == len(units) == 1
+    assert header["cache_misses"] == 1
+    assert "code_version" in header
+    unit = units[0]
+    assert unit["cached"] is False
+    assert unit["trace_rows"] > 0
+    assert unit["trace_bytes"] > 0
+    assert unit["wall_time_s"] > 0
+    assert 0 <= unit["metrics"]["misprediction_rate"] <= 1
+    captured = capsys.readouterr().out
+    assert "st2-run results" in captured
+    assert "qrng_K2" in captured
+
+    # warm rerun: all hits, identical numbers
+    rc = main(["--kernels", "qrng_K2", "--workers", "1", "--no-aux",
+               "--cache-dir", str(tmp_path / "cache"),
+               "--out", str(out), "--quiet"])
+    assert rc == 0
+    header2, units2 = read_manifest(out)
+    assert header2["cache_hits"] == 1
+    assert units2[0]["cached"] is True
+    assert units2[0]["metrics"] == unit["metrics"]
+
+
+def test_cli_list_mode(tmp_path, capsys):
+    rc = main(["--kernels", "smoke", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("Ltid+Prev+ModPC4+Peek") == 3
+
+
+def test_cli_rejects_unknown_kernel(capsys):
+    rc = main(["--kernels", "bogus"])
+    assert rc == 2
+    assert "unknown kernel" in capsys.readouterr().err
+
+
+def test_cli_rejects_empty_work_list(capsys):
+    rc = main(["--kernels", ""])
+    assert rc == 2
+    assert "no work units" in capsys.readouterr().err
+
+
+def test_manifest_round_trip(tmp_path):
+    results = [{"kernel": "k", "metrics": {"x": float("nan")},
+                "cached": False}]
+    path = write_manifest(tmp_path / "m.jsonl", results,
+                          meta={"workers": 3})
+    header, units = read_manifest(path)
+    assert header["workers"] == 3
+    assert units[0]["kernel"] == "k"
+    assert units[0]["metrics"]["x"] != units[0]["metrics"]["x"]  # NaN
+
+
+def test_manifest_rejects_bad_records(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"type": "run", "manifest_version": 99,
+                                "n_units": 0}) + "\n")
+    with pytest.raises(ValueError):
+        read_manifest(path)
+    path.write_text(json.dumps({"type": "unit"}) + "\n")
+    with pytest.raises(ValueError):
+        read_manifest(path)
+
+
+def test_module_entry_point():
+    import repro.runner.__main__  # noqa: F401  (importable entry point)

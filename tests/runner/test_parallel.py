@@ -1,0 +1,67 @@
+"""Parallel-vs-serial equivalence and pool scheduling behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import ResultCache, build_units, run_units
+from repro.runner.pool import default_workers, run_suite_units
+from repro.runner.units import results_equal
+
+KERNELS = ["qrng_K2", "sortNets_K2"]       # the two fastest tracers
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    units = build_units(KERNELS, aux=False)
+    return units, run_units(units, workers=1, use_cache=False)
+
+
+def test_parallel_equals_serial(serial_results):
+    units, serial = serial_results
+    parallel = run_units(units, workers=2, use_cache=False)
+    assert len(parallel) == len(serial)
+    for s, p in zip(serial, parallel):
+        assert p["kernel"] == s["kernel"]   # order preserved
+        assert results_equal(s, p), \
+            f"parallel diverged from serial on {s['kernel']}"
+
+
+def test_parallel_cache_round_trip(tmp_path, serial_results):
+    units, serial = serial_results
+    cache = ResultCache(tmp_path)
+    cold = run_units(units, workers=2, cache=cache)
+    assert [r["cached"] for r in cold] == [False, False]
+    warm = run_units(units, workers=2, cache=cache)
+    assert [r["cached"] for r in warm] == [True, True]
+    for s, c, w in zip(serial, cold, warm):
+        assert results_equal(s, c)
+        assert results_equal(c, w)
+
+
+def test_progress_sees_every_unit(tmp_path, serial_results):
+    units, _ = serial_results
+    seen = []
+    run_units(units, workers=2, cache=ResultCache(tmp_path),
+              progress=lambda spec, result: seen.append(
+                  (spec.kernel, result["cached"])))
+    assert sorted(k for k, _ in seen) == sorted(KERNELS)
+    assert all(not cached for _, cached in seen)
+
+
+def test_run_suite_units_keying(tmp_path, serial_results):
+    units, serial = serial_results
+    keyed = run_suite_units(units, workers=1,
+                            cache=ResultCache(tmp_path))
+    for spec, expect in zip(units, serial):
+        assert results_equal(keyed[(spec.kernel, spec.config.name)],
+                             expect)
+
+
+def test_rejects_non_unitspec():
+    with pytest.raises(TypeError):
+        run_units(["qrng_K2"], workers=1, use_cache=False)
+
+
+def test_default_workers_bounded():
+    assert 1 <= default_workers() <= 4

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sim.cache import (CacheStats, SetAssociativeCache,
+from repro.sim.cache import (SetAssociativeCache,
                              l2_miss_ratio_for_run, simulate_l2)
 from repro.sim.config import LaunchConfig
 from repro.sim.functional import GridLauncher
@@ -41,7 +41,7 @@ class TestCacheMechanics:
             SetAssociativeCache(size_bytes=100, line_bytes=64, ways=2)
 
     def test_streaming_misses_everything(self):
-        c = SetAssociativeCache(size_bytes=1024, line_bytes=64, ways=2)
+        SetAssociativeCache(size_bytes=1024, line_bytes=64, ways=2)
         stream = [np.array([i * 64]) for i in range(200)]
         stats = simulate_l2(stream, size_bytes=1024, line_bytes=64,
                             ways=2)
@@ -58,8 +58,8 @@ class TestRunIntegration:
     def test_recorded_streams_enable_simulation(self):
         def kernel(k, buf):
             # each thread reads one element twice -> strong reuse
-            v = k.ld_global(buf, k.thread_id())
-            w = k.ld_global(buf, k.thread_id())
+            k.ld_global(buf, k.thread_id())
+            k.ld_global(buf, k.thread_id())
 
         launcher = GridLauncher(record_streams=True)
         buf = launcher.buffer("b", np.zeros(64, np.float32))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
+from repro.sim.config import LaunchConfig, TITAN_V
 
 
 class TestTitanV:

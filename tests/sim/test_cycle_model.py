@@ -1,11 +1,10 @@
 """Cycle-driven SM model: structure, stalls, CRF ports, policies."""
 
-import numpy as np
 import pytest
 
 from repro.kernels import pathfinder, sgemm
 from repro.sim.config import LaunchConfig
-from repro.sim.cycle_model import CycleModel, CycleStats, compare_policies
+from repro.sim.cycle_model import CycleModel, compare_policies
 from repro.sim.functional import GridLauncher
 from repro.sim.pipeline import simulate_sm
 

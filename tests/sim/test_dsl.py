@@ -1,7 +1,6 @@
 """The kernel DSL: semantics, recording, divergence, memory."""
 
 import numpy as np
-import pytest
 
 from repro.core import bitops
 from repro.isa.opcodes import MixCategory, Opcode

@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.isa.opcodes import MixCategory, Opcode
-from repro.sim.trace import TraceBuilder, _block_phase, opcode_id
+from repro.sim.trace import TraceBuilder, _block_phase
 
 
 def _record(builder, block, seq, pc=0, n=4, warp0=0):

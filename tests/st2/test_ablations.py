@@ -1,6 +1,5 @@
 """Ablation machinery: depth, contention, slice width."""
 
-import numpy as np
 import pytest
 
 from repro.core.speculation import ST2_DESIGN

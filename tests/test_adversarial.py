@@ -2,7 +2,6 @@
 pathological traces gracefully (no crashes, sane statistics)."""
 
 import numpy as np
-import pytest
 
 from repro.core.correlation import (intra_pc_value_spread,
                                     slice_carry_correlation,

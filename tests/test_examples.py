@@ -4,7 +4,6 @@ Fast examples execute end-to-end; the slower studies are compile- and
 import-checked (their machinery is covered by the benchmarks).
 """
 
-import importlib.util
 import py_compile
 import subprocess
 import sys

@@ -8,7 +8,6 @@ positivity, bounded timing behaviour).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -39,7 +38,7 @@ def _build_kernel(ops, loop_body, loop_trips):
             elif op == "ffma":
                 f = k.ffma(f, 0.5, 2.0)
             elif op == "dadd":
-                f64 = k.dadd(k.cvt_f32(x).astype(np.float64), 0.25)
+                k.dadd(k.cvt_f32(x).astype(np.float64), 0.25)
             elif op == "load":
                 x = k.iadd(x, k.ld_global(buf, k.irem(i, 64)))
             elif op == "xor":

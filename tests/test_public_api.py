@@ -2,7 +2,6 @@
 compose the way the examples show."""
 
 import numpy as np
-import pytest
 
 import repro
 
