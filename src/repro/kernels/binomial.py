@@ -39,6 +39,12 @@ def binomial_kernel(k, spots, strikes, results, n_steps, vdt, pu_by_df,
             lo = k.ld_shared(vals, tx)
             hi = k.ld_shared(vals, k.iadd(tx, 1))
             new = k.ffma(pu_by_df, hi, k.fmul(pd_by_df, lo))
+        # barrier between reading vals[tx+1] and overwriting vals[tx]:
+        # at warp boundaries the neighbour belongs to another warp, and
+        # its read must land before our write (the CUDA sample syncs
+        # twice per roll-back step for the same reason)
+        k.syncthreads()
+        with k.where(alive):
             k.st_shared(vals, tx, new)
         k.syncthreads()
 

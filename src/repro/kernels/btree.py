@@ -60,8 +60,12 @@ def findrangek_kernel(k, keys, children, leaf_values, starts, ends,
         node_lo = np.zeros(k.n_threads, dtype=np.int64)
         node_hi = np.zeros(k.n_threads, dtype=np.int64)
         for _level in k.range(height):
-            c_lo = _find_child(k, keys, node_lo, lo)
-            c_hi = _find_child(k, keys, node_hi, hi)
+            # the CUDA compiler inlines findK's search loop once per
+            # bound, so each descent owns distinct static PCs
+            with k.inline("lo"):
+                c_lo = _find_child(k, keys, node_lo, lo)
+            with k.inline("hi"):
+                c_hi = _find_child(k, keys, node_hi, hi)
             node_lo = k.ld_global(children,
                                   k.iadd(k.imul(node_lo, ORDER), c_lo))
             node_hi = k.ld_global(children,

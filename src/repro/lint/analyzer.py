@@ -1,0 +1,118 @@
+"""Front-end tying the L1–L5 rules together over files and trees.
+
+A *kernel function* is any function whose first parameter is named
+``k`` — the repo-wide convention for the :class:`BlockContext`
+argument (enforced by the suite registry).  Per-function rules (L1,
+L3, L4) run on those; L2 runs per module; L5 runs only on modules the
+runner's result cache hashes, because that is where nondeterminism
+poisons cached numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.rules import (check_l1, check_l2, check_l3_l4,
+                              check_l5)
+from repro.lint.suppress import line_suppresses
+from repro.lint.taint import Taint
+
+ALL_RULES = ("L1", "L2", "L3", "L4", "L5")
+
+
+def _is_kernel_fn(fn: ast.FunctionDef) -> bool:
+    args = fn.args.args
+    return bool(args) and args[0].arg == "k"
+
+
+def _module_is_hashed(path) -> bool:
+    """Is this file inside a package the result cache digests?
+
+    Imported lazily: the analyzer must stay importable even when the
+    runner (and through it the kernel suite) is not.
+    """
+    try:
+        from repro.runner.cache import result_affecting_packages
+        packages = result_affecting_packages()
+    except Exception:
+        return False
+    parts = Path(path).resolve().parts
+    for i, part in enumerate(parts[:-1]):
+        if part == "repro" and parts[i + 1] in packages:
+            return True
+    return False
+
+
+def lint_source(src: str, path: str = "<string>", rules=None,
+                hashed=None):
+    """Lint one module's source text.
+
+    ``rules`` restricts to a subset of rule ids; ``hashed`` overrides
+    the on-disk is-this-module-cache-hashed determination (used by
+    tests and for stdin input).  Returns findings sorted by location,
+    with suppressed ones included but flagged.
+    """
+    active = set(ALL_RULES if rules is None else rules)
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(str(path), exc.lineno or 1, "E0",
+                        f"file could not be parsed: {exc.msg}")]
+
+    raw = []
+    if "L2" in active:
+        raw.extend(check_l2(tree, str(path)))
+    if "L5" in active:
+        if hashed is None:
+            hashed = _module_is_hashed(path)
+        if hashed:
+            raw.extend(check_l5(tree, str(path)))
+
+    per_fn = active & {"L1", "L3", "L4"}
+    if per_fn:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef) \
+                    and _is_kernel_fn(node):
+                taint = Taint(node)
+                if "L1" in per_fn:
+                    raw.extend(check_l1(node, taint, str(path)))
+                if per_fn & {"L3", "L4"}:
+                    raw.extend(check_l3_l4(
+                        node, taint, str(path),
+                        rules=tuple(per_fn & {"L3", "L4"})))
+
+    lines = src.splitlines()
+    seen, findings = set(), []
+    for f in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+        ident = (f.path, f.line, f.rule)
+        if ident in seen or f.rule not in active and f.rule != "E0":
+            continue
+        seen.add(ident)
+        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        findings.append(Finding(
+            f.path, f.line, f.rule, f.message, line_text=text,
+            suppressed=line_suppresses(text, f.rule)))
+    return findings
+
+
+def lint_paths(paths, rules=None):
+    """Lint files and directories (directories recurse over ``*.py``)."""
+    files = []
+    for item in paths:
+        p = Path(item)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings = []
+    for file in files:
+        try:
+            src = file.read_text()
+        except OSError as exc:
+            findings.append(Finding(str(file), 1, "E0",
+                                    f"file could not be read: {exc}"))
+            continue
+        findings.extend(lint_source(src, path=str(file), rules=rules))
+    return findings

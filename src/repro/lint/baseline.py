@@ -1,0 +1,60 @@
+"""Committed-baseline support: accept legacy findings, fail on new ones.
+
+The baseline file (``lint-baseline.json`` at the repo root by
+convention) maps finding fingerprints to their occurrence count.
+Fingerprints hash the rule, the trailing path components and the
+stripped *line text* — not the line number — so unrelated edits above
+a baselined site do not churn the file, while editing the flagged line
+itself surfaces the finding again.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path) -> dict:
+    """fingerprint -> count; empty dict when the file is absent."""
+    p = Path(path)
+    if not p.is_file():
+        return {}
+    payload = json.loads(p.read_text())
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path} (expected {BASELINE_VERSION})")
+    return dict(payload.get("fingerprints", {}))
+
+
+def write_baseline(path, findings) -> dict:
+    """Record unsuppressed findings as the new accepted baseline."""
+    counts = Counter(f.fingerprint() for f in findings
+                     if not f.suppressed)
+    payload = {"version": BASELINE_VERSION,
+               "fingerprints": dict(sorted(counts.items()))}
+    Path(path).write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    return payload["fingerprints"]
+
+
+def new_findings(findings, baseline: dict):
+    """Unsuppressed findings not covered by the baseline.
+
+    Each fingerprint's budget is its baseline count: a third copy of a
+    twice-baselined finding is new.
+    """
+    budget = Counter(baseline)
+    fresh = []
+    for f in findings:
+        if f.suppressed:
+            continue
+        fp = f.fingerprint()
+        if budget[fp] > 0:
+            budget[fp] -= 1
+        else:
+            fresh.append(f)
+    return fresh

@@ -1,0 +1,110 @@
+"""``st2-lint`` command-line entry point.
+
+Exit codes: 0 — clean (or every finding suppressed/baselined),
+1 — new unsuppressed findings, 2 — usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.analyzer import ALL_RULES, lint_paths
+from repro.lint.baseline import (load_baseline, new_findings,
+                                 write_baseline)
+from repro.lint.findings import RULES
+
+
+def _parse_rules(spec: str):
+    rules = tuple(r.strip() for r in spec.split(",") if r.strip())
+    unknown = [r for r in rules if r not in ALL_RULES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(ALL_RULES)}")
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="st2-lint",
+        description="Static correctness analyzer for the ST2 kernel "
+                    "DSL (rules L1-L5).")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--rules", type=_parse_rules, default=None,
+                        metavar="L1,L2,...",
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="accept findings recorded in this "
+                             "baseline file")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record current findings as the accepted "
+                             "baseline and exit 0")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def main(argv=None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, text in RULES.items():
+            print(f"{rule}  {text}", file=out)
+        return 0
+
+    findings = lint_paths(args.paths, rules=args.rules)
+
+    errors = [f for f in findings if f.rule == "E0"]
+    for f in errors:
+        print(f.format(), file=out)
+    if errors:
+        return 2
+
+    if args.write_baseline:
+        recorded = write_baseline(args.write_baseline, findings)
+        print(f"st2-lint: wrote {sum(recorded.values())} finding(s) "
+              f"to {args.write_baseline}", file=out)
+        return 0
+
+    baseline = {}
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (ValueError, OSError) as exc:
+            print(f"st2-lint: bad baseline: {exc}", file=out)
+            return 2
+
+    fresh = new_findings(findings, baseline)
+    shown = fresh if not args.show_suppressed else \
+        fresh + [f for f in findings if f.suppressed]
+    for f in sorted(shown, key=lambda f: (f.path, f.line, f.rule)):
+        print(f.format(), file=out)
+
+    n_sup = sum(1 for f in findings if f.suppressed)
+    n_base = sum(1 for f in findings if not f.suppressed) - len(fresh)
+    tail = []
+    if n_sup:
+        tail.append(f"{n_sup} suppressed")
+    if n_base:
+        tail.append(f"{n_base} baselined")
+    note = f" ({', '.join(tail)})" if tail else ""
+    if fresh:
+        print(f"st2-lint: {len(fresh)} finding(s){note}", file=out)
+        return 1
+    print(f"st2-lint: clean{note}", file=out)
+    return 0
+
+
+def console_main() -> None:
+    raise SystemExit(main())
+
+
+if __name__ == "__main__":
+    console_main()

@@ -1,0 +1,48 @@
+"""Finding records and the L1–L5 rule registry."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: rule id -> one-line rationale (mirrored in README's rule table).
+RULES = {
+    "L1": "untraced arithmetic: numpy +/- on device vectors bypasses "
+          "the DSL emit path and drops AddTrace rows",
+    "L2": "PC aliasing: a DSL-emitting helper called from several "
+          "sites of one function without distinct k.inline scopes",
+    "L3": "shared-memory store→load across thread-dependent "
+          "indices with no intervening syncthreads",
+    "L4": "syncthreads under a divergent k.where mask (hardware "
+          "deadlock)",
+    "L5": "nondeterminism (unseeded RNG / wall-clock) in a module the "
+          "runner cache hashes",
+    "E0": "file could not be parsed",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic, anchored to a source line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    line_text: str = ""
+    suppressed: bool = field(default=False, compare=False)
+
+    def format(self) -> str:
+        note = "  [suppressed]" if self.suppressed else ""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}{note}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + file + line *text*
+        (not line number, which shifts on unrelated edits)."""
+        blob = f"{self.rule}|{_tail(self.path)}|{self.line_text.strip()}"
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _tail(path: str, parts: int = 3) -> str:
+    """Last path components, so fingerprints survive repo relocation."""
+    return "/".join(str(path).replace("\\", "/").split("/")[-parts:])

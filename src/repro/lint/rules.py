@@ -1,0 +1,386 @@
+"""The L1–L5 static rules (AST checks over kernel modules).
+
+Each ``check_*`` yields raw :class:`~repro.lint.findings.Finding`
+objects; the analyzer attaches source text, applies suppressions and
+deduplicates.  The rules are heuristics tuned to this repo's DSL
+idioms; their contracts are pinned by fixture tests in
+``tests/lint/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+
+from repro.lint.findings import Finding
+from repro.lint.taint import Taint
+
+# ----------------------------------------------------------------------
+# L1 — untraced arithmetic
+# ----------------------------------------------------------------------
+
+#: numpy calls that are adder-class arithmetic (would have emitted
+#: AddTrace rows through the DSL).  Clamps (minimum/maximum) used for
+#: bounds safety are deliberately absent: they are functional-model
+#: artifacts, not ports of real instructions.
+_NUMPY_ADDER_CALLS = frozenset({"add", "subtract", "sum", "cumsum"})
+
+
+def _call_name(node: ast.Call) -> tuple:
+    """('np', 'add') for ``np.add(...)``, ('', 'f') for ``f(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return "", func.id
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None, None
+
+
+def check_l1(fn: ast.FunctionDef, taint: Taint, path: str):
+    """Raw ``+``/``-`` (or numpy adder calls) on device vectors."""
+    findings = []
+
+    def flag(node, what):
+        findings.append(Finding(
+            path, node.lineno, "L1",
+            f"{what} on a device vector bypasses the DSL emit path "
+            f"(no AddTrace rows → adder energy and misprediction "
+            f"statistics undercount); use k.iadd/k.isub/k.fadd/… "
+            f"instead"))
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)):
+            if taint.expr_tainted(node.left) \
+                    or taint.expr_tainted(node.right):
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                flag(node, f"raw `{op}`")
+        elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)):
+            if taint.expr_tainted(node.target) \
+                    or taint.expr_tainted(node.value):
+                op = "+=" if isinstance(node.op, ast.Add) else "-="
+                flag(node, f"raw `{op}`")
+        elif isinstance(node, ast.Call):
+            owner, name = _call_name(node)
+            if owner and name in _NUMPY_ADDER_CALLS and any(
+                    taint.expr_tainted(a) for a in node.args):
+                flag(node, f"`{owner}.{name}`")
+    return findings
+
+
+# ----------------------------------------------------------------------
+# L2 — PC aliasing through shared helpers
+# ----------------------------------------------------------------------
+
+#: Context methods that intern a PC (adder emits, the implicit address
+#: LEA of global accesses, and the loop increment).  Shared-memory
+#: accesses and bare instruction emits carry no PC and cannot alias.
+PC_EMITTING_METHODS = frozenset({
+    "iadd", "isub", "imin", "imax",
+    "fadd", "fsub", "ffma", "fmin", "fmax",
+    "dadd", "dsub", "dfma",
+    "ld_global", "st_global", "atomic_add", "range",
+    "warp_reduce_fadd", "warp_reduce_iadd",
+})
+
+
+def _ctx_name(fn: ast.FunctionDef) -> str:
+    return fn.args.args[0].arg if fn.args.args else "k"
+
+
+def _emits_pcs(fn: ast.FunctionDef, funcs: dict, seen=frozenset()) -> bool:
+    """Does ``fn`` (transitively) intern kernel PCs?"""
+    ctx = _ctx_name(fn)
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == ctx
+                and func.attr in PC_EMITTING_METHODS):
+            return True
+        if (isinstance(func, ast.Name) and func.id in funcs
+                and func.id not in seen
+                and _emits_pcs(funcs[func.id], funcs,
+                               seen | {func.id})):
+            return True
+    return False
+
+
+def _inline_tag(with_node: ast.With, ctx: str):
+    """The string tag of a ``with k.inline("tag"):`` block, or None."""
+    for item in with_node.items:
+        call = item.context_expr
+        if (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id == ctx
+                and call.func.attr == "inline"
+                and call.args):
+            arg = call.args[0]
+            if isinstance(arg, ast.Constant):
+                return str(arg.value)
+            return f"<dynamic@{call.lineno}>"
+    return None
+
+
+def check_l2(tree: ast.Module, path: str):
+    """A PC-emitting helper called from ≥2 sites of one function with
+    the same (or no) ``k.inline`` scope: every call site interns the
+    same PCs, conflating operand streams the predictor should keep
+    apart."""
+    funcs = {n.name: n for n in ast.walk(tree)
+             if isinstance(n, ast.FunctionDef)}
+    emitting = {name for name, fn in funcs.items()
+                if _emits_pcs(fn, funcs)}
+    findings = []
+
+    for caller in funcs.values():
+        ctx = _ctx_name(caller)
+        sites = defaultdict(list)        # (callee, scopes) -> [nodes]
+
+        def walk(node, scopes):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.FunctionDef):
+                    continue             # nested defs analysed separately
+                child_scopes = scopes
+                if isinstance(child, ast.With):
+                    tag = _inline_tag(child, ctx)
+                    if tag is not None:
+                        child_scopes = scopes + (tag,)
+                if (isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Name)
+                        and child.func.id in emitting
+                        and child.func.id != caller.name):
+                    sites[(child.func.id, child_scopes)].append(child)
+                walk(child, child_scopes)
+
+        walk(caller, ())
+        for (callee, scopes), nodes in sites.items():
+            if len(nodes) < 2:
+                continue
+            where = f"inside inline scope {'/'.join(scopes)!r} " \
+                if scopes else ""
+            for node in nodes:
+                findings.append(Finding(
+                    path, node.lineno, "L2",
+                    f"helper `{callee}` emits PC-interned ops and is "
+                    f"called {len(nodes)}× {where}in "
+                    f"`{caller.name}` — all sites alias to one static "
+                    f"PC, inflating ModPCk accuracy; wrap each call in "
+                    f"a distinct `with {ctx}.inline(...):` scope"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# L3 / L4 — shared-memory ordering and barrier divergence
+# ----------------------------------------------------------------------
+
+def _src(node: ast.AST) -> str:
+    return ast.dump(node) if node is None else ast.unparse(node)
+
+
+def _ctx_method_call(node: ast.AST, ctx: str):
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == ctx):
+        return node.func.attr
+    return None
+
+
+def _is_where(with_node: ast.With, ctx: str) -> bool:
+    for item in with_node.items:
+        call = item.context_expr
+        if (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id == ctx
+                and call.func.attr == "where"):
+            return True
+    return False
+
+
+def check_l3_l4(fn: ast.FunctionDef, taint: Taint, path: str,
+                rules=("L3", "L4")):
+    """Linear walk of the kernel body tracking shared-memory stores,
+    loads and barriers.
+
+    L3: a ``ld_shared`` whose index expression matches *no* pending
+    unsynchronised store index on the same buffer reads cells another
+    thread may just have written — cross-thread communication needs a
+    ``syncthreads`` in between.  (Same-expression store→load is the
+    per-thread scratch idiom and is fine.)  Loop bodies are walked
+    twice to catch wrap-around hazards; a barrier anywhere in the body
+    clears pending stores across iterations.
+
+    L4: ``syncthreads`` lexically under ``with k.where(...)`` — if the
+    mask ever diverges, inactive threads never reach the barrier.
+    """
+    ctx = taint.ctx
+    findings = []
+    pending = defaultdict(dict)       # buf src -> {idx src: store line}
+
+    def handle_call(method, node, depth):
+        if method == "syncthreads":
+            if depth > 0 and "L4" in rules:
+                findings.append(Finding(
+                    path, node.lineno, "L4",
+                    f"syncthreads under a divergent `{ctx}.where` "
+                    f"mask — threads masked off never reach the "
+                    f"barrier (deadlock on hardware); hoist the "
+                    f"barrier out of the divergent region"))
+            pending.clear()
+            return
+        if method not in ("st_shared", "atomic_add_shared",
+                          "ld_shared"):
+            return
+        if len(node.args) < 2:
+            return
+        buf, idx = _src(node.args[0]), _src(node.args[1])
+        if method == "ld_shared":
+            stores = pending.get(buf)
+            if ("L3" in rules and stores and idx not in stores
+                    and (taint.expr_tainted(node.args[1])
+                         or any(taint.expr_tainted(a)
+                                for a in node.args[1:2]))):
+                prev_idx, prev_line = next(iter(stores.items()))
+                findings.append(Finding(
+                    path, node.lineno, "L3",
+                    f"shared buffer `{buf}` stored with index "
+                    f"`{prev_idx}` (line {prev_line}) is read with "
+                    f"index `{idx}` before any syncthreads — "
+                    f"cross-thread visibility is undefined without a "
+                    f"barrier"))
+        else:
+            pending[buf][idx] = node.lineno
+
+    def walk_stmts(stmts, depth):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.For, ast.While)):
+                walk_stmts(stmt.body, depth)      # pass 1
+                walk_stmts(stmt.body, depth)      # pass 2: loop wrap
+                walk_stmts(stmt.orelse, depth)
+            elif isinstance(stmt, ast.If):
+                walk_stmts(stmt.body, depth)
+                walk_stmts(stmt.orelse, depth)
+            elif isinstance(stmt, ast.With):
+                inner = depth + 1 if _is_where(stmt, ctx) else depth
+                walk_stmts(stmt.body, inner)
+            elif isinstance(stmt, (ast.FunctionDef, ast.ClassDef)):
+                continue
+            else:
+                calls = [n for n in ast.walk(stmt)
+                         if _ctx_method_call(n, ctx)]
+                # evaluation order: argument loads happen before the
+                # enclosing store takes effect
+                loads = [c for c in calls
+                         if c.func.attr == "ld_shared"]
+                rest = [c for c in calls if c not in loads]
+                for call in loads + rest:
+                    handle_call(call.func.attr, call, depth)
+
+    walk_stmts(fn.body, 0)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# L5 — nondeterminism in cache-hashed modules
+# ----------------------------------------------------------------------
+
+_TIME_FNS = frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                       "perf_counter", "perf_counter_ns", "clock",
+                       "process_time"})
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_OTHER_BAD = {("os", "urandom"): "os.urandom",
+              ("uuid", "uuid4"): "uuid.uuid4",
+              ("uuid", "uuid1"): "uuid.uuid1",
+              ("secrets", "token_bytes"): "secrets",
+              ("secrets", "token_hex"): "secrets",
+              ("secrets", "randbelow"): "secrets"}
+
+
+def check_l5(tree: ast.Module, path: str):
+    """Unseeded RNG / wall-clock reads in a module whose source the
+    runner's content-addressed result cache hashes: the *numbers*
+    become nondeterministic while the cache key stays fixed, so stale
+    and fresh results are indistinguishable."""
+    numpy_names, random_names = set(), set()
+    nprandom_names = set()               # `from numpy import random as r`
+    time_names, datetime_names = set(), set()
+    from_imports = {}                    # local name -> "module.attr"
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.name in ("numpy", "numpy.random"):
+                    numpy_names.add(alias.asname or "numpy")
+                elif alias.name == "random":
+                    random_names.add(local)
+                elif alias.name == "time":
+                    time_names.add(local)
+                elif alias.name == "datetime":
+                    datetime_names.add(local)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if node.module == "random":
+                    from_imports[local] = f"random.{alias.name}"
+                elif node.module == "time" and alias.name in _TIME_FNS:
+                    from_imports[local] = f"time.{alias.name}"
+                elif node.module == "datetime" \
+                        and alias.name == "datetime":
+                    datetime_names.add(local)
+                elif node.module == "numpy" and alias.name == "random":
+                    nprandom_names.add(local)
+
+    findings = []
+
+    def flag(node, what, why):
+        findings.append(Finding(
+            path, node.lineno, "L5",
+            f"{what} in a cache-hashed module: {why} — results change "
+            f"while the content-addressed cache key does not, "
+            f"silently serving stale numbers"))
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # np.random.<fn>(...) or (from numpy import random) random.<fn>
+        if (isinstance(func, ast.Attribute)
+                and ((isinstance(func.value, ast.Attribute)
+                      and isinstance(func.value.value, ast.Name)
+                      and func.value.value.id in numpy_names
+                      and func.value.attr == "random")
+                     or (isinstance(func.value, ast.Name)
+                         and func.value.id in nprandom_names))):
+            if func.attr == "default_rng":
+                if not node.args and not node.keywords:
+                    flag(node, "`default_rng()` without a seed",
+                         "every call draws from OS entropy")
+            elif func.attr != "Generator":
+                flag(node, f"legacy global RNG `np.random.{func.attr}`",
+                     "shares hidden mutable state across the process")
+        elif (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)):
+            owner, attr = func.value.id, func.attr
+            if owner in random_names:
+                flag(node, f"stdlib `random.{attr}`",
+                     "uses the unseeded process-global generator")
+            elif owner in time_names and attr in _TIME_FNS:
+                flag(node, f"wall-clock read `time.{attr}()`",
+                     "the value differs on every run")
+            elif owner in datetime_names and attr in _DATETIME_FNS:
+                flag(node, f"`datetime.{attr}()`",
+                     "the value differs on every run")
+            elif (owner, attr) in _OTHER_BAD:
+                flag(node, f"`{_OTHER_BAD[(owner, attr)]}`",
+                     "draws from OS entropy")
+        elif isinstance(func, ast.Name) and func.id in from_imports:
+            flag(node, f"`{from_imports[func.id]}`",
+                 "nondeterministic between runs")
+    return findings

@@ -1,0 +1,29 @@
+"""Suppression-comment syntax shared by st2-lint and the sanitizer.
+
+A finding is silenced by annotating its source line::
+
+    hi = pos + BLOCK  # st2-lint: disable=L1 — folds into LDS immediate
+
+Several rules may be listed (``disable=L1,L3``) and ``disable=all``
+silences every rule.  Justification text after the rule list is
+encouraged (and enforced by review, not by the tool).
+"""
+
+from __future__ import annotations
+
+import re
+
+_DIRECTIVE = re.compile(r"#\s*st2-lint:\s*disable=([A-Za-z0-9_,\s]*)")
+
+
+def suppressed_rules(line_text: str) -> frozenset:
+    """Rule ids disabled on this source line (possibly ``{'all'}``)."""
+    m = _DIRECTIVE.search(line_text or "")
+    if not m:
+        return frozenset()
+    return frozenset(r.strip() for r in m.group(1).split(",") if r.strip())
+
+
+def line_suppresses(line_text: str, rule: str) -> bool:
+    rules = suppressed_rules(line_text)
+    return rule in rules or "all" in rules

@@ -1,0 +1,95 @@
+"""Device-vector taint analysis over one kernel function's AST.
+
+A *device vector* is any per-thread value produced by the DSL context
+(``k.thread_id()``, ``k.iadd(...)``, ``k.ld_global(...)``, …).  The
+static rules need to know which expressions hold such vectors: raw
+``+``/``-`` on them is untraced arithmetic (L1), while the same
+operators on Python scalars (``BLOCK - 1``, ``rows - 1``) are ordinary
+host-side constant math and perfectly fine.
+
+Taint seeds from calls and attributes on the kernel's context parameter
+(the first argument, ``k`` by convention) and propagates through
+assignments to a fixpoint, so loop-carried variables
+(``child = k.sel(...)`` inside ``k.range``) taint their earlier uses
+too.  The analysis is intra-procedural and name-based — a documented
+heuristic, not an escape analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: ``BlockContext`` attributes that *are* per-thread vectors.
+DEVICE_ATTRS = frozenset({"tid", "ltid", "gtid", "warp",
+                          "warp_in_block", "mask"})
+
+#: Context methods that do NOT return device vectors (loop iterators
+#: are Python ints, ``shared`` returns a buffer, stores return None…).
+NON_VALUE_METHODS = frozenset({
+    "range", "shared", "syncthreads", "where", "inline",
+    "st_global", "st_shared", "tensor_mma",
+})
+
+
+class Taint:
+    """Tainted-variable set for one function."""
+
+    def __init__(self, fn: ast.FunctionDef):
+        args = fn.args.args
+        self.ctx = args[0].arg if args else "k"
+        self.tainted: set = set()
+        self._fn = fn
+        self._propagate()
+
+    # -- expression classification ------------------------------------
+
+    def is_device_call(self, node: ast.AST) -> bool:
+        """``k.<method>(...)`` returning a per-thread vector."""
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == self.ctx
+                and node.func.attr not in NON_VALUE_METHODS)
+
+    def is_device_attr(self, node: ast.AST) -> bool:
+        """``k.tid`` and friends."""
+        return (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == self.ctx
+                and node.attr in DEVICE_ATTRS)
+
+    def expr_tainted(self, node: ast.AST) -> bool:
+        """Does this expression (sub)tree carry a device vector?"""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in self.tainted:
+                return True
+            if self.is_device_call(sub) or self.is_device_attr(sub):
+                return True
+        return False
+
+    # -- propagation ---------------------------------------------------
+
+    def _propagate(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(self._fn):
+                value, targets = None, ()
+                if isinstance(node, ast.Assign):
+                    value, targets = node.value, node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    if node.value is not None:
+                        value, targets = node.value, (node.target,)
+                elif isinstance(node, ast.For):
+                    # `for i in k.range(...)` yields Python ints (not
+                    # tainted: k.range is a NON_VALUE method); iterating
+                    # an actual vector taints the loop variable.
+                    value, targets = node.iter, (node.target,)
+                if value is None or not self.expr_tainted(value):
+                    continue
+                for target in targets:
+                    for name in ast.walk(target):
+                        if (isinstance(name, ast.Name)
+                                and name.id not in self.tainted):
+                            self.tainted.add(name.id)
+                            changed = True

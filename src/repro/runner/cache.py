@@ -23,13 +23,26 @@ from pathlib import Path
 
 from repro.runner.units import RESULT_FIELDS, UnitSpec
 
-#: Packages whose source determines unit results.  ``analysis``,
-#: ``report`` and ``runner`` are deliberately absent: they render and
-#: schedule results but cannot change them.
-CODE_VERSION_PACKAGES = ("core", "sim", "kernels", "circuits", "power",
-                        "st2", "isa")
+#: Subpackages that render, schedule or *check* results but cannot
+#: change a single number — the only thing maintained by hand.  Every
+#: other subpackage of ``repro`` is result-affecting and hashed into
+#: the cache key automatically, so adding a new simulation package can
+#: never be silently forgotten here.
+NON_RESULT_PACKAGES = frozenset({"analysis", "report", "runner", "lint"})
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+@lru_cache(maxsize=1)
+def result_affecting_packages() -> tuple:
+    """Sorted subpackages of ``repro`` whose source determines unit
+    results, discovered from the package tree on disk."""
+    import repro
+    root = Path(repro.__file__).parent
+    return tuple(sorted(
+        child.name for child in root.iterdir()
+        if child.is_dir() and (child / "__init__.py").is_file()
+        and child.name not in NON_RESULT_PACKAGES))
 
 
 @lru_cache(maxsize=1)
@@ -38,7 +51,7 @@ def code_version() -> str:
     import repro
     root = Path(repro.__file__).parent
     digest = hashlib.sha256()
-    for package in CODE_VERSION_PACKAGES:
+    for package in result_affecting_packages():
         pkg_dir = root / package
         if not pkg_dir.is_dir():
             continue

@@ -63,7 +63,7 @@ class BlockContext:
 
     def __init__(self, launch: LaunchConfig, block_id: int, sm: int,
                  builder: TraceBuilder, pcs: PcTable, gpu: GPUConfig,
-                 mem_stats: MemoryStats):
+                 mem_stats: MemoryStats, sanitizer=None):
         n = launch.block_threads
         self.launch = launch
         self.block_id = block_id
@@ -84,6 +84,8 @@ class BlockContext:
         self._mask_stack = [np.ones(n, dtype=bool)]
         self._seq = 0
         self._shared_next = SHARED_BASE
+        self._san = sanitizer
+        self._scope_stack: list = []
 
     # ------------------------------------------------------------------
     # identity helpers
@@ -91,11 +93,11 @@ class BlockContext:
 
     def thread_id(self) -> np.ndarray:
         """threadIdx.x for every thread of the block."""
-        return self.tid.copy()
+        return self._ret(self.tid.copy())
 
     def global_id(self) -> np.ndarray:
         """blockIdx.x * blockDim.x + threadIdx.x."""
-        return self.gtid.copy()
+        return self._ret(self.gtid.copy())
 
     @property
     def mask(self) -> np.ndarray:
@@ -138,9 +140,25 @@ class BlockContext:
             width=width, opcode=opcode,
             value=np.asarray(value, dtype=np.float64)[mask])
 
+    def _ret(self, value):
+        """Return path of every value-producing DSL op: in sanitize mode
+        the vector is tagged so raw numpy arithmetic on it is caught."""
+        if self._san is not None:
+            return self._san.wrap_value(value)
+        return value
+
+    def _scoped(self, tag: str) -> str:
+        """Compose the active ``inline`` scopes into the PC tag, so one
+        helper called from several sites interns distinct PCs per site
+        (the static-instruction identity compiler inlining would give)."""
+        if not self._scope_stack:
+            return tag
+        prefix = "/".join(self._scope_stack)
+        return f"{prefix}|{tag}" if tag else prefix
+
     def _pc(self, tag: str = "") -> int:
         # depth: kernel code -> DSL op -> _pc -> intern
-        return self._pcs.intern(depth=3, tag=tag)
+        return self._pcs.intern(depth=3, tag=self._scoped(tag))
 
     # ------------------------------------------------------------------
     # integer arithmetic (32-bit ALU adder class)
@@ -153,7 +171,7 @@ class BlockContext:
         res = a + b
         self._emit_add(Opcode.IADD, bitops.to_unsigned(a, 32),
                        bitops.to_unsigned(b, 32), 0, 32, res, self._pc())
-        return res
+        return self._ret(res)
 
     def isub(self, a, b):
         """32-bit integer subtraction: recorded as ``a + ~b + 1``."""
@@ -162,7 +180,7 @@ class BlockContext:
         res = a - b
         self._emit_add(Opcode.ISUB, bitops.to_unsigned(a, 32),
                        bitops.invert(b, 32), 1, 32, res, self._pc())
-        return res
+        return self._ret(res)
 
     def imin(self, a, b):
         """Integer min — compares via the adder (a - b), like MIN()."""
@@ -171,7 +189,7 @@ class BlockContext:
         res = np.minimum(a, b)
         self._emit_add(Opcode.IMIN, bitops.to_unsigned(a, 32),
                        bitops.invert(b, 32), 1, 32, res, self._pc())
-        return res
+        return self._ret(res)
 
     def imax(self, a, b):
         a = _ivec(a, self.n_threads)
@@ -179,7 +197,7 @@ class BlockContext:
         res = np.maximum(a, b)
         self._emit_add(Opcode.IMAX, bitops.to_unsigned(a, 32),
                        bitops.invert(b, 32), 1, 32, res, self._pc())
-        return res
+        return self._ret(res)
 
     # ------------------------------------------------------------------
     # integer non-adder ops
@@ -187,66 +205,73 @@ class BlockContext:
 
     def imul(self, a, b):
         self._emit_inst(Opcode.IMUL)
-        return _ivec(a, self.n_threads) * _ivec(b, self.n_threads)
+        return self._ret(_ivec(a, self.n_threads)
+                         * _ivec(b, self.n_threads))
 
     def imad(self, a, b, c):
         """a*b + c in the multiplier array (not an ST2 adder op)."""
         self._emit_inst(Opcode.IMAD)
-        return (_ivec(a, self.n_threads) * _ivec(b, self.n_threads)
-                + _ivec(c, self.n_threads))
+        return self._ret(_ivec(a, self.n_threads)
+                         * _ivec(b, self.n_threads)
+                         + _ivec(c, self.n_threads))
 
     def idiv(self, a, b):
         self._emit_inst(Opcode.IDIV)
         b = _ivec(b, self.n_threads)
         safe = np.where(b == 0, 1, b)
-        return _ivec(a, self.n_threads) // safe
+        return self._ret(_ivec(a, self.n_threads) // safe)
 
     def irem(self, a, b):
         self._emit_inst(Opcode.IREM)
         b = _ivec(b, self.n_threads)
         safe = np.where(b == 0, 1, b)
-        return _ivec(a, self.n_threads) % safe
+        return self._ret(_ivec(a, self.n_threads) % safe)
 
     def iand(self, a, b):
         self._emit_inst(Opcode.IAND)
-        return _ivec(a, self.n_threads) & _ivec(b, self.n_threads)
+        return self._ret(_ivec(a, self.n_threads)
+                         & _ivec(b, self.n_threads))
 
     def ior(self, a, b):
         self._emit_inst(Opcode.IOR)
-        return _ivec(a, self.n_threads) | _ivec(b, self.n_threads)
+        return self._ret(_ivec(a, self.n_threads)
+                         | _ivec(b, self.n_threads))
 
     def ixor(self, a, b):
         self._emit_inst(Opcode.IXOR)
-        return _ivec(a, self.n_threads) ^ _ivec(b, self.n_threads)
+        return self._ret(_ivec(a, self.n_threads)
+                         ^ _ivec(b, self.n_threads))
 
     def shl(self, a, b):
         self._emit_inst(Opcode.SHL)
-        return _ivec(a, self.n_threads) << _ivec(b, self.n_threads)
+        return self._ret(_ivec(a, self.n_threads)
+                         << _ivec(b, self.n_threads))
 
     def shr(self, a, b):
         self._emit_inst(Opcode.SHR)
-        return _ivec(a, self.n_threads) >> _ivec(b, self.n_threads)
+        return self._ret(_ivec(a, self.n_threads)
+                         >> _ivec(b, self.n_threads))
 
     def sel(self, cond, a, b):
         """Predicated select (no adder involved)."""
         self._emit_inst(Opcode.SEL)
-        return np.where(np.asarray(cond, dtype=bool),
-                        np.asarray(a), np.asarray(b))
+        return self._ret(np.where(np.asarray(cond, dtype=bool),
+                                  np.asarray(a), np.asarray(b)))
 
     def cvt_f32(self, a):
         """Integer → FP32 conversion (CVT)."""
         self._emit_inst(Opcode.CVT)
-        return _ivec(a, self.n_threads).astype(np.float32)
+        return self._ret(_ivec(a, self.n_threads).astype(np.float32))
 
     def cvt_i32(self, a):
         """FP32 → integer conversion (CVT, truncating)."""
         self._emit_inst(Opcode.CVT)
-        return _fvec(a, self.n_threads, np.float32).astype(np.int64)
+        return self._ret(_fvec(a, self.n_threads, np.float32).astype(np.int64))
 
     # comparisons: emit a SETP and return the predicate vector
     def _setp(self, pred, opcode=Opcode.SETP):
         self._emit_inst(opcode)
-        return pred
+        return self._ret(pred)
 
     def lt(self, a, b):
         return self._setp(_ivec(a, self.n_threads) < _ivec(b, self.n_threads))
@@ -289,14 +314,14 @@ class BlockContext:
         b = _fvec(b, self.n_threads, np.float32)
         res = a + b
         self._emit_fp32_add(Opcode.FADD, a, b, res, self._pc())
-        return res
+        return self._ret(res)
 
     def fsub(self, a, b):
         a = _fvec(a, self.n_threads, np.float32)
         b = _fvec(b, self.n_threads, np.float32)
         res = a - b
         self._emit_fp32_add(Opcode.FSUB, a, -b, res, self._pc())
-        return res
+        return self._ret(res)
 
     def ffma(self, a, b, c):
         """FP32 fused multiply-add; the accumulate uses the ST2 adder."""
@@ -306,40 +331,40 @@ class BlockContext:
         res = a * b + c
         op1, op2, cin = floating.fp32_fma_operands(a, b, c)
         self._emit_add(Opcode.FFMA, op1, op2, cin, 23, res, self._pc())
-        return res
+        return self._ret(res)
 
     def fmin(self, a, b):
         a = _fvec(a, self.n_threads, np.float32)
         b = _fvec(b, self.n_threads, np.float32)
         res = np.minimum(a, b)
         self._emit_fp32_add(Opcode.FMIN, a, -b, res, self._pc())
-        return res
+        return self._ret(res)
 
     def fmax(self, a, b):
         a = _fvec(a, self.n_threads, np.float32)
         b = _fvec(b, self.n_threads, np.float32)
         res = np.maximum(a, b)
         self._emit_fp32_add(Opcode.FMAX, a, -b, res, self._pc())
-        return res
+        return self._ret(res)
 
     def fmul(self, a, b):
         self._emit_inst(Opcode.FMUL)
-        return (_fvec(a, self.n_threads, np.float32)
-                * _fvec(b, self.n_threads, np.float32))
+        return self._ret(_fvec(a, self.n_threads, np.float32)
+                         * _fvec(b, self.n_threads, np.float32))
 
     def fdiv(self, a, b):
         self._emit_inst(Opcode.FDIV)
         b = _fvec(b, self.n_threads, np.float32)
         safe = np.where(b == 0, np.float32(1), b)
-        return _fvec(a, self.n_threads, np.float32) / safe
+        return self._ret(_fvec(a, self.n_threads, np.float32) / safe)
 
     def fneg(self, a):
         self._emit_inst(Opcode.FNEG)
-        return -_fvec(a, self.n_threads, np.float32)
+        return self._ret(-_fvec(a, self.n_threads, np.float32))
 
     def fabs(self, a):
         self._emit_inst(Opcode.FABS)
-        return np.abs(_fvec(a, self.n_threads, np.float32))
+        return self._ret(np.abs(_fvec(a, self.n_threads, np.float32)))
 
     # ------------------------------------------------------------------
     # FP64 arithmetic (52-bit mantissa adder class, DPU)
@@ -351,7 +376,7 @@ class BlockContext:
         res = a + b
         op1, op2, cin = floating.fp64_add_operands(a, b)
         self._emit_add(Opcode.DADD, op1, op2, cin, 52, res, self._pc())
-        return res
+        return self._ret(res)
 
     def dsub(self, a, b):
         a = _fvec(a, self.n_threads, np.float64)
@@ -359,7 +384,7 @@ class BlockContext:
         res = a - b
         op1, op2, cin = floating.fp64_add_operands(a, -b)
         self._emit_add(Opcode.DSUB, op1, op2, cin, 52, res, self._pc())
-        return res
+        return self._ret(res)
 
     def dfma(self, a, b, c):
         a = _fvec(a, self.n_threads, np.float64)
@@ -368,12 +393,12 @@ class BlockContext:
         res = a * b + c
         op1, op2, cin = floating.fp64_fma_operands(a, b, c)
         self._emit_add(Opcode.DFMA, op1, op2, cin, 52, res, self._pc())
-        return res
+        return self._ret(res)
 
     def dmul(self, a, b):
         self._emit_inst(Opcode.DMUL)
-        return (_fvec(a, self.n_threads, np.float64)
-                * _fvec(b, self.n_threads, np.float64))
+        return self._ret(_fvec(a, self.n_threads, np.float64)
+                         * _fvec(b, self.n_threads, np.float64))
 
     # ------------------------------------------------------------------
     # SFU
@@ -381,7 +406,7 @@ class BlockContext:
 
     def _sfu(self, opcode: Opcode, fn, a):
         self._emit_inst(opcode)
-        return fn(_fvec(a, self.n_threads, np.float32))
+        return self._ret(fn(_fvec(a, self.n_threads, np.float32)))
 
     def sqrt(self, a):
         return self._sfu(Opcode.SQRT, lambda v: np.sqrt(np.abs(v)), a)
@@ -420,6 +445,8 @@ class BlockContext:
         buf = DeviceBuffer(f"shared@{self._shared_next:x}", data,
                            self._shared_next)
         self._shared_next += data.size * data.itemsize
+        if self._san is not None:
+            self._san.on_shared_alloc(buf)
         return buf
 
     def _address_add(self, buf: DeviceBuffer, idx: np.ndarray,
@@ -428,7 +455,7 @@ class BlockContext:
         offs = buf.byte_offsets(idx)
         addr = buf.base + offs
         # frames: intern -> _address_add -> ld/st_global -> kernel code
-        pc = self._pcs.intern(depth=3, tag=tag)
+        pc = self._pcs.intern(depth=3, tag=self._scoped(tag))
         self._emit_add(Opcode.LEA, np.full(self.n_threads, buf.base,
                                            dtype=np.uint64),
                        offs.astype(np.uint64), 0, 64, addr, pc)
@@ -446,7 +473,7 @@ class BlockContext:
         self._mem.record_global(np.asarray(addr)[mask].astype(np.int64),
                                 self.warp_in_block[mask], is_store=False)
         self._emit_inst(Opcode.LDG)
-        return buf.data.reshape(-1)[idx].copy()
+        return self._ret(buf.data.reshape(-1)[idx].copy())
 
     def st_global(self, buf: DeviceBuffer, idx, val) -> None:
         """Global store (masked: only active lanes write)."""
@@ -464,13 +491,18 @@ class BlockContext:
 
     def ld_shared(self, buf: DeviceBuffer, idx):
         idx = self._clipped(buf, idx)
+        if self._san is not None:
+            self._san.on_shared_load(buf, idx, self.mask,
+                                     self.warp_in_block)
         self._mem.shared_loads += int(self.mask.sum())
         self._emit_inst(Opcode.LDS)
-        return buf.data.reshape(-1)[idx].copy()
+        return self._ret(buf.data.reshape(-1)[idx].copy())
 
     def st_shared(self, buf: DeviceBuffer, idx, val) -> None:
         idx = self._clipped(buf, idx)
         mask = self.mask
+        if self._san is not None:
+            self._san.on_shared_store(buf, idx, mask, self.warp_in_block)
         self._mem.shared_stores += int(mask.sum())
         self._emit_inst(Opcode.STS)
         flat = buf.data.reshape(-1)
@@ -483,7 +515,7 @@ class BlockContext:
         idx = self._clipped(buf, idx)
         self._mem.const_loads += int(self.mask.sum())
         self._emit_inst(Opcode.LDC)
-        return buf.data.reshape(-1)[idx].copy()
+        return self._ret(buf.data.reshape(-1)[idx].copy())
 
     def atomic_add(self, buf: DeviceBuffer, idx, val):
         """``atomicAdd`` on global memory: colliding lanes serialise
@@ -511,13 +543,16 @@ class BlockContext:
         for t in active:
             old[t] = flat[idx[t]]
             flat[idx[t]] += val[t]
-        return old
+        return self._ret(old)
 
     def atomic_add_shared(self, buf: DeviceBuffer, idx, val):
         """``atomicAdd`` on shared memory (same serialising semantics,
         shared-memory cost)."""
         idx = self._clipped(buf, idx)
         mask = self.mask
+        if self._san is not None:
+            self._san.on_shared_store(buf, idx, mask, self.warp_in_block,
+                                      atomic=True)
         self._mem.shared_stores += int(mask.sum())
         self._emit_inst(Opcode.STS)
         flat = buf.data.reshape(-1)
@@ -528,7 +563,7 @@ class BlockContext:
         for t in np.nonzero(mask)[0]:
             old[t] = flat[idx[t]]
             flat[idx[t]] += val[t]
-        return old
+        return self._ret(old)
 
     # ------------------------------------------------------------------
     # control flow
@@ -548,7 +583,8 @@ class BlockContext:
     def range(self, *args):
         """Loop over ``range(*args)``; the iterator increment is a real,
         recorded IADD (plus SETP and BRA), like a compiled loop."""
-        frame_pc_add = self._pcs.intern(depth=2, tag="loop-inc")
+        frame_pc_add = self._pcs.intern(depth=2,
+                                        tag=self._scoped("loop-inc"))
         r = range(*args)
         step = r.step
         for i in r:
@@ -566,7 +602,33 @@ class BlockContext:
 
     def syncthreads(self) -> None:
         """Barrier (a no-op functionally — blocks run warp-synchronously)."""
+        if self._san is not None:
+            self._san.on_barrier(self.mask)
         self._emit_inst(Opcode.BAR, mask=np.ones(self.n_threads, bool))
+
+    @contextmanager
+    def inline(self, scope: str):
+        """Give DSL ops inside the block their own PC namespace.
+
+        A Python helper that emits adder ops and is called from several
+        sites of one kernel interns every call to the *same* PCs — the
+        ST2 history then conflates streams that separate static
+        instructions would keep apart (a compiler inlines each call
+        site into its own instructions).  Wrapping each call site in
+        ``with k.inline("site-tag"):`` restores per-site PC identity::
+
+            with k.inline("lo"):
+                c_lo = find_child(k, keys, node_lo, lo)
+            with k.inline("hi"):
+                c_hi = find_child(k, keys, node_hi, hi)
+
+        Scopes nest; tags compose into the interned PC label.
+        """
+        self._scope_stack.append(scope)
+        try:
+            yield
+        finally:
+            self._scope_stack.pop()
 
     # ------------------------------------------------------------------
     # warp shuffles (intra-warp data exchange, SHFL class — ALU other)
@@ -581,7 +643,7 @@ class BlockContext:
         valid = (lane >= 0) & (lane < 32)
         src_tid = self.warp_in_block * 32 + np.clip(lane, 0, 31)
         out = values[np.where(valid, src_tid, self.tid)]
-        return out
+        return self._ret(out)
 
     def shfl_down(self, values, delta: int):
         """``__shfl_down_sync``: lane i reads lane i+delta."""

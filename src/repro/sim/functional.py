@@ -17,6 +17,7 @@ from repro.isa.pc import PcTable
 from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
 from repro.sim.dsl import BlockContext
 from repro.sim.memory import Allocator, DeviceBuffer, MemoryStats
+from repro.sim.sanitizer import KernelSanitizer, env_sanitize_default
 from repro.sim.trace import AddTrace, InstStream, TraceBuilder
 
 
@@ -32,6 +33,7 @@ class KernelRun:
     mem: MemoryStats
     gpu: GPUConfig
     buffers: dict = field(default_factory=dict)
+    sanitizer: object = None
 
     @property
     def n_warps(self) -> int:
@@ -53,15 +55,23 @@ class GridLauncher:
     ``record_streams`` retains per-access sector-address batches so the
     L2 cache model (:mod:`repro.sim.cache`) can replay the kernel's
     memory behaviour (costs memory; off by default).
+
+    ``sanitize`` enables the runtime sanitizer
+    (:mod:`repro.sim.sanitizer`): shared-memory race detection and the
+    untraced-arithmetic probe.  ``None`` (the default) defers to the
+    ``ST2_SANITIZE`` environment variable, so whole test runs can be
+    sanitized without touching call sites.
     """
 
     def __init__(self, gpu: GPUConfig = TITAN_V, seed: int = 0,
-                 record_streams: bool = False):
+                 record_streams: bool = False, sanitize: bool = None):
         self.gpu = gpu
         self.rng = np.random.default_rng(seed)
         self.alloc = Allocator()
         self.buffers: dict = {}
         self.record_streams = record_streams
+        self.sanitize = env_sanitize_default() if sanitize is None \
+            else sanitize
 
     def buffer(self, name: str, data: np.ndarray) -> DeviceBuffer:
         """Allocate and register a named device buffer."""
@@ -75,20 +85,28 @@ class GridLauncher:
         builder = TraceBuilder()
         pcs = PcTable()
         mem = MemoryStats(record_streams=self.record_streams)
+        san = KernelSanitizer(name or kernel_fn.__name__) \
+            if self.sanitize else None
         for block_id in range(launch.grid_blocks):
             sm = block_id % self.gpu.n_sms
+            if san is not None:
+                san.begin_block(block_id)
             ctx = BlockContext(launch, block_id, sm, builder, pcs,
-                               self.gpu, mem)
+                               self.gpu, mem, sanitizer=san)
             kernel_fn(ctx, **params)
+        if san is not None:
+            san.finish()
         builder.pc_labels = pcs.labels
         trace, insts = builder.build()
         return KernelRun(name=name or kernel_fn.__name__, launch=launch,
                          trace=trace, insts=insts, pc_table=pcs, mem=mem,
-                         gpu=self.gpu, buffers=dict(self.buffers))
+                         gpu=self.gpu, buffers=dict(self.buffers),
+                         sanitizer=san)
 
 
 def run_kernel(kernel_fn, launch: LaunchConfig, gpu: GPUConfig = TITAN_V,
-               name: str = "", seed: int = 0, **params) -> KernelRun:
+               name: str = "", seed: int = 0, sanitize: bool = None,
+               **params) -> KernelRun:
     """One-shot convenience wrapper around :class:`GridLauncher`."""
-    return GridLauncher(gpu=gpu, seed=seed).run(
+    return GridLauncher(gpu=gpu, seed=seed, sanitize=sanitize).run(
         kernel_fn, launch, name=name, **params)

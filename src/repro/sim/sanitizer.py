@@ -1,0 +1,276 @@
+"""Opt-in runtime sanitizer for DSL kernel executions.
+
+Two independent probes, both off by default (zero work on the hot path)
+and enabled per launch with ``GridLauncher(sanitize=True)`` or globally
+with ``ST2_SANITIZE=1``:
+
+* **Shared-memory race detection** — every shared buffer gets a shadow
+  array tracking, per cell, the last writing warp and the *barrier
+  epoch* of that write (``syncthreads`` advances the epoch).  A load
+  that observes a cell written by a *different* warp in the *current*
+  epoch is a cross-warp write→read race: on real hardware the warps are
+  not ordered, so the value is undefined even though this
+  warp-synchronous model happens to produce one deterministically.
+  Read→write and write→write cross-warp conflicts in one epoch are
+  caught the same way, as is ``syncthreads`` under a divergent mask
+  (deadlock on hardware).
+
+* **Trace-coverage probe** — DSL ops return their vectors as
+  :class:`DeviceVector` views whose ``+``/``-`` report the call site
+  instead of silently bypassing the DSL emit path.  Raw numpy
+  arithmetic on device vectors computes the right *values* but records
+  no :class:`~repro.sim.trace.AddTrace` rows, undercounting adder
+  energy and misprediction statistics — the runtime twin of lint rule
+  L1.  Sites carrying a ``# st2-lint: disable=L1`` comment are
+  intentional and not reported.
+
+Shadow state costs O(shared cells) memory and one fancy-indexing pass
+per shared access — acceptable for debugging runs, which is why the
+default stays off.
+"""
+
+from __future__ import annotations
+
+import linecache
+import os
+import sys
+
+import numpy as np
+
+from repro.lint.suppress import line_suppresses
+
+#: Environment variable that flips the launcher default to sanitizing.
+ENV_SANITIZE = "ST2_SANITIZE"
+
+#: Reader/writer shadow sentinel: cell untouched this launch.
+_NOBODY = -1
+#: Reader shadow sentinel: cell read by more than one warp this epoch.
+_MANY = -2
+
+#: ufuncs that would have produced AddTrace rows had they gone through
+#: the DSL (adder-class arithmetic).
+_ADDER_UFUNCS = frozenset({np.add, np.subtract})
+
+_PACKAGE_DIRS = (os.path.join("repro", "sim"),
+                 os.path.join("repro", "core"))
+
+
+def env_sanitize_default() -> bool:
+    """Resolve the ``ST2_SANITIZE`` environment default."""
+    return os.environ.get(ENV_SANITIZE, "").strip().lower() in (
+        "1", "true", "on", "yes")
+
+
+class SanitizerError(RuntimeError):
+    """Base class for all dynamic-sanitizer findings."""
+
+
+class SharedMemoryRaceError(SanitizerError):
+    """Cross-warp shared-memory conflict without an intervening barrier."""
+
+
+class BarrierDivergenceError(SanitizerError):
+    """``syncthreads`` reached under a divergent mask (hardware deadlock)."""
+
+
+class UntracedArithmeticError(SanitizerError):
+    """Raw numpy arithmetic on device vectors bypassed the DSL emit path."""
+
+
+def _kernel_frame() -> tuple:
+    """(file, line) of the innermost stack frame outside the simulator.
+
+    Walks out of :mod:`repro.sim` / :mod:`repro.core` so findings point
+    at kernel code, not at the DSL helper that triggered the check.
+    """
+    frame = sys._getframe(2)
+    while frame is not None:
+        fname = frame.f_code.co_filename
+        if not any(d in fname for d in _PACKAGE_DIRS):
+            return fname, frame.f_lineno
+        frame = frame.f_back
+    return "<unknown>", 0
+
+
+class DeviceVector(np.ndarray):
+    """ndarray view marking a value as device-resident (sanitize mode).
+
+    Adder-class ufuncs applied directly to these views are reported to
+    the owning sanitizer; all results are demoted to plain ndarrays so
+    DSL-internal math (which always converts through ``asarray``) never
+    self-reports.
+    """
+
+    _san = None
+
+    def __array_finalize__(self, obj):
+        self._san = getattr(obj, "_san", None)
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        base = tuple(x.view(np.ndarray) if isinstance(x, DeviceVector)
+                     else x for x in inputs)
+        out = kwargs.get("out")
+        if out is not None:
+            kwargs["out"] = tuple(
+                x.view(np.ndarray) if isinstance(x, DeviceVector) else x
+                for x in out)
+        if (method == "__call__" and ufunc in _ADDER_UFUNCS
+                and self._san is not None):
+            self._san.record_untraced(ufunc.__name__, _kernel_frame())
+        return getattr(ufunc, method)(*base, **kwargs)
+
+
+class _Shadow:
+    """Per-cell access metadata of one shared buffer."""
+
+    def __init__(self, n_cells: int):
+        self.writer = np.full(n_cells, _NOBODY, dtype=np.int32)
+        self.write_epoch = np.full(n_cells, _NOBODY, dtype=np.int64)
+        self.reader = np.full(n_cells, _NOBODY, dtype=np.int32)
+        self.read_epoch = np.full(n_cells, _NOBODY, dtype=np.int64)
+        # last write was an atomic RMW (atomics serialise: they never
+        # race with each other, only with plain accesses)
+        self.atomic = np.zeros(n_cells, dtype=bool)
+
+
+class KernelSanitizer:
+    """Shadow state and findings for one kernel launch."""
+
+    def __init__(self, kernel_name: str = ""):
+        self.kernel_name = kernel_name
+        self.epoch = 0
+        self._shadows: dict = {}
+        # (file, line, ufunc name) -> occurrence count
+        self.untraced_sites: dict = {}
+
+    # -- block / barrier lifecycle ------------------------------------
+
+    def begin_block(self, block_id: int) -> None:
+        """Shared memory is block-local: drop the previous block's state."""
+        self.epoch = 0
+        self._shadows.clear()
+
+    def on_barrier(self, mask: np.ndarray) -> None:
+        if not mask.all():
+            fname, line = _kernel_frame()
+            raise BarrierDivergenceError(
+                f"{fname}:{line}: syncthreads under a divergent mask "
+                f"({int(mask.sum())}/{mask.size} threads active) — "
+                f"inactive threads never reach the barrier on hardware "
+                f"(kernel {self.kernel_name!r})")
+        self.epoch += 1
+
+    # -- shared-memory epoch tracking ---------------------------------
+
+    def on_shared_alloc(self, buf) -> None:
+        self._shadows[id(buf)] = _Shadow(buf.data.size)
+
+    def _shadow(self, buf) -> _Shadow:
+        sh = self._shadows.get(id(buf))
+        if sh is None:          # buffer from an outer scope (rare)
+            sh = _Shadow(buf.data.size)
+            self._shadows[id(buf)] = sh
+        return sh
+
+    def _race(self, kind: str, buf, cell: int, war_a: int, war_b: int):
+        fname, line = _kernel_frame()
+        raise SharedMemoryRaceError(
+            f"{fname}:{line}: cross-warp shared-memory {kind} race on "
+            f"{buf.name}[{cell}]: warp {war_a} then warp {war_b} in the "
+            f"same barrier interval (epoch {self.epoch}) — insert "
+            f"syncthreads between them (kernel {self.kernel_name!r})")
+
+    def on_shared_load(self, buf, idx: np.ndarray, mask: np.ndarray,
+                       warp_in_block: np.ndarray) -> None:
+        if not mask.any():
+            return
+        sh = self._shadow(buf)
+        cells = np.asarray(idx)[mask]
+        warps = warp_in_block[mask].astype(np.int32)
+        fresh = sh.write_epoch[cells] == self.epoch
+        foreign = fresh & (sh.writer[cells] != warps)
+        if foreign.any():
+            i = int(np.argmax(foreign))
+            self._race("write→read", buf, int(cells[i]),
+                       int(sh.writer[cells[i]]), int(warps[i]))
+        for w in np.unique(warps):
+            cw = cells[warps == w]
+            seen = sh.read_epoch[cw] == self.epoch
+            other = seen & (sh.reader[cw] != w)
+            sh.reader[cw] = np.where(other, _MANY, w)
+            sh.read_epoch[cw] = self.epoch
+
+    def on_shared_store(self, buf, idx: np.ndarray, mask: np.ndarray,
+                        warp_in_block: np.ndarray,
+                        atomic: bool = False) -> None:
+        if not mask.any():
+            return
+        sh = self._shadow(buf)
+        cells = np.asarray(idx)[mask]
+        warps = warp_in_block[mask].astype(np.int32)
+        read_fresh = sh.read_epoch[cells] == self.epoch
+        raced_read = read_fresh & ((sh.reader[cells] == _MANY)
+                                   | (sh.reader[cells] != warps))
+        if raced_read.any():
+            i = int(np.argmax(raced_read))
+            self._race("read→write", buf, int(cells[i]),
+                       int(sh.reader[cells[i]]), int(warps[i]))
+        for w in np.unique(warps):
+            cw = cells[warps == w]
+            other = (sh.write_epoch[cw] == self.epoch) \
+                & (sh.writer[cw] != _NOBODY) & (sh.writer[cw] != w)
+            # atomic-vs-atomic collisions serialise in the RMW unit;
+            # everything else is a write→write race
+            clash = other & ~sh.atomic[cw] if atomic else other
+            if clash.any():
+                i = int(np.argmax(clash))
+                self._race("write→write", buf, int(cw[i]),
+                           int(sh.writer[cw[i]]), int(w))
+            if atomic:
+                # a cell updated by several warps' atomics has no single
+                # owner: any same-epoch plain access still conflicts
+                sh.writer[cw] = np.where(other, _MANY, w)
+            else:
+                sh.writer[cw] = w
+            sh.write_epoch[cw] = self.epoch
+            sh.atomic[cw] = atomic
+
+    # -- trace-coverage probe -----------------------------------------
+
+    def wrap_value(self, value):
+        """Mark a DSL-returned vector as device-resident."""
+        if isinstance(value, np.ndarray):
+            view = value.view(DeviceVector)
+            view._san = self
+            return view
+        return value
+
+    def record_untraced(self, op_name: str, site: tuple) -> None:
+        fname, line = site
+        key = (fname, line, op_name)
+        self.untraced_sites[key] = self.untraced_sites.get(key, 0) + 1
+
+    def unsuppressed_untraced(self) -> list:
+        """Probe findings minus ``st2-lint: disable=L1``-annotated sites."""
+        findings = []
+        for (fname, line, op), count in sorted(self.untraced_sites.items()):
+            text = linecache.getline(fname, line)
+            if line_suppresses(text, "L1"):
+                continue
+            findings.append((fname, line, op, count))
+        return findings
+
+    def finish(self) -> None:
+        """Raise if the launch performed unsuppressed untraced arithmetic."""
+        findings = self.unsuppressed_untraced()
+        if not findings:
+            return
+        lines = [
+            f"  {fname}:{line}: numpy {op} on a device vector "
+            f"(×{count}) bypassed the DSL — no AddTrace rows "
+            f"recorded" for fname, line, op, count in findings]
+        raise UntracedArithmeticError(
+            f"kernel {self.kernel_name!r}: {len(findings)} untraced "
+            "arithmetic site(s) (use the DSL op, or annotate the line "
+            "with `# st2-lint: disable=L1` and a justification):\n"
+            + "\n".join(lines))

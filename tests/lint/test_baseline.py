@@ -1,0 +1,84 @@
+"""Baseline fingerprints: stable under line drift, strict under edits."""
+
+import pytest
+
+from repro.lint.analyzer import lint_source
+from repro.lint.baseline import (load_baseline, new_findings,
+                                 write_baseline)
+
+BAD = """\
+def kernel(k, out):
+    t = k.thread_id()
+    x = t + 1
+    k.st_global(out, t, x)
+"""
+
+
+def only(findings):
+    assert len(findings) == 1
+    return findings[0]
+
+
+class TestFingerprint:
+    def test_stable_under_line_shift(self):
+        before = only(lint_source(BAD, path="a/b/kern.py", hashed=False))
+        shifted = only(lint_source("import numpy\n\n" + BAD,
+                                   path="a/b/kern.py", hashed=False))
+        assert before.line != shifted.line
+        assert before.fingerprint() == shifted.fingerprint()
+
+    def test_changes_when_flagged_line_edited(self):
+        before = only(lint_source(BAD, path="kern.py", hashed=False))
+        edited = only(lint_source(BAD.replace("t + 1", "t + 2"),
+                                  path="kern.py", hashed=False))
+        assert before.fingerprint() != edited.fingerprint()
+
+    def test_ignores_leading_path_components(self):
+        a = only(lint_source(BAD, path="/home/x/repo/src/repro/kern.py",
+                             hashed=False))
+        b = only(lint_source(BAD, path="/ci/build/src/repro/kern.py",
+                             hashed=False))
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        findings = lint_source(BAD, path="kern.py", hashed=False)
+        path = tmp_path / "baseline.json"
+        recorded = write_baseline(path, findings)
+        assert sum(recorded.values()) == 1
+        assert load_baseline(path) == recorded
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "fingerprints": {}}')
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_suppressed_findings_not_recorded(self, tmp_path):
+        src = BAD.replace("t + 1",
+                          "t + 1  # st2-lint: disable=L1 — fixture")
+        findings = lint_source(src, path="kern.py", hashed=False)
+        recorded = write_baseline(tmp_path / "b.json", findings)
+        assert recorded == {}
+
+
+class TestNewFindings:
+    def test_baselined_finding_is_accepted(self, tmp_path):
+        findings = lint_source(BAD, path="kern.py", hashed=False)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        assert new_findings(findings, load_baseline(path)) == []
+
+    def test_extra_copy_exceeds_budget(self):
+        findings = lint_source(BAD, path="kern.py", hashed=False)
+        baseline = {findings[0].fingerprint(): 1}
+        doubled = findings + findings
+        assert len(new_findings(doubled, baseline)) == 1
+
+    def test_unknown_finding_is_new(self):
+        findings = lint_source(BAD, path="kern.py", hashed=False)
+        assert new_findings(findings, {}) == findings

@@ -1,0 +1,305 @@
+"""Per-rule fixture kernels: each L1–L5 fires on its fixture and stays
+quiet on the corrected twin."""
+
+import textwrap
+
+from repro.lint import RULES
+from repro.lint.analyzer import lint_source
+
+
+def lint(src, **kw):
+    kw.setdefault("hashed", False)
+    return lint_source(textwrap.dedent(src), path="fixture.py", **kw)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings if not f.suppressed})
+
+
+class TestL1Untraced:
+    def test_raw_add_on_device_vector(self):
+        findings = lint("""
+            def kernel(k, out, n):
+                t = k.thread_id()
+                x = t + 1
+                k.st_global(out, t, x)
+        """)
+        assert rules_of(findings) == ["L1"]
+        assert findings[0].line == 4
+
+    def test_augmented_and_numpy_calls(self):
+        findings = lint("""
+            import numpy as np
+            def kernel(k, out):
+                t = k.thread_id()
+                t += 4
+                y = np.add(t, 1)
+                k.st_global(out, t, y)
+        """)
+        assert [f.rule for f in findings] == ["L1", "L1"]
+
+    def test_taint_propagates_through_assignment(self):
+        findings = lint("""
+            def kernel(k, out):
+                a = k.iadd(k.thread_id(), 1)
+                b = a
+                c = b - 7
+                k.st_global(out, b, c)
+        """)
+        assert rules_of(findings) == ["L1"]
+
+    def test_scalar_math_is_clean(self):
+        findings = lint("""
+            def kernel(k, out, n):
+                lo = max(1, 2 * n - 4)
+                hi = n - 1 + lo
+                t = k.iadd(k.thread_id(), lo)
+                k.st_global(out, t, hi)
+        """)
+        assert findings == []
+
+    def test_dsl_arithmetic_is_clean(self):
+        findings = lint("""
+            def kernel(k, out):
+                t = k.thread_id()
+                x = k.iadd(t, 1)
+                y = k.isub(x, t)
+                k.st_global(out, t, y)
+        """)
+        assert findings == []
+
+    def test_loop_carried_taint(self):
+        """Fixpoint: a variable assigned from a device call inside a
+        loop taints its use earlier in the loop body too."""
+        findings = lint("""
+            def kernel(k, out, n):
+                child = 0
+                for _ in k.range(n):
+                    probe = child + 1
+                    child = k.ld_global(out, probe)
+        """)
+        assert rules_of(findings) == ["L1"]
+
+
+class TestL2PcAliasing:
+    HELPER = """
+        def descend(k, node, key):
+            step = k.iadd(node, 1)
+            return k.ld_global(key, step)
+    """
+
+    def test_double_call_site_flagged(self):
+        findings = lint(self.HELPER + """
+            def kernel(k, keys, out):
+                a = descend(k, k.thread_id(), keys)
+                b = descend(k, a, keys)
+                k.st_global(out, a, b)
+        """)
+        assert [f.rule for f in findings] == ["L2", "L2"]
+
+    def test_inline_scopes_silence_it(self):
+        findings = lint(self.HELPER + """
+            def kernel(k, keys, out):
+                with k.inline("lo"):
+                    a = descend(k, k.thread_id(), keys)
+                with k.inline("hi"):
+                    b = descend(k, a, keys)
+                k.st_global(out, a, b)
+        """)
+        assert findings == []
+
+    def test_single_call_in_rolled_loop_is_clean(self):
+        """A rolled loop re-executes one static call site — that is
+        faithful hardware behaviour, not aliasing."""
+        findings = lint(self.HELPER + """
+            def kernel(k, keys, out, height):
+                node = k.thread_id()
+                for _ in k.range(height):
+                    node = descend(k, node, keys)
+                k.st_global(out, node, node)
+        """)
+        assert findings == []
+
+    def test_non_emitting_helper_is_clean(self):
+        findings = lint("""
+            def classify(k, key):
+                return k.lt(key, 10)
+
+            def kernel(k, keys, out):
+                a = classify(k, k.ld_global(keys, k.thread_id()))
+                b = classify(k, a)
+                k.st_global(out, a, b)
+        """)
+        assert findings == []
+
+    def test_transitive_emission_detected(self):
+        findings = lint("""
+            def inner(k, x):
+                return k.iadd(x, 1)
+
+            def outer(k, x):
+                return inner(k, x)
+
+            def kernel(k, out):
+                a = outer(k, k.thread_id())
+                b = outer(k, a)
+                k.st_global(out, a, b)
+        """)
+        assert [f.rule for f in findings] == ["L2", "L2"]
+
+
+class TestL3SharedMemoryOrdering:
+    def test_cross_index_load_without_barrier(self):
+        findings = lint("""
+            import numpy as np
+            def kernel(k, out):
+                t = k.thread_id()
+                s = k.shared(64, np.int64)
+                k.st_shared(s, t, t)
+                v = k.ld_shared(s, k.isub(63, t))
+                k.st_global(out, t, v)
+        """)
+        assert rules_of(findings) == ["L3"]
+
+    def test_barrier_clears_pending_stores(self):
+        findings = lint("""
+            import numpy as np
+            def kernel(k, out):
+                t = k.thread_id()
+                s = k.shared(64, np.int64)
+                k.st_shared(s, t, t)
+                k.syncthreads()
+                v = k.ld_shared(s, k.isub(63, t))
+                k.st_global(out, t, v)
+        """)
+        assert findings == []
+
+    def test_same_index_scratch_is_clean(self):
+        """The per-thread scratch / histogram-counter idiom: a thread
+        reloading exactly what it stored needs no barrier."""
+        findings = lint("""
+            import numpy as np
+            def kernel(k, data, out, n):
+                t = k.thread_id()
+                slot = k.irem(t, np.int64(16))
+                s = k.shared(16, np.int64)
+                k.atomic_add_shared(s, slot, 1)
+                v = k.ld_shared(s, slot)
+                k.st_global(out, t, v)
+        """)
+        assert findings == []
+
+    def test_loop_wraparound_hazard(self):
+        """A store at the bottom of a loop races with the next
+        iteration's load at the top (no barrier between them)."""
+        findings = lint("""
+            import numpy as np
+            def kernel(k, out, n):
+                t = k.thread_id()
+                s = k.shared(64, np.int64)
+                for _ in k.range(n):
+                    v = k.ld_shared(s, k.isub(63, t))
+                    k.st_shared(s, t, v)
+        """)
+        assert rules_of(findings) == ["L3"]
+
+
+class TestL4BarrierDivergence:
+    def test_barrier_under_where(self):
+        findings = lint("""
+            def kernel(k, out):
+                t = k.thread_id()
+                with k.where(k.lt(t, 16)):
+                    k.syncthreads()
+        """)
+        assert rules_of(findings) == ["L4"]
+
+    def test_top_level_barrier_is_clean(self):
+        findings = lint("""
+            def kernel(k, out):
+                t = k.thread_id()
+                with k.where(k.lt(t, 16)):
+                    k.st_global(out, t, t)
+                k.syncthreads()
+        """)
+        assert findings == []
+
+
+class TestL5Nondeterminism:
+    def test_unseeded_rng_and_clock_in_hashed_module(self):
+        findings = lint("""
+            import time
+            import numpy as np
+
+            def jitter():
+                rng = np.random.default_rng()
+                return rng.random() + time.time()
+        """, hashed=True)
+        assert [f.rule for f in findings] == ["L5", "L5"]
+
+    def test_seeded_rng_is_clean(self):
+        findings = lint("""
+            import numpy as np
+
+            def stream(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(8)
+        """, hashed=True)
+        assert findings == []
+
+    def test_unhashed_module_not_checked(self):
+        findings = lint("""
+            import time
+
+            def stamp():
+                return time.time()
+        """, hashed=False)
+        assert findings == []
+
+    def test_legacy_global_rng_and_stdlib_random(self):
+        findings = lint("""
+            import random
+            import numpy as np
+
+            def noise(n):
+                base = np.random.rand(n)
+                return base + random.random()
+        """, hashed=True)
+        assert [f.rule for f in findings] == ["L5", "L5"]
+
+
+class TestAnalyzerFrontEnd:
+    def test_syntax_error_yields_e0(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert [f.rule for f in findings] == ["E0"]
+
+    def test_suppression_marks_finding(self):
+        findings = lint("""
+            def kernel(k, out):
+                t = k.thread_id()
+                x = t + 1  # st2-lint: disable=L1 — fixture
+                k.st_global(out, t, x)
+        """)
+        assert len(findings) == 1 and findings[0].suppressed
+
+    def test_rule_subset_filter(self):
+        src = """
+            def kernel(k, out):
+                t = k.thread_id()
+                x = t + 1
+                with k.where(k.lt(t, 8)):
+                    k.syncthreads()
+        """
+        assert rules_of(lint(src)) == ["L1", "L4"]
+        assert rules_of(lint(src, rules=("L4",))) == ["L4"]
+
+    def test_non_kernel_functions_ignored(self):
+        findings = lint("""
+            def prepare(scale, seed):
+                n = scale + seed
+                return n + 1
+        """)
+        assert findings == []
+
+    def test_rule_table_covers_all_rules(self):
+        assert set(RULES) == {"L1", "L2", "L3", "L4", "L5", "E0"}

@@ -1,0 +1,32 @@
+"""Suppression-directive parsing (shared by st2-lint and the sanitizer)."""
+
+from repro.lint.suppress import line_suppresses, suppressed_rules
+
+
+class TestDirectiveParsing:
+    def test_single_rule(self):
+        line = "x = a + b  # st2-lint: disable=L1 — LDS immediate"
+        assert suppressed_rules(line) == frozenset({"L1"})
+        assert line_suppresses(line, "L1")
+        assert not line_suppresses(line, "L3")
+
+    def test_multiple_rules(self):
+        line = "y = f(a)  # st2-lint: disable=L1,L3"
+        assert suppressed_rules(line) == frozenset({"L1", "L3"})
+
+    def test_disable_all(self):
+        line = "z = g()  # st2-lint: disable=all"
+        assert line_suppresses(line, "L1")
+        assert line_suppresses(line, "L5")
+
+    def test_whitespace_variants(self):
+        assert line_suppresses("x  #st2-lint:  disable=L2", "L2")
+        assert line_suppresses("x  # st2-lint: disable= L2 , L4", "L4")
+
+    def test_plain_lines_are_not_suppressed(self):
+        assert suppressed_rules("x = a + b") == frozenset()
+        assert suppressed_rules("") == frozenset()
+        assert suppressed_rules(None) == frozenset()
+
+    def test_unrelated_comment_is_not_a_directive(self):
+        assert not line_suppresses("x = 1  # lint would disable=L1", "L1")

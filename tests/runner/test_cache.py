@@ -113,3 +113,23 @@ def test_build_units_grid_and_seeds():
     again = build_units([FAST, "sortNets_K2"], seed=7,
                         per_kernel_seeds=True)
     assert [u.seed for u in per_kernel] == [u.seed for u in again]
+
+
+def test_result_affecting_packages_match_disk():
+    """The hashed-package list is derived from the tree, not a hand
+    list: every repro subpackage is either hashed or explicitly named
+    result-neutral."""
+    from pathlib import Path
+
+    import repro
+    from repro.runner.cache import (NON_RESULT_PACKAGES,
+                                    result_affecting_packages)
+
+    root = Path(repro.__file__).parent
+    on_disk = {child.name for child in root.iterdir()
+               if child.is_dir() and (child / "__init__.py").is_file()}
+    hashed = set(result_affecting_packages())
+    assert hashed == on_disk - NON_RESULT_PACKAGES
+    assert hashed == {"circuits", "core", "isa", "kernels", "power",
+                      "sim", "st2"}
+    assert result_affecting_packages() == tuple(sorted(hashed))

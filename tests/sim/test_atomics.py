@@ -91,3 +91,38 @@ class TestAtomicAdd:
         assert run.mem.global_stores == 32
         # and the address arithmetic appears in the adder trace (LEA)
         assert len(run.trace) == 32
+
+
+class TestSharedAtomicMasking:
+    def test_masked_lanes_do_not_add_shared(self):
+        def kernel(k, out):
+            s = k.shared(1, np.int64)
+            t = k.thread_id()
+            with k.where(k.lt(t, 10)):
+                k.atomic_add_shared(s, 0, 1)
+            k.syncthreads()
+            with k.where(k.eq(t, 0)):
+                k.st_global(out, 0, k.ld_shared(s, 0))
+
+        launcher = GridLauncher()
+        out = launcher.buffer("out", np.zeros(1, np.int64))
+        launcher.run(kernel, LaunchConfig(1, 64), out=out)
+        assert out.data[0] == 10
+
+    def test_masked_old_values_stay_zero(self):
+        captured = {}
+
+        def kernel(k, out):
+            s = k.shared(1, np.int64)
+            t = k.thread_id()
+            with k.where(k.ge(t, 60)):
+                captured["old"] = k.atomic_add_shared(s, 0, 1)
+            k.st_global(out, 0, 0)
+
+        launcher = GridLauncher()
+        out = launcher.buffer("out", np.zeros(1, np.int64))
+        launcher.run(kernel, LaunchConfig(1, 64), out=out)
+        old = np.asarray(captured["old"])
+        # inactive lanes observe nothing; the 4 active lanes serialise
+        assert list(old[:60]) == [0] * 60
+        assert sorted(old[60:]) == [0, 1, 2, 3]

@@ -256,3 +256,55 @@ class TestInstructionMix:
             assert np.array_equal(i, np.arange(k.n_threads))
 
         run_one_block(kernel)
+
+
+class TestInlineScopes:
+    def test_inline_gives_helper_calls_distinct_pcs(self):
+        def helper(k, x):
+            return k.iadd(x, 1)
+
+        def aliased(k):
+            t = k.thread_id()
+            helper(k, t)
+            helper(k, t)
+
+        def scoped(k):
+            t = k.thread_id()
+            with k.inline("lo"):
+                helper(k, t)
+            with k.inline("hi"):
+                helper(k, t)
+
+        __, run_a = run_one_block(aliased, threads=32)
+        __, run_s = run_one_block(scoped, threads=32)
+        # aliased: both calls intern the helper's one frame location;
+        # scoped: the inline tags split it into two static PCs
+        assert run_s.n_static_pcs == run_a.n_static_pcs + 1
+
+    def test_scopes_nest_and_compose(self):
+        def helper(k, x):
+            return k.iadd(x, 1)
+
+        def kernel(k):
+            t = k.thread_id()
+            with k.inline("outer"):
+                helper(k, t)
+                with k.inline("inner"):
+                    helper(k, t)
+
+        __, run = run_one_block(kernel, threads=32)
+        labels = set(run.pc_table.labels)
+        assert any("outer" in lbl and "inner" not in lbl
+                   for lbl in labels)
+        assert any("outer/inner" in lbl for lbl in labels)
+
+    def test_scope_pops_on_exit(self):
+        def kernel(k):
+            t = k.thread_id()
+            with k.inline("scoped"):
+                k.iadd(t, 1)
+            k.iadd(t, 2)
+
+        __, run = run_one_block(kernel, threads=32)
+        labels = run.pc_table.labels
+        assert sum("scoped" in lbl for lbl in labels) == 1

@@ -1,0 +1,231 @@
+"""Runtime sanitizer: race epochs, barrier divergence, trace coverage."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import LaunchConfig
+from repro.sim.functional import GridLauncher, run_kernel
+from repro.sim.sanitizer import (ENV_SANITIZE, BarrierDivergenceError,
+                                 DeviceVector, SharedMemoryRaceError,
+                                 UntracedArithmeticError,
+                                 env_sanitize_default)
+
+
+def launch(fn, threads=64, blocks=1, sanitize=True, **params):
+    launcher = GridLauncher(sanitize=sanitize)
+    out = launcher.buffer("out", np.zeros(threads * blocks, np.int64))
+    run = launcher.run(fn, LaunchConfig(blocks, threads), out=out,
+                       **params)
+    return run, out
+
+
+class TestSharedMemoryRaces:
+    def test_cross_warp_write_read_race_is_caught(self):
+        def racy(k, out):
+            t = k.thread_id()
+            s = k.shared(64, np.int64)
+            k.st_shared(s, t, t)
+            # reversed read: warp 0 reads what warp 1 just wrote
+            v = k.ld_shared(s, k.isub(63, t))
+            k.st_global(out, t, v)
+
+        with pytest.raises(SharedMemoryRaceError, match="write→read"):
+            launch(racy)
+
+    def test_barrier_fixed_twin_passes(self):
+        def fixed(k, out):
+            t = k.thread_id()
+            s = k.shared(64, np.int64)
+            k.st_shared(s, t, t)
+            k.syncthreads()
+            v = k.ld_shared(s, k.isub(63, t))
+            k.st_global(out, t, v)
+
+        __, out = launch(fixed)
+        assert list(out.data) == list(range(63, -1, -1))
+
+    def test_same_warp_exchange_is_not_a_race(self):
+        """One warp is executed in lockstep: its threads may exchange
+        through shared memory without a block barrier."""
+        def warp_local(k, out):
+            t = k.thread_id()
+            s = k.shared(32, np.int64)
+            k.st_shared(s, t, t)
+            v = k.ld_shared(s, k.isub(31, t))
+            k.st_global(out, t, v)
+
+        __, out = launch(warp_local, threads=32)
+        assert list(out.data) == list(range(31, -1, -1))
+
+    def test_read_then_foreign_write_race(self):
+        """The binomial-style hazard: reading a neighbour cell that
+        another warp overwrites in the same barrier interval."""
+        def racy(k, out):
+            t = k.thread_id()
+            s = k.shared(65, np.int64)
+            k.st_shared(s, t, t)
+            k.syncthreads()
+            v = k.ld_shared(s, k.iadd(t, 1))
+            k.st_shared(s, t, v)
+            k.st_global(out, t, v)
+
+        with pytest.raises(SharedMemoryRaceError, match="read→write"):
+            launch(racy)
+
+    def test_epoch_resets_between_blocks(self):
+        def kernel(k, out):
+            t = k.thread_id()
+            s = k.shared(64, np.int64)
+            k.st_shared(s, t, t)
+            k.syncthreads()
+            v = k.ld_shared(s, k.isub(63, t))
+            k.st_global(out, k.iadd(t, k.block_id * 64), v)
+
+        run, __ = launch(kernel, blocks=3)
+        assert run.sanitizer is not None
+
+    def test_cross_warp_atomics_do_not_race(self):
+        """atomicAdd serialises: colliding warps are fine without a
+        barrier."""
+        def histogram(k, out):
+            t = k.thread_id()
+            s = k.shared(4, np.int64)
+            k.atomic_add_shared(s, k.irem(t, np.int64(4)), 1)
+            k.syncthreads()
+            with k.where(k.lt(t, 4)):
+                k.st_global(out, t, k.ld_shared(s, t))
+
+        __, out = launch(histogram, threads=128)
+        assert list(out.data[:4]) == [32, 32, 32, 32]
+
+    def test_atomic_then_foreign_read_without_barrier_races(self):
+        def racy(k, out):
+            t = k.thread_id()
+            s = k.shared(1, np.int64)
+            k.atomic_add_shared(s, 0, 1)
+            v = k.ld_shared(s, 0)
+            k.st_global(out, t, v)
+
+        with pytest.raises(SharedMemoryRaceError, match="write→read"):
+            launch(racy)
+
+
+class TestBarrierDivergence:
+    def test_divergent_barrier_raises(self):
+        def bad(k, out):
+            t = k.thread_id()
+            with k.where(k.lt(t, 16)):
+                k.syncthreads()
+
+        with pytest.raises(BarrierDivergenceError):
+            launch(bad)
+
+    def test_uniform_barrier_is_fine(self):
+        def good(k, out):
+            t = k.thread_id()
+            with k.where(k.lt(t, 16)):
+                k.st_global(out, t, t)
+            k.syncthreads()
+
+        launch(good)
+
+
+class TestTraceCoverageProbe:
+    def test_untraced_add_raises_at_finish(self):
+        def leaky(k, out):
+            t = k.thread_id()
+            x = t + 1
+            k.st_global(out, t, x)
+
+        with pytest.raises(UntracedArithmeticError, match="add"):
+            launch(leaky)
+
+    def test_suppression_comment_is_honoured(self):
+        def annotated(k, out):
+            t = k.thread_id()
+            x = t + 1  # st2-lint: disable=L1 — fixture: folded offset
+            k.st_global(out, t, x)
+
+        run, out = launch(annotated)
+        assert run.sanitizer.untraced_sites          # recorded …
+        assert run.sanitizer.unsuppressed_untraced() == []   # … quietly
+        assert list(out.data) == list(range(1, 65))
+
+    def test_comparisons_and_dsl_math_do_not_trip(self):
+        def clean(k, out):
+            t = k.thread_id()
+            big = t > 10
+            x = k.iadd(t, 1)
+            y = k.sel(big, x, t)
+            k.st_global(out, t, y)
+
+        launch(clean)
+
+    def test_values_are_plain_arrays_when_disabled(self):
+        captured = {}
+
+        def kernel(k, out):
+            captured["t"] = k.thread_id()
+            k.st_global(out, captured["t"], 1)
+
+        run, __ = launch(kernel, sanitize=False)
+        assert run.sanitizer is None
+        assert not isinstance(captured["t"], DeviceVector)
+
+    def test_values_are_wrapped_when_enabled(self):
+        captured = {}
+
+        def kernel(k, out):
+            captured["t"] = k.thread_id()
+            k.st_global(out, captured["t"], 1)
+
+        launch(kernel, sanitize=True)
+        assert isinstance(captured["t"], DeviceVector)
+
+
+class TestDefaults:
+    def test_off_by_default(self):
+        def kernel(k, out):
+            k.st_global(out, k.thread_id(), 1)
+
+        launcher = GridLauncher()
+        assert launcher.sanitize is False
+        out = launcher.buffer("out", np.zeros(32, np.int64))
+        run = launcher.run(kernel, LaunchConfig(1, 32), out=out)
+        assert run.sanitizer is None
+
+    def test_env_variable_flips_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_SANITIZE, "1")
+        assert env_sanitize_default() is True
+        assert GridLauncher().sanitize is True
+        monkeypatch.setenv(ENV_SANITIZE, "0")
+        assert env_sanitize_default() is False
+
+    def test_run_kernel_passthrough(self):
+        def leaky(k, out):
+            t = k.thread_id()
+            k.st_global(out, t + 1, 1)
+
+        launcher = GridLauncher()
+        out = launcher.buffer("out", np.zeros(33, np.int64))
+        with pytest.raises(UntracedArithmeticError):
+            run_kernel(leaky, LaunchConfig(1, 32), sanitize=True,
+                       out=out)
+
+    def test_identical_traces_with_and_without(self):
+        """Sanitizing must observe, never perturb: traces and results
+        match the plain run exactly."""
+        def kernel(k, out):
+            t = k.thread_id()
+            s = k.shared(64, np.int64)
+            k.st_shared(s, t, k.imul(t, 3))
+            k.syncthreads()
+            v = k.ld_shared(s, k.isub(63, t))
+            k.st_global(out, t, k.iadd(v, 7))
+
+        run_a, out_a = launch(kernel, sanitize=True)
+        run_b, out_b = launch(kernel, sanitize=False)
+        assert np.array_equal(out_a.data, out_b.data)
+        assert len(run_a.trace) == len(run_b.trace)
+        assert np.array_equal(run_a.trace.value, run_b.trace.value)
+        assert run_a.n_static_pcs == run_b.n_static_pcs
