@@ -59,14 +59,23 @@ def runner_results() -> dict:
 
     ``REPRO_BENCH_WORKERS`` overrides the pool size (0 = auto);
     ``REPRO_BENCH_NO_CACHE=1`` bypasses the disk cache, forcing a
-    fresh in-process computation of every unit.
+    fresh in-process computation of every unit;
+    ``REPRO_BENCH_TRACE_STORE=DIR`` routes the functional executions
+    through the shared memory-mapped trace store (two-stage pipeline).
     """
-    from repro.runner import build_units, default_workers, run_suite_units
+    from repro.runner import (RunOptions, build_units, default_workers,
+                              run_suite_units)
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) \
         or default_workers()
-    use_cache = not os.environ.get("REPRO_BENCH_NO_CACHE")
+    options = RunOptions(
+        workers=workers,
+        use_cache=not os.environ.get("REPRO_BENCH_NO_CACHE"))
+    store_dir = os.environ.get("REPRO_BENCH_TRACE_STORE")
+    if store_dir:
+        from repro.sim.trace_store import TraceStore
+        options.trace_store = TraceStore(store_dir)
     units = build_units("all", scale=BENCH_SCALE, seed=0)
-    keyed = run_suite_units(units, workers=workers, use_cache=use_cache)
+    keyed = run_suite_units(units, options)
     return {kernel: result for (kernel, _cfg), result in keyed.items()}
 
 

@@ -14,9 +14,12 @@ Public API highlights
 * :mod:`repro.kernels.suite` — the 23-kernel evaluation suite.
 * :func:`repro.st2.architecture.evaluate_suite` — the end-to-end
   Section VI evaluation (misprediction, timing, energy).
+* :mod:`repro.runner` — the parallel cached experiment runner
+  (``st2-run``) with its two-stage trace-store pipeline (``st2-trace``).
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every figure.
+See DESIGN.md for the full system inventory, EXPERIMENTS.md for the
+paper-vs-measured record of every figure, and README.md ("Public API")
+for the stability guarantees of the names exported here.
 """
 
 from repro.core.adder import CarrySelectAdder, ReferenceAdder, ST2Adder
@@ -29,6 +32,20 @@ from repro.sim.functional import GridLauncher, KernelRun, run_kernel
 
 __version__ = "1.0.0"
 
+#: Runner / trace-store entry points exported lazily (PEP 562): they
+#: pull in the whole kernel suite, which ``import repro`` users on the
+#: quickstart path should not pay for.
+_LAZY_EXPORTS = {
+    "ResultCache": ("repro.runner", "ResultCache"),
+    "RunOptions": ("repro.runner", "RunOptions"),
+    "TraceBundle": ("repro.sim.trace_io", "TraceBundle"),
+    "TraceStore": ("repro.sim.trace_store", "TraceStore"),
+    "UnitSpec": ("repro.runner", "UnitSpec"),
+    "build_units": ("repro.runner", "build_units"),
+    "run_suite_units": ("repro.runner", "run_suite_units"),
+    "run_units": ("repro.runner", "run_units"),
+}
+
 __all__ = [
     "AdderGeometry",
     "CarrySelectAdder",
@@ -38,11 +55,35 @@ __all__ = [
     "KernelRun",
     "LaunchConfig",
     "ReferenceAdder",
+    "ResultCache",
+    "RunOptions",
     "ST2Adder",
     "ST2_DESIGN",
     "SpeculationConfig",
     "SpeculationResult",
     "TITAN_V",
+    "TraceBundle",
+    "TraceStore",
+    "UnitSpec",
+    "build_units",
     "run_kernel",
     "run_speculation",
+    "run_suite_units",
+    "run_units",
 ]
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    value = getattr(importlib.import_module(module), attr)
+    globals()[name] = value         # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -21,9 +21,10 @@ import os
 import sys
 
 from repro.kernels.suite import KERNEL_GROUPS, resolve_kernels
-from repro.runner.cache import ResultCache, code_version
+from repro.runner.cache import code_version
 from repro.runner.manifest import write_manifest
-from repro.runner.pool import RunTimer, default_workers, run_units
+from repro.runner.options import RunOptions
+from repro.runner.pool import RunTimer, run_units
 from repro.runner.units import build_units, resolve_configs
 
 
@@ -57,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None,
                         help="cache root (default: $REPRO_CACHE_DIR "
                              "or ~/.cache/repro)")
+    parser.add_argument("--trace-store", nargs="?", const="",
+                        default=None, metavar="DIR",
+                        help="two-stage pipeline: capture each distinct "
+                             "(kernel, scale, seed) trace once into a "
+                             "memory-mapped store, then evaluate all "
+                             "configs against it read-only (bare flag: "
+                             "$REPRO_TRACE_DIR or "
+                             "~/.cache/repro/traces)")
     parser.add_argument("--out", default="st2_manifest.jsonl",
                         help="JSONL manifest path "
                              "(default st2_manifest.jsonl)")
@@ -115,29 +124,26 @@ def main(argv=None) -> int:
             print(f"{spec.label}  scale={spec.scale} seed={spec.seed}")
         return 0
 
-    workers = args.workers if args.workers is not None \
-        else default_workers()
-    cache = ResultCache(args.cache_dir)
     timer = RunTimer()
-    progress = _progress_printer(len(units), args.quiet)
+    options = RunOptions.from_args(
+        args, progress=_progress_printer(len(units), args.quiet),
+        timer=timer)
 
-    def observe(spec, result):
-        timer.observe(spec, result)
-        progress(spec, result)
-
-    results = run_units(units, workers=workers, cache=cache,
-                        use_cache=not args.no_cache, progress=observe)
+    results = run_units(units, options)
 
     meta = {
         "kernels": list(kernels),
         "configs": [cfg.name for cfg in configs],
         "scale": args.scale,
         "seed": args.seed,
-        "workers": workers,
-        "use_cache": not args.no_cache,
-        "cache_dir": str(cache.root),
+        "workers": options.workers,
+        "use_cache": options.use_cache,
+        "cache_dir": str(options.resolved_cache().root),
         "code_version": code_version(),
     }
+    if options.trace_store is not None:
+        meta["trace_store"] = str(options.trace_store.root)
+    meta.update(options.stats)
     meta.update(timer.summary())
     path = write_manifest(args.out, results, meta=meta)
 
@@ -145,7 +151,14 @@ def main(argv=None) -> int:
     print(_summary_table(results))
     print(f"\n{len(results)} units in {timer.elapsed_s:.2f}s "
           f"({timer.hits} cache hits, {timer.misses} computed, "
-          f"workers={workers})")
+          f"workers={options.workers})")
+    if options.trace_store is not None and \
+            "traces_total" in options.stats:
+        s = options.stats
+        print(f"trace store: {s['traces_total']} traces "
+              f"({s['traces_captured']} captured in "
+              f"{s['stage_capture_s']:.2f}s, {s['trace_store_hits']} "
+              f"warm), stage 2 {s['stage_eval_s']:.2f}s")
     print(f"manifest: {path}")
     return 0
 

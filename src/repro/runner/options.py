@@ -1,0 +1,76 @@
+"""Execution options for one runner invocation.
+
+:func:`~repro.runner.pool.run_units` grew a keyword surface (workers,
+cache handles, progress hooks, and now the trace-store knobs) that the
+Python API and the ``st2-run`` CLI both had to mirror.
+:class:`RunOptions` is the single shared carrier: construct it directly
+from Python, or from parsed CLI arguments via :meth:`from_args`.  The
+old ``run_units(..., workers=, cache=, use_cache=, progress=)`` kwargs
+still work for one release but emit a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runner.cache import ResultCache
+
+#: Legacy ``run_units`` keyword names accepted (with a deprecation
+#: warning) and folded into a :class:`RunOptions`.
+LEGACY_RUN_KWARGS = ("workers", "cache", "use_cache", "progress")
+
+
+@dataclass
+class RunOptions:
+    """Everything that controls *how* a work list is executed (never
+    *what* it computes — that lives in the UnitSpecs).
+
+    ``trace_store`` switches the runner to the two-stage pipeline:
+    stage 1 captures each distinct (kernel, scale, seed) trace into the
+    store once, stage 2 fans evaluation units out over read-only
+    memmapped traces.  ``None`` keeps the single-stage behaviour.
+
+    ``stats`` is populated by ``run_units`` with invocation-level
+    accounting (stage wall-times, traces captured vs served warm) so
+    callers — the CLI manifest in particular — can report it.
+    """
+
+    workers: int = 1
+    cache: ResultCache = None
+    use_cache: bool = True
+    progress: object = None         # callable(spec, result) or None
+    timer: object = None            # RunTimer-like .observe(spec, result)
+    trace_store: object = None      # TraceStore or None (single-stage)
+    stats: dict = field(default_factory=dict)
+
+    def resolved_cache(self) -> ResultCache:
+        return self.cache if self.cache is not None else ResultCache()
+
+    def notify(self, spec, result) -> None:
+        """Invoke the timer and progress hooks for one finished unit."""
+        if self.timer is not None:
+            self.timer.observe(spec, result)
+        if self.progress is not None:
+            self.progress(spec, result)
+
+    @classmethod
+    def from_args(cls, args, progress=None, timer=None) -> "RunOptions":
+        """Build options from ``st2-run`` parsed arguments.
+
+        Understands ``--workers``, ``--cache-dir``, ``--no-cache`` and
+        ``--trace-store [DIR]`` (absent → single-stage; bare flag →
+        default store dir; with a path → that directory).
+        """
+        from repro.runner.pool import default_workers
+
+        workers = args.workers if getattr(args, "workers", None) \
+            is not None else default_workers()
+        cache = ResultCache(getattr(args, "cache_dir", None))
+        store = None
+        spec = getattr(args, "trace_store", None)
+        if spec is not None:
+            from repro.sim.trace_store import TraceStore
+            store = TraceStore(spec or None)
+        return cls(workers=workers, cache=cache,
+                   use_cache=not getattr(args, "no_cache", False),
+                   progress=progress, timer=timer, trace_store=store)

@@ -1,12 +1,24 @@
 """Parallel, cache-aware execution of runner work units.
 
-The schedule is: resolve every unit's cache key up front, serve hits
-from disk in the parent, then fan the misses out over a
-``multiprocessing`` pool (``workers > 1``) or run them inline
+Single-stage mode (no trace store): resolve every unit's cache key up
+front, serve hits from disk in the parent, then fan the misses out over
+a ``multiprocessing`` pool (``workers > 1``) or run them inline
 (``workers <= 1`` — same code path as a pool worker, which is what the
-parallel-equals-serial guarantee rests on).  Results always come back
-in work-list order; the parent alone writes cache entries, so no two
-processes ever race on a cache file.
+parallel-equals-serial guarantee rests on).
+
+Two-stage mode (``options.trace_store`` set): the pending work is
+split along the paper's own decoupling.  **Stage 1** fans out over the
+*distinct* (kernel, scale, seed) keys behind the pending units and
+populates the trace store, skipping entries that are already warm — so
+an 18-kernel × 6-config grid executes each kernel functionally once,
+not once per config per worker.  **Stage 2** fans out over the
+(trace × config) evaluation units; every worker opens the stored trace
+read-only via ``mmap``, sharing the OS page cache.
+
+Results always come back in work-list order; the parent alone writes
+result-cache entries.  Trace-store entries are published by workers
+with an atomic directory rename, so concurrent captures cannot corrupt
+an entry (first writer wins; both wrote identical bytes).
 """
 
 from __future__ import annotations
@@ -14,11 +26,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 
-from repro.runner.cache import ResultCache, code_version, unit_key
-from repro.runner.units import ModelBundle, UnitSpec, execute_unit
+from repro.runner.cache import code_version, unit_key
+from repro.runner.options import LEGACY_RUN_KWARGS, RunOptions
+from repro.runner.units import (ModelBundle, UnitSpec, execute_unit,
+                                unit_trace_key)
 
 _WORKER_MODELS = ModelBundle()
+_WORKER_STORE = None
 
 
 def default_workers() -> int:
@@ -27,15 +43,43 @@ def default_workers() -> int:
     return max(1, min(4, os.cpu_count() or 1))
 
 
-def _init_worker() -> None:
+def _init_worker(store_root=None, need_models: bool = True) -> None:
     """Pool initializer: build the calibrated power model and the
-    circuit-characterised adder model once per worker process."""
-    _WORKER_MODELS.ensure()
+    circuit-characterised adder model once per worker process (stage-1
+    capture workers skip them), and open the shared trace store (when
+    the run uses one)."""
+    global _WORKER_STORE
+    if need_models:
+        _WORKER_MODELS.ensure()
+    if store_root is not None:
+        from repro.sim.trace_store import TraceStore
+        _WORKER_STORE = TraceStore(store_root)
+    else:
+        _WORKER_STORE = None
 
 
 def _run_one(item) -> tuple:
-    index, spec = item
-    return index, execute_unit(spec, models=_WORKER_MODELS)
+    index, spec, store_key = item
+    return index, execute_unit(spec, models=_WORKER_MODELS,
+                               store=_WORKER_STORE,
+                               store_key=store_key)
+
+
+def _capture_one(item) -> tuple:
+    """Stage-1 work item: functionally execute one distinct
+    (kernel, scale, seed) and publish its trace.  Returns
+    ``(key, captured, wall_s)``."""
+    from repro.kernels import suite as kernel_suite
+
+    key, kernel, scale, seed, version = item
+    if _WORKER_STORE.has(key):
+        return key, False, 0.0
+    t0 = time.perf_counter()
+    run = kernel_suite.run_kernel(kernel, scale=scale, seed=seed,
+                                  use_cache=False)
+    created = _WORKER_STORE.put(key, run, code_version=version,
+                                scale=scale, seed=seed)
+    return key, created, time.perf_counter() - t0
 
 
 def _pool_context():
@@ -45,23 +89,67 @@ def _pool_context():
         "fork" if "fork" in methods else "spawn")
 
 
-def run_units(specs, workers: int = 1, cache: ResultCache = None,
-              use_cache: bool = True, progress=None) -> list:
+def _map_parallel(fn, items, workers, store_root=None,
+                  need_models: bool = True):
+    """Run ``fn`` over ``items`` inline or across a pool, yielding
+    results unordered.  The inline path goes through the same worker
+    entry points, which is what the parallel-equals-serial guarantee
+    rests on."""
+    if not items:
+        return
+    if workers > 1 and len(items) > 1:
+        ctx = _pool_context()
+        with ctx.Pool(min(workers, len(items)),
+                      initializer=_init_worker,
+                      initargs=(store_root, need_models)) as pool:
+            yield from pool.imap_unordered(fn, items)
+    else:
+        _init_worker(store_root, need_models=need_models)
+        for item in items:
+            yield fn(item)
+
+
+def _coerce_options(options, legacy: dict) -> RunOptions:
+    """Fold deprecated ``run_units`` keywords into a RunOptions."""
+    unknown = set(legacy) - set(LEGACY_RUN_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"run_units() got unexpected keyword arguments "
+            f"{sorted(unknown)}")
+    if legacy:
+        if options is not None:
+            raise TypeError(
+                "run_units() takes either a RunOptions or legacy "
+                "keyword arguments, not both")
+        warnings.warn(
+            f"run_units keyword arguments {sorted(legacy)} are "
+            f"deprecated; pass a repro.runner.RunOptions instead",
+            DeprecationWarning, stacklevel=3)
+        return RunOptions(**legacy)
+    return options if options is not None else RunOptions()
+
+
+def run_units(specs, options: RunOptions = None, **legacy) -> list:
     """Execute ``specs`` and return their result dicts, in order.
 
     Each returned dict is the :func:`~repro.runner.units.execute_unit`
     payload plus two runtime fields: ``key`` (the cache key) and
     ``cached`` (whether this invocation served it from disk).
 
-    ``use_cache=False`` bypasses the disk cache entirely — no reads,
-    no writes.  ``progress`` is an optional ``callable(spec, result)``
-    invoked as each unit completes (cache hits included).
+    ``options`` is a :class:`~repro.runner.options.RunOptions`; the old
+    ``workers=/cache=/use_cache=/progress=`` keywords still work but
+    are deprecated.  After the call, ``options.stats`` holds the
+    invocation's stage accounting (``stage_capture_s``,
+    ``stage_eval_s`` and — in two-stage mode — ``traces_captured`` /
+    ``trace_store_hits``).
     """
+    options = _coerce_options(options, legacy)
     specs = list(specs)
     for spec in specs:
         if not isinstance(spec, UnitSpec):
             raise TypeError(f"expected UnitSpec, got {type(spec)!r}")
-    cache = cache if cache is not None else ResultCache()
+    cache = options.resolved_cache()
+    use_cache = options.use_cache
     version = code_version()
     keys = [unit_key(spec, version) for spec in specs]
     results = [None] * len(specs)
@@ -73,36 +161,80 @@ def run_units(specs, workers: int = 1, cache: ResultCache = None,
             hit = dict(hit)
             hit.update(key=key, cached=True)
             results[i] = hit
-            if progress is not None:
-                progress(spec, hit)
+            options.notify(spec, hit)
         else:
             pending.append((i, spec))
 
+    store = options.trace_store
+    stats = {"stage_capture_s": 0.0, "stage_eval_s": 0.0}
+    options.stats = stats
+
+    trace_keys = {}                 # unit index -> trace key (or None)
+    if store is not None and pending:
+        stats.update(_populate_store(store, pending, options, version,
+                                     trace_keys))
+
     def finish(i, result):
         result.update(key=keys[i], cached=False)
+        if store is not None:
+            # provenance relative to *this invocation*: True only if
+            # the trace was warm before stage 1 ran
+            result["trace_cache_hit"] = \
+                trace_keys.get(i) in stats.get("warm_keys", ())
         if use_cache:
             cache.store(keys[i], result)
         results[i] = result
-        if progress is not None:
-            progress(specs[i], result)
+        options.notify(specs[i], result)
 
+    t0 = time.perf_counter()
     if pending:
-        if workers > 1:
-            ctx = _pool_context()
-            with ctx.Pool(min(workers, len(pending)),
-                          initializer=_init_worker) as pool:
-                for i, result in pool.imap_unordered(_run_one, pending):
-                    finish(i, result)
-        else:
-            for item in pending:
-                finish(*_run_one(item))
+        items = [(i, spec, trace_keys.get(i)) for i, spec in pending]
+        store_root = str(store.root) if store is not None else None
+        for i, result in _map_parallel(_run_one, items,
+                                       options.workers, store_root):
+            finish(i, result)
+    stats["stage_eval_s"] = time.perf_counter() - t0
+    stats.pop("warm_keys", None)
     return results
 
 
-def run_suite_units(specs, workers: int = 1, **kwargs) -> dict:
+def _populate_store(store, pending, options: RunOptions,
+                    version: str, trace_keys: dict) -> dict:
+    """Stage 1: capture every distinct pending trace into the store.
+
+    Fans out over (kernel, scale, seed) keys — never over configs —
+    skipping entries that are already warm.
+    """
+    distinct = {}                   # trace key -> capture item
+    for i, spec in pending:
+        key = unit_trace_key(spec, version)
+        trace_keys[i] = key
+        distinct.setdefault(
+            key, (key, spec.kernel, spec.scale, spec.seed, version))
+
+    warm = frozenset(k for k in distinct if store.has(k))
+    todo = [item for key, item in distinct.items() if key not in warm]
+
+    t0 = time.perf_counter()
+    captured = []
+    for key, created, wall_s in _map_parallel(
+            _capture_one, todo, options.workers, str(store.root),
+            need_models=False):
+        if created:
+            captured.append(key)
+    return {
+        "stage_capture_s": time.perf_counter() - t0,
+        "traces_total": len(distinct),
+        "traces_captured": len(captured),
+        "trace_store_hits": len(warm),
+        "warm_keys": warm,
+    }
+
+
+def run_suite_units(specs, options: RunOptions = None, **legacy) -> dict:
     """Like :func:`run_units` but keyed ``{(kernel, config): result}``
     — the shape the benchmark fixtures want."""
-    results = run_units(specs, workers=workers, **kwargs)
+    results = run_units(specs, options=options, **legacy)
     return {(spec.kernel, spec.config.name): result
             for spec, result in zip(specs, results)}
 

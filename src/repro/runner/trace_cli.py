@@ -1,0 +1,196 @@
+"""``st2-trace`` — inspect and manage the memory-mapped trace store.
+
+Subcommands::
+
+    st2-trace ls                          # list entries (key, identity, size)
+    st2-trace capture --kernels smoke     # stage-1 only: warm the store
+    st2-trace verify                      # integrity-check entries (exit 1 on damage)
+    st2-trace gc --stale --max-bytes 2e9  # drop dead / oldest entries
+
+The store lives at ``$REPRO_TRACE_DIR`` (default
+``~/.cache/repro/traces``) or wherever ``--store`` points; it is the
+same store ``st2-run --trace-store`` reads, so ``capture`` followed by
+a sweep is the capture-once/evaluate-many workflow from EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.runner.cache import code_version
+from repro.sim.trace_store import TraceStore, trace_key
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="st2-trace",
+        description="Manage the content-addressed, memory-mapped "
+                    "kernel trace store.")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="store root (default: $REPRO_TRACE_DIR "
+                             "or ~/.cache/repro/traces)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ls", help="list store entries")
+
+    cap = sub.add_parser("capture",
+                         help="functionally execute kernels and "
+                              "publish their traces (skipping warm "
+                              "entries)")
+    cap.add_argument("--kernels", default="all",
+                     help="comma-separated kernel names or a group")
+    cap.add_argument("--scale", type=float, default=1.0)
+    cap.add_argument("--seed", type=int, default=0)
+    cap.add_argument("--per-kernel-seeds", action="store_true",
+                     help="derive each kernel's seed from (seed, kernel)")
+    cap.add_argument("--workers", type=int, default=None,
+                     help="capture processes (default: min(4, cores))")
+
+    ver = sub.add_parser("verify",
+                         help="integrity-check entries; exit 1 if any "
+                              "entry is damaged")
+    ver.add_argument("keys", nargs="*",
+                     help="keys to check (default: every entry)")
+
+    gc = sub.add_parser("gc", help="remove dead store entries")
+    gc.add_argument("--stale", action="store_true",
+                    help="drop entries captured under a different "
+                         "code version (unreachable by any future run)")
+    gc.add_argument("--max-bytes", type=float, default=None,
+                    help="evict oldest entries until the store fits "
+                         "this many bytes")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed, remove nothing")
+    return parser
+
+
+def _cmd_ls(store: TraceStore) -> int:
+    entries = store.entries()
+    if not entries:
+        print(f"trace store {store.root}: empty")
+        return 0
+    version = code_version()
+    total = 0
+    print(f"{'key':<12} {'kernel':<14} {'scale':>6} {'seed':>6} "
+          f"{'rows':>10} {'MB':>8}  version")
+    for key, header in entries:
+        nbytes = store.nbytes(key)
+        total += nbytes
+        state = "current" if header.get("code_version") == version \
+            else "stale"
+        print(f"{key[:12]:<12} {header['kernel']:<14} "
+              f"{header.get('scale')!s:>6} {header.get('seed')!s:>6} "
+              f"{header['n_rows']:>10,} {nbytes / 1e6:>8.1f}  {state}")
+    print(f"{len(entries)} entries, {total / 1e6:.1f} MB in "
+          f"{store.root}")
+    return 0
+
+
+def _cmd_capture(store: TraceStore, args) -> int:
+    from repro.kernels.suite import resolve_kernels
+    from repro.runner.pool import (_capture_one, _map_parallel,
+                                   default_workers)
+    from repro.runner.units import derive_unit_seed
+
+    try:
+        kernels = resolve_kernels(args.kernels)
+    except KeyError as exc:
+        print(f"st2-trace: {exc.args[0]}", file=sys.stderr)
+        return 2
+    version = code_version()
+    items = []
+    for kernel in kernels:
+        seed = derive_unit_seed(args.seed, kernel) \
+            if args.per_kernel_seeds else args.seed
+        key = trace_key(kernel, args.scale, seed, version)
+        items.append((key, kernel, args.scale, seed, version))
+
+    workers = args.workers if args.workers is not None \
+        else default_workers()
+    captured = skipped = 0
+    for key, created, wall_s in _map_parallel(
+            _capture_one, items, workers, str(store.root),
+            need_models=False):
+        header = store.header(key)
+        if created:
+            captured += 1
+            print(f"captured {header['kernel']:<14} "
+                  f"{header['n_rows']:>10,} rows in {wall_s:.2f}s "
+                  f"-> {key[:12]}")
+        else:
+            skipped += 1
+            print(f"warm     {header['kernel']:<14} "
+                  f"{header['n_rows']:>10,} rows  {key[:12]}")
+    print(f"{captured} captured, {skipped} already warm, "
+          f"store: {store.root}")
+    return 0
+
+
+def _cmd_verify(store: TraceStore, keys) -> int:
+    keys = list(keys) or store.keys()
+    bad = 0
+    for key in keys:
+        if not store.has(key):
+            print(f"{key}: missing")
+            bad += 1
+            continue
+        problems = store.verify(key)
+        if problems:
+            bad += 1
+            for problem in problems:
+                print(f"{key[:12]}: {problem}")
+        else:
+            print(f"{key[:12]}: ok "
+                  f"({store.header(key)['kernel']})")
+    if bad:
+        print(f"{bad}/{len(keys)} entries damaged", file=sys.stderr)
+        return 1
+    print(f"{len(keys)} entries sound")
+    return 0
+
+
+def _cmd_gc(store: TraceStore, args) -> int:
+    if not args.stale and args.max_bytes is None:
+        print("st2-trace gc: nothing to do "
+              "(pass --stale and/or --max-bytes)", file=sys.stderr)
+        return 2
+    removed = store.gc(
+        current_version=code_version() if args.stale else None,
+        max_bytes=int(args.max_bytes) if args.max_bytes is not None
+        else None,
+        dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for key in removed:
+        print(f"{verb} {key}")
+    remain = len(store) - (len(removed) if args.dry_run else 0)
+    print(f"{verb} {len(removed)} entries, {remain} remain")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    store = TraceStore(args.store)
+    if args.command == "ls":
+        return _cmd_ls(store)
+    if args.command == "capture":
+        return _cmd_capture(store, args)
+    if args.command == "verify":
+        return _cmd_verify(store, args.keys)
+    if args.command == "gc":
+        return _cmd_gc(store, args)
+    return 2
+
+
+def console_main() -> int:
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(console_main())

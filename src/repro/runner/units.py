@@ -28,11 +28,14 @@ from repro.kernels import suite as kernel_suite
 from repro.sim.trace_io import trace_nbytes
 
 #: Bump when the shape of the result dict changes; part of the cache key.
-RESULT_SCHEMA = 1
+#: v2: trace-store provenance (``trace_cache_hit``) and per-stage
+#: timings (``capture_time_s`` / ``eval_time_s``) joined the payload.
+RESULT_SCHEMA = 2
 
 #: Fields every valid result dict must carry (cache validation).
 RESULT_FIELDS = ("kernel", "scale", "seed", "config", "config_fields",
-                 "wall_time_s", "trace_rows", "trace_bytes",
+                 "wall_time_s", "capture_time_s", "eval_time_s",
+                 "trace_cache_hit", "trace_rows", "trace_bytes",
                  "n_static_pcs", "metrics", "energy_stacks")
 
 
@@ -163,21 +166,61 @@ def _aux_metrics(run) -> dict:
     }
 
 
+def unit_trace_key(spec: UnitSpec, version: str = None) -> str:
+    """The trace-store key of this unit's functional execution — shared
+    by every config evaluated against the same (kernel, scale, seed)."""
+    from repro.runner.cache import code_version
+    from repro.sim.trace_store import trace_key
+
+    return trace_key(spec.kernel, spec.scale, spec.seed,
+                     version if version is not None else code_version())
+
+
+def _obtain_run(spec: UnitSpec, store, store_key, use_mem_cache):
+    """Get the unit's KernelRun: from the trace store (capturing on a
+    cold miss), or — single-stage mode — from the functional simulator
+    via the in-process memo.  Returns ``(run, hit, capture_s)``."""
+    t0 = time.perf_counter()
+    if store is not None:
+        key = store_key or unit_trace_key(spec)
+        hit = store.has(key)
+        if not hit:
+            from repro.runner.cache import code_version
+            live = kernel_suite.run_kernel(spec.kernel, scale=spec.scale,
+                                           seed=spec.seed, use_cache=False)
+            store.put(key, live, code_version=code_version(),
+                      scale=spec.scale, seed=spec.seed)
+        return store.get(key), hit, \
+            0.0 if hit else time.perf_counter() - t0
+    hit = use_mem_cache and (spec.kernel, spec.scale, spec.seed) \
+        in kernel_suite._run_cache
+    run = kernel_suite.run_kernel(spec.kernel, scale=spec.scale,
+                                  seed=spec.seed,
+                                  use_cache=use_mem_cache)
+    return run, hit, 0.0 if hit else time.perf_counter() - t0
+
+
 def execute_unit(spec: UnitSpec, models: ModelBundle = None,
-                 use_mem_cache: bool = True) -> dict:
+                 use_mem_cache: bool = True, store=None,
+                 store_key: str = None) -> dict:
     """Run one unit end to end and return its flat result dict.
 
     The dict contains only JSON-native values (plus NaN, which the
     stdlib ``json`` round-trips), so it can be disk-cached and written
     to the manifest verbatim.
+
+    With ``store`` (a :class:`~repro.sim.trace_store.TraceStore`), the
+    functional execution is decoupled: the trace is opened read-only
+    from the store (memory-mapped, shared across processes) and only
+    captured — once, for every config that shares it — on a cold miss.
     """
     from repro.st2.architecture import evaluate_run
 
     models = (models or ModelBundle()).ensure()
     t0 = time.perf_counter()
-    run = kernel_suite.run_kernel(spec.kernel, scale=spec.scale,
-                                  seed=spec.seed,
-                                  use_cache=use_mem_cache)
+    run, trace_hit, capture_s = _obtain_run(spec, store, store_key,
+                                            use_mem_cache)
+    t_eval = time.perf_counter()
     ev = evaluate_run(run, config=spec.config,
                       model=models.power_model,
                       adder_model=models.adder_model)
@@ -189,6 +232,9 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
         "config": spec.config.name,
         "config_fields": dataclasses.asdict(spec.config),
         "wall_time_s": 0.0,     # patched below, after measuring
+        "capture_time_s": capture_s,
+        "eval_time_s": 0.0,     # patched below, after measuring
+        "trace_cache_hit": bool(trace_hit),
         "trace_rows": int(len(run.trace)),
         "trace_bytes": int(trace_nbytes(run.trace, run.insts)),
         "n_static_pcs": int(run.n_static_pcs),
@@ -208,15 +254,22 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
     }
     if spec.aux:
         result["aux"] = _aux_metrics(run)
+    result["eval_time_s"] = time.perf_counter() - t_eval
     result["wall_time_s"] = time.perf_counter() - t0
     return result
 
 
+#: Result keys that describe *this invocation's* execution, not the
+#: experiment's numbers — excluded from numerical-identity comparison.
+RUNTIME_FIELDS = ("wall_time_s", "capture_time_s", "eval_time_s",
+                  "trace_cache_hit", "cached", "key")
+
+
 def comparable(result: dict) -> dict:
-    """Strip the runtime-only fields (wall time, cache bookkeeping) so
-    two results can be compared for numerical identity."""
-    out = {k: v for k, v in result.items()
-           if k not in ("wall_time_s", "cached", "key")}
+    """Strip the runtime-only fields (wall time, trace/cache
+    bookkeeping) so two results can be compared for numerical
+    identity."""
+    out = {k: v for k, v in result.items() if k not in RUNTIME_FIELDS}
     return out
 
 

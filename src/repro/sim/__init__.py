@@ -6,9 +6,12 @@ from repro.sim.functional import GridLauncher, KernelRun, run_kernel
 from repro.sim.pipeline import (TimingResult, compare_baseline_st2,
                                 simulate_sm)
 from repro.sim.trace import AddTrace, InstStream
+from repro.sim.trace_io import TraceBundle, load_trace, save_trace
+from repro.sim.trace_store import StoredRun, TraceStore, trace_key
 
 __all__ = [
     "AddTrace", "GPUConfig", "GridLauncher", "InstStream", "KernelRun",
-    "LaunchConfig", "TITAN_V", "TimingResult", "compare_baseline_st2",
-    "run_kernel", "simulate_sm",
+    "LaunchConfig", "StoredRun", "TITAN_V", "TimingResult",
+    "TraceBundle", "TraceStore", "compare_baseline_st2", "load_trace",
+    "run_kernel", "save_trace", "simulate_sm", "trace_key",
 ]

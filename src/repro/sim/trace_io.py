@@ -5,11 +5,18 @@ Functional execution is cheap but not free; persisting an
 design-space studies iterate on fixed traces — the same decoupling
 GPGPU-Sim users get from PTX trace files.  The format is a single
 compressed ``.npz`` with a small JSON header for metadata.
+
+For the capture-once/evaluate-many workflow (many readers, zero-copy
+sharing across pool workers) see :mod:`repro.sim.trace_store`, which
+stores the same columns as raw per-column ``.npy`` files loaded with
+``mmap_mode="r"``.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -21,6 +28,29 @@ FORMAT_VERSION = 1
 _ADD_COLUMNS = ("pc", "gtid", "ltid", "warp", "sm", "block", "seq",
                 "op_a", "op_b", "cin", "width", "opcode", "value")
 _INST_COLUMNS = ("seq", "block", "warp", "sm", "opcode", "active")
+
+
+@dataclass
+class TraceBundle:
+    """A loaded trace: ``.trace``, ``.insts`` (or None) and ``.metadata``.
+
+    :func:`load_trace` used to return a positional 3-tuple; unpacking a
+    bundle (``trace, insts, meta = load_trace(p)``) still works for one
+    release but emits a :class:`DeprecationWarning` — use the named
+    attributes instead.
+    """
+
+    trace: AddTrace
+    insts: InstStream = None
+    metadata: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        warnings.warn(
+            "unpacking load_trace(...) as a (trace, insts, metadata) "
+            "tuple is deprecated; use the TraceBundle attributes "
+            ".trace/.insts/.metadata instead",
+            DeprecationWarning, stacklevel=2)
+        return iter((self.trace, self.insts, self.metadata))
 
 
 def trace_nbytes(trace: AddTrace, insts: InstStream = None) -> int:
@@ -53,8 +83,9 @@ def save_trace(path, trace: AddTrace, insts: InstStream = None,
     np.savez_compressed(path, **arrays)
 
 
-def load_trace(path) -> tuple:
-    """Read back ``(AddTrace, InstStream-or-None, metadata)``."""
+def load_trace(path) -> TraceBundle:
+    """Read back a :class:`TraceBundle` (``.trace``, ``.insts``,
+    ``.metadata``)."""
     path = Path(path)
     with np.load(path) as data:
         header = json.loads(bytes(data["header"]).decode())
@@ -69,7 +100,8 @@ def load_trace(path) -> tuple:
         if header.get("has_insts"):
             insts = InstStream(
                 **{c: data[f"inst_{c}"] for c in _INST_COLUMNS})
-    return trace, insts, header.get("metadata", {})
+    return TraceBundle(trace=trace, insts=insts,
+                       metadata=header.get("metadata", {}))
 
 
 def save_kernel_run(path, run, extra_metadata: dict = None) -> None:

@@ -1,0 +1,334 @@
+"""Content-addressed, memory-mapped trace store.
+
+One functional kernel execution produces everything the evaluation
+stages need — the adder trace, the warp instruction stream, the memory
+counters and the launch shape.  The store persists that capture exactly
+once per ``(kernel, scale, seed, code_version)`` key and serves it to
+any number of readers as **read-only memory maps**: each column is a
+raw ``.npy`` file loaded with ``np.load(mmap_mode="r")``, so concurrent
+pool workers share the OS page cache instead of each decompressing a
+private ``.npz`` copy.
+
+On-disk layout (one directory per entry)::
+
+    <root>/<key>/
+        header.json      format version, identity, launch + memory
+                         counters, pc labels, per-file sha256 digests
+        add_pc.npy …     one raw .npy per AddTrace column
+        inst_seq.npy …   one raw .npy per InstStream column
+
+Entries are immutable once published: writers assemble the directory
+under a temp name and ``rename(2)`` it into place, so readers never
+observe a partial entry and concurrent capture races resolve to
+whichever writer renames first (the loser discards its copy — both
+captured identical bytes).
+
+Layering: this module never computes a code version itself — callers
+(the runner, ``st2-trace``) pass the digest that keys their own result
+cache, keeping ``repro.sim`` free of any dependency on
+``repro.runner``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.config import LaunchConfig
+from repro.sim.memory import MemoryStats
+from repro.sim.trace import AddTrace, InstStream
+from repro.sim.trace_io import _ADD_COLUMNS, _INST_COLUMNS
+
+STORE_FORMAT_VERSION = 1
+
+ENV_STORE_DIR = "REPRO_TRACE_DIR"
+
+#: MemoryStats counters persisted per entry (the fields the power and
+#: timing models read; address batches are a debugging aid and are not
+#: stored).
+_MEM_FIELDS = ("global_loads", "global_stores",
+               "global_load_transactions", "global_store_transactions",
+               "shared_loads", "shared_stores", "const_loads")
+
+HEADER_NAME = "header.json"
+
+
+def default_store_dir() -> Path:
+    """``$REPRO_TRACE_DIR`` or ``~/.cache/repro/traces``."""
+    env = os.environ.get(ENV_STORE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def trace_key(kernel: str, scale: float, seed: int,
+              code_version: str) -> str:
+    """Content-hash key of one distinct functional execution.
+
+    Everything that determines the captured bytes is in the payload:
+    the kernel identity, the workload scale, the RNG seed and the
+    digest of the result-affecting source tree.
+    """
+    payload = {
+        "kernel": kernel,
+        "scale": scale,
+        "seed": seed,
+        "code_version": code_version,
+        "store_format": STORE_FORMAT_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:40]
+
+
+def _array_digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+@dataclass
+class StoredRun:
+    """A :class:`~repro.sim.functional.KernelRun` stand-in rebuilt from
+    a store entry.
+
+    Carries exactly the fields the evaluation pipeline reads
+    (``evaluate_run`` and the unit result): the trace and instruction
+    stream are read-only memmaps; launch and memory counters are
+    reconstructed values.
+    """
+
+    name: str
+    launch: LaunchConfig
+    trace: AddTrace
+    insts: InstStream
+    mem: MemoryStats
+    n_static_pcs: int
+    key: str = ""
+    metadata: dict = field(default_factory=dict)
+
+
+class TraceStore:
+    """Directory-per-entry trace store with atomic publication.
+
+    ``put`` captures are idempotent: publishing a key that already
+    exists is a no-op (first writer wins), which is what makes
+    concurrent stage-1 workers race-safe without locks.
+    """
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else default_store_dir()
+
+    # -- paths ---------------------------------------------------------
+
+    def path(self, key: str) -> Path:
+        return self.root / key
+
+    def header_path(self, key: str) -> Path:
+        return self.path(key) / HEADER_NAME
+
+    def has(self, key: str) -> bool:
+        return self.header_path(key).is_file()
+
+    # -- writing -------------------------------------------------------
+
+    def put(self, key: str, run, code_version: str = "",
+            scale: float = None, seed: int = None,
+            metadata: dict = None) -> bool:
+        """Publish one captured run under ``key``.
+
+        Returns True if this call created the entry, False if the key
+        was already present (including losing a publication race —
+        either way the entry now exists and holds identical bytes).
+        """
+        if self.has(key):
+            return False
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = Path(tempfile.mkdtemp(dir=self.root, prefix=f".{key}-"))
+        try:
+            files = {}
+            for col in _ADD_COLUMNS:
+                files[f"add_{col}"] = getattr(run.trace, col)
+            for col in _INST_COLUMNS:
+                files[f"inst_{col}"] = getattr(run.insts, col)
+            digests = {}
+            for name, arr in files.items():
+                np.save(tmp / f"{name}.npy", np.ascontiguousarray(arr),
+                        allow_pickle=False)
+                digests[name] = _array_digest(arr)
+            header = {
+                "format_version": STORE_FORMAT_VERSION,
+                "key": key,
+                "kernel": run.name,
+                "scale": scale,
+                "seed": seed,
+                "code_version": code_version,
+                "n_rows": int(len(run.trace)),
+                "n_insts": int(len(run.insts)),
+                "n_static_pcs": int(run.n_static_pcs),
+                "pc_labels": list(run.trace.pc_labels),
+                "launch": {"grid_blocks": run.launch.grid_blocks,
+                           "block_threads": run.launch.block_threads},
+                "mem": {f: int(getattr(run.mem, f))
+                        for f in _MEM_FIELDS},
+                "digests": digests,
+                "metadata": metadata or {},
+            }
+            with open(tmp / HEADER_NAME, "w") as fh:
+                json.dump(header, fh, indent=1)
+            try:
+                os.rename(tmp, self.path(key))
+            except OSError:
+                if self.has(key):       # lost the race: same bytes exist
+                    return False
+                raise
+            return True
+        finally:
+            if tmp.is_dir():
+                shutil.rmtree(tmp, ignore_errors=True)
+
+    def put_run(self, run, code_version: str = "", scale: float = None,
+                seed: int = None, metadata: dict = None) -> str:
+        """Key a run by its identity and :meth:`put` it; returns the key."""
+        key = trace_key(run.name, scale, seed, code_version)
+        self.put(key, run, code_version=code_version, scale=scale,
+                 seed=seed, metadata=metadata)
+        return key
+
+    # -- reading -------------------------------------------------------
+
+    def header(self, key: str) -> dict:
+        with open(self.header_path(key)) as fh:
+            header = json.load(fh)
+        if header.get("format_version") != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace-store format "
+                f"{header.get('format_version')!r} in {self.path(key)}")
+        return header
+
+    def get(self, key: str) -> StoredRun:
+        """Open one entry read-only; every column is a memmap."""
+        header = self.header(key)
+        entry = self.path(key)
+
+        def col(name):
+            return np.load(entry / f"{name}.npy", mmap_mode="r",
+                           allow_pickle=False)
+
+        trace = AddTrace(
+            **{c: col(f"add_{c}") for c in _ADD_COLUMNS},
+            pc_labels=list(header["pc_labels"]))
+        insts = InstStream(**{c: col(f"inst_{c}")
+                              for c in _INST_COLUMNS})
+        mem = MemoryStats(**{f: header["mem"][f] for f in _MEM_FIELDS})
+        return StoredRun(
+            name=header["kernel"],
+            launch=LaunchConfig(header["launch"]["grid_blocks"],
+                                header["launch"]["block_threads"]),
+            trace=trace, insts=insts, mem=mem,
+            n_static_pcs=header["n_static_pcs"],
+            key=key, metadata=header.get("metadata", {}))
+
+    # -- maintenance ---------------------------------------------------
+
+    def keys(self) -> list:
+        """Sorted keys of all published entries."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            child.name for child in self.root.iterdir()
+            if not child.name.startswith(".")
+            and (child / HEADER_NAME).is_file())
+
+    def entries(self) -> list:
+        """``[(key, header), ...]`` for every published entry."""
+        return [(key, self.header(key)) for key in self.keys()]
+
+    def nbytes(self, key: str) -> int:
+        entry = self.path(key)
+        return sum(p.stat().st_size for p in entry.iterdir()
+                   if p.is_file())
+
+    def mtime(self, key: str) -> float:
+        return self.header_path(key).stat().st_mtime
+
+    def remove(self, key: str) -> None:
+        shutil.rmtree(self.path(key), ignore_errors=True)
+
+    def verify(self, key: str) -> list:
+        """Integrity-check one entry; returns a list of problems
+        (empty = sound).  Checks: header readable, every column file
+        present and loadable, row counts consistent, and each column's
+        bytes matching the sha256 digest recorded at capture time."""
+        problems = []
+        try:
+            header = self.header(key)
+        except (OSError, ValueError, KeyError) as exc:
+            return [f"unreadable header: {exc}"]
+        digests = header.get("digests", {})
+        expected_rows = {"add": header.get("n_rows"),
+                         "inst": header.get("n_insts")}
+        names = [f"add_{c}" for c in _ADD_COLUMNS] \
+            + [f"inst_{c}" for c in _INST_COLUMNS]
+        for name in names:
+            path = self.path(key) / f"{name}.npy"
+            try:
+                arr = np.load(path, mmap_mode="r", allow_pickle=False)
+            except (OSError, ValueError) as exc:
+                problems.append(f"{name}: unreadable ({exc})")
+                continue
+            rows = expected_rows[name.split("_", 1)[0]]
+            if rows is not None and len(arr) != rows:
+                problems.append(
+                    f"{name}: {len(arr)} rows, header says {rows}")
+            if name in digests and _array_digest(arr) != digests[name]:
+                problems.append(f"{name}: sha256 mismatch")
+        return problems
+
+    def gc(self, current_version: str = None, max_bytes: int = None,
+           dry_run: bool = False) -> list:
+        """Collect garbage; returns the keys that were (or would be)
+        removed.
+
+        Policy, in order:
+
+        1. *Stale versions* — with ``current_version``, every entry
+           whose recorded ``code_version`` differs is dead weight: no
+           future run can ever read it (its key embeds the old digest).
+        2. *Byte budget* — with ``max_bytes``, surviving entries are
+           evicted oldest-first (header mtime) until the store fits.
+        """
+        removed = []
+        survivors = []
+        for key in self.keys():
+            try:
+                header = self.header(key)
+            except (OSError, ValueError):
+                removed.append(key)         # corrupt: always collect
+                continue
+            if current_version is not None \
+                    and header.get("code_version") != current_version:
+                removed.append(key)
+            else:
+                survivors.append(key)
+        if max_bytes is not None:
+            sized = sorted(((self.mtime(k), k, self.nbytes(k))
+                            for k in survivors))
+            total = sum(n for _, _, n in sized)
+            for _, key, n in sized:
+                if total <= max_bytes:
+                    break
+                removed.append(key)
+                total -= n
+        if not dry_run:
+            for key in removed:
+                self.remove(key)
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.keys())

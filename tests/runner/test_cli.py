@@ -66,6 +66,35 @@ def test_cli_writes_manifest(tmp_path, capsys):
     assert units2[0]["metrics"] == unit["metrics"]
 
 
+def test_cli_trace_store_round_trip(tmp_path):
+    """--trace-store: cold pass captures once per kernel; warm pass
+    re-executes nothing and reproduces identical numbers."""
+    from repro.runner.units import results_equal
+    out = tmp_path / "m.jsonl"
+    args = ["--kernels", "qrng_K2,pathfinder", "--configs", "st2,prev",
+            "--workers", "1", "--no-aux", "--scale", "0.2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace-store", str(tmp_path / "traces"),
+            "--out", str(out), "--quiet"]
+    assert main(args) == 0
+    header, units = read_manifest(out)
+    assert header["trace_store"] == str(tmp_path / "traces")
+    assert header["traces_total"] == 2          # kernels, not configs
+    assert header["traces_captured"] == 2
+    assert len(units) == 4
+    assert all(u["trace_cache_hit"] is False for u in units)
+
+    # bypass the result cache so every unit re-evaluates, then check
+    # the store absorbed all functional execution
+    assert main(args + ["--no-cache"]) == 0
+    header2, units2 = read_manifest(out)
+    assert header2["traces_captured"] == 0
+    assert header2["trace_store_hits"] == 2
+    assert all(u["trace_cache_hit"] is True for u in units2)
+    for a, b in zip(units, units2):
+        assert results_equal(a, b)
+
+
 def test_cli_list_mode(tmp_path, capsys):
     rc = main(["--kernels", "smoke", "--list"])
     assert rc == 0

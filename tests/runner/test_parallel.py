@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.runner import ResultCache, build_units, run_units
+from repro.runner import ResultCache, RunOptions, build_units, run_units
 from repro.runner.pool import default_workers, run_suite_units
 from repro.runner.units import results_equal
 
@@ -14,12 +14,13 @@ KERNELS = ["qrng_K2", "sortNets_K2"]       # the two fastest tracers
 @pytest.fixture(scope="module")
 def serial_results():
     units = build_units(KERNELS, aux=False)
-    return units, run_units(units, workers=1, use_cache=False)
+    return units, run_units(units, RunOptions(workers=1,
+                                              use_cache=False))
 
 
 def test_parallel_equals_serial(serial_results):
     units, serial = serial_results
-    parallel = run_units(units, workers=2, use_cache=False)
+    parallel = run_units(units, RunOptions(workers=2, use_cache=False))
     assert len(parallel) == len(serial)
     for s, p in zip(serial, parallel):
         assert p["kernel"] == s["kernel"]   # order preserved
@@ -30,9 +31,9 @@ def test_parallel_equals_serial(serial_results):
 def test_parallel_cache_round_trip(tmp_path, serial_results):
     units, serial = serial_results
     cache = ResultCache(tmp_path)
-    cold = run_units(units, workers=2, cache=cache)
+    cold = run_units(units, RunOptions(workers=2, cache=cache))
     assert [r["cached"] for r in cold] == [False, False]
-    warm = run_units(units, workers=2, cache=cache)
+    warm = run_units(units, RunOptions(workers=2, cache=cache))
     assert [r["cached"] for r in warm] == [True, True]
     for s, c, w in zip(serial, cold, warm):
         assert results_equal(s, c)
@@ -42,17 +43,18 @@ def test_parallel_cache_round_trip(tmp_path, serial_results):
 def test_progress_sees_every_unit(tmp_path, serial_results):
     units, _ = serial_results
     seen = []
-    run_units(units, workers=2, cache=ResultCache(tmp_path),
-              progress=lambda spec, result: seen.append(
-                  (spec.kernel, result["cached"])))
+    run_units(units, RunOptions(
+        workers=2, cache=ResultCache(tmp_path),
+        progress=lambda spec, result: seen.append(
+            (spec.kernel, result["cached"]))))
     assert sorted(k for k, _ in seen) == sorted(KERNELS)
     assert all(not cached for _, cached in seen)
 
 
 def test_run_suite_units_keying(tmp_path, serial_results):
     units, serial = serial_results
-    keyed = run_suite_units(units, workers=1,
-                            cache=ResultCache(tmp_path))
+    keyed = run_suite_units(units, RunOptions(
+        workers=1, cache=ResultCache(tmp_path)))
     for spec, expect in zip(units, serial):
         assert results_equal(keyed[(spec.kernel, spec.config.name)],
                              expect)
@@ -60,8 +62,40 @@ def test_run_suite_units_keying(tmp_path, serial_results):
 
 def test_rejects_non_unitspec():
     with pytest.raises(TypeError):
-        run_units(["qrng_K2"], workers=1, use_cache=False)
+        run_units(["qrng_K2"], RunOptions(workers=1, use_cache=False))
 
 
 def test_default_workers_bounded():
     assert 1 <= default_workers() <= 4
+
+
+class TestLegacyKwargs:
+    """The pre-RunOptions keyword surface: accepted, deprecated."""
+
+    def test_legacy_kwargs_warn_and_work(self, serial_results):
+        units, serial = serial_results
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            legacy = run_units(units, workers=1, use_cache=False)
+        for s, l in zip(serial, legacy):
+            assert results_equal(s, l)
+
+    def test_legacy_and_options_are_exclusive(self, serial_results):
+        units, _ = serial_results
+        with pytest.raises(TypeError):
+            run_units(units, RunOptions(), workers=1)
+
+    def test_unknown_kwarg_rejected(self, serial_results):
+        units, _ = serial_results
+        with pytest.raises(TypeError):
+            run_units(units, frobnicate=True)
+
+    def test_timer_hook_counts(self, tmp_path, serial_results):
+        from repro.runner.pool import RunTimer
+        units, _ = serial_results
+        timer = RunTimer()
+        opts = RunOptions(workers=1, cache=ResultCache(tmp_path),
+                          timer=timer)
+        run_units(units, opts)
+        run_units(units, opts)
+        assert timer.misses == len(units)
+        assert timer.hits == len(units)

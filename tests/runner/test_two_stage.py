@@ -1,0 +1,135 @@
+"""The two-stage (capture → evaluate) runner pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.speculation import PREV, ST2_DESIGN
+from repro.runner import RunOptions, build_units, run_units
+from repro.runner.units import (RESULT_SCHEMA, execute_unit, results_equal,
+                                unit_trace_key)
+from repro.sim.trace_store import TraceStore
+
+KERNELS = ["qrng_K2", "sortNets_K2"]
+CONFIGS = (ST2_DESIGN, PREV)
+
+
+@pytest.fixture(scope="module")
+def units():
+    return build_units(KERNELS, configs=CONFIGS, aux=False)
+
+
+@pytest.fixture(scope="module")
+def single_stage(units):
+    return run_units(units, RunOptions(workers=1, use_cache=False))
+
+
+def two_stage_options(tmp_path, workers=1) -> RunOptions:
+    return RunOptions(workers=workers, use_cache=False,
+                      trace_store=TraceStore(tmp_path / "traces"))
+
+
+class TestTwoStagePipeline:
+    def test_one_capture_per_kernel_not_per_config(self, tmp_path,
+                                                   units):
+        """The whole point: a (2-kernel × 2-config) grid captures two
+        traces, not four."""
+        opts = two_stage_options(tmp_path)
+        run_units(units, opts)
+        assert opts.stats["traces_total"] == len(KERNELS)
+        assert opts.stats["traces_captured"] == len(KERNELS)
+        assert opts.stats["trace_store_hits"] == 0
+        assert len(opts.trace_store) == len(KERNELS)
+
+    def test_warm_store_zero_reexecution(self, tmp_path, units,
+                                         single_stage):
+        cold_opts = two_stage_options(tmp_path)
+        cold = run_units(units, cold_opts)
+        warm_opts = two_stage_options(tmp_path, workers=2)
+        warm = run_units(units, warm_opts)
+        assert warm_opts.stats["traces_captured"] == 0
+        assert warm_opts.stats["trace_store_hits"] == len(KERNELS)
+        assert all(r["trace_cache_hit"] for r in warm)
+        assert all(not r["trace_cache_hit"] for r in cold)
+        for c, w in zip(cold, warm):
+            assert results_equal(c, w)
+
+    def test_bit_identical_to_single_stage(self, tmp_path, units,
+                                           single_stage):
+        """Stage-2 evaluation from the memmapped store must reproduce
+        the single-stage runner exactly, serial and parallel."""
+        for workers in (1, 2):
+            results = run_units(
+                units, two_stage_options(tmp_path, workers=workers))
+            for s, r in zip(single_stage, results):
+                assert results_equal(s, r), (workers, s["kernel"])
+
+    def test_aux_metrics_from_store(self, tmp_path):
+        """VaLHALLA + correlation aux measurements work off memmaps."""
+        aux_units = build_units(["qrng_K2"], aux=True)
+        (direct,) = run_units(aux_units,
+                              RunOptions(workers=1, use_cache=False))
+        (stored,) = run_units(aux_units, two_stage_options(tmp_path))
+        assert results_equal(direct, stored)
+        assert "aux" in stored
+
+    def test_stage_timings_recorded(self, tmp_path, units):
+        opts = two_stage_options(tmp_path)
+        run_units(units, opts)
+        assert opts.stats["stage_capture_s"] > 0
+        assert opts.stats["stage_eval_s"] > 0
+
+    def test_result_cache_short_circuits_stage_one(self, tmp_path,
+                                                   units):
+        """Units served from the result cache never touch the store."""
+        from repro.runner import ResultCache
+        cache = ResultCache(tmp_path / "cache")
+        store = TraceStore(tmp_path / "traces")
+        run_units(units, RunOptions(cache=cache, trace_store=store))
+        opts = RunOptions(cache=cache, trace_store=store)
+        again = run_units(units, opts)
+        assert all(r["cached"] for r in again)
+        assert "traces_total" not in opts.stats    # stage 1 skipped
+
+
+class TestExecuteUnitWithStore:
+    def test_capture_on_miss_then_hit(self, tmp_path, units):
+        store = TraceStore(tmp_path / "t")
+        spec = units[0]
+        cold = execute_unit(spec, store=store)
+        assert cold["trace_cache_hit"] is False
+        assert cold["capture_time_s"] > 0
+        assert store.has(unit_trace_key(spec))
+        warm = execute_unit(spec, store=store)
+        assert warm["trace_cache_hit"] is True
+        assert warm["capture_time_s"] == 0.0
+        assert results_equal(cold, warm)
+
+    def test_schema_v2_fields_present(self, units):
+        result = execute_unit(units[0])
+        for fieldname in ("trace_cache_hit", "capture_time_s",
+                          "eval_time_s"):
+            assert fieldname in result
+        assert result["eval_time_s"] > 0
+        assert RESULT_SCHEMA == 2
+
+    def test_pre_v2_cache_entries_invalidated(self, tmp_path, units):
+        """A disk entry written by the old schema (no trace fields)
+        must be recomputed, not served."""
+        import json
+
+        from repro.runner import ResultCache
+        from repro.runner.cache import unit_key
+        cache = ResultCache(tmp_path / "cache")
+        spec = units[0]
+        (cold,) = run_units([spec], RunOptions(cache=cache))
+        key = unit_key(spec)
+        path = cache.path(key)
+        payload = json.loads(path.read_text())
+        for stale in ("trace_cache_hit", "capture_time_s",
+                      "eval_time_s"):
+            del payload["result"][stale]
+        path.write_text(json.dumps(payload))
+        (again,) = run_units([spec], RunOptions(cache=cache))
+        assert again["cached"] is False      # stale shape -> recomputed
+        assert results_equal(cold, again)

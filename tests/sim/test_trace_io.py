@@ -1,4 +1,4 @@
-"""Trace persistence round-trips."""
+"""Trace persistence round-trips and the TraceBundle surface."""
 
 import numpy as np
 import pytest
@@ -6,7 +6,8 @@ import pytest
 from repro.core.predictors import run_speculation
 from repro.core.speculation import ST2_DESIGN
 from repro.kernels import pathfinder
-from repro.sim.trace_io import load_trace, save_kernel_run, save_trace
+from repro.sim.trace_io import (TraceBundle, load_trace, save_kernel_run,
+                                save_trace)
 
 
 @pytest.fixture(scope="module")
@@ -18,29 +19,30 @@ class TestRoundTrip:
     def test_trace_columns_identical(self, run, tmp_path):
         p = tmp_path / "t.npz"
         save_trace(p, run.trace, run.insts, {"note": "test"})
-        trace, insts, meta = load_trace(p)
+        bundle = load_trace(p)
+        assert isinstance(bundle, TraceBundle)
         for col in ("pc", "gtid", "ltid", "op_a", "op_b", "cin",
                     "width", "seq", "value"):
-            assert np.array_equal(getattr(trace, col),
+            assert np.array_equal(getattr(bundle.trace, col),
                                   getattr(run.trace, col)), col
-        assert np.array_equal(insts.opcode, run.insts.opcode)
-        assert meta == {"note": "test"}
+        assert np.array_equal(bundle.insts.opcode, run.insts.opcode)
+        assert bundle.metadata == {"note": "test"}
 
     def test_pc_labels_preserved(self, run, tmp_path):
         p = tmp_path / "t.npz"
         save_trace(p, run.trace)
-        trace, insts, __ = load_trace(p)
-        assert trace.pc_labels == run.trace.pc_labels
-        assert insts is None
+        bundle = load_trace(p)
+        assert bundle.trace.pc_labels == run.trace.pc_labels
+        assert bundle.insts is None
 
     def test_loaded_trace_analyses_identically(self, run, tmp_path):
         """The entire speculation study must be reproducible from the
         persisted trace alone."""
         p = tmp_path / "t.npz"
         save_trace(p, run.trace)
-        trace, __, __ = load_trace(p)
+        bundle = load_trace(p)
         fresh = run_speculation(run.trace, ST2_DESIGN)
-        loaded = run_speculation(trace, ST2_DESIGN)
+        loaded = run_speculation(bundle.trace, ST2_DESIGN)
         assert fresh.thread_misprediction_rate \
             == loaded.thread_misprediction_rate
         assert np.array_equal(fresh.mispredicted, loaded.mispredicted)
@@ -48,7 +50,7 @@ class TestRoundTrip:
     def test_kernel_run_metadata(self, run, tmp_path):
         p = tmp_path / "r.npz"
         save_kernel_run(p, run, {"scale": 0.2})
-        __, __, meta = load_trace(p)
+        meta = load_trace(p).metadata
         assert meta["kernel"] == "pathfinder"
         assert meta["scale"] == 0.2
         assert meta["block_threads"] == 128
@@ -66,3 +68,26 @@ class TestRoundTrip:
         np.savez_compressed(p, **data)
         with pytest.raises(ValueError):
             load_trace(p)
+
+
+class TestTupleDeprecation:
+    def test_unpacking_warns_but_works(self, run, tmp_path):
+        """The legacy 3-tuple protocol survives one release, loudly."""
+        p = tmp_path / "t.npz"
+        save_trace(p, run.trace, run.insts, {"note": "legacy"})
+        with pytest.warns(DeprecationWarning, match="TraceBundle"):
+            trace, insts, meta = load_trace(p)
+        assert np.array_equal(trace.pc, run.trace.pc)
+        assert np.array_equal(insts.active, run.insts.active)
+        assert meta == {"note": "legacy"}
+
+    def test_attribute_access_is_silent(self, run, tmp_path):
+        import warnings
+        p = tmp_path / "t.npz"
+        save_trace(p, run.trace)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            bundle = load_trace(p)
+            assert len(bundle.trace) == len(run.trace)
+            assert bundle.insts is None
+            assert bundle.metadata == {}

@@ -1,0 +1,164 @@
+"""The content-addressed, memory-mapped trace store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kernels.suite import KERNEL_NAMES, run_suite
+from repro.sim.trace_io import _ADD_COLUMNS, _INST_COLUMNS
+from repro.sim.trace_store import (StoredRun, TraceStore, default_store_dir,
+                                   trace_key)
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def suite_runs():
+    return run_suite(scale=SCALE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def store(suite_runs, tmp_path_factory):
+    store = TraceStore(tmp_path_factory.mktemp("traces"))
+    for name, run in suite_runs.items():
+        key = trace_key(name, SCALE, 0, "v-test")
+        assert store.put(key, run, code_version="v-test",
+                         scale=SCALE, seed=0)
+    return store
+
+
+class TestRoundTripWholeSuite:
+    """Every kernel's memmap-loaded entry must be bit-identical to the
+    fresh in-memory capture — all columns, both streams, pc labels."""
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_bit_identical(self, name, suite_runs, store):
+        run = suite_runs[name]
+        stored = store.get(trace_key(name, SCALE, 0, "v-test"))
+        assert isinstance(stored, StoredRun)
+        for col in _ADD_COLUMNS:
+            live, mapped = getattr(run.trace, col), \
+                getattr(stored.trace, col)
+            assert live.dtype == mapped.dtype, col
+            assert np.array_equal(live, mapped), col
+        for col in _INST_COLUMNS:
+            assert np.array_equal(getattr(run.insts, col),
+                                  getattr(stored.insts, col)), col
+        assert stored.trace.pc_labels == run.trace.pc_labels
+        assert stored.n_static_pcs == run.n_static_pcs
+        assert stored.name == run.name
+        assert stored.launch == run.launch
+        for field in ("global_loads", "global_stores", "shared_loads",
+                      "shared_stores", "global_load_transactions",
+                      "global_store_transactions", "const_loads"):
+            assert getattr(stored.mem, field) \
+                == getattr(run.mem, field), field
+
+    def test_entries_are_memmaps(self, store, suite_runs):
+        stored = store.get(trace_key("pathfinder", SCALE, 0, "v-test"))
+        assert isinstance(stored.trace.op_a, np.memmap)
+        assert not stored.trace.op_a.flags.writeable
+
+    def test_evaluation_identical_from_store(self, store, suite_runs):
+        """A full end-to-end evaluation from the memmap must match the
+        live run bit for bit."""
+        from repro.core.predictors import run_speculation
+        from repro.core.speculation import ST2_DESIGN
+        run = suite_runs["binomial"]
+        stored = store.get(trace_key("binomial", SCALE, 0, "v-test"))
+        live = run_speculation(run.trace, ST2_DESIGN)
+        mapped = run_speculation(stored.trace, ST2_DESIGN)
+        assert live.thread_misprediction_rate \
+            == mapped.thread_misprediction_rate
+        assert np.array_equal(live.mispredicted, mapped.mispredicted)
+
+
+class TestStoreSemantics:
+    def test_keys_distinguish_identity(self):
+        base = trace_key("k", 1.0, 0, "v1")
+        assert trace_key("k2", 1.0, 0, "v1") != base
+        assert trace_key("k", 0.5, 0, "v1") != base
+        assert trace_key("k", 1.0, 1, "v1") != base
+        assert trace_key("k", 1.0, 0, "v2") != base
+        assert trace_key("k", 1.0, 0, "v1") == base
+
+    def test_put_is_idempotent(self, store, suite_runs):
+        key = trace_key("binomial", SCALE, 0, "v-test")
+        assert not store.put(key, suite_runs["binomial"])
+        assert len(store) == len(KERNEL_NAMES)
+
+    def test_missing_key(self, store):
+        assert not store.has("0" * 40)
+        with pytest.raises(OSError):
+            store.get("0" * 40)
+
+    def test_header_contents(self, store):
+        header = store.header(trace_key("sgemm", SCALE, 0, "v-test"))
+        assert header["kernel"] == "sgemm"
+        assert header["code_version"] == "v-test"
+        assert header["scale"] == SCALE
+        assert header["n_rows"] > 0
+        assert set(header["digests"]) \
+            == {f"add_{c}" for c in _ADD_COLUMNS} \
+            | {f"inst_{c}" for c in _INST_COLUMNS}
+
+    def test_default_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "x"))
+        assert default_store_dir() == tmp_path / "x"
+
+
+class TestVerifyAndGc:
+    @pytest.fixture()
+    def small_store(self, suite_runs, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        for name in ("binomial", "pathfinder", "qrng_K2"):
+            store.put(trace_key(name, SCALE, 0, "v-old"),
+                      suite_runs[name], code_version="v-old",
+                      scale=SCALE, seed=0)
+        return store
+
+    def test_verify_sound(self, small_store):
+        for key in small_store.keys():
+            assert small_store.verify(key) == []
+
+    def test_verify_detects_bitflip(self, small_store):
+        key = small_store.keys()[0]
+        path = small_store.path(key) / "add_op_a.npy"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert any("sha256 mismatch" in p
+                   for p in small_store.verify(key))
+
+    def test_verify_detects_truncation(self, small_store):
+        key = small_store.keys()[0]
+        header_path = small_store.header_path(key)
+        header = json.loads(header_path.read_text())
+        header["n_rows"] += 7
+        header_path.write_text(json.dumps(header))
+        assert any("rows" in p for p in small_store.verify(key))
+
+    def test_gc_stale_versions(self, small_store, suite_runs):
+        fresh = trace_key("binomial", SCALE, 0, "v-new")
+        small_store.put(fresh, suite_runs["binomial"],
+                        code_version="v-new", scale=SCALE, seed=0)
+        removed = small_store.gc(current_version="v-new")
+        assert len(removed) == 3
+        assert small_store.keys() == [fresh]
+
+    def test_gc_byte_budget_evicts_oldest(self, small_store):
+        import os
+        keys = small_store.keys()
+        # age the first entry far into the past
+        oldest = keys[0]
+        os.utime(small_store.header_path(oldest), (1, 1))
+        budget = sum(small_store.nbytes(k) for k in keys) \
+            - small_store.nbytes(oldest)
+        removed = small_store.gc(max_bytes=budget)
+        assert removed == [oldest]
+
+    def test_gc_dry_run_removes_nothing(self, small_store):
+        removed = small_store.gc(current_version="other", dry_run=True)
+        assert len(removed) == 3
+        assert len(small_store) == 3
