@@ -7,8 +7,9 @@ the savings are 26 % system / 28 % chip, peaking at 40 %/42 %
 (msort_K2).
 
 The per-kernel energy records come from the parallel cached runner
-(the ``runner_results`` fixture): every number below is read from unit
-result dicts, exactly what ``st2-run`` writes to its JSONL manifest.
+(the ``runner_results`` fixture): every number below is read from typed
+:class:`~repro.st2.results.RunResult` views over exactly what
+``st2-run`` writes to its JSONL manifest.
 """
 
 import numpy as np
@@ -21,9 +22,9 @@ from repro.power.components import Component
 def _energy_rows(runner_results):
     rows = []
     for name, r in runner_results.items():
-        met = r["metrics"]
-        rows.append((name, met["alu_fpu_share"], met["system_saving"],
-                     met["chip_saving"], met["arithmetic_intensive"]))
+        met = r.metrics
+        rows.append((name, met.alu_fpu_share, met.system_saving,
+                     met.chip_saving, met.arithmetic_intensive))
     return rows
 
 
@@ -36,7 +37,7 @@ def test_fig7_energy_breakdown(benchmark, runner_results,
     comps = [c.value for c in Component] + ["static"]
     base_stacks, st2_stacks = [], []
     for name in names:
-        stacks = runner_results[name]["energy_stacks"]
+        stacks = runner_results[name].energy_stacks
         base_stacks.append(stacks["baseline"])
         st2_stacks.append(stacks["st2"])
     txt = stacked_pair(

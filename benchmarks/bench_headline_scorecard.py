@@ -35,22 +35,22 @@ CORR_KEYS = {
 
 def _measure(runner_results, adder_model):
     m = {}
-    mets = [r["metrics"] for r in runner_results.values()]
-    aux = [r["aux"] for r in runner_results.values()]
+    mets = [r.metrics for r in runner_results.values()]
+    aux = [r.aux for r in runner_results.values()]
     # misprediction + savings + performance
     m["miss_st2"] = float(np.mean(
-        [x["misprediction_rate"] for x in mets]))
+        [x.misprediction_rate for x in mets]))
     m["recompute_per_miss_avg"] = float(np.mean(
-        [x["recomputed_per_misprediction"] for x in mets
-         if x["misprediction_rate"] > 0]))
-    m["avg_slowdown"] = float(np.mean([x["slowdown"] for x in mets]))
-    m["worst_slowdown"] = max(x["slowdown"] for x in mets)
+        [x.recomputed_per_misprediction for x in mets
+         if x.misprediction_rate > 0]))
+    m["avg_slowdown"] = float(np.mean([x.slowdown for x in mets]))
+    m["worst_slowdown"] = max(x.slowdown for x in mets)
     m["system_energy_saving"] = float(np.mean(
-        [x["system_saving"] for x in mets]))
+        [x.system_saving for x in mets]))
     m["chip_energy_saving"] = float(np.mean(
-        [x["chip_saving"] for x in mets]))
+        [x.chip_saving for x in mets]))
     m["alu_fpu_system_share"] = float(np.mean(
-        [x["alu_fpu_share"] for x in mets]))
+        [x.alu_fpu_share for x in mets]))
     # VaLHALLA comparison
     m["miss_valhalla"] = float(np.mean(
         [a["valhalla_misprediction_rate"] for a in aux]))

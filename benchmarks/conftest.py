@@ -55,7 +55,8 @@ def suite_evaluations(suite_runs, power_model, adder_model):
 @pytest.fixture(scope="session")
 def runner_results() -> dict:
     """The 23-kernel ST2 evaluation driven through the parallel cached
-    runner (``repro.runner``) — kernel name -> unit result dict.
+    runner (``repro.runner``) — kernel name -> typed
+    :class:`~repro.st2.results.RunResult`.
 
     ``REPRO_BENCH_WORKERS`` overrides the pool size (0 = auto);
     ``REPRO_BENCH_NO_CACHE=1`` bypasses the disk cache, forcing a

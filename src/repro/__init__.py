@@ -22,6 +22,7 @@ paper-vs-measured record of every figure, and README.md ("Public API")
 for the stability guarantees of the names exported here.
 """
 
+from repro._lazy import lazy_attrs
 from repro.core.adder import CarrySelectAdder, ReferenceAdder, ST2Adder
 from repro.core.predictors import (SpeculationConfig, SpeculationResult,
                                    run_speculation)
@@ -32,18 +33,26 @@ from repro.sim.functional import GridLauncher, KernelRun, run_kernel
 
 __version__ = "1.0.0"
 
-#: Runner / trace-store entry points exported lazily (PEP 562): they
-#: pull in the whole kernel suite, which ``import repro`` users on the
-#: quickstart path should not pay for.
+#: Runner / trace-store / observability entry points exported lazily
+#: (PEP 562): they pull in the whole kernel suite or the metrics
+#: machinery, which ``import repro`` users on the quickstart path
+#: should not pay for.
 _LAZY_EXPORTS = {
+    "Obs": ("repro.obs", "Obs"),
     "ResultCache": ("repro.runner", "ResultCache"),
+    "RunMetrics": ("repro.st2.results", "RunMetrics"),
     "RunOptions": ("repro.runner", "RunOptions"),
+    "RunResult": ("repro.st2.results", "RunResult"),
     "TraceBundle": ("repro.sim.trace_io", "TraceBundle"),
     "TraceStore": ("repro.sim.trace_store", "TraceStore"),
     "UnitSpec": ("repro.runner", "UnitSpec"),
     "build_units": ("repro.runner", "build_units"),
+    "get_obs": ("repro.obs", "get_obs"),
+    "metrics_path_for": ("repro.obs", "metrics_path_for"),
+    "read_metrics": ("repro.obs", "read_metrics"),
     "run_suite_units": ("repro.runner", "run_suite_units"),
     "run_units": ("repro.runner", "run_units"),
+    "write_metrics": ("repro.obs", "write_metrics"),
 }
 
 __all__ = [
@@ -54,9 +63,12 @@ __all__ = [
     "GridLauncher",
     "KernelRun",
     "LaunchConfig",
+    "Obs",
     "ReferenceAdder",
     "ResultCache",
+    "RunMetrics",
     "RunOptions",
+    "RunResult",
     "ST2Adder",
     "ST2_DESIGN",
     "SpeculationConfig",
@@ -66,24 +78,14 @@ __all__ = [
     "TraceStore",
     "UnitSpec",
     "build_units",
+    "get_obs",
+    "metrics_path_for",
+    "read_metrics",
     "run_kernel",
     "run_speculation",
     "run_suite_units",
     "run_units",
+    "write_metrics",
 ]
 
-
-def __getattr__(name: str):
-    try:
-        module, attr = _LAZY_EXPORTS[name]
-    except KeyError:
-        raise AttributeError(
-            f"module {__name__!r} has no attribute {name!r}") from None
-    import importlib
-    value = getattr(importlib.import_module(module), attr)
-    globals()[name] = value         # cache for subsequent lookups
-    return value
-
-
-def __dir__() -> list:
-    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+__getattr__, __dir__ = lazy_attrs(__name__, globals(), _LAZY_EXPORTS)

@@ -1,0 +1,38 @@
+"""PEP 562 lazy-export machinery shared by the ``repro`` packages.
+
+A package lists its public names in ``_LAZY_EXPORTS`` — mapping each
+exported name to the ``(module, attribute)`` that defines it — and
+installs the module-level hooks with one line::
+
+    __getattr__, __dir__ = lazy_attrs(__name__, globals(), _LAZY_EXPORTS)
+
+The first attribute access imports the defining module and caches the
+value in the package's globals, so ``import repro`` (and ``import
+repro.sim`` etc.) stays cheap: nothing under the package is imported
+until a name is actually used.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+
+def lazy_attrs(module_name: str, module_globals: dict,
+               exports: dict) -> tuple:
+    """Build the ``(__getattr__, __dir__)`` pair for a lazy package."""
+
+    def __getattr__(name: str):
+        try:
+            target, attr = exports[name]
+        except KeyError:
+            raise AttributeError(
+                f"module {module_name!r} has no attribute "
+                f"{name!r}") from None
+        value = getattr(importlib.import_module(target), attr)
+        module_globals[name] = value    # cache for subsequent lookups
+        return value
+
+    def __dir__() -> list:
+        return sorted(set(module_globals) | set(exports))
+
+    return __getattr__, __dir__

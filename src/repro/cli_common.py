@@ -1,0 +1,73 @@
+"""Shared CLI infrastructure for ``st2-run`` / ``st2-trace`` /
+``st2-lint`` / ``st2-stats``.
+
+Every repro CLI follows one contract:
+
+* **exit codes** — ``0`` success, ``1`` findings / damage / regression
+  (the tool ran fine but the checked thing is bad), ``2`` usage or
+  input errors (argparse errors included: :class:`ArgumentParser`
+  already exits 2);
+* **``--json``** — every informational command can emit its result as
+  one machine-readable JSON document on stdout instead of tables
+  (:func:`add_json_flag` / :func:`emit_json`);
+* **error reporting** — diagnostics go to stderr as ``prog: message``
+  (:func:`fail`), never mixed into machine output;
+* **pipe behaviour** — console entry points run through
+  :func:`run_cli`, which maps ``BrokenPipeError`` (``st2-run --list |
+  head``) to success and ``KeyboardInterrupt`` to 130.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: the exit-code contract shared by every repro CLI
+EXIT_OK = 0          # success
+EXIT_PROBLEMS = 1    # ran fine, found problems (lint findings, damaged
+#                      store entries, out-of-band metrics)
+EXIT_USAGE = 2       # usage / input errors
+
+
+def build_parser(prog: str, description: str,
+                 **kwargs) -> argparse.ArgumentParser:
+    """An ArgumentParser wired for the shared contract (argparse's own
+    usage errors already exit :data:`EXIT_USAGE`)."""
+    return argparse.ArgumentParser(prog=prog, description=description,
+                                   **kwargs)
+
+
+def add_json_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--json`` machine-output flag."""
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON document "
+                             "on stdout instead of tables")
+
+
+def emit_json(payload, out=None) -> None:
+    """Print one JSON document (the whole machine output of a command)."""
+    out = out if out is not None else sys.stdout
+    print(json.dumps(payload, indent=1, sort_keys=True), file=out)
+
+
+def fail(prog: str, message: str, code: int = EXIT_USAGE) -> int:
+    """Report ``prog: message`` on stderr and return the exit code —
+    callers ``return fail(...)`` from their mains."""
+    print(f"{prog}: {message}", file=sys.stderr)
+    return code
+
+
+def run_cli(main) -> int:
+    """Run a CLI ``main()`` with the shared terminal behaviour:
+    ``BrokenPipeError`` is success (output piped into ``head``),
+    ``KeyboardInterrupt`` exits 130."""
+    try:
+        return main()
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
+    except KeyboardInterrupt:
+        return 130

@@ -33,6 +33,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import obs
 from repro.core import bitops
 from repro.core.adder import ST2Adder
 from repro.core.slices import geometry_for
@@ -281,25 +282,33 @@ def predict_trace(trace, config: SpeculationConfig,
     """Compute every carry prediction the mechanism would make."""
     n = len(trace)
     n_preds = trace_n_predictions(trace)
-    if carries is None:
-        carries = trace_slice_carries(trace)
-    has_prev = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
+    with obs.timer("core.predict"):
+        if carries is None:
+            carries = trace_slice_carries(trace)
+        has_prev = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
 
-    if config.mechanism == "static0":
-        bits = np.zeros((n, MAX_PREDICTIONS), dtype=np.uint8)
-    elif config.mechanism == "static1":
-        bits = np.ones((n, MAX_PREDICTIONS), dtype=np.uint8)
-    elif config.mechanism == "operand":
-        bits = _operand_predictions(trace)
-    elif config.mechanism == "valhalla":
-        bits = _valhalla_predictions(trace, carries, n_preds)
-    else:  # prev
-        bits, has_prev = _prev_predictions(trace, carries, n_preds, config)
+        if config.mechanism == "static0":
+            bits = np.zeros((n, MAX_PREDICTIONS), dtype=np.uint8)
+        elif config.mechanism == "static1":
+            bits = np.ones((n, MAX_PREDICTIONS), dtype=np.uint8)
+        elif config.mechanism == "operand":
+            bits = _operand_predictions(trace)
+        elif config.mechanism == "valhalla":
+            bits = _valhalla_predictions(trace, carries, n_preds)
+        else:  # prev
+            bits, has_prev = _prev_predictions(trace, carries, n_preds,
+                                               config)
 
-    peek_known = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
-    if config.peek:
-        peek_known, peek_value = trace_peek(trace)
-        bits = np.where(peek_known, peek_value, bits)
+        peek_known = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
+        if config.peek:
+            peek_known, peek_value = trace_peek(trace)
+            bits = np.where(peek_known, peek_value, bits)
+    obs.add("core.predict.ops", n)
+    obs.add("core.predict.history_lookups",
+            int((np.arange(MAX_PREDICTIONS)[None, :]
+                 < n_preds[:, None]).sum()))
+    obs.add("core.predict.history_hits", int(has_prev.sum()))
+    obs.add("core.predict.peek_static", int(peek_known.sum()))
     return Prediction(config=config, bits=bits, has_prev=has_prev,
                       peek_known=peek_known)
 
@@ -343,20 +352,26 @@ def evaluate_trace(trace, prediction: Prediction) -> SpeculationResult:
     mispredicted = np.zeros(n, dtype=bool)
     recomputed = np.zeros(n, dtype=np.int64)
     wrong_bits = np.zeros(n, dtype=np.int64)
-    for w in np.unique(trace.width):
-        rows = np.nonzero(trace.width == w)[0]
-        geo = geometry_for(int(w))
-        if geo.n_predictions == 0:
-            continue
-        adder = ST2Adder(geo)
-        out = adder.add(trace.op_a[rows], trace.op_b[rows],
-                        prediction.bits[rows, :geo.n_predictions],
-                        cin=trace.cin[rows])
-        mispredicted[rows] = out.mispredicted
-        recomputed[rows] = out.recomputed_slices
-        truth = out.slice_carries[:, 1:]
-        wrong_bits[rows] = (
-            prediction.bits[rows, :geo.n_predictions] != truth).sum(axis=1)
+    with obs.timer("core.evaluate"):
+        for w in np.unique(trace.width):
+            rows = np.nonzero(trace.width == w)[0]
+            geo = geometry_for(int(w))
+            if geo.n_predictions == 0:
+                continue
+            adder = ST2Adder(geo)
+            out = adder.add(trace.op_a[rows], trace.op_b[rows],
+                            prediction.bits[rows, :geo.n_predictions],
+                            cin=trace.cin[rows])
+            mispredicted[rows] = out.mispredicted
+            recomputed[rows] = out.recomputed_slices
+            truth = out.slice_carries[:, 1:]
+            wrong_bits[rows] = (
+                prediction.bits[rows, :geo.n_predictions]
+                != truth).sum(axis=1)
+    obs.add("core.adder.ops", n)
+    obs.add("core.adder.mispredicts", int(mispredicted.sum()))
+    obs.add("core.adder.recomputed_slices", int(recomputed.sum()))
+    obs.add("core.adder.wrong_bits", int(wrong_bits.sum()))
     return SpeculationResult(config=prediction.config, n_ops=n,
                              mispredicted=mispredicted,
                              recomputed=recomputed, wrong_bits=wrong_bits)

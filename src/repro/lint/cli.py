@@ -1,7 +1,9 @@
 """``st2-lint`` command-line entry point.
 
-Exit codes: 0 — clean (or every finding suppressed/baselined),
-1 — new unsuppressed findings, 2 — usage or parse errors.
+Exit codes follow the shared contract (:mod:`repro.cli_common`):
+0 — clean (or every finding suppressed/baselined), 1 — new
+unsuppressed findings, 2 — usage or parse errors.  ``--json`` emits
+the findings as one machine-readable document.
 """
 
 from __future__ import annotations
@@ -9,6 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import cli_common
 from repro.lint.analyzer import ALL_RULES, lint_paths
 from repro.lint.baseline import (load_baseline, new_findings,
                                  write_baseline)
@@ -26,10 +29,10 @@ def _parse_rules(spec: str):
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="st2-lint",
-        description="Static correctness analyzer for the ST2 kernel "
-                    "DSL (rules L1-L5).")
+    parser = cli_common.build_parser(
+        "st2-lint",
+        "Static correctness analyzer for the ST2 kernel DSL "
+        "(rules L1-L5).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
@@ -46,7 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also print suppressed findings")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    cli_common.add_json_flag(parser)
     return parser
+
+
+def _finding_record(f) -> dict:
+    return {"path": f.path, "line": f.line, "rule": f.rule,
+            "message": f.message, "suppressed": f.suppressed}
 
 
 def main(argv=None, out=None) -> int:
@@ -55,9 +64,12 @@ def main(argv=None, out=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule, text in RULES.items():
-            print(f"{rule}  {text}", file=out)
-        return 0
+        if args.json:
+            cli_common.emit_json(dict(RULES), out=out)
+        else:
+            for rule, text in RULES.items():
+                print(f"{rule}  {text}", file=out)
+        return cli_common.EXIT_OK
 
     findings = lint_paths(args.paths, rules=args.rules)
 
@@ -65,7 +77,7 @@ def main(argv=None, out=None) -> int:
     for f in errors:
         print(f.format(), file=out)
     if errors:
-        return 2
+        return cli_common.EXIT_USAGE
 
     if args.write_baseline:
         recorded = write_baseline(args.write_baseline, findings)
@@ -84,11 +96,20 @@ def main(argv=None, out=None) -> int:
     fresh = new_findings(findings, baseline)
     shown = fresh if not args.show_suppressed else \
         fresh + [f for f in findings if f.suppressed]
-    for f in sorted(shown, key=lambda f: (f.path, f.line, f.rule)):
-        print(f.format(), file=out)
+    shown = sorted(shown, key=lambda f: (f.path, f.line, f.rule))
 
     n_sup = sum(1 for f in findings if f.suppressed)
     n_base = sum(1 for f in findings if not f.suppressed) - len(fresh)
+
+    if args.json:
+        cli_common.emit_json({
+            "findings": [_finding_record(f) for f in shown],
+            "fresh": len(fresh), "suppressed": n_sup,
+            "baselined": n_base, "clean": not fresh}, out=out)
+        return cli_common.EXIT_PROBLEMS if fresh else cli_common.EXIT_OK
+
+    for f in shown:
+        print(f.format(), file=out)
     tail = []
     if n_sup:
         tail.append(f"{n_sup} suppressed")
@@ -97,13 +118,13 @@ def main(argv=None, out=None) -> int:
     note = f" ({', '.join(tail)})" if tail else ""
     if fresh:
         print(f"st2-lint: {len(fresh)} finding(s){note}", file=out)
-        return 1
+        return cli_common.EXIT_PROBLEMS
     print(f"st2-lint: clean{note}", file=out)
-    return 0
+    return cli_common.EXIT_OK
 
 
 def console_main() -> None:
-    raise SystemExit(main())
+    raise SystemExit(cli_common.run_cli(main))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,194 @@
+"""``st2-stats`` — read, compare and check ``metrics.json`` dumps.
+
+Subcommands::
+
+    st2-stats summary run.metrics.json            # counters + timers
+    st2-stats diff old.metrics.json new.metrics.json
+    st2-stats check run.metrics.json --baseline BENCH_pipeline.json
+    st2-stats baseline run.metrics.json --out BENCH_pipeline.json
+
+Any ``METRICS`` argument also accepts the *manifest* path
+(``st2_manifest.jsonl``): the rider metrics file next to it
+(``st2_manifest.metrics.json``) is resolved automatically, so
+``st2-stats summary st2_manifest.jsonl`` does what you mean.
+
+Exit codes follow the shared contract (:mod:`repro.cli_common`):
+0 success / in-band, 1 out-of-band metrics (``check``), 2 usage or
+unreadable/ill-formed input files.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro import cli_common
+from repro.obs.metrics import (baseline_from_metrics, check_baseline,
+                               diff_metrics, load_baseline,
+                               metrics_path_for, read_metrics)
+
+
+def build_parser():
+    parser = cli_common.build_parser(
+        "st2-stats",
+        "Inspect, diff and baseline-check the runner's metrics.json "
+        "observability dumps.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser(
+        "summary", help="print one metrics file's counters and timers")
+    summary.add_argument("metrics",
+                         help="metrics.json (or its manifest) path")
+    cli_common.add_json_flag(summary)
+
+    diff = sub.add_parser(
+        "diff", help="aligned comparison of two metrics files")
+    diff.add_argument("old", help="old metrics.json (or manifest)")
+    diff.add_argument("new", help="new metrics.json (or manifest)")
+    diff.add_argument("--changed-only", action="store_true",
+                      help="hide metrics that are exactly equal")
+    cli_common.add_json_flag(diff)
+
+    check = sub.add_parser(
+        "check", help="check a metrics file against a baseline's "
+                      "tolerance bands; exit 1 when out of band")
+    check.add_argument("metrics",
+                       help="metrics.json (or its manifest) path")
+    check.add_argument("--baseline", required=True, metavar="FILE",
+                       help="baseline file (e.g. BENCH_pipeline.json)")
+    cli_common.add_json_flag(check)
+
+    baseline = sub.add_parser(
+        "baseline", help="seed a baseline file from a measured "
+                         "metrics file")
+    baseline.add_argument("metrics",
+                          help="metrics.json (or its manifest) path")
+    baseline.add_argument("--out", required=True, metavar="FILE",
+                          help="baseline file to write")
+    baseline.add_argument("--rel-tol", type=float, default=0.05,
+                          help="relative tolerance pinned on every "
+                               "counter (default 0.05)")
+    baseline.add_argument("--time-factor", type=float, default=25.0,
+                          help="upper bound on runner timers = "
+                               "factor x measured (default 25)")
+    baseline.add_argument("--description", default="",
+                          help="free-text description recorded in the "
+                               "baseline")
+    return parser
+
+
+def _load(path: str) -> dict:
+    """Read a metrics file; a manifest (``.jsonl``) path resolves to
+    the rider metrics file next to it."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        path = metrics_path_for(path)
+    return read_metrics(path)
+
+
+def _cmd_summary(args) -> int:
+    metrics = _load(args.metrics)
+    if args.json:
+        cli_common.emit_json(metrics)
+        return cli_common.EXIT_OK
+    counters = metrics.get("counters", {})
+    timers = metrics.get("timers", {})
+    if counters:
+        width = max(len(n) for n in counters)
+        print("counters")
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {counters[name]:>14,}")
+    if timers:
+        width = max(len(n) for n in timers)
+        print("timers")
+        print(f"  {'name':<{width}}  {'count':>7} {'total s':>10} "
+              f"{'mean s':>10} {'max s':>10}")
+        for name in sorted(timers):
+            t = timers[name]
+            print(f"  {name:<{width}}  {t['count']:>7} "
+                  f"{t['total_s']:>10.3f} {t['mean_s']:>10.4f} "
+                  f"{t['max_s']:>10.4f}")
+    if not counters and not timers:
+        print("no metrics recorded")
+    return cli_common.EXIT_OK
+
+
+def _cmd_diff(args) -> int:
+    rows = diff_metrics(_load(args.old), _load(args.new))
+    if args.changed_only:
+        rows = [r for r in rows if r["delta"] != 0]
+    if args.json:
+        cli_common.emit_json(rows)
+        return cli_common.EXIT_OK
+    if not rows:
+        print("no differences")
+        return cli_common.EXIT_OK
+    width = max(len(r["metric"]) for r in rows)
+    for r in rows:
+        old = "-" if r["old"] is None else f"{r['old']:g}"
+        new = "-" if r["new"] is None else f"{r['new']:g}"
+        if r["delta"] is None:
+            tail = "(one side only)"
+        elif r["delta"] == 0:
+            tail = "="
+        else:
+            rel = f" ({r['rel']:+.1%})" if r["rel"] == r["rel"] else ""
+            tail = f"{r['delta']:+g}{rel}"
+        print(f"{r['metric']:<{width}}  {old:>14} -> {new:>14}  {tail}")
+    return cli_common.EXIT_OK
+
+
+def _cmd_check(args) -> int:
+    metrics = _load(args.metrics)
+    baseline = load_baseline(args.baseline)
+    problems = check_baseline(metrics, baseline)
+    checked = len(baseline.get("metrics", []))
+    if args.json:
+        cli_common.emit_json({"checked": checked,
+                              "deviations": problems,
+                              "ok": not problems})
+        return cli_common.EXIT_PROBLEMS if problems \
+            else cli_common.EXIT_OK
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"st2-stats: {len(problems)}/{checked} metrics out of "
+              f"band", file=sys.stderr)
+        return cli_common.EXIT_PROBLEMS
+    print(f"st2-stats: {checked} metrics in band")
+    return cli_common.EXIT_OK
+
+
+def _cmd_baseline(args) -> int:
+    metrics = _load(args.metrics)
+    payload = baseline_from_metrics(metrics, rel_tol=args.rel_tol,
+                                    time_factor=args.time_factor,
+                                    description=args.description)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"st2-stats: wrote {len(payload['metrics'])} pinned "
+          f"metric(s) to {args.out}")
+    return cli_common.EXIT_OK
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"summary": _cmd_summary, "diff": _cmd_diff,
+                "check": _cmd_check, "baseline": _cmd_baseline}
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as exc:
+        return cli_common.fail("st2-stats",
+                               f"no such file: {exc.filename}")
+    except (ValueError, json.JSONDecodeError) as exc:
+        return cli_common.fail("st2-stats", str(exc))
+
+
+def console_main() -> int:
+    return cli_common.run_cli(main)
+
+
+if __name__ == "__main__":
+    sys.exit(console_main())

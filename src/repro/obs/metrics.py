@@ -1,0 +1,214 @@
+"""``metrics.json`` I/O, metric addressing, diffs and baseline checks.
+
+A metrics file is one :meth:`~repro.obs.registry.Obs.snapshot` plus run
+metadata::
+
+    {"metrics_version": 1,
+     "meta":     {... the run header: kernels, configs, workers ...},
+     "counters": {"sim.functional.trace_rows": 123456, ...},
+     "timers":   {"runner.stage.eval": {"count": 1, "total_s": ..}, ..}}
+
+Individual numbers are addressed with dotted **metric refs**:
+``counters.<name>`` or ``timers.<name>.<field>`` where ``<field>`` is
+one of ``count`` / ``total_s`` / ``max_s`` / ``mean_s`` (field names
+are reserved, so the trailing segment is unambiguous even though timer
+names themselves contain dots).
+
+A **baseline** (``BENCH_pipeline.json``) pins a set of metric refs with
+tolerance bands; :func:`check_baseline` returns the deviations —
+``st2-stats check`` exits 1 when any exist.  Entries support::
+
+    {"metric": ref, "value": v, "rel_tol": 0.02, "abs_tol": 0.0}
+    {"metric": ref, "max": upper}          # and/or "min": lower
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.registry import TIMER_FIELDS
+
+METRICS_VERSION = 1
+BASELINE_VERSION = 1
+
+METRICS_SUFFIX = ".metrics.json"
+
+
+def metrics_path_for(manifest_path) -> Path:
+    """The metrics file that rides along a manifest:
+    ``st2_manifest.jsonl`` → ``st2_manifest.metrics.json``."""
+    path = Path(manifest_path)
+    if path.name.endswith(METRICS_SUFFIX):
+        return path
+    return path.with_name(path.stem + METRICS_SUFFIX)
+
+
+def write_metrics(path, snapshot: dict, meta: dict = None) -> Path:
+    """Write one obs snapshot (plus run metadata) as ``metrics.json``."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"metrics_version": METRICS_VERSION, "meta": meta or {}}
+    payload.update({"counters": snapshot.get("counters", {}),
+                    "timers": snapshot.get("timers", {})})
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def read_metrics(path) -> dict:
+    """Read a metrics file back; raises ValueError on a bad version."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("metrics_version") != METRICS_VERSION:
+        raise ValueError(
+            f"unsupported metrics version "
+            f"{payload.get('metrics_version')!r} in {path}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# metric addressing
+# ----------------------------------------------------------------------
+
+def flatten_metrics(metrics: dict) -> dict:
+    """Every metric in a file as ``{ref: number}`` (sorted refs)."""
+    flat = {}
+    for name, value in metrics.get("counters", {}).items():
+        flat[f"counters.{name}"] = value
+    for name, stat in metrics.get("timers", {}).items():
+        for fieldname in TIMER_FIELDS:
+            if fieldname in stat:
+                flat[f"timers.{name}.{fieldname}"] = stat[fieldname]
+    return dict(sorted(flat.items()))
+
+
+def lookup_metric(metrics: dict, ref: str):
+    """Resolve one metric ref; raises KeyError with the failing ref."""
+    try:
+        kind, rest = ref.split(".", 1)
+    except ValueError:
+        raise KeyError(ref) from None
+    if kind == "counters":
+        counters = metrics.get("counters", {})
+        if rest not in counters:
+            raise KeyError(ref)
+        return counters[rest]
+    if kind == "timers":
+        name, _, fieldname = rest.rpartition(".")
+        if fieldname not in TIMER_FIELDS:
+            raise KeyError(ref)
+        stat = metrics.get("timers", {}).get(name)
+        if stat is None or fieldname not in stat:
+            raise KeyError(ref)
+        return stat[fieldname]
+    raise KeyError(ref)
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+
+def diff_metrics(old: dict, new: dict) -> list:
+    """Aligned comparison of two metrics files.
+
+    Returns one row dict per metric ref present in either file:
+    ``{"metric", "old", "new", "delta", "rel"}`` (``old``/``new`` are
+    ``None`` when the ref exists on one side only; ``rel`` is NaN when
+    undefined).
+    """
+    flat_old = flatten_metrics(old)
+    flat_new = flatten_metrics(new)
+    rows = []
+    for ref in sorted(set(flat_old) | set(flat_new)):
+        a = flat_old.get(ref)
+        b = flat_new.get(ref)
+        delta = (b - a) if a is not None and b is not None else None
+        if delta is not None and a:
+            rel = delta / abs(a)
+        else:
+            rel = float("nan")
+        rows.append({"metric": ref, "old": a, "new": b,
+                     "delta": delta, "rel": rel})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+
+def load_baseline(path) -> dict:
+    """Read a baseline file; raises ValueError on shape problems."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("bench_version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version "
+            f"{payload.get('bench_version')!r} in {path}")
+    entries = payload.get("metrics")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} has no 'metrics' list")
+    for entry in entries:
+        if not isinstance(entry, dict) or "metric" not in entry:
+            raise ValueError(
+                f"baseline {path}: every entry needs a 'metric' ref")
+    return payload
+
+
+def check_baseline(metrics: dict, baseline: dict) -> list:
+    """Compare a metrics file against a baseline's tolerance bands.
+
+    Returns a list of human-readable deviation strings — empty means
+    every pinned metric is inside its band.
+    """
+    problems = []
+    for entry in baseline.get("metrics", []):
+        ref = entry["metric"]
+        try:
+            value = lookup_metric(metrics, ref)
+        except KeyError:
+            problems.append(f"{ref}: missing from metrics")
+            continue
+        if "value" in entry:
+            expect = entry["value"]
+            rel_tol = float(entry.get("rel_tol", 0.0))
+            abs_tol = float(entry.get("abs_tol", 0.0))
+            band = abs_tol + rel_tol * abs(expect)
+            if abs(value - expect) > band:
+                problems.append(
+                    f"{ref}: {value:g} outside {expect:g} ± {band:g}")
+        if "max" in entry and value > entry["max"]:
+            problems.append(
+                f"{ref}: {value:g} exceeds max {entry['max']:g}")
+        if "min" in entry and value < entry["min"]:
+            problems.append(
+                f"{ref}: {value:g} below min {entry['min']:g}")
+    return problems
+
+
+def baseline_from_metrics(metrics: dict, rel_tol: float = 0.05,
+                          time_factor: float = 25.0,
+                          description: str = "") -> dict:
+    """Seed a baseline from a measured metrics file.
+
+    Counters are pinned at their measured value with ``rel_tol``;
+    runner-level timers (names starting with ``runner``) get a
+    machine-tolerant upper bound of ``time_factor`` × measured total —
+    wall-clock differs wildly across hosts, so only catastrophic
+    regressions should trip it.
+    """
+    entries = []
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        entries.append({"metric": f"counters.{name}", "value": value,
+                        "rel_tol": rel_tol})
+    for name, stat in sorted(metrics.get("timers", {}).items()):
+        if not name.startswith("runner"):
+            continue
+        entries.append({"metric": f"timers.{name}.total_s",
+                        "max": round(stat["total_s"] * time_factor, 3)})
+    return {"bench_version": BASELINE_VERSION,
+            "description": description,
+            "grid": metrics.get("meta", {}),
+            "metrics": entries}

@@ -1,13 +1,23 @@
 """GPUWattch-style power modelling: Eq. (1), the 123-stressor
-calibration workflow against synthetic silicon, and validation."""
+calibration workflow against synthetic silicon, and validation.
 
-from repro.power.activity import ActivityVector, activity_from_run
-from repro.power.calibration import calibrate, calibrated_model
-from repro.power.components import Component
-from repro.power.hardware import SyntheticSilicon
-from repro.power.model import GPUPowerModel
-from repro.power.validation import validate
+Exports are lazy (PEP 562): importing :mod:`repro.power` costs nothing
+until a name is touched.
+"""
 
-__all__ = ["ActivityVector", "Component", "GPUPowerModel",
-           "SyntheticSilicon", "activity_from_run", "calibrate",
-           "calibrated_model", "validate"]
+from repro._lazy import lazy_attrs
+
+_LAZY_EXPORTS = {
+    "ActivityVector": ("repro.power.activity", "ActivityVector"),
+    "Component": ("repro.power.components", "Component"),
+    "GPUPowerModel": ("repro.power.model", "GPUPowerModel"),
+    "SyntheticSilicon": ("repro.power.hardware", "SyntheticSilicon"),
+    "activity_from_run": ("repro.power.activity", "activity_from_run"),
+    "calibrate": ("repro.power.calibration", "calibrate"),
+    "calibrated_model": ("repro.power.calibration", "calibrated_model"),
+    "validate": ("repro.power.validation", "validate"),
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+__getattr__, __dir__ = lazy_attrs(__name__, globals(), _LAZY_EXPORTS)

@@ -21,14 +21,17 @@ import tempfile
 from functools import lru_cache
 from pathlib import Path
 
+from repro import obs
 from repro.runner.units import RESULT_FIELDS, UnitSpec
 
 #: Subpackages that render, schedule or *check* results but cannot
 #: change a single number — the only thing maintained by hand.  Every
 #: other subpackage of ``repro`` is result-affecting and hashed into
 #: the cache key automatically, so adding a new simulation package can
-#: never be silently forgotten here.
-NON_RESULT_PACKAGES = frozenset({"analysis", "report", "runner", "lint"})
+#: never be silently forgotten here.  ``obs`` observes the computation
+#: without influencing it, so instrumentation edits keep caches warm.
+NON_RESULT_PACKAGES = frozenset(
+    {"analysis", "report", "runner", "lint", "obs"})
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
@@ -98,12 +101,16 @@ class ResultCache:
             with open(path) as fh:
                 payload = json.load(fh)
             if payload.get("key") != key:
+                obs.add("result_cache.misses")
                 return None
             result = payload["result"]
             if any(f not in result for f in RESULT_FIELDS):
+                obs.add("result_cache.misses")
                 return None
+            obs.add("result_cache.hits")
             return result
         except (OSError, ValueError, TypeError, KeyError):
+            obs.add("result_cache.misses")
             return None
 
     def store(self, key: str, result: dict) -> Path:

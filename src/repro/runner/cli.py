@@ -11,15 +11,19 @@ group (``all``, ``extended``, ``full``, ``smoke``); ``--configs`` takes
 Figure 5 ladder names or an alias (``st2``, ``valhalla``, ``prev``,
 ``casa``, ``ladder``, ``fig3``).  Results are cached on disk under
 ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) and the run is
-recorded as a JSONL manifest (``--out``).
+recorded as a JSONL manifest (``--out``) plus a ``metrics.json``
+observability dump next to it (``st2_manifest.metrics.json``) that
+``st2-stats`` reads.
+
+Exit codes follow the shared contract (:mod:`repro.cli_common`):
+0 success, 2 usage/input errors.
 """
 
 from __future__ import annotations
 
-import argparse
-import os
 import sys
 
+from repro import cli_common, obs
 from repro.kernels.suite import KERNEL_GROUPS, resolve_kernels
 from repro.runner.cache import code_version
 from repro.runner.manifest import write_manifest
@@ -28,11 +32,11 @@ from repro.runner.pool import RunTimer, run_units
 from repro.runner.units import build_units, resolve_configs
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="st2-run",
-        description="Parallel cached runner for the ST2 GPU "
-                    "(kernel x SpeculationConfig) experiment grid.")
+def build_parser():
+    parser = cli_common.build_parser(
+        "st2-run",
+        "Parallel cached runner for the ST2 GPU "
+        "(kernel x SpeculationConfig) experiment grid.")
     parser.add_argument("--kernels", default="all",
                         help="comma-separated kernel names or a group: "
                              + ", ".join(sorted(KERNEL_GROUPS)))
@@ -68,11 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "~/.cache/repro/traces)")
     parser.add_argument("--out", default="st2_manifest.jsonl",
                         help="JSONL manifest path "
-                             "(default st2_manifest.jsonl)")
+                             "(default st2_manifest.jsonl); the obs "
+                             "dump lands next to it as "
+                             "<out>.metrics.json")
     parser.add_argument("--list", action="store_true",
                         help="print the resolved work list and exit")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-unit progress lines")
+    cli_common.add_json_flag(parser)
     return parser
 
 
@@ -83,21 +90,21 @@ def _progress_printer(total: int, quiet: bool):
         state["done"] += 1
         if quiet:
             return
-        origin = "cache" if result.get("cached") else \
-            f"{result['wall_time_s']:.2f}s"
+        origin = "cache" if result.cached else \
+            f"{result.wall_time_s:.2f}s"
         print(f"[{state['done']:>3}/{total}] {spec.label:<42} "
-              f"miss={result['metrics']['misprediction_rate']:.4f} "
+              f"miss={result.metrics.misprediction_rate:.4f} "
               f"({origin})", flush=True)
     return progress
 
 
 def _summary_table(results) -> str:
     from repro.analysis.ascii_charts import table
-    rows = [(r["kernel"], r["config"],
-             "hit" if r.get("cached") else "miss",
-             f"{r['wall_time_s']:.2f}", f"{r['trace_rows']:,}",
-             f"{r['metrics']['misprediction_rate']:.4f}",
-             f"{r['metrics']['system_saving']:.1%}")
+    rows = [(r.kernel, r.config,
+             "hit" if r.cached else "miss",
+             f"{r.wall_time_s:.2f}", f"{r.trace_rows:,}",
+             f"{r.metrics.misprediction_rate:.4f}",
+             f"{r.metrics.system_saving:.1%}")
             for r in results]
     return table("st2-run results",
                  ["kernel", "config", "cache", "unit s", "trace rows",
@@ -110,23 +117,29 @@ def main(argv=None) -> int:
         kernels = resolve_kernels(args.kernels)
         configs = resolve_configs(args.configs)
     except KeyError as exc:
-        print(f"st2-run: {exc.args[0]}", file=sys.stderr)
-        return 2
+        return cli_common.fail("st2-run", exc.args[0])
 
     units = build_units(kernels, configs=configs, scale=args.scale,
                         seed=args.seed, aux=not args.no_aux,
                         per_kernel_seeds=args.per_kernel_seeds)
     if not units:
-        print("st2-run: no work units selected", file=sys.stderr)
-        return 2
+        return cli_common.fail("st2-run", "no work units selected")
     if args.list:
-        for spec in units:
-            print(f"{spec.label}  scale={spec.scale} seed={spec.seed}")
-        return 0
+        if args.json:
+            cli_common.emit_json([
+                {"kernel": spec.kernel, "config": spec.config.name,
+                 "scale": spec.scale, "seed": spec.seed}
+                for spec in units])
+        else:
+            for spec in units:
+                print(f"{spec.label}  scale={spec.scale} "
+                      f"seed={spec.seed}")
+        return cli_common.EXIT_OK
 
     timer = RunTimer()
+    quiet = args.quiet or args.json
     options = RunOptions.from_args(
-        args, progress=_progress_printer(len(units), args.quiet),
+        args, progress=_progress_printer(len(units), quiet),
         timer=timer)
 
     results = run_units(units, options)
@@ -146,6 +159,17 @@ def main(argv=None) -> int:
     meta.update(options.stats)
     meta.update(timer.summary())
     path = write_manifest(args.out, results, meta=meta)
+    metrics_path = obs.write_metrics(obs.metrics_path_for(path),
+                                     options.obs.snapshot(), meta=meta)
+
+    if args.json:
+        cli_common.emit_json({
+            "meta": meta,
+            "manifest": str(path),
+            "metrics": str(metrics_path),
+            "units": [r.to_dict() for r in results],
+        })
+        return cli_common.EXIT_OK
 
     print()
     print(_summary_table(results))
@@ -160,16 +184,12 @@ def main(argv=None) -> int:
               f"{s['stage_capture_s']:.2f}s, {s['trace_store_hits']} "
               f"warm), stage 2 {s['stage_eval_s']:.2f}s")
     print(f"manifest: {path}")
-    return 0
+    print(f"metrics:  {metrics_path}")
+    return cli_common.EXIT_OK
 
 
 def console_main() -> int:
-    try:
-        return main()
-    except BrokenPipeError:      # e.g. `st2-run --list | head`
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
-        return 0
+    return cli_common.run_cli(main)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,12 @@ MANIFEST_VERSION = 1
 
 
 def write_manifest(path, results, meta: dict = None) -> Path:
-    """Write a runner invocation's results as JSONL."""
+    """Write a runner invocation's results as JSONL.
+
+    ``results`` are raw unit dicts or typed
+    :class:`~repro.st2.results.RunResult`\\ s — either way the line
+    holds the flat JSON payload.
+    """
     path = Path(path)
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -26,6 +31,8 @@ def write_manifest(path, results, meta: dict = None) -> Path:
     with open(path, "w") as fh:
         fh.write(json.dumps(header) + "\n")
         for result in results:
+            if hasattr(result, "to_dict"):
+                result = result.to_dict()
             fh.write(json.dumps({"type": "unit", **result}) + "\n")
     return path
 

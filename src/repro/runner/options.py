@@ -33,6 +33,12 @@ class RunOptions:
     ``stats`` is populated by ``run_units`` with invocation-level
     accounting (stage wall-times, traces captured vs served warm) so
     callers — the CLI manifest in particular — can report it.
+
+    ``obs`` is the invocation's observability registry
+    (:class:`repro.obs.Obs`).  Leave it ``None`` to let ``run_units``
+    create one; pass a registry to accumulate several invocations into
+    one.  After the call it holds every counter/timer of the run —
+    its snapshot is what ``st2-run`` writes as ``metrics.json``.
     """
 
     workers: int = 1
@@ -42,6 +48,7 @@ class RunOptions:
     timer: object = None            # RunTimer-like .observe(spec, result)
     trace_store: object = None      # TraceStore or None (single-stage)
     stats: dict = field(default_factory=dict)
+    obs: object = None              # repro.obs.Obs or None (fresh)
 
     def resolved_cache(self) -> ResultCache:
         return self.cache if self.cache is not None else ResultCache()

@@ -28,6 +28,7 @@ import os
 import time
 import warnings
 
+from repro import obs
 from repro.runner.cache import code_version, unit_key
 from repro.runner.options import LEGACY_RUN_KWARGS, RunOptions
 from repro.runner.units import (ModelBundle, UnitSpec, execute_unit,
@@ -47,10 +48,17 @@ def _init_worker(store_root=None, need_models: bool = True) -> None:
     """Pool initializer: build the calibrated power model and the
     circuit-characterised adder model once per worker process (stage-1
     capture workers skip them), and open the shared trace store (when
-    the run uses one)."""
+    the run uses one).
+
+    Model calibration runs inside a **discarded** obs scope: it
+    functionally executes microbenchmarks whose instrumentation must
+    not pollute the run's metrics — and must not do so *differently*
+    between the inline path (once, in the parent) and the pooled path
+    (once per worker)."""
     global _WORKER_STORE
     if need_models:
-        _WORKER_MODELS.ensure()
+        with obs.scoped():
+            _WORKER_MODELS.ensure()
     if store_root is not None:
         from repro.sim.trace_store import TraceStore
         _WORKER_STORE = TraceStore(store_root)
@@ -59,27 +67,39 @@ def _init_worker(store_root=None, need_models: bool = True) -> None:
 
 
 def _run_one(item) -> tuple:
+    """Stage-2 / single-stage work item: one unit, end to end, under a
+    fresh obs scope whose snapshot travels home with the result (as the
+    transient ``"obs"`` key — popped and merged by the parent)."""
     index, spec, store_key = item
-    return index, execute_unit(spec, models=_WORKER_MODELS,
-                               store=_WORKER_STORE,
-                               store_key=store_key)
+    with obs.scoped() as reg:
+        with reg.span("runner.unit"):
+            result = execute_unit(spec, models=_WORKER_MODELS,
+                                  store=_WORKER_STORE,
+                                  store_key=store_key)
+    result.data["obs"] = reg.snapshot()
+    return index, result
 
 
 def _capture_one(item) -> tuple:
     """Stage-1 work item: functionally execute one distinct
     (kernel, scale, seed) and publish its trace.  Returns
-    ``(key, captured, wall_s)``."""
+    ``(key, captured, wall_s, obs_snapshot)``."""
     from repro.kernels import suite as kernel_suite
 
     key, kernel, scale, seed, version = item
-    if _WORKER_STORE.has(key):
-        return key, False, 0.0
-    t0 = time.perf_counter()
-    run = kernel_suite.run_kernel(kernel, scale=scale, seed=seed,
-                                  use_cache=False)
-    created = _WORKER_STORE.put(key, run, code_version=version,
-                                scale=scale, seed=seed)
-    return key, created, time.perf_counter() - t0
+    with obs.scoped() as reg:
+        with reg.span("runner.trace.capture"):
+            if _WORKER_STORE.has(key):
+                created, wall_s = False, 0.0
+            else:
+                t0 = time.perf_counter()
+                run = kernel_suite.run_kernel(kernel, scale=scale,
+                                              seed=seed, use_cache=False)
+                created = _WORKER_STORE.put(key, run,
+                                            code_version=version,
+                                            scale=scale, seed=seed)
+                wall_s = time.perf_counter() - t0
+    return key, created, wall_s, reg.snapshot()
 
 
 def _pool_context():
@@ -130,71 +150,88 @@ def _coerce_options(options, legacy: dict) -> RunOptions:
 
 
 def run_units(specs, options: RunOptions = None, **legacy) -> list:
-    """Execute ``specs`` and return their result dicts, in order.
+    """Execute ``specs`` and return their results, in order.
 
-    Each returned dict is the :func:`~repro.runner.units.execute_unit`
-    payload plus two runtime fields: ``key`` (the cache key) and
-    ``cached`` (whether this invocation served it from disk).
+    Each element is a typed :class:`~repro.st2.results.RunResult` —
+    the :func:`~repro.runner.units.execute_unit` payload plus two
+    runtime fields: ``key`` (the cache key) and ``cached`` (whether
+    this invocation served it from disk).
 
     ``options`` is a :class:`~repro.runner.options.RunOptions`; the old
     ``workers=/cache=/use_cache=/progress=`` keywords still work but
     are deprecated.  After the call, ``options.stats`` holds the
     invocation's stage accounting (``stage_capture_s``,
     ``stage_eval_s`` and — in two-stage mode — ``traces_captured`` /
-    ``trace_store_hits``).
+    ``trace_store_hits``) and ``options.obs`` the invocation's
+    observability registry: every counter and timer accumulated across
+    the run, including merged per-worker snapshots (its snapshot is
+    what ``st2-run`` writes next to the manifest as ``metrics.json``).
     """
+    from repro.st2.results import RunResult
+
     options = _coerce_options(options, legacy)
     specs = list(specs)
     for spec in specs:
         if not isinstance(spec, UnitSpec):
             raise TypeError(f"expected UnitSpec, got {type(spec)!r}")
-    cache = options.resolved_cache()
-    use_cache = options.use_cache
-    version = code_version()
-    keys = [unit_key(spec, version) for spec in specs]
-    results = [None] * len(specs)
+    with obs.scoped(options.obs) as reg:
+        options.obs = reg
+        cache = options.resolved_cache()
+        use_cache = options.use_cache
+        version = code_version()
+        keys = [unit_key(spec, version) for spec in specs]
+        results = [None] * len(specs)
+        obs.add("runner.units", len(specs))
 
-    pending = []
-    for i, (spec, key) in enumerate(zip(specs, keys)):
-        hit = cache.load(key) if use_cache else None
-        if hit is not None:
-            hit = dict(hit)
-            hit.update(key=key, cached=True)
-            results[i] = hit
-            options.notify(spec, hit)
-        else:
-            pending.append((i, spec))
+        pending = []
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            hit = cache.load(key) if use_cache else None
+            if hit is not None:
+                hit.update(key=key, cached=True)
+                hit = RunResult(hit)
+                results[i] = hit
+                obs.add("runner.units.cached")
+                options.notify(spec, hit)
+            else:
+                pending.append((i, spec))
 
-    store = options.trace_store
-    stats = {"stage_capture_s": 0.0, "stage_eval_s": 0.0}
-    options.stats = stats
+        store = options.trace_store
+        stats = {"stage_capture_s": 0.0, "stage_eval_s": 0.0}
+        options.stats = stats
 
-    trace_keys = {}                 # unit index -> trace key (or None)
-    if store is not None and pending:
-        stats.update(_populate_store(store, pending, options, version,
-                                     trace_keys))
+        trace_keys = {}             # unit index -> trace key (or None)
+        if store is not None and pending:
+            with reg.span("runner.stage.capture"):
+                stats.update(_populate_store(store, pending, options,
+                                             version, trace_keys))
 
-    def finish(i, result):
-        result.update(key=keys[i], cached=False)
-        if store is not None:
-            # provenance relative to *this invocation*: True only if
-            # the trace was warm before stage 1 ran
-            result["trace_cache_hit"] = \
-                trace_keys.get(i) in stats.get("warm_keys", ())
-        if use_cache:
-            cache.store(keys[i], result)
-        results[i] = result
-        options.notify(specs[i], result)
+        def finish(i, result):
+            snap = result.data.pop("obs", None)
+            if snap:
+                reg.merge(snap)
+            result.data.update(key=keys[i], cached=False)
+            if store is not None:
+                # provenance relative to *this invocation*: True only
+                # if the trace was warm before stage 1 ran
+                result.data["trace_cache_hit"] = \
+                    trace_keys.get(i) in stats.get("warm_keys", ())
+            if use_cache:
+                cache.store(keys[i], result.to_dict())
+            obs.add("runner.units.executed")
+            results[i] = result
+            options.notify(specs[i], result)
 
-    t0 = time.perf_counter()
-    if pending:
-        items = [(i, spec, trace_keys.get(i)) for i, spec in pending]
-        store_root = str(store.root) if store is not None else None
-        for i, result in _map_parallel(_run_one, items,
-                                       options.workers, store_root):
-            finish(i, result)
-    stats["stage_eval_s"] = time.perf_counter() - t0
-    stats.pop("warm_keys", None)
+        t0 = time.perf_counter()
+        if pending:
+            items = [(i, spec, trace_keys.get(i)) for i, spec in pending]
+            store_root = str(store.root) if store is not None else None
+            with reg.span("runner.stage.eval"):
+                for i, result in _map_parallel(_run_one, items,
+                                               options.workers,
+                                               store_root):
+                    finish(i, result)
+        stats["stage_eval_s"] = time.perf_counter() - t0
+        stats.pop("warm_keys", None)
     return results
 
 
@@ -217,11 +254,15 @@ def _populate_store(store, pending, options: RunOptions,
 
     t0 = time.perf_counter()
     captured = []
-    for key, created, wall_s in _map_parallel(
+    registry = obs.get_obs()
+    for key, created, wall_s, snap in _map_parallel(
             _capture_one, todo, options.workers, str(store.root),
             need_models=False):
+        registry.merge(snap)
         if created:
             captured.append(key)
+    obs.add("runner.traces.captured", len(captured))
+    obs.add("runner.traces.warm", len(warm))
     return {
         "stage_capture_s": time.perf_counter() - t0,
         "traces_total": len(distinct),
@@ -248,7 +289,7 @@ class RunTimer:
         self.misses = 0
 
     def observe(self, spec, result) -> None:
-        if result.get("cached"):
+        if getattr(result, "cached", False):
             self.hits += 1
         else:
             self.misses += 1

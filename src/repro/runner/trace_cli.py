@@ -11,28 +11,33 @@ The store lives at ``$REPRO_TRACE_DIR`` (default
 ``~/.cache/repro/traces``) or wherever ``--store`` points; it is the
 same store ``st2-run --trace-store`` reads, so ``capture`` followed by
 a sweep is the capture-once/evaluate-many workflow from EXPERIMENTS.md.
+
+Exit codes follow the shared contract (:mod:`repro.cli_common`):
+0 success, 1 damaged entries found, 2 usage/input errors.  ``ls`` and
+``verify`` accept ``--json``.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 
+from repro import cli_common
 from repro.runner.cache import code_version
 from repro.sim.trace_store import TraceStore, trace_key
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="st2-trace",
-        description="Manage the content-addressed, memory-mapped "
-                    "kernel trace store.")
+def build_parser():
+    parser = cli_common.build_parser(
+        "st2-trace",
+        "Manage the content-addressed, memory-mapped kernel trace "
+        "store.")
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="store root (default: $REPRO_TRACE_DIR "
                              "or ~/.cache/repro/traces)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("ls", help="list store entries")
+    ls = sub.add_parser("ls", help="list store entries")
+    cli_common.add_json_flag(ls)
 
     cap = sub.add_parser("capture",
                          help="functionally execute kernels and "
@@ -52,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "entry is damaged")
     ver.add_argument("keys", nargs="*",
                      help="keys to check (default: every entry)")
+    cli_common.add_json_flag(ver)
 
     gc = sub.add_parser("gc", help="remove dead store entries")
     gc.add_argument("--stale", action="store_true",
@@ -65,12 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_ls(store: TraceStore) -> int:
+def _cmd_ls(store: TraceStore, args) -> int:
     entries = store.entries()
+    version = code_version()
+    if args.json:
+        cli_common.emit_json([
+            {"key": key, "kernel": header["kernel"],
+             "scale": header.get("scale"), "seed": header.get("seed"),
+             "rows": header["n_rows"], "bytes": store.nbytes(key),
+             "current": header.get("code_version") == version}
+            for key, header in entries])
+        return cli_common.EXIT_OK
     if not entries:
         print(f"trace store {store.root}: empty")
-        return 0
-    version = code_version()
+        return cli_common.EXIT_OK
     total = 0
     print(f"{'key':<12} {'kernel':<14} {'scale':>6} {'seed':>6} "
           f"{'rows':>10} {'MB':>8}  version")
@@ -84,7 +98,7 @@ def _cmd_ls(store: TraceStore) -> int:
               f"{header['n_rows']:>10,} {nbytes / 1e6:>8.1f}  {state}")
     print(f"{len(entries)} entries, {total / 1e6:.1f} MB in "
           f"{store.root}")
-    return 0
+    return cli_common.EXIT_OK
 
 
 def _cmd_capture(store: TraceStore, args) -> int:
@@ -96,8 +110,7 @@ def _cmd_capture(store: TraceStore, args) -> int:
     try:
         kernels = resolve_kernels(args.kernels)
     except KeyError as exc:
-        print(f"st2-trace: {exc.args[0]}", file=sys.stderr)
-        return 2
+        return cli_common.fail("st2-trace", exc.args[0])
     version = code_version()
     items = []
     for kernel in kernels:
@@ -109,7 +122,7 @@ def _cmd_capture(store: TraceStore, args) -> int:
     workers = args.workers if args.workers is not None \
         else default_workers()
     captured = skipped = 0
-    for key, created, wall_s in _map_parallel(
+    for key, created, wall_s, _snap in _map_parallel(
             _capture_one, items, workers, str(store.root),
             need_models=False):
         header = store.header(key)
@@ -124,37 +137,48 @@ def _cmd_capture(store: TraceStore, args) -> int:
                   f"{header['n_rows']:>10,} rows  {key[:12]}")
     print(f"{captured} captured, {skipped} already warm, "
           f"store: {store.root}")
-    return 0
+    return cli_common.EXIT_OK
 
 
-def _cmd_verify(store: TraceStore, keys) -> int:
-    keys = list(keys) or store.keys()
+def _cmd_verify(store: TraceStore, args) -> int:
+    keys = list(args.keys) or store.keys()
+    report = []
     bad = 0
     for key in keys:
         if not store.has(key):
-            print(f"{key}: missing")
+            report.append({"key": key, "problems": ["missing"]})
             bad += 1
             continue
         problems = store.verify(key)
         if problems:
             bad += 1
-            for problem in problems:
+        report.append({"key": key, "problems": problems})
+    if args.json:
+        cli_common.emit_json({"checked": len(keys), "damaged": bad,
+                              "entries": report})
+        return cli_common.EXIT_PROBLEMS if bad else cli_common.EXIT_OK
+    for entry in report:
+        key = entry["key"]
+        if entry["problems"] == ["missing"]:
+            print(f"{key}: missing")
+        elif entry["problems"]:
+            for problem in entry["problems"]:
                 print(f"{key[:12]}: {problem}")
         else:
             print(f"{key[:12]}: ok "
                   f"({store.header(key)['kernel']})")
     if bad:
         print(f"{bad}/{len(keys)} entries damaged", file=sys.stderr)
-        return 1
+        return cli_common.EXIT_PROBLEMS
     print(f"{len(keys)} entries sound")
-    return 0
+    return cli_common.EXIT_OK
 
 
 def _cmd_gc(store: TraceStore, args) -> int:
     if not args.stale and args.max_bytes is None:
-        print("st2-trace gc: nothing to do "
-              "(pass --stale and/or --max-bytes)", file=sys.stderr)
-        return 2
+        return cli_common.fail(
+            "st2-trace gc",
+            "nothing to do (pass --stale and/or --max-bytes)")
     removed = store.gc(
         current_version=code_version() if args.stale else None,
         max_bytes=int(args.max_bytes) if args.max_bytes is not None
@@ -165,31 +189,25 @@ def _cmd_gc(store: TraceStore, args) -> int:
         print(f"{verb} {key}")
     remain = len(store) - (len(removed) if args.dry_run else 0)
     print(f"{verb} {len(removed)} entries, {remain} remain")
-    return 0
+    return cli_common.EXIT_OK
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     store = TraceStore(args.store)
     if args.command == "ls":
-        return _cmd_ls(store)
+        return _cmd_ls(store, args)
     if args.command == "capture":
         return _cmd_capture(store, args)
     if args.command == "verify":
-        return _cmd_verify(store, args.keys)
+        return _cmd_verify(store, args)
     if args.command == "gc":
         return _cmd_gc(store, args)
-    return 2
+    return cli_common.EXIT_USAGE
 
 
 def console_main() -> int:
-    try:
-        return main()
-    except BrokenPipeError:
-        import os
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
-        return 0
+    return cli_common.run_cli(main)
 
 
 if __name__ == "__main__":

@@ -22,10 +22,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.predictors import SpeculationConfig
 from repro.core.speculation import ST2_DESIGN
 from repro.kernels import suite as kernel_suite
 from repro.sim.trace_io import trace_nbytes
+from repro.st2.results import RunResult
 
 #: Bump when the shape of the result dict changes; part of the cache key.
 #: v2: trace-store provenance (``trace_cache_hit``) and per-stage
@@ -202,12 +204,14 @@ def _obtain_run(spec: UnitSpec, store, store_key, use_mem_cache):
 
 def execute_unit(spec: UnitSpec, models: ModelBundle = None,
                  use_mem_cache: bool = True, store=None,
-                 store_key: str = None) -> dict:
-    """Run one unit end to end and return its flat result dict.
+                 store_key: str = None) -> RunResult:
+    """Run one unit end to end; returns its typed
+    :class:`~repro.st2.results.RunResult`.
 
-    The dict contains only JSON-native values (plus NaN, which the
-    stdlib ``json`` round-trips), so it can be disk-cached and written
-    to the manifest verbatim.
+    The underlying payload (``result.to_dict()``) contains only
+    JSON-native values (plus NaN, which the stdlib ``json``
+    round-trips), so it can be disk-cached and written to the manifest
+    verbatim.
 
     With ``store`` (a :class:`~repro.sim.trace_store.TraceStore`), the
     functional execution is decoupled: the trace is opened read-only
@@ -256,7 +260,10 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
         result["aux"] = _aux_metrics(run)
     result["eval_time_s"] = time.perf_counter() - t_eval
     result["wall_time_s"] = time.perf_counter() - t0
-    return result
+    obs.record_timer("runner.unit.capture", result["capture_time_s"])
+    obs.record_timer("runner.unit.eval", result["eval_time_s"])
+    obs.record_timer("runner.unit.wall", result["wall_time_s"])
+    return RunResult(result)
 
 
 #: Result keys that describe *this invocation's* execution, not the
@@ -265,15 +272,17 @@ RUNTIME_FIELDS = ("wall_time_s", "capture_time_s", "eval_time_s",
                   "trace_cache_hit", "cached", "key")
 
 
-def comparable(result: dict) -> dict:
+def comparable(result) -> dict:
     """Strip the runtime-only fields (wall time, trace/cache
     bookkeeping) so two results can be compared for numerical
-    identity."""
+    identity.  Accepts a raw dict or a :class:`RunResult`."""
+    if hasattr(result, "to_dict"):
+        result = result.to_dict()
     out = {k: v for k, v in result.items() if k not in RUNTIME_FIELDS}
     return out
 
 
-def results_equal(a: dict, b: dict) -> bool:
+def results_equal(a, b) -> bool:
     """Exact numerical equality of two unit results (NaN == NaN)."""
     def eq(x, y):
         if isinstance(x, dict) and isinstance(y, dict):

@@ -1,17 +1,33 @@
 """GPU simulator substrate: configuration, kernel DSL, functional
-execution, trace capture and the cycle-approximate timing pipeline."""
+execution, trace capture and the cycle-approximate timing pipeline.
 
-from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
-from repro.sim.functional import GridLauncher, KernelRun, run_kernel
-from repro.sim.pipeline import (TimingResult, compare_baseline_st2,
-                                simulate_sm)
-from repro.sim.trace import AddTrace, InstStream
-from repro.sim.trace_io import TraceBundle, load_trace, save_trace
-from repro.sim.trace_store import StoredRun, TraceStore, trace_key
+Exports are lazy (PEP 562): importing :mod:`repro.sim` costs nothing
+until a name is touched.
+"""
 
-__all__ = [
-    "AddTrace", "GPUConfig", "GridLauncher", "InstStream", "KernelRun",
-    "LaunchConfig", "StoredRun", "TITAN_V", "TimingResult",
-    "TraceBundle", "TraceStore", "compare_baseline_st2", "load_trace",
-    "run_kernel", "save_trace", "simulate_sm", "trace_key",
-]
+from repro._lazy import lazy_attrs
+
+_LAZY_EXPORTS = {
+    "AddTrace": ("repro.sim.trace", "AddTrace"),
+    "GPUConfig": ("repro.sim.config", "GPUConfig"),
+    "GridLauncher": ("repro.sim.functional", "GridLauncher"),
+    "InstStream": ("repro.sim.trace", "InstStream"),
+    "KernelRun": ("repro.sim.functional", "KernelRun"),
+    "LaunchConfig": ("repro.sim.config", "LaunchConfig"),
+    "StoredRun": ("repro.sim.trace_store", "StoredRun"),
+    "TITAN_V": ("repro.sim.config", "TITAN_V"),
+    "TimingResult": ("repro.sim.pipeline", "TimingResult"),
+    "TraceBundle": ("repro.sim.trace_io", "TraceBundle"),
+    "TraceStore": ("repro.sim.trace_store", "TraceStore"),
+    "compare_baseline_st2": ("repro.sim.pipeline",
+                             "compare_baseline_st2"),
+    "load_trace": ("repro.sim.trace_io", "load_trace"),
+    "run_kernel": ("repro.sim.functional", "run_kernel"),
+    "save_trace": ("repro.sim.trace_io", "save_trace"),
+    "simulate_sm": ("repro.sim.pipeline", "simulate_sm"),
+    "trace_key": ("repro.sim.trace_store", "trace_key"),
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+__getattr__, __dir__ = lazy_attrs(__name__, globals(), _LAZY_EXPORTS)

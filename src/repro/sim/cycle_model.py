@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.isa.opcodes import FunctionalUnit
 from repro.sim.config import GPUConfig, TITAN_V
 from repro.sim.pipeline import _pool_width, _resident_blocks
@@ -222,6 +223,14 @@ class CycleModel:
             lrr_next = (lrr_next + 1) % max(len(warp_order), 1)
             cycle += 1
 
+        obs.add("sim.cycle.instructions", n_insts)
+        obs.add("sim.cycle.cycles", cycle)
+        obs.add("sim.cycle.stall_dependency", stall_dep)
+        obs.add("sim.cycle.stall_fu", stall_fu)
+        obs.add("sim.cycle.stall_collector", stall_coll)
+        obs.add("sim.cycle.crf_reads", crf_reads)
+        obs.add("sim.cycle.crf_read_port_conflicts", crf_read_conflicts)
+        obs.add("sim.cycle.crf_write_conflicts", crf_write_conflicts)
         return CycleStats(
             cycles=cycle, instructions=n_insts,
             issued_per_cycle=issued_total / max(cycle, 1),

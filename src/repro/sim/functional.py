@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.isa.pc import PcTable
 from repro.sim.config import GPUConfig, LaunchConfig, TITAN_V
 from repro.sim.dsl import BlockContext
@@ -87,17 +88,22 @@ class GridLauncher:
         mem = MemoryStats(record_streams=self.record_streams)
         san = KernelSanitizer(name or kernel_fn.__name__) \
             if self.sanitize else None
-        for block_id in range(launch.grid_blocks):
-            sm = block_id % self.gpu.n_sms
+        with obs.timer("sim.functional.run"):
+            for block_id in range(launch.grid_blocks):
+                sm = block_id % self.gpu.n_sms
+                if san is not None:
+                    san.begin_block(block_id)
+                ctx = BlockContext(launch, block_id, sm, builder, pcs,
+                                   self.gpu, mem, sanitizer=san)
+                kernel_fn(ctx, **params)
             if san is not None:
-                san.begin_block(block_id)
-            ctx = BlockContext(launch, block_id, sm, builder, pcs,
-                               self.gpu, mem, sanitizer=san)
-            kernel_fn(ctx, **params)
-        if san is not None:
-            san.finish()
-        builder.pc_labels = pcs.labels
-        trace, insts = builder.build()
+                san.finish()
+            builder.pc_labels = pcs.labels
+            trace, insts = builder.build()
+        obs.add("sim.functional.blocks", launch.grid_blocks)
+        obs.add("sim.functional.threads", launch.total_threads)
+        obs.add("sim.functional.trace_rows", int(len(trace)))
+        obs.add("sim.functional.warp_insts", int(len(insts)))
         return KernelRun(name=name or kernel_fn.__name__, launch=launch,
                          trace=trace, insts=insts, pc_table=pcs, mem=mem,
                          gpu=self.gpu, buffers=dict(self.buffers),

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.isa.opcodes import FunctionalUnit
 from repro.sim.config import GPUConfig, TITAN_V
 from repro.sim.trace import opcode_from_id
@@ -170,6 +171,9 @@ def simulate_sm(insts, launch, gpu: GPUConfig = TITAN_V,
     launch_blocks = launch.grid_blocks
     waves = max(1, math.ceil(launch_blocks
                              / (len(resident) * gpu.n_sms)))
+    obs.add("sim.timing.warp_insts", n_total)
+    obs.add("sim.timing.stall_cycles_fu", stall_fu)
+    obs.add("sim.timing.recompute_insts", extra)
     return TimingResult(cycles=cycle, waves=waves,
                         instructions=n_total,
                         stall_cycles_fu=stall_fu,
@@ -212,6 +216,17 @@ def simulate_sm_pair(insts, launch, warp_mispredicts: dict,
     independently, heap tie-breaking flips could swamp sub-percent
     effects.
     """
+    with obs.timer("sim.timing.pair"):
+        base, st2 = _simulate_sm_pair(insts, launch, warp_mispredicts,
+                                      gpu)
+    obs.add("sim.timing.warp_insts", base.instructions)
+    obs.add("sim.timing.stall_cycles_fu", base.stall_cycles_fu)
+    obs.add("sim.timing.recompute_insts", st2.extra_recompute_insts)
+    return base, st2
+
+
+def _simulate_sm_pair(insts, launch, warp_mispredicts: dict,
+                      gpu: GPUConfig = TITAN_V) -> tuple:
     resident = _resident_blocks(insts, gpu, launch.block_threads)
     sel = np.isin(insts.block, resident)
     blocks = insts.block[sel]

@@ -41,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.sim.config import LaunchConfig
 from repro.sim.memory import MemoryStats
 from repro.sim.trace import AddTrace, InstStream
@@ -147,50 +148,60 @@ class TraceStore:
         either way the entry now exists and holds identical bytes).
         """
         if self.has(key):
+            obs.add("trace_store.put.existing")
             return False
         self.root.mkdir(parents=True, exist_ok=True)
         tmp = Path(tempfile.mkdtemp(dir=self.root, prefix=f".{key}-"))
         try:
-            files = {}
-            for col in _ADD_COLUMNS:
-                files[f"add_{col}"] = getattr(run.trace, col)
-            for col in _INST_COLUMNS:
-                files[f"inst_{col}"] = getattr(run.insts, col)
-            digests = {}
-            for name, arr in files.items():
-                np.save(tmp / f"{name}.npy", np.ascontiguousarray(arr),
-                        allow_pickle=False)
-                digests[name] = _array_digest(arr)
-            header = {
-                "format_version": STORE_FORMAT_VERSION,
-                "key": key,
-                "kernel": run.name,
-                "scale": scale,
-                "seed": seed,
-                "code_version": code_version,
-                "n_rows": int(len(run.trace)),
-                "n_insts": int(len(run.insts)),
-                "n_static_pcs": int(run.n_static_pcs),
-                "pc_labels": list(run.trace.pc_labels),
-                "launch": {"grid_blocks": run.launch.grid_blocks,
-                           "block_threads": run.launch.block_threads},
-                "mem": {f: int(getattr(run.mem, f))
-                        for f in _MEM_FIELDS},
-                "digests": digests,
-                "metadata": metadata or {},
-            }
-            with open(tmp / HEADER_NAME, "w") as fh:
-                json.dump(header, fh, indent=1)
-            try:
-                os.rename(tmp, self.path(key))
-            except OSError:
-                if self.has(key):       # lost the race: same bytes exist
-                    return False
-                raise
-            return True
+            with obs.timer("trace_store.put"):
+                return self._publish(key, tmp, run, code_version, scale,
+                                     seed, metadata)
         finally:
             if tmp.is_dir():
                 shutil.rmtree(tmp, ignore_errors=True)
+
+    def _publish(self, key: str, tmp: Path, run, code_version: str,
+                 scale, seed, metadata: dict) -> bool:
+        """Assemble the entry under ``tmp`` and rename it into place."""
+        files = {}
+        for col in _ADD_COLUMNS:
+            files[f"add_{col}"] = getattr(run.trace, col)
+        for col in _INST_COLUMNS:
+            files[f"inst_{col}"] = getattr(run.insts, col)
+        digests = {}
+        for name, arr in files.items():
+            np.save(tmp / f"{name}.npy", np.ascontiguousarray(arr),
+                    allow_pickle=False)
+            digests[name] = _array_digest(arr)
+        header = {
+            "format_version": STORE_FORMAT_VERSION,
+            "key": key,
+            "kernel": run.name,
+            "scale": scale,
+            "seed": seed,
+            "code_version": code_version,
+            "n_rows": int(len(run.trace)),
+            "n_insts": int(len(run.insts)),
+            "n_static_pcs": int(run.n_static_pcs),
+            "pc_labels": list(run.trace.pc_labels),
+            "launch": {"grid_blocks": run.launch.grid_blocks,
+                       "block_threads": run.launch.block_threads},
+            "mem": {f: int(getattr(run.mem, f))
+                    for f in _MEM_FIELDS},
+            "digests": digests,
+            "metadata": metadata or {},
+        }
+        with open(tmp / HEADER_NAME, "w") as fh:
+            json.dump(header, fh, indent=1)
+        try:
+            os.rename(tmp, self.path(key))
+        except OSError:
+            if self.has(key):       # lost the race: same bytes exist
+                obs.add("trace_store.put.existing")
+                return False
+            raise
+        obs.add("trace_store.put.created")
+        return True
 
     def put_run(self, run, code_version: str = "", scale: float = None,
                 seed: int = None, metadata: dict = None) -> str:
@@ -213,19 +224,24 @@ class TraceStore:
 
     def get(self, key: str) -> StoredRun:
         """Open one entry read-only; every column is a memmap."""
-        header = self.header(key)
-        entry = self.path(key)
+        with obs.timer("trace_store.get"):
+            header = self.header(key)
+            entry = self.path(key)
 
-        def col(name):
-            return np.load(entry / f"{name}.npy", mmap_mode="r",
-                           allow_pickle=False)
+            def col(name):
+                arr = np.load(entry / f"{name}.npy", mmap_mode="r",
+                              allow_pickle=False)
+                obs.add("trace_store.bytes_mapped", int(arr.nbytes))
+                return arr
 
-        trace = AddTrace(
-            **{c: col(f"add_{c}") for c in _ADD_COLUMNS},
-            pc_labels=list(header["pc_labels"]))
-        insts = InstStream(**{c: col(f"inst_{c}")
-                              for c in _INST_COLUMNS})
-        mem = MemoryStats(**{f: header["mem"][f] for f in _MEM_FIELDS})
+            trace = AddTrace(
+                **{c: col(f"add_{c}") for c in _ADD_COLUMNS},
+                pc_labels=list(header["pc_labels"]))
+            insts = InstStream(**{c: col(f"inst_{c}")
+                                  for c in _INST_COLUMNS})
+            mem = MemoryStats(**{f: header["mem"][f]
+                                 for f in _MEM_FIELDS})
+        obs.add("trace_store.open")
         return StoredRun(
             name=header["kernel"],
             launch=LaunchConfig(header["launch"]["grid_blocks"],

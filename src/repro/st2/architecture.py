@@ -102,6 +102,8 @@ def evaluate_kernel(name: str, scale: float = 1.0, seed: int = 0,
                     config: SpeculationConfig = ST2_DESIGN,
                     model: GPUPowerModel = None,
                     adder_model: AdderEnergyModel = None) -> KernelEvaluation:
+    """Run one suite kernel by name and evaluate it end to end
+    (misprediction, timing, energy) under ``config``."""
     run = kernel_suite.run_kernel(name, scale=scale, seed=seed)
     return evaluate_run(run, config=config, model=model,
                         adder_model=adder_model)

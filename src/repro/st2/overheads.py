@@ -115,4 +115,5 @@ class OverheadReport:
 
 
 def overhead_report(gpu: GPUConfig = TITAN_V) -> OverheadReport:
+    """The Section V storage/logic overhead accounting for ``gpu``."""
     return OverheadReport(gpu=gpu)

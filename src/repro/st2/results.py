@@ -1,0 +1,232 @@
+"""Typed results for end-to-end runner units.
+
+:class:`RunResult` replaces the ad-hoc flat dict that
+``repro.runner.units.execute_unit`` (and the whole runner pipeline on
+top of it) used to hand around.  It is a *view*: the JSON-native dict
+is kept verbatim underneath (``.to_dict()`` returns it unchanged, so
+disk caching and manifests are byte-identical to the dict era) while
+callers get typed attribute access::
+
+    result.kernel                 # "sgemm"
+    result.metrics.slowdown       # 0.0036
+    result.energy_stacks["st2"]   # {...}
+
+Dict-style access (``result["kernel"]``, ``result.get(...)``,
+iteration) still works for one release but emits a
+:class:`DeprecationWarning` — port call sites to attributes.
+
+This module is deliberately light (stdlib only): the runner imports it
+on the cache-hit path, where dragging in the power/circuit stack would
+be pure waste.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+
+def _shim_warning(what: str) -> None:
+    warnings.warn(
+        f"dict-style access ({what}) on RunResult is deprecated; "
+        f"use the typed attributes (result.kernel, "
+        f"result.metrics.slowdown, ...)",
+        DeprecationWarning, stacklevel=3)
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The per-unit experiment numbers (the paper's reported metrics)."""
+
+    misprediction_rate: float = float("nan")
+    recomputed_per_misprediction: float = float("nan")
+    slowdown: float = float("nan")
+    baseline_cycles: int = 0
+    st2_cycles: int = 0
+    system_saving: float = float("nan")
+    chip_saving: float = float("nan")
+    alu_fpu_share: float = float("nan")
+    arithmetic_intensive: bool = False
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunMetrics":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class RunResult:
+    """Typed view over one work unit's flat result dict.
+
+    ``data`` is the raw JSON-native payload — the exact object the
+    result cache stores and the manifest writes.  Every attribute reads
+    through to it, so a RunResult never drifts from its serialised
+    form.
+    """
+
+    data: dict = field(repr=False)
+
+    def __post_init__(self):
+        if hasattr(self.data, "to_dict"):       # idempotent wrapping
+            self.data = self.data.to_dict()
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The raw result dict (the cached / manifested payload)."""
+        return self.data
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def kernel(self) -> str:
+        return self.data["kernel"]
+
+    @property
+    def scale(self) -> float:
+        return self.data["scale"]
+
+    @property
+    def seed(self) -> int:
+        return self.data["seed"]
+
+    @property
+    def config(self) -> str:
+        """Name of the SpeculationConfig this unit evaluated."""
+        return self.data["config"]
+
+    @property
+    def config_fields(self) -> dict:
+        return self.data["config_fields"]
+
+    @property
+    def label(self) -> str:
+        return f"{self.kernel}[{self.config}]"
+
+    # -- runtime provenance --------------------------------------------
+
+    @property
+    def wall_time_s(self) -> float:
+        return self.data["wall_time_s"]
+
+    @property
+    def capture_time_s(self) -> float:
+        return self.data["capture_time_s"]
+
+    @property
+    def eval_time_s(self) -> float:
+        return self.data["eval_time_s"]
+
+    @property
+    def trace_cache_hit(self) -> bool:
+        return self.data["trace_cache_hit"]
+
+    @property
+    def cached(self) -> bool:
+        """Served from the result cache by *this* invocation."""
+        return bool(self.data.get("cached", False))
+
+    @property
+    def key(self) -> str:
+        """Result-cache key (set by the runner, absent on bare
+        ``execute_unit`` calls)."""
+        return self.data.get("key", "")
+
+    # -- trace shape ---------------------------------------------------
+
+    @property
+    def trace_rows(self) -> int:
+        return self.data["trace_rows"]
+
+    @property
+    def trace_bytes(self) -> int:
+        return self.data["trace_bytes"]
+
+    @property
+    def n_static_pcs(self) -> int:
+        return self.data["n_static_pcs"]
+
+    # -- the experiment numbers ----------------------------------------
+
+    @property
+    def metrics(self) -> RunMetrics:
+        return RunMetrics.from_dict(self.data["metrics"])
+
+    @property
+    def energy_stacks(self) -> dict:
+        """``{"baseline": {...}, "st2": {...}}`` normalised stacks."""
+        return self.data["energy_stacks"]
+
+    @property
+    def aux(self) -> dict:
+        """Auxiliary measurements (VaLHALLA point, Fig. 3 correlation);
+        empty when the unit ran with ``aux=False``."""
+        return self.data.get("aux", {})
+
+    # convenience pass-throughs for the headline numbers
+    @property
+    def misprediction_rate(self) -> float:
+        return self.data["metrics"]["misprediction_rate"]
+
+    @property
+    def slowdown(self) -> float:
+        return self.data["metrics"]["slowdown"]
+
+    @property
+    def system_saving(self) -> float:
+        return self.data["metrics"]["system_saving"]
+
+    @property
+    def chip_saving(self) -> float:
+        return self.data["metrics"]["chip_saving"]
+
+    @property
+    def baseline_cycles(self) -> int:
+        return self.data["metrics"]["baseline_cycles"]
+
+    @property
+    def st2_cycles(self) -> int:
+        return self.data["metrics"]["st2_cycles"]
+
+    @property
+    def alu_fpu_share(self) -> float:
+        return self.data["metrics"]["alu_fpu_share"]
+
+    @property
+    def arithmetic_intensive(self) -> bool:
+        return self.data["metrics"]["arithmetic_intensive"]
+
+    # -- deprecated dict-style shim ------------------------------------
+
+    def __getitem__(self, name):
+        _shim_warning(f"result[{name!r}]")
+        return self.data[name]
+
+    def __contains__(self, name) -> bool:
+        _shim_warning(f"{name!r} in result")
+        return name in self.data
+
+    def __iter__(self):
+        _shim_warning("iter(result)")
+        return iter(self.data)
+
+    def get(self, name, default=None):
+        _shim_warning(f"result.get({name!r})")
+        return self.data.get(name, default)
+
+    def keys(self):
+        _shim_warning("result.keys()")
+        return self.data.keys()
+
+    def values(self):
+        _shim_warning("result.values()")
+        return self.data.values()
+
+    def items(self):
+        _shim_warning("result.items()")
+        return self.data.items()
+
+
+def as_run_result(result) -> RunResult:
+    """Wrap a raw result dict (idempotent on RunResult)."""
+    return result if isinstance(result, RunResult) else RunResult(result)

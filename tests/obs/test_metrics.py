@@ -1,0 +1,144 @@
+"""metrics.json I/O, metric refs, diffs and baseline checks."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Obs
+from repro.obs.metrics import (baseline_from_metrics, check_baseline,
+                               diff_metrics, flatten_metrics,
+                               load_baseline, lookup_metric,
+                               metrics_path_for, read_metrics,
+                               write_metrics)
+
+
+@pytest.fixture
+def snapshot():
+    reg = Obs()
+    reg.add("sim.functional.trace_rows", 100)
+    reg.add("core.predict.ops", 40)
+    reg.record_timer("runner.stage.eval", 2.0)
+    reg.record_timer("core.predict", 0.5)
+    return reg.snapshot()
+
+
+class TestPathMapping:
+    def test_manifest_to_metrics(self):
+        assert metrics_path_for("out/st2_manifest.jsonl") \
+            == Path("out/st2_manifest.metrics.json")
+
+    def test_idempotent_on_metrics_path(self):
+        p = Path("run.metrics.json")
+        assert metrics_path_for(p) == p
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, snapshot):
+        meta = {"kernels": ["qrng_K2"], "workers": 2}
+        path = write_metrics(tmp_path / "m.metrics.json", snapshot,
+                             meta=meta)
+        back = read_metrics(path)
+        assert back["meta"] == meta
+        assert back["counters"] == snapshot["counters"]
+        assert back["timers"] == snapshot["timers"]
+
+    def test_creates_parent_dirs(self, tmp_path, snapshot):
+        path = write_metrics(tmp_path / "a" / "b" / "m.json", snapshot)
+        assert path.is_file()
+
+    def test_version_check(self, tmp_path):
+        bad = tmp_path / "old.json"
+        bad.write_text(json.dumps({"metrics_version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            read_metrics(bad)
+
+
+class TestMetricRefs:
+    def test_flatten(self, snapshot):
+        flat = flatten_metrics(snapshot)
+        assert flat["counters.core.predict.ops"] == 40
+        assert flat["timers.core.predict.count"] == 1
+        assert flat["timers.runner.stage.eval.total_s"] \
+            == pytest.approx(2.0)
+        assert list(flat) == sorted(flat)
+
+    def test_lookup(self, snapshot):
+        assert lookup_metric(snapshot, "counters.core.predict.ops") == 40
+        assert lookup_metric(snapshot, "timers.core.predict.mean_s") \
+            == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("ref", [
+        "counters.nope", "timers.core.predict.widgets",
+        "timers.nope.count", "bogus", "bogus.thing"])
+    def test_lookup_misses_raise_keyerror(self, snapshot, ref):
+        with pytest.raises(KeyError):
+            lookup_metric(snapshot, ref)
+
+
+class TestDiff:
+    def test_aligned_rows(self, snapshot):
+        other = Obs()
+        other.add("core.predict.ops", 50)
+        other.add("new.counter", 1)
+        rows = {r["metric"]: r
+                for r in diff_metrics(snapshot, other.snapshot())}
+        changed = rows["counters.core.predict.ops"]
+        assert (changed["old"], changed["new"]) == (40, 50)
+        assert changed["delta"] == 10
+        assert changed["rel"] == pytest.approx(0.25)
+        one_sided = rows["counters.new.counter"]
+        assert one_sided["old"] is None and one_sided["delta"] is None
+
+    def test_identical_files_all_zero(self, snapshot):
+        assert all(r["delta"] == 0
+                   for r in diff_metrics(snapshot, snapshot))
+
+
+class TestBaseline:
+    def test_generate_check_round_trip(self, tmp_path, snapshot):
+        """A baseline seeded from a run must accept that same run."""
+        baseline = baseline_from_metrics(snapshot, rel_tol=0.05)
+        assert check_baseline(snapshot, baseline) == []
+
+    def test_counter_drift_out_of_band(self, snapshot):
+        baseline = baseline_from_metrics(snapshot, rel_tol=0.05)
+        drifted = Obs()
+        drifted.add("sim.functional.trace_rows", 120)   # +20% > 5%
+        drifted.add("core.predict.ops", 40)
+        problems = check_baseline(drifted.snapshot(), baseline)
+        assert any("trace_rows" in p for p in problems)
+
+    def test_missing_metric_reported(self, snapshot):
+        baseline = {"bench_version": 1, "metrics": [
+            {"metric": "counters.not.there", "value": 1}]}
+        problems = check_baseline(snapshot, baseline)
+        assert problems == ["counters.not.there: missing from metrics"]
+
+    def test_max_min_bounds(self, snapshot):
+        baseline = {"bench_version": 1, "metrics": [
+            {"metric": "timers.runner.stage.eval.total_s", "max": 1.0},
+            {"metric": "counters.core.predict.ops", "min": 100}]}
+        problems = check_baseline(snapshot, baseline)
+        assert len(problems) == 2
+
+    def test_only_runner_timers_pinned(self, snapshot):
+        baseline = baseline_from_metrics(snapshot)
+        refs = [e["metric"] for e in baseline["metrics"]]
+        assert "timers.runner.stage.eval.total_s" in refs
+        assert not any(r.startswith("timers.core") for r in refs)
+
+    def test_load_rejects_bad_shapes(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"bench_version": 99, "metrics": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+        path.write_text(json.dumps({"bench_version": 1}))
+        with pytest.raises(ValueError, match="metrics"):
+            load_baseline(path)
+        path.write_text(json.dumps({"bench_version": 1,
+                                    "metrics": [{"value": 3}]}))
+        with pytest.raises(ValueError, match="metric"):
+            load_baseline(path)

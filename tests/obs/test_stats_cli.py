@@ -1,0 +1,127 @@
+"""st2-stats: subcommands and the 0/1/2 exit-code contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli_common import EXIT_OK, EXIT_PROBLEMS, EXIT_USAGE
+from repro.obs import Obs, write_metrics
+from repro.obs.cli import main
+
+
+@pytest.fixture
+def metrics_file(tmp_path):
+    reg = Obs()
+    reg.add("sim.functional.trace_rows", 1000)
+    reg.record_timer("runner.stage.eval", 1.5)
+    return write_metrics(tmp_path / "run.metrics.json", reg.snapshot(),
+                         meta={"kernels": ["qrng_K2"]})
+
+
+@pytest.fixture
+def baseline_file(tmp_path, metrics_file):
+    out = tmp_path / "baseline.json"
+    assert main(["baseline", str(metrics_file),
+                 "--out", str(out)]) == EXIT_OK
+    return out
+
+
+class TestSummary:
+    def test_text(self, metrics_file, capsys):
+        assert main(["summary", str(metrics_file)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "sim.functional.trace_rows" in out
+        assert "runner.stage.eval" in out
+
+    def test_json(self, metrics_file, capsys):
+        assert main(["summary", str(metrics_file), "--json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["sim.functional.trace_rows"] == 1000
+
+    def test_resolves_manifest_path(self, tmp_path, metrics_file,
+                                    capsys):
+        """Pointing at the manifest finds the rider metrics file."""
+        manifest = tmp_path / "run.jsonl"
+        manifest.write_text("")
+        assert main(["summary", str(manifest)]) == EXIT_OK
+        assert "trace_rows" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_identical(self, metrics_file, capsys):
+        assert main(["diff", str(metrics_file),
+                     str(metrics_file)]) == EXIT_OK
+        assert "=" in capsys.readouterr().out
+
+    def test_changed_only_json(self, tmp_path, metrics_file, capsys):
+        reg = Obs()
+        reg.add("sim.functional.trace_rows", 1200)
+        other = write_metrics(tmp_path / "other.metrics.json",
+                              reg.snapshot())
+        assert main(["diff", str(metrics_file), str(other),
+                     "--changed-only", "--json"]) == EXIT_OK
+        rows = json.loads(capsys.readouterr().out)
+        assert all(r["delta"] != 0 for r in rows)
+
+
+class TestCheck:
+    def test_in_band_exits_zero(self, metrics_file, baseline_file,
+                                capsys):
+        assert main(["check", str(metrics_file),
+                     "--baseline", str(baseline_file)]) == EXIT_OK
+        assert "in band" in capsys.readouterr().out
+
+    def test_out_of_band_exits_one(self, tmp_path, baseline_file,
+                                   capsys):
+        reg = Obs()
+        reg.add("sim.functional.trace_rows", 2000)    # 2x the pin
+        reg.record_timer("runner.stage.eval", 1.5)
+        drifted = write_metrics(tmp_path / "drift.metrics.json",
+                                reg.snapshot())
+        assert main(["check", str(drifted),
+                     "--baseline", str(baseline_file)]) == EXIT_PROBLEMS
+        assert "out of band" in capsys.readouterr().err
+
+    def test_out_of_band_json(self, tmp_path, baseline_file, capsys):
+        reg = Obs()
+        drifted = write_metrics(tmp_path / "d.metrics.json",
+                                reg.snapshot())
+        assert main(["check", str(drifted), "--json",
+                     "--baseline", str(baseline_file)]) == EXIT_PROBLEMS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["deviations"]
+
+
+class TestUsageErrors:
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["summary",
+                     str(tmp_path / "nope.json")]) == EXIT_USAGE
+        assert "no such file" in capsys.readouterr().err
+
+    def test_ill_formed_metrics_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.metrics.json"
+        bad.write_text("{not json")
+        assert main(["summary", str(bad)]) == EXIT_USAGE
+
+    def test_bad_baseline_exits_two(self, tmp_path, metrics_file):
+        bad = tmp_path / "bad_baseline.json"
+        bad.write_text(json.dumps({"bench_version": 1}))
+        assert main(["check", str(metrics_file),
+                     "--baseline", str(bad)]) == EXIT_USAGE
+
+    def test_unknown_subcommand_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == EXIT_USAGE
+
+
+class TestBaselineCommand:
+    def test_written_shape(self, baseline_file):
+        payload = json.loads(baseline_file.read_text())
+        assert payload["bench_version"] == 1
+        refs = [e["metric"] for e in payload["metrics"]]
+        assert "counters.sim.functional.trace_rows" in refs
+        assert payload["grid"] == {"kernels": ["qrng_K2"]}

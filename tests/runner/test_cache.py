@@ -43,55 +43,55 @@ def test_key_invalidates_on_code_version_change():
 def test_miss_then_hit(cache):
     spec = unit()
     (cold,) = run_units([spec], RunOptions(cache=cache))
-    assert cold["cached"] is False
+    assert cold.cached is False
     assert len(cache) == 1
 
     (warm,) = run_units([spec], RunOptions(cache=cache))
-    assert warm["cached"] is True
+    assert warm.cached is True
     assert results_equal(cold, warm)
 
 
 def test_config_change_is_a_miss(cache):
     (first,) = run_units([unit(config=ST2_DESIGN)], RunOptions(cache=cache))
     (other,) = run_units([unit(config=PREV_PEEK)], RunOptions(cache=cache))
-    assert other["cached"] is False
+    assert other.cached is False
     assert len(cache) == 2
-    assert other["metrics"] != first["metrics"]
+    assert other.data["metrics"] != first.data["metrics"]
 
 
 def test_no_cache_bypasses_reads_and_writes(cache):
     spec = unit()
     run_units([spec], RunOptions(cache=cache))          # populate
     (result,) = run_units([spec], RunOptions(cache=cache, use_cache=False))
-    assert result["cached"] is False
+    assert result.cached is False
     assert len(cache) == 1                  # nothing new written
 
 
 def test_corrupted_entry_recomputes_and_heals(cache):
     spec = unit()
     (cold,) = run_units([spec], RunOptions(cache=cache))
-    path = cache.path(cold["key"])
+    path = cache.path(cold.key)
 
     for garbage in (b"not json{", b"", json.dumps(
             {"key": "wrong", "result": {}}).encode()):
         path.write_bytes(garbage)
         (again,) = run_units([spec], RunOptions(cache=cache))
-        assert again["cached"] is False     # recomputed, not crashed
+        assert again.cached is False        # recomputed, not crashed
         assert results_equal(cold, again)
         # the bad entry was overwritten with a valid one
         (healed,) = run_units([spec], RunOptions(cache=cache))
-        assert healed["cached"] is True
+        assert healed.cached is True
 
 
 def test_truncated_result_payload_is_a_miss(cache):
     spec = unit()
     (cold,) = run_units([spec], RunOptions(cache=cache))
-    path = cache.path(cold["key"])
+    path = cache.path(cold.key)
     payload = json.loads(path.read_text())
     del payload["result"]["metrics"]
     path.write_text(json.dumps(payload))
     (again,) = run_units([spec], RunOptions(cache=cache))
-    assert again["cached"] is False
+    assert again.cached is False
     assert results_equal(cold, again)
 
 

@@ -23,18 +23,18 @@ def test_parallel_equals_serial(serial_results):
     parallel = run_units(units, RunOptions(workers=2, use_cache=False))
     assert len(parallel) == len(serial)
     for s, p in zip(serial, parallel):
-        assert p["kernel"] == s["kernel"]   # order preserved
+        assert p.kernel == s.kernel         # order preserved
         assert results_equal(s, p), \
-            f"parallel diverged from serial on {s['kernel']}"
+            f"parallel diverged from serial on {s.kernel}"
 
 
 def test_parallel_cache_round_trip(tmp_path, serial_results):
     units, serial = serial_results
     cache = ResultCache(tmp_path)
     cold = run_units(units, RunOptions(workers=2, cache=cache))
-    assert [r["cached"] for r in cold] == [False, False]
+    assert [r.cached for r in cold] == [False, False]
     warm = run_units(units, RunOptions(workers=2, cache=cache))
-    assert [r["cached"] for r in warm] == [True, True]
+    assert [r.cached for r in warm] == [True, True]
     for s, c, w in zip(serial, cold, warm):
         assert results_equal(s, c)
         assert results_equal(c, w)
@@ -46,7 +46,7 @@ def test_progress_sees_every_unit(tmp_path, serial_results):
     run_units(units, RunOptions(
         workers=2, cache=ResultCache(tmp_path),
         progress=lambda spec, result: seen.append(
-            (spec.kernel, result["cached"]))))
+            (spec.kernel, result.cached))))
     assert sorted(k for k, _ in seen) == sorted(KERNELS)
     assert all(not cached for _, cached in seen)
 

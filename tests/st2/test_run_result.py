@@ -1,0 +1,135 @@
+"""The typed RunResult view and its deprecated dict-style shim."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.st2.results import RunMetrics, RunResult, as_run_result
+
+RAW = {
+    "kernel": "qrng_K2",
+    "scale": 1.0,
+    "seed": 0,
+    "config": "Ltid+Prev+ModPC4+Peek",
+    "config_fields": {"history": "Prev"},
+    "wall_time_s": 0.5,
+    "capture_time_s": 0.1,
+    "eval_time_s": 0.4,
+    "trace_cache_hit": False,
+    "trace_rows": 1234,
+    "trace_bytes": 98720,
+    "n_static_pcs": 17,
+    "metrics": {
+        "misprediction_rate": 0.009,
+        "recomputed_per_misprediction": 1.6,
+        "slowdown": 0.003,
+        "baseline_cycles": 1000,
+        "st2_cycles": 1003,
+        "system_saving": 0.19,
+        "chip_saving": 0.21,
+        "alu_fpu_share": 0.27,
+        "arithmetic_intensive": True,
+    },
+    "energy_stacks": {"baseline": {"alu": 0.2}, "st2": {"alu": 0.1}},
+}
+
+
+@pytest.fixture
+def result():
+    return RunResult(dict(RAW))
+
+
+class TestTypedAccess:
+    def test_identity_and_label(self, result):
+        assert result.kernel == "qrng_K2"
+        assert result.config == "Ltid+Prev+ModPC4+Peek"
+        assert result.label == "qrng_K2[Ltid+Prev+ModPC4+Peek]"
+
+    def test_timings_and_trace_shape(self, result):
+        assert result.wall_time_s == 0.5
+        assert result.capture_time_s == 0.1
+        assert result.eval_time_s == 0.4
+        assert result.trace_cache_hit is False
+        assert result.trace_rows == 1234
+
+    def test_metrics_view_is_typed(self, result):
+        met = result.metrics
+        assert isinstance(met, RunMetrics)
+        assert met.slowdown == 0.003
+        assert met.arithmetic_intensive is True
+        # convenience pass-throughs agree with the nested view
+        assert result.slowdown == met.slowdown
+        assert result.misprediction_rate == met.misprediction_rate
+
+    def test_optional_fields_default(self, result):
+        assert result.cached is False      # runner sets it on hits
+        assert result.key == ""
+        assert result.aux == {}
+
+    def test_metrics_from_dict_ignores_unknown_keys(self):
+        met = RunMetrics.from_dict({"slowdown": 0.1, "bogus": 3})
+        assert met.slowdown == 0.1
+        assert math.isnan(met.misprediction_rate)
+
+
+class TestSerialisation:
+    def test_to_dict_is_the_raw_payload(self):
+        raw = dict(RAW)
+        assert RunResult(raw).to_dict() is raw
+
+    def test_wrapping_is_idempotent(self, result):
+        rewrapped = RunResult(result)
+        assert rewrapped.to_dict() is result.to_dict()
+        assert as_run_result(result) is result
+        assert as_run_result(dict(RAW)).kernel == "qrng_K2"
+
+    def test_repr_elides_payload(self, result):
+        assert "trace_bytes" not in repr(result)
+
+
+class TestDeprecatedShim:
+    """Dict-style access still works but warns — one release of grace."""
+
+    def test_getitem(self, result):
+        with pytest.warns(DeprecationWarning, match="dict-style"):
+            assert result["kernel"] == "qrng_K2"
+
+    def test_contains(self, result):
+        with pytest.warns(DeprecationWarning):
+            assert "kernel" in result
+
+    def test_get(self, result):
+        with pytest.warns(DeprecationWarning):
+            assert result.get("missing", 42) == 42
+
+    def test_iteration_and_views(self, result):
+        with pytest.warns(DeprecationWarning):
+            assert set(iter(result)) == set(RAW)
+        with pytest.warns(DeprecationWarning):
+            assert set(result.keys()) == set(RAW)
+        with pytest.warns(DeprecationWarning):
+            assert list(result.items()) == list(RAW.items())
+        with pytest.warns(DeprecationWarning):
+            assert len(list(result.values())) == len(RAW)
+
+    def test_star_star_expansion_warns(self, result):
+        with pytest.warns(DeprecationWarning):
+            merged = {**result}
+        assert merged == RAW
+
+    def test_typed_access_is_silent(self, result, recwarn):
+        result.kernel
+        result.metrics.slowdown
+        result.to_dict()
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestRunnerCompat:
+    def test_results_equal_accepts_views(self, result):
+        from repro.runner.units import results_equal
+        assert results_equal(result, RunResult(dict(RAW)))
+        changed = dict(RAW, metrics=dict(RAW["metrics"], slowdown=0.9))
+        assert not results_equal(result, RunResult(changed))

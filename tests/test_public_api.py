@@ -1,9 +1,15 @@
 """Public-API surface: everything documented in README must import and
 compose the way the examples show."""
 
+from pathlib import Path
+
 import numpy as np
+import pytest
 
 import repro
+
+REPO = Path(repro.__file__).resolve().parents[2]
+LAZY_PACKAGES = ["repro", "repro.sim", "repro.st2", "repro.power"]
 
 
 class TestTopLevelApi:
@@ -69,6 +75,58 @@ class TestSubpackageApi:
         for mod in (analysis, isa):
             for name in mod.__all__:
                 assert hasattr(mod, name), name
+
+
+class TestLazyExports:
+    """The PEP 562 surface of the lazily-exporting packages."""
+
+    @pytest.fixture(scope="class")
+    def prose(self):
+        return ((REPO / "README.md").read_text()
+                + (REPO / "DESIGN.md").read_text())
+
+    @pytest.mark.parametrize("modname", LAZY_PACKAGES)
+    def test_every_export_importable_and_documented(self, modname,
+                                                    prose):
+        """Each lazily-exported name resolves to a real object that is
+        documented — its own docstring, or a mention in README/DESIGN."""
+        import importlib
+        mod = importlib.import_module(modname)
+        for name in mod.__all__:
+            value = getattr(mod, name)
+            assert value is not None, f"{modname}.{name}"
+            documented = bool(getattr(value, "__doc__", None)) \
+                or name in prose
+            assert documented, \
+                f"{modname}.{name} has no docstring and is not " \
+                "mentioned in README.md/DESIGN.md"
+
+    @pytest.mark.parametrize("modname", LAZY_PACKAGES)
+    def test_dir_covers_all(self, modname):
+        import importlib
+        mod = importlib.import_module(modname)
+        assert set(mod.__all__) <= set(dir(mod))
+
+    @pytest.mark.parametrize("modname", LAZY_PACKAGES)
+    def test_unknown_attribute_raises(self, modname):
+        import importlib
+        mod = importlib.import_module(modname)
+        with pytest.raises(AttributeError, match="no_such_name"):
+            mod.no_such_name
+
+    def test_import_is_light(self):
+        """``import repro.st2`` must not drag in the power stack (the
+        point of lazy exports: cache-hit runner paths stay cheap)."""
+        import os
+        import subprocess
+        import sys
+        code = ("import sys; import repro.st2; "
+                "sys.exit(1 if 'repro.power.model' in sys.modules "
+                "else 0)")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")})
+        assert proc.returncode == 0
 
 
 class TestTensorGemmExtension:
