@@ -30,6 +30,7 @@ time order; a dict-based sequential reference implementation lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 import numpy as np
 
@@ -275,6 +276,8 @@ class Prediction:
     bits: np.ndarray            # (N, 7) uint8
     has_prev: np.ndarray        # (N, 7) bool — history hit (prev mechanisms)
     peek_known: np.ndarray      # (N, 7) bool — statically determined bits
+    # (N, 7) bool — compile-time facts; None for purely dynamic configs
+    static_known: Optional[np.ndarray] = None
 
 
 def predict_trace(trace, config: SpeculationConfig,
@@ -380,6 +383,123 @@ def evaluate_trace(trace, prediction: Prediction) -> SpeculationResult:
 def run_speculation(trace, config: SpeculationConfig) -> SpeculationResult:
     """Predict + evaluate in one call."""
     return evaluate_trace(trace, predict_trace(trace, config))
+
+
+# ----------------------------------------------------------------------
+# static carry facts (compile-time Peek)
+# ----------------------------------------------------------------------
+
+def _fact_fields(fact) -> tuple:
+    """``(width, {boundary: carry})`` from a fact-table entry.
+
+    Accepts both :class:`repro.lint.facts.CarryFact` objects and the
+    plain dicts of a ``st2-lint facts --json`` export (whose carries
+    keys are strings).
+    """
+    if isinstance(fact, dict):
+        width = int(fact["width"])
+        carries = {int(j): int(c) for j, c in fact["carries"].items()}
+    else:
+        width = int(fact.width)
+        carries = {int(j): int(c) for j, c in fact.carries.items()}
+    return width, carries
+
+
+def trace_static_peek(trace, facts) -> tuple:
+    """Compile-time carry facts over the whole trace.
+
+    ``facts`` maps PC labels (``function:line[#tag]``, the identity
+    :class:`repro.isa.pc.PcTable` stores) to proven slice-boundary
+    carries — the output of ``st2-lint facts`` /
+    :func:`repro.lint.facts.facts_for_kernel`.  Returns ``(known,
+    value)`` of shape ``(N, 7)`` in the same convention as
+    :func:`trace_peek`: ``known[r, j]`` means the carry into slice
+    ``j+1`` of row ``r`` is statically proven to be ``value[r, j]``.
+
+    Rows match a fact only on exact label *and* width: labels are not
+    unique across op classes (an FP add can share a source line with
+    an integer add), so the width check keeps facts from leaking onto
+    rows they were not proven for.
+    """
+    n = len(trace)
+    known = np.zeros((n, MAX_PREDICTIONS), dtype=bool)
+    value = np.zeros((n, MAX_PREDICTIONS), dtype=np.uint8)
+    labels = getattr(trace, "pc_labels", None)
+    if not labels or not facts:
+        return known, value
+    pc = trace.pc.astype(np.int64)
+    width = trace.width.astype(np.int64)
+    for pc_id, label in enumerate(labels):
+        fact = facts.get(label)
+        if fact is None:
+            continue
+        f_width, carries = _fact_fields(fact)
+        rows = (pc == pc_id) & (width == f_width)
+        if not rows.any():
+            continue
+        for j, c in carries.items():
+            if 0 <= j < MAX_PREDICTIONS:
+                known[rows, j] = True
+                value[rows, j] = c
+    return known, value
+
+
+def predict_trace_static(trace, config: SpeculationConfig, facts,
+                         carries: np.ndarray = None) -> Prediction:
+    """Dynamic prediction with the static fact table overlaid.
+
+    Statically proven carries replace the dynamic prediction bits
+    (they equal the true carries, so replacing can only turn wrong
+    predictions right — functional results are bit-identical and the
+    misprediction rate never increases) and are marked in
+    ``static_known`` so those slices need no dynamic speculation.
+    """
+    pred = predict_trace(trace, config, carries)
+    static_known, static_value = trace_static_peek(trace, facts)
+    bits = np.where(static_known, static_value, pred.bits)
+    obs.add("predictor.static_peek_hits", int(static_known.sum()))
+    return Prediction(config=pred.config, bits=bits,
+                      has_prev=pred.has_prev,
+                      peek_known=pred.peek_known,
+                      static_known=static_known)
+
+
+class StaticPeekPredictor:
+    """Predictor that consults a static carry-fact table first.
+
+    Wraps a :class:`SpeculationConfig`: slice carries pinned by the
+    fact table (per-PC proofs from ``st2-lint facts``) are used
+    directly; every other slice falls back to the dynamic mechanism
+    (Peek overlay and/or Prev history) of the wrapped config.
+    """
+
+    def __init__(self, config: SpeculationConfig, facts):
+        self.config = config
+        self.facts = dict(facts) if facts else {}
+
+    def predict(self, trace, carries: np.ndarray = None) -> Prediction:
+        return predict_trace_static(trace, self.config, self.facts,
+                                    carries)
+
+    def run(self, trace) -> SpeculationResult:
+        """Predict + evaluate in one call (static-fact analogue of
+        :func:`run_speculation`)."""
+        return evaluate_trace(trace, self.predict(trace))
+
+
+def speculation_events(prediction: Prediction, trace) -> int:
+    """Slice boundaries that need a *dynamic* speculation event.
+
+    A (row, slice) pair consumes a dynamic prediction unless its carry
+    was resolved statically — by runtime Peek or by a compile-time
+    fact.  This is the quantity the static-peek ablation drives down.
+    """
+    n_preds = trace_n_predictions(trace)
+    valid = (np.arange(MAX_PREDICTIONS)[None, :] < n_preds[:, None])
+    resolved = prediction.peek_known.copy()
+    if prediction.static_known is not None:
+        resolved |= prediction.static_known
+    return int((valid & ~resolved).sum())
 
 
 def carry_match_rate(trace, config: SpeculationConfig) -> float:

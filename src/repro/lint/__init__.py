@@ -23,7 +23,21 @@ L4      ``syncthreads`` under a divergent ``k.where`` mask (deadlock
         on hardware)
 L5      nondeterminism (unseeded RNG, wall-clock reads) in modules the
         runner's content-addressed cache hashes — poisons cache keys
+L6      provably-constant slice carry at an adder site (informational;
+        the proofs ``st2-lint facts`` exports for the simulator's
+        StaticPeekPredictor)
+L7      flow-sensitive barrier divergence: L4, but only where the
+        abstract interpreter proves a divergent mask actually reaches
+        the barrier — and retracting L4 where it proves it cannot
+L8      range-proven dead speculation: all boundary carries of an
+        adder site are static (informational)
 ======  ==============================================================
+
+L6–L8 run on a real dataflow stack: :mod:`repro.lint.ir` lowers each
+kernel to a basic-block CFG, :mod:`repro.lint.absint` interprets it
+over interval × known-bits × uniformity domains, and
+:mod:`repro.lint.facts` turns the adder-site summaries into per-PC
+carry facts (``st2-lint facts --json``).
 
 Intentional sites are silenced in source with a justification::
 
@@ -42,7 +56,8 @@ every simulator import.
 
 from __future__ import annotations
 
-from repro.lint.findings import RULES, Finding            # noqa: F401
+from repro.lint.findings import (INFO_RULES, RULES,       # noqa: F401
+                                 Finding)
 from repro.lint.suppress import (line_suppresses,         # noqa: F401
                                  suppressed_rules)
 
@@ -53,10 +68,17 @@ _LAZY = {
     "write_baseline": "repro.lint.baseline",
     "new_findings": "repro.lint.baseline",
     "main": "repro.lint.cli",
+    "lower_function": "repro.lint.ir",
+    "analyze_source": "repro.lint.absint",
+    "analyze_function": "repro.lint.absint",
+    "facts_for_kernel": "repro.lint.facts",
+    "facts_for_module": "repro.lint.facts",
+    "module_facts_from_source": "repro.lint.facts",
+    "CarryFact": "repro.lint.facts",
 }
 
-__all__ = ["Finding", "RULES", "line_suppresses", "suppressed_rules",
-           *_LAZY]
+__all__ = ["Finding", "INFO_RULES", "RULES", "line_suppresses",
+           "suppressed_rules", *_LAZY]
 
 
 def __getattr__(name: str):

@@ -1,0 +1,778 @@
+"""Abstract interpretation over the kernel IR (st2-lint v2 engine).
+
+Runs a worklist fixpoint over the CFG of :mod:`repro.lint.ir`,
+propagating :class:`~repro.lint.domains.AbsVal` facts (integer
+intervals × known bits × warp uniformity) through every DSL operation.
+Branch conditions refine intervals on each successor edge and prune
+provably-infeasible paths; loop heads widen after a few joins, so the
+fixpoint always terminates.
+
+The result is a :class:`FunctionSummary` holding
+
+* :class:`AdderSite` — every integer adder emit (``k.iadd``/``isub``/
+  ``imin``/``imax`` and the synthetic ``k.range`` loop-increment) with
+  the *joined* abstract operands over all executions that reach it —
+  the input to the static carry facts (:mod:`repro.lint.facts`) and
+  the L6/L8 rules;
+* :class:`BarrierSite` — every ``k.syncthreads`` with reachability and
+  a divergence verdict over its ``k.where`` condition stack — the
+  input to the flow-sensitive L7 rule.
+
+Soundness notes: ``k.where`` bodies execute for *all* lanes (masked
+recording), so conditions never refine values; kernel parameters are
+launch-uniform by DSL convention; unknown calls and loads are
+divergent ⊤.  Anything unmodellable bails the whole function
+(``summary.bailed``) rather than producing facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.domains import (AbsVal, Interval, TOP_DIVERGENT,
+                                TOP_UNIFORM, UNKNOWN_BITS, av_add,
+                                av_and, av_cmp, av_floordiv,
+                                av_invert, av_max, av_min, av_mod,
+                                av_mul, av_neg, av_or, av_shl, av_shr,
+                                av_sub, av_xor, const_val, refine_cmp,
+                                swap_op)
+from repro.lint.ir import (Block, Instr, IRFunction, LoweringError,
+                           lower_function)
+
+#: joins of one block's in-env before interval widening kicks in
+WIDEN_AFTER = 8
+
+_CMP_SYMS = ("<", "<=", ">", ">=", "==", "!=")
+
+_DSL_CMP = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+            "eq": "==", "ne": "!="}
+
+#: value-producing FP / SFU methods: ⊤ value, elementwise-uniform
+_FP_METHODS = frozenset({
+    "fadd", "fsub", "ffma", "fmin", "fmax", "fmul", "fdiv", "fneg",
+    "fabs", "dadd", "dsub", "dfma", "dmul", "sqrt", "rsqrt", "rcp",
+    "sin", "cos", "exp", "log", "cvt_f32", "cvt_i32", "sel",
+})
+
+#: methods whose results are per-lane (divergent ⊤)
+_DIVERGENT_METHODS = frozenset({
+    "ld_global", "ld_shared", "ld_const", "atomic_add",
+    "atomic_add_shared", "shfl_down", "shfl_up", "shfl_xor",
+    "warp_reduce_fadd", "warp_reduce_iadd",
+})
+
+#: passthrough host casts: abstract value of the first argument
+_PASSTHROUGH_CALLS = frozenset({
+    "np.asarray", "np.ascontiguousarray", "int", "float", "bool",
+    "np.int64", "np.int32", "np.int16", "np.int8", "np.uint32",
+    "np.uint64", "np.float32", "np.float64",
+})
+
+
+@dataclass
+class AdderSite:
+    """One integer adder emit with joined abstract operands."""
+
+    kind: str                       # iadd|isub|imin|imax|loop-inc
+    lineno: int
+    scopes: Tuple[Optional[str], ...]
+    op_a: AbsVal
+    op_b: AbsVal
+    visits: int = 0
+
+
+@dataclass
+class BarrierSite:
+    """One ``k.syncthreads`` with its flow-sensitive verdict."""
+
+    lineno: int
+    n_conds: int
+    reachable: bool
+    divergent: bool                 # possibly-divergent mask on entry
+
+    @property
+    def clean(self) -> bool:
+        return not self.reachable or not self.divergent
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the flow-sensitive rules need about one kernel."""
+
+    name: str
+    path: str
+    lineno: int
+    bailed: bool = False
+    reason: str = ""
+    adder_sites: List[AdderSite] = field(default_factory=list)
+    barrier_sites: List[BarrierSite] = field(default_factory=list)
+
+
+def _range_interval(start: AbsVal, stop: AbsVal,
+                    step: AbsVal) -> AbsVal:
+    """Abstract value of a ``k.range(start, stop, step)`` variable."""
+    uniform = start.uniform and stop.uniform and step.uniform
+    st = step.interval
+    if st.lo is not None and st.lo == st.hi and st.lo != 0:
+        if st.lo > 0:
+            lo = start.interval.lo
+            hi = None if stop.interval.hi is None \
+                else stop.interval.hi - 1
+        else:
+            lo = None if stop.interval.lo is None \
+                else stop.interval.lo + 1
+            hi = start.interval.hi
+        return AbsVal(Interval(lo, hi), UNKNOWN_BITS, uniform)
+    return AbsVal(uniform=uniform)
+
+
+def _range_empty(start: AbsVal, stop: AbsVal, step: AbsVal) -> bool:
+    """Provably zero iterations (body unreachable)."""
+    st = step.interval
+    if st.lo is not None and st.lo == st.hi:
+        if st.lo > 0:
+            return (stop.interval.hi is not None
+                    and start.interval.lo is not None
+                    and stop.interval.hi <= start.interval.lo)
+        if st.lo < 0:
+            return (stop.interval.lo is not None
+                    and start.interval.hi is not None
+                    and stop.interval.lo >= start.interval.hi)
+    return False
+
+
+_CTX_ATTRS = {
+    "tid": AbsVal(Interval(0, None), uniform=False),
+    "ltid": AbsVal(Interval(0, None), uniform=False),
+    "gtid": AbsVal(Interval(0, None), uniform=False),
+    "warp": AbsVal(Interval(0, None), uniform=False),
+    "warp_in_block": AbsVal(Interval(0, None), uniform=False),
+    "mask": TOP_DIVERGENT,
+    "n_threads": AbsVal(Interval(1, None), uniform=True),
+    "n_warps": AbsVal(Interval(1, None), uniform=True),
+    "block_id": AbsVal(Interval(0, None), uniform=True),
+    "sm": AbsVal(Interval(0, None), uniform=True),
+    "launch": TOP_UNIFORM,
+}
+
+_NONNEG_DIVERGENT = AbsVal(Interval(0, None), uniform=False)
+
+
+class _Engine:
+    def __init__(self, ir: IRFunction, consts: Dict[str, object]):
+        self.ir = ir
+        self.consts = consts
+        self.blocks = {b.id: b for b in ir.blocks}
+        self.def_map = ir.def_map()
+        # joined-over-all-executions temp values (barrier conds and
+        # adder operands are read from here after the fixpoint)
+        self.joined: Dict[int, AbsVal] = {}
+        # literal tuples of constants, for subscript/iteration folding
+        self.tuples: Dict[int, tuple] = {}
+        self.adder_sites: Dict[int, AdderSite] = {}
+        self.barriers: Dict[int, Tuple[Instr, bool]] = {}
+        self.bailed = False
+        self.reason = ""
+
+    # -- fixpoint ------------------------------------------------------
+
+    def run(self) -> None:
+        entry = self.ir.entry
+        init: Dict[str, AbsVal] = {}
+        # parameters are divergent ⊤: launch params of entry kernels
+        # are host-uniform, but helper functions with a leading ``k``
+        # receive per-lane vectors from their callers, and nothing
+        # distinguishes the two statically
+        for p in self.ir.params:
+            init[p] = TOP_DIVERGENT
+        in_envs: Dict[int, Dict[str, AbsVal]] = {entry: init}
+        joins: Dict[int, int] = {}
+        work = deque([entry])
+        queued = {entry}
+        cap = max(300, 80 * len(self.ir.blocks))
+        steps = 0
+        while work:
+            steps += 1
+            if steps > cap:
+                self.bailed = True
+                self.reason = "fixpoint iteration cap exceeded"
+                return
+            bid = work.popleft()
+            queued.discard(bid)
+            env = dict(in_envs[bid])
+            succ_envs = self._transfer_block(self.blocks[bid], env)
+            for sid, senv in succ_envs:
+                if sid not in in_envs:
+                    in_envs[sid] = senv
+                else:
+                    old = in_envs[sid]
+                    joined = _join_env(old, senv)
+                    joins[sid] = joins.get(sid, 0) + 1
+                    if joins[sid] > WIDEN_AFTER:
+                        joined = _widen_env(old, joined)
+                    if joined == old:
+                        continue
+                    in_envs[sid] = joined
+                if sid not in queued:
+                    queued.add(sid)
+                    work.append(sid)
+
+    # -- per-block transfer --------------------------------------------
+
+    def _transfer_block(self, block: Block, env: Dict[str, AbsVal]
+                        ) -> List[Tuple[int, Dict[str, AbsVal]]]:
+        tvals: Dict[int, AbsVal] = {}
+        origins: Dict[int, Tuple[str, int]] = {}
+        versions: Dict[str, int] = {}
+        branch_cond: Optional[int] = None
+        loop_prune_body = False
+
+        for instr in block.instrs:
+            if instr.op == "branch":
+                branch_cond = instr.args[0]
+                continue
+            if instr.op == "loopiter":
+                loop_prune_body = self._do_loopiter(instr, env, tvals)
+                continue
+            val = self._transfer(instr, env, tvals, origins, versions)
+            if instr.dest is not None:
+                tvals[instr.dest] = val
+                prev = self.joined.get(instr.dest)
+                self.joined[instr.dest] = val if prev is None \
+                    else prev.join(val)
+
+        succs = block.succs
+        if not succs:
+            return []
+        if block.terminator == "branch" and branch_cond is not None \
+                and len(succs) == 2:
+            cond = tvals.get(branch_cond, TOP_DIVERGENT)
+            truth = cond.truth()
+            out = []
+            if truth is not False:
+                out.append((succs[0], self._refined(
+                    env, branch_cond, True, tvals, origins, versions)))
+            if truth is not True:
+                out.append((succs[1], self._refined(
+                    env, branch_cond, False, tvals, origins,
+                    versions)))
+            return out
+        if block.terminator == "loop" and len(succs) == 2:
+            out = []
+            if not loop_prune_body:
+                out.append((succs[0], dict(env)))
+            out.append((succs[1], dict(env)))
+            return out
+        return [(sid, dict(env)) for sid in succs]
+
+    def _do_loopiter(self, instr: Instr, env: Dict[str, AbsVal],
+                     tvals: Dict[int, AbsVal]) -> bool:
+        """Define the loop variable; returns True when the body is
+        provably never entered."""
+        if instr.name == "krange":
+            start, stop, step = (
+                tvals.get(t, self.joined.get(t, TOP_DIVERGENT))
+                for t in instr.range_args)
+            if instr.var:
+                env[instr.var] = _range_interval(start, stop, step)
+            return _range_empty(start, stop, step)
+        # generic iteration
+        var_val = TOP_DIVERGENT
+        if instr.args:
+            it = instr.args[0]
+            seq = self.tuples.get(it)
+            itv = tvals.get(it, self.joined.get(it, TOP_DIVERGENT))
+            if seq is not None:
+                var_val = None
+                for elem in seq:
+                    ev = const_val(elem)
+                    var_val = ev if var_val is None \
+                        else var_val.join(ev)
+                var_val = var_val if var_val is not None else \
+                    TOP_UNIFORM
+            else:
+                var_val = AbsVal(uniform=itv.uniform)
+        if instr.var:
+            env[instr.var] = var_val
+        return False
+
+    # -- per-instruction transfer --------------------------------------
+
+    def _transfer(self, instr: Instr, env: Dict[str, AbsVal],
+                  tvals: Dict[int, AbsVal],
+                  origins: Dict[int, Tuple[str, int]],
+                  versions: Dict[str, int]) -> AbsVal:
+        op = instr.op
+        get = lambda t: tvals.get(t, self.joined.get(t,  # noqa: E731
+                                                     TOP_DIVERGENT))
+        if op == "const":
+            v = instr.value
+            if isinstance(v, (tuple, list)) and instr.dest is not None:
+                self.tuples[instr.dest] = tuple(v)
+            return const_val(v)
+        if op == "load":
+            name = instr.name
+            if name in env:
+                if instr.dest is not None:
+                    origins[instr.dest] = (name, versions.get(name, 0))
+                return env[name]
+            if name in self.consts:
+                cv = self.consts[name]
+                if isinstance(cv, (tuple, list)) \
+                        and instr.dest is not None:
+                    self.tuples[instr.dest] = tuple(cv)
+                return const_val(cv)
+            # unresolved global / builtin: a uniform host object
+            return TOP_UNIFORM
+        if op == "store":
+            src = get(instr.args[0])
+            env[instr.name] = src
+            versions[instr.name] = versions.get(instr.name, 0) + 1
+            return src
+        if op == "ctxattr":
+            return _CTX_ATTRS.get(instr.name, TOP_DIVERGENT)
+        if op == "attr":
+            base = get(instr.args[0])
+            return AbsVal(uniform=base.uniform)
+        if op == "binop":
+            a, b = (get(t) for t in instr.args)
+            return _binop(instr.name, a, b)
+        if op == "unop":
+            a = get(instr.args[0])
+            if instr.name == "-":
+                return av_neg(a)
+            if instr.name == "~":
+                return av_invert(a)
+            if instr.name == "not":
+                t = a.truth()
+                if t is None:
+                    return AbsVal(Interval(0, 1), uniform=a.uniform)
+                return const_val(int(not t), uniform=a.uniform)
+            return a
+        if op == "boolop":
+            vals = [get(t) for t in instr.args]
+            out = vals[0]
+            for v in vals[1:]:
+                out = out.join(v)
+            return out
+        if op == "cmp":
+            a, b = (get(t) for t in instr.args)
+            if instr.name in _CMP_SYMS:
+                return av_cmp(instr.name, a, b)
+            return AbsVal(Interval(0, 1),
+                          uniform=a.uniform and b.uniform)
+        if op == "select":
+            c, a, b = (get(t) for t in instr.args)
+            out = a.join(b)
+            return AbsVal(out.interval, out.bits,
+                          out.uniform and c.uniform)
+        if op == "subscript":
+            base, idx = instr.args
+            seq = self.tuples.get(base)
+            iv = get(idx)
+            if seq is not None and iv.interval.lo is not None \
+                    and iv.interval.lo == iv.interval.hi \
+                    and -len(seq) <= iv.interval.lo < len(seq):
+                return const_val(seq[iv.interval.lo])
+            bv = get(base)
+            return AbsVal(uniform=bv.uniform and iv.uniform)
+        if op == "tuple":
+            elems = []
+            literal: List[object] = []
+            ok = True
+            for t in instr.args:
+                d = self.def_map.get(t)
+                if d is not None and d.op == "const" \
+                        and isinstance(d.value, (int, float, bool)):
+                    literal.append(d.value)
+                else:
+                    ok = False
+                elems.append(get(t))
+            if ok and instr.dest is not None:
+                self.tuples[instr.dest] = tuple(literal)
+            uniform = all(e.uniform for e in elems) if elems else True
+            return AbsVal(uniform=uniform)
+        if op == "call":
+            return self._call(instr, [get(t) for t in instr.args])
+        if op == "dslcall":
+            return self._dslcall(instr,
+                                 [get(t) for t in instr.args])
+        if op == "barrier":
+            self.barriers[id(instr)] = (instr, True)
+            return TOP_UNIFORM
+        if op == "range_inc":
+            start, stop, step = (get(t) for t in instr.range_args)
+            # operands of the recorded increment: the *generator's*
+            # iteration value (immune to body reassignment of the
+            # loop variable) plus the constant step
+            op_a = _range_interval(start, stop, step)
+            self._record_site(instr, "loop-inc", op_a, step)
+            return TOP_UNIFORM
+        if op == "ret":
+            return TOP_UNIFORM
+        # unknown / fstring / comprehension results
+        return TOP_DIVERGENT
+
+    def _call(self, instr: Instr, args: List[AbsVal]) -> AbsVal:
+        name = instr.name
+        if name in ("np.zeros", "np.zeros_like"):
+            return const_val(0)
+        if name in ("np.ones", "np.ones_like"):
+            return const_val(1)
+        if name in ("np.full", "np.full_like"):
+            return args[1] if len(args) >= 2 else TOP_UNIFORM
+        if name in _PASSTHROUGH_CALLS:
+            return args[0] if args else TOP_UNIFORM
+        if name == "np.arange":
+            return _NONNEG_DIVERGENT
+        if name == "len":
+            return AbsVal(Interval(0, None),
+                          uniform=args[0].uniform if args else True)
+        if name == "min" and len(args) == 2:
+            return av_min(args[0], args[1])
+        if name == "max" and len(args) == 2:
+            return av_max(args[0], args[1])
+        if name in ("range", "enumerate", "zip", "reversed"):
+            uniform = all(a.uniform for a in args) if args else True
+            return AbsVal(uniform=uniform)
+        return TOP_DIVERGENT
+
+    def _dslcall(self, instr: Instr, args: List[AbsVal]) -> AbsVal:
+        m = instr.name
+        if m == "iadd" and len(args) == 2:
+            self._record_site(instr, "iadd", args[0], args[1])
+            return av_add(args[0], args[1])
+        if m == "isub" and len(args) == 2:
+            self._record_site(instr, "isub", args[0], args[1])
+            return av_sub(args[0], args[1])
+        if m == "imin" and len(args) == 2:
+            self._record_site(instr, "imin", args[0], args[1])
+            return av_min(args[0], args[1])
+        if m == "imax" and len(args) == 2:
+            self._record_site(instr, "imax", args[0], args[1])
+            return av_max(args[0], args[1])
+        if m == "imul" and len(args) == 2:
+            return av_mul(args[0], args[1])
+        if m == "imad" and len(args) == 3:
+            return av_add(av_mul(args[0], args[1]), args[2])
+        if m == "idiv" and len(args) == 2:
+            return av_floordiv(args[0], args[1])
+        if m == "irem" and len(args) == 2:
+            return av_mod(args[0], args[1])
+        if m == "iand" and len(args) == 2:
+            return av_and(args[0], args[1])
+        if m == "ior" and len(args) == 2:
+            return av_or(args[0], args[1])
+        if m == "ixor" and len(args) == 2:
+            return av_xor(args[0], args[1])
+        if m == "shl" and len(args) == 2:
+            return av_shl(args[0], args[1])
+        if m == "shr" and len(args) == 2:
+            return av_shr(args[0], args[1])
+        if m in _DSL_CMP and len(args) == 2:
+            return av_cmp(_DSL_CMP[m], args[0], args[1])
+        if m in ("flt", "fgt") and len(args) == 2:
+            return AbsVal(Interval(0, 1),
+                          uniform=args[0].uniform and args[1].uniform)
+        if m == "sel" and len(args) == 3:
+            out = args[1].join(args[2])
+            return AbsVal(out.interval, out.bits,
+                          out.uniform and args[0].uniform)
+        if m in ("thread_id", "global_id"):
+            return _NONNEG_DIVERGENT
+        if m in _FP_METHODS:
+            uniform = all(a.uniform for a in args) if args else True
+            if m == "sel":
+                pass
+            return AbsVal(uniform=uniform)
+        if m == "shared":
+            return TOP_UNIFORM
+        if m in _DIVERGENT_METHODS:
+            return TOP_DIVERGENT
+        if m in ("st_global", "st_shared", "tensor_mma", "range",
+                 "where", "inline"):
+            return TOP_UNIFORM
+        return TOP_DIVERGENT
+
+    def _record_site(self, instr: Instr, kind: str, op_a: AbsVal,
+                     op_b: AbsVal) -> None:
+        site = self.adder_sites.get(id(instr))
+        if site is None:
+            self.adder_sites[id(instr)] = AdderSite(
+                kind=kind, lineno=instr.lineno,
+                scopes=instr.scopes, op_a=op_a, op_b=op_b, visits=1)
+        else:
+            site.op_a = site.op_a.join(op_a)
+            site.op_b = site.op_b.join(op_b)
+            site.visits += 1
+
+    # -- branch refinement ---------------------------------------------
+
+    def _refined(self, env: Dict[str, AbsVal], cond: int, assume: bool,
+                 tvals: Dict[int, AbsVal],
+                 origins: Dict[int, Tuple[str, int]],
+                 versions: Dict[str, int]) -> Dict[str, AbsVal]:
+        out = dict(env)
+        self._refine_into(out, cond, assume, tvals, origins, versions,
+                          depth=0)
+        return out
+
+    def _refine_into(self, env: Dict[str, AbsVal], t: int,
+                     assume: bool, tvals: Dict[int, AbsVal],
+                     origins: Dict[int, Tuple[str, int]],
+                     versions: Dict[str, int], depth: int) -> None:
+        if depth > 4:
+            return
+        instr = self.def_map.get(t)
+        if instr is None:
+            return
+        get = lambda x: tvals.get(x, self.joined.get(  # noqa: E731
+            x, TOP_DIVERGENT))
+        if instr.op == "load":
+            name, ver = origins.get(t, ("", -1))
+            if name and versions.get(name, 0) == ver and name in env:
+                v = env[name]
+                iv = v.interval
+                if assume:
+                    if iv.lo == 0:
+                        iv = Interval(1, iv.hi)
+                    elif iv.hi == 0:
+                        iv = Interval(iv.lo, -1)
+                else:
+                    iv = iv.meet(Interval(0, 0))
+                if not iv.is_empty():
+                    env[name] = AbsVal(iv, v.bits, v.uniform)
+            return
+        sym = instr.name
+        if (instr.op == "cmp" and sym in _CMP_SYMS) or \
+                (instr.op == "dslcall" and sym in _DSL_CMP):
+            if instr.op == "dslcall":
+                sym = _DSL_CMP[sym]
+            if len(instr.args) != 2:
+                return
+            a, b = instr.args
+            self._refine_side(env, a, sym, get(b), assume, origins,
+                              versions)
+            self._refine_side(env, b, swap_op(sym), get(a), assume,
+                              origins, versions)
+            return
+        if instr.op == "boolop":
+            if (sym == "and" and assume) or (sym == "or"
+                                             and not assume):
+                for arg in instr.args:
+                    self._refine_into(env, arg, assume, tvals,
+                                      origins, versions, depth + 1)
+            return
+        if instr.op == "binop" and sym in ("&", "|"):
+            if (sym == "&" and assume) or (sym == "|"
+                                           and not assume):
+                for arg in instr.args:
+                    self._refine_into(env, arg, assume, tvals,
+                                      origins, versions, depth + 1)
+            return
+        if instr.op == "unop" and sym == "not":
+            self._refine_into(env, instr.args[0], not assume, tvals,
+                              origins, versions, depth + 1)
+
+    def _refine_side(self, env: Dict[str, AbsVal], t: int, sym: str,
+                     other: AbsVal, assume: bool,
+                     origins: Dict[int, Tuple[str, int]],
+                     versions: Dict[str, int]) -> None:
+        instr = self.def_map.get(t)
+        if instr is None or instr.op != "load":
+            return
+        name, ver = origins.get(t, ("", -1))
+        if not name or versions.get(name, 0) != ver \
+                or name not in env:
+            return
+        env[name] = refine_cmp(sym, env[name], other, assume)
+
+    # -- summary -------------------------------------------------------
+
+    def summary(self) -> FunctionSummary:
+        barriers: List[BarrierSite] = []
+        for block in self.ir.blocks:
+            for instr in block.instrs:
+                if instr.op != "barrier":
+                    continue
+                reachable = id(instr) in self.barriers
+                divergent = False
+                for cond in instr.where:
+                    v = self.joined.get(cond, TOP_DIVERGENT)
+                    if not v.uniform and v.truth() is None:
+                        divergent = True
+                        break
+                barriers.append(BarrierSite(
+                    lineno=instr.lineno, n_conds=len(instr.where),
+                    reachable=reachable, divergent=divergent))
+        sites = sorted(self.adder_sites.values(),
+                       key=lambda s: (s.lineno, s.kind))
+        return FunctionSummary(
+            name=self.ir.name, path=self.ir.path,
+            lineno=self.ir.lineno, bailed=self.bailed,
+            reason=self.reason, adder_sites=sites,
+            barrier_sites=sorted(barriers, key=lambda b: b.lineno))
+
+
+def _binop(sym: str, a: AbsVal, b: AbsVal) -> AbsVal:
+    if sym == "+":
+        return av_add(a, b)
+    if sym == "-":
+        return av_sub(a, b)
+    if sym == "*":
+        return av_mul(a, b)
+    if sym == "//":
+        return av_floordiv(a, b)
+    if sym == "%":
+        return av_mod(a, b)
+    if sym == "&":
+        return av_and(a, b)
+    if sym == "|":
+        return av_or(a, b)
+    if sym == "^":
+        return av_xor(a, b)
+    if sym == "<<":
+        return av_shl(a, b)
+    if sym == ">>":
+        return av_shr(a, b)
+    return AbsVal(uniform=a.uniform and b.uniform)
+
+
+def _join_env(a: Dict[str, AbsVal],
+              b: Dict[str, AbsVal]) -> Dict[str, AbsVal]:
+    out: Dict[str, AbsVal] = {}
+    for name in a.keys() | b.keys():
+        out[name] = a.get(name, TOP_DIVERGENT).join(
+            b.get(name, TOP_DIVERGENT))
+    return out
+
+
+def _widen_env(old: Dict[str, AbsVal],
+               new: Dict[str, AbsVal]) -> Dict[str, AbsVal]:
+    out: Dict[str, AbsVal] = {}
+    for name in new:
+        if name in old:
+            out[name] = old[name].widen(new[name])
+        else:
+            out[name] = new[name]
+    return out
+
+
+# ----------------------------------------------------------------------
+# module-level entry points
+# ----------------------------------------------------------------------
+
+def module_constants(tree: ast.Module) -> Dict[str, object]:
+    """Fold module-level constant assignments (ints, floats, strings
+    and tuples thereof, including simple arithmetic on earlier
+    constants)."""
+    consts: Dict[str, object] = {}
+
+    def fold(node: ast.AST) -> object:
+        if isinstance(node, ast.Constant) and isinstance(
+                node.value, (int, float, str, bool)):
+            return node.value
+        if isinstance(node, ast.Name) and node.id in consts:
+            return consts[node.id]
+        if isinstance(node, ast.UnaryOp) \
+                and isinstance(node.op, ast.USub):
+            v = fold(node.operand)
+            if isinstance(v, (int, float)):
+                return -v
+            return _NO
+        if isinstance(node, (ast.Tuple, ast.List)):
+            items = [fold(e) for e in node.elts]
+            if all(i is not _NO for i in items):
+                return tuple(items)
+            return _NO
+        if isinstance(node, ast.BinOp):
+            a, b = fold(node.left), fold(node.right)
+            if isinstance(a, int) and isinstance(b, int) \
+                    and not isinstance(a, bool) \
+                    and not isinstance(b, bool):
+                try:
+                    if isinstance(node.op, ast.Add):
+                        return a + b
+                    if isinstance(node.op, ast.Sub):
+                        return a - b
+                    if isinstance(node.op, ast.Mult):
+                        return a * b
+                    if isinstance(node.op, ast.FloorDiv):
+                        return a // b
+                    if isinstance(node.op, ast.Mod):
+                        return a % b
+                    if isinstance(node.op, ast.LShift):
+                        return a << b
+                    if isinstance(node.op, ast.RShift):
+                        return a >> b
+                    if isinstance(node.op, ast.BitAnd):
+                        return a & b
+                    if isinstance(node.op, ast.BitOr):
+                        return a | b
+                    if isinstance(node.op, ast.BitXor):
+                        return a ^ b
+                except (ZeroDivisionError, ValueError):
+                    return _NO
+            return _NO
+        return _NO
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            v = fold(stmt.value)
+            if v is not _NO:
+                consts[stmt.targets[0].id] = v
+            else:
+                consts.pop(stmt.targets[0].id, None)
+    return consts
+
+
+_NO = object()
+
+
+def analyze_function(fn: ast.FunctionDef,
+                     consts: Optional[Dict[str, object]] = None,
+                     path: str = "<string>") -> FunctionSummary:
+    """Lower + abstractly interpret one kernel function.
+
+    Never raises: unlowerable constructs yield a bailed summary, which
+    downstream consumers treat as "no facts, no refinement".
+    """
+    try:
+        ir = lower_function(fn, path)
+    except (LoweringError, RecursionError) as exc:
+        return FunctionSummary(name=fn.name, path=path,
+                               lineno=fn.lineno, bailed=True,
+                               reason=str(exc))
+    engine = _Engine(ir, consts or {})
+    engine.run()
+    return engine.summary()
+
+
+def is_kernel_fn(fn: ast.FunctionDef) -> bool:
+    args = fn.args.args
+    return bool(args) and args[0].arg == "k"
+
+
+def analyze_module(tree: ast.Module, path: str = "<string>"
+                   ) -> Dict[str, FunctionSummary]:
+    """Summaries for every top-level kernel function of a module."""
+    consts = module_constants(tree)
+    out: Dict[str, FunctionSummary] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and is_kernel_fn(node):
+            out[node.name] = analyze_function(node, consts, path)
+    return out
+
+
+def analyze_source(src: str, path: str = "<string>"
+                   ) -> Dict[str, FunctionSummary]:
+    """Parse + analyze; empty dict when the file does not parse."""
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError:
+        return {}
+    return analyze_module(tree, path)

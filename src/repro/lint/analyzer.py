@@ -1,4 +1,4 @@
-"""Front-end tying the L1–L5 rules together over files and trees.
+"""Front-end tying the L1–L8 rules together over files and trees.
 
 A *kernel function* is any function whose first parameter is named
 ``k`` — the repo-wide convention for the :class:`BlockContext`
@@ -6,6 +6,13 @@ argument (enforced by the suite registry).  Per-function rules (L1,
 L3, L4) run on those; L2 runs per module; L5 runs only on modules the
 runner's result cache hashes, because that is where nondeterminism
 poisons cached numbers.
+
+L6–L8 are flow-sensitive: they lower each kernel function to the
+:mod:`repro.lint.ir` CFG and abstractly interpret it
+(:mod:`repro.lint.absint`).  When L7 is active, barriers the engine
+proves uniformly-masked (or unreachable) also *retract* their
+syntactic L4 findings — running ``--rules L4`` alone keeps the purely
+syntactic behaviour.
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from repro.lint.rules import (check_l1, check_l2, check_l3_l4,
 from repro.lint.suppress import line_suppresses
 from repro.lint.taint import Taint
 
-ALL_RULES = ("L1", "L2", "L3", "L4", "L5")
+ALL_RULES = ("L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8")
+FLOW_RULES = ("L6", "L7", "L8")
 
 
 def _is_kernel_fn(fn: ast.FunctionDef) -> bool:
@@ -83,6 +91,17 @@ def lint_source(src: str, path: str = "<string>", rules=None,
                         node, taint, str(path),
                         rules=tuple(per_fn & {"L3", "L4"})))
 
+    flow = active & set(FLOW_RULES)
+    if flow:
+        # imported lazily: the flow layer pulls in the IR + abstract
+        # interpreter, which syntactic-only runs never need
+        from repro.lint.rules_flow import check_flow
+        flow_raw, l4_clean = check_flow(tree, str(path), flow)
+        raw.extend(flow_raw)
+        if "L7" in active and l4_clean:
+            raw = [f for f in raw
+                   if not (f.rule == "L4" and f.line in l4_clean)]
+
     lines = src.splitlines()
     seen, findings = set(), []
     for f in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
@@ -115,4 +134,9 @@ def lint_paths(paths, rules=None):
                                     f"file could not be read: {exc}"))
             continue
         findings.extend(lint_source(src, path=str(file), rules=rules))
+    # global deterministic order: directory traversal sorts Path
+    # objects (component-wise), which disagrees with plain string
+    # order across filesystems and path shapes — sort the flat list so
+    # CLI output and baselines are byte-identical everywhere
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

@@ -14,6 +14,8 @@ import json
 from collections import Counter
 from pathlib import Path
 
+from repro.lint.findings import INFO_RULES
+
 BASELINE_VERSION = 1
 
 
@@ -31,9 +33,13 @@ def load_baseline(path) -> dict:
 
 
 def write_baseline(path, findings) -> dict:
-    """Record unsuppressed findings as the new accepted baseline."""
+    """Record unsuppressed findings as the new accepted baseline.
+
+    Informational findings (L6/L8) never enter the baseline: they are
+    proofs, not problems, and churning them would drown real entries.
+    """
     counts = Counter(f.fingerprint() for f in findings
-                     if not f.suppressed)
+                     if not f.suppressed and f.rule not in INFO_RULES)
     payload = {"version": BASELINE_VERSION,
                "fingerprints": dict(sorted(counts.items()))}
     Path(path).write_text(json.dumps(payload, indent=2,
@@ -42,7 +48,8 @@ def write_baseline(path, findings) -> dict:
 
 
 def new_findings(findings, baseline: dict):
-    """Unsuppressed findings not covered by the baseline.
+    """Unsuppressed, non-informational findings not covered by the
+    baseline.
 
     Each fingerprint's budget is its baseline count: a third copy of a
     twice-baselined finding is new.
@@ -50,7 +57,7 @@ def new_findings(findings, baseline: dict):
     budget = Counter(baseline)
     fresh = []
     for f in findings:
-        if f.suppressed:
+        if f.suppressed or f.rule in INFO_RULES:
             continue
         fp = f.fingerprint()
         if budget[fp] > 0:

@@ -4,18 +4,24 @@ Exit codes follow the shared contract (:mod:`repro.cli_common`):
 0 — clean (or every finding suppressed/baselined), 1 — new
 unsuppressed findings, 2 — usage or parse errors.  ``--json`` emits
 the findings as one machine-readable document.
+
+``st2-lint facts [paths...] [--json]`` runs only the abstract
+interpreter and exports the statically proven per-PC slice-carry
+facts — the table :class:`repro.core.predictors.StaticPeekPredictor`
+consumes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro import cli_common
 from repro.lint.analyzer import ALL_RULES, lint_paths
 from repro.lint.baseline import (load_baseline, new_findings,
                                  write_baseline)
-from repro.lint.findings import RULES
+from repro.lint.findings import INFO_RULES, RULES
 
 
 def _parse_rules(spec: str):
@@ -32,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = cli_common.build_parser(
         "st2-lint",
         "Static correctness analyzer for the ST2 kernel DSL "
-        "(rules L1-L5).")
+        "(rules L1-L8; `st2-lint facts` exports static carry facts).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
@@ -47,10 +53,69 @@ def build_parser() -> argparse.ArgumentParser:
                              "baseline and exit 0")
     parser.add_argument("--show-suppressed", action="store_true",
                         help="also print suppressed findings")
+    parser.add_argument("--show-info", action="store_true",
+                        help="also print informational findings "
+                             "(L6/L8 — they never affect the exit "
+                             "code or baselines)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     cli_common.add_json_flag(parser)
     return parser
+
+
+def build_facts_parser() -> argparse.ArgumentParser:
+    parser = cli_common.build_parser(
+        "st2-lint facts",
+        "Export statically proven per-PC slice-carry facts "
+        "(the StaticPeekPredictor fact table).")
+    parser.add_argument("paths", nargs="*",
+                        default=["src/repro/kernels"],
+                        help="files or directories to analyze "
+                             "(default: src/repro/kernels)")
+    cli_common.add_json_flag(parser)
+    return parser
+
+
+def facts_main(argv, out) -> int:
+    """``st2-lint facts`` — always exits 0 (the export is a report,
+    not a gate; parse failures simply export no facts)."""
+    from repro.lint.facts import facts_to_json, module_facts_from_source
+    args = build_facts_parser().parse_args(argv)
+    files = []
+    for item in args.paths:
+        p = Path(item)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    modules = {}
+    n_facts = n_bits = 0
+    for file in sorted(set(files), key=str):
+        try:
+            src = file.read_text()
+        except OSError:
+            continue
+        facts = module_facts_from_source(src, str(file))
+        if not facts:
+            continue
+        modules[str(file)] = facts_to_json(facts)
+        n_facts += len(facts)
+        n_bits += sum(len(f.carries) for f in facts.values())
+    if args.json:
+        cli_common.emit_json(
+            {"version": 1, "facts": n_facts, "pinned_carries": n_bits,
+             "modules": modules}, out=out)
+        return cli_common.EXIT_OK
+    for path in sorted(modules):
+        for label, rec in modules[path].items():
+            pinned = ", ".join(f"c{j}={c}"
+                               for j, c in rec["carries"].items())
+            print(f"{path}:{rec['line']}: {label} "
+                  f"[w{rec['width']}, {rec['sites']} site(s)] "
+                  f"{pinned}", file=out)
+    print(f"st2-lint facts: {n_facts} PC label(s), "
+          f"{n_bits} pinned carry boundary(ies)", file=out)
+    return cli_common.EXIT_OK
 
 
 def _finding_record(f) -> dict:
@@ -60,8 +125,11 @@ def _finding_record(f) -> dict:
 
 def main(argv=None, out=None) -> int:
     out = out if out is not None else sys.stdout
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if arg_list and arg_list[0] == "facts":
+        return facts_main(arg_list[1:], out)
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arg_list)
 
     if args.list_rules:
         if args.json:
@@ -93,19 +161,27 @@ def main(argv=None, out=None) -> int:
             print(f"st2-lint: bad baseline: {exc}", file=out)
             return 2
 
+    info = [f for f in findings
+            if f.rule in INFO_RULES and not f.suppressed]
     fresh = new_findings(findings, baseline)
-    shown = fresh if not args.show_suppressed else \
-        fresh + [f for f in findings if f.suppressed]
+    shown = list(fresh)
+    if args.show_suppressed:
+        shown += [f for f in findings if f.suppressed]
+    if args.show_info:
+        shown += info
     shown = sorted(shown, key=lambda f: (f.path, f.line, f.rule))
 
     n_sup = sum(1 for f in findings if f.suppressed)
-    n_base = sum(1 for f in findings if not f.suppressed) - len(fresh)
+    n_base = sum(1 for f in findings
+                 if not f.suppressed
+                 and f.rule not in INFO_RULES) - len(fresh)
 
     if args.json:
         cli_common.emit_json({
             "findings": [_finding_record(f) for f in shown],
             "fresh": len(fresh), "suppressed": n_sup,
-            "baselined": n_base, "clean": not fresh}, out=out)
+            "baselined": n_base, "info": len(info),
+            "clean": not fresh}, out=out)
         return cli_common.EXIT_PROBLEMS if fresh else cli_common.EXIT_OK
 
     for f in shown:
@@ -115,6 +191,8 @@ def main(argv=None, out=None) -> int:
         tail.append(f"{n_sup} suppressed")
     if n_base:
         tail.append(f"{n_base} baselined")
+    if info and not args.show_info:
+        tail.append(f"{len(info)} informational (--show-info)")
     note = f" ({', '.join(tail)})" if tail else ""
     if fresh:
         print(f"st2-lint: {len(fresh)} finding(s){note}", file=out)

@@ -1,0 +1,501 @@
+"""Abstract domains for the flow-sensitive analyzer (st2-lint v2).
+
+Three orthogonal facts are tracked per value, combined in
+:class:`AbsVal`:
+
+* :class:`Interval` — inclusive integer bounds ``[lo, hi]`` with
+  ``None`` as ±∞.  Only integer-valued quantities get finite bounds;
+  floats and unknowns are ⊤.
+* :class:`KnownBits` — a ``(mask, value)`` pair over a 64-bit universe:
+  every bit set in ``mask`` is proven to equal the corresponding bit of
+  ``value``.  The claim is only meaningful for values proven inside
+  ``[0, 2**64)``; constructors and transfer functions enforce that
+  invariant (anything possibly negative or ≥ 2**64 degrades to
+  unknown bits).
+* ``uniform`` — whether every lane of the warp provably holds the same
+  value (the divergence half-lattice: ``uniform`` ⊑ ``divergent``).
+  Thread-id sources and loads are divergent; parameters, constants and
+  host loop variables are uniform.
+
+All three lattices are finite-height under :func:`AbsVal.join` plus
+interval widening, so the worklist engine in :mod:`repro.lint.absint`
+terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+BIT_UNIVERSE = 64
+MASK64 = (1 << BIT_UNIVERSE) - 1
+
+
+def _min_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return min(a, b)
+
+
+def _max_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Inclusive integer bounds; ``None`` means unbounded on that side."""
+
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    def is_empty(self) -> bool:
+        return (self.lo is not None and self.hi is not None
+                and self.lo > self.hi)
+
+    def nonneg(self) -> bool:
+        return self.lo is not None and self.lo >= 0
+
+    def within(self, lo: int, hi: int) -> bool:
+        """Provably contained in ``[lo, hi]``."""
+        return (self.lo is not None and self.hi is not None
+                and self.lo >= lo and self.hi <= hi)
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(_min_opt(self.lo, other.lo),
+                        _max_opt(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: a moving bound jumps to ∞."""
+        lo = self.lo if (self.lo is not None and newer.lo is not None
+                         and newer.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and newer.hi is not None
+                         and newer.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        lo = _max_opt_meet(self.lo, other.lo)
+        hi = _min_opt_meet(self.hi, other.hi)
+        return Interval(lo, hi)
+
+
+def _max_opt_meet(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _min_opt_meet(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+TOP_INTERVAL = Interval()
+
+
+@dataclass(frozen=True)
+class KnownBits:
+    """``(mask, value)`` claim over the 64-bit universe.
+
+    For every concrete value ``v`` described by the enclosing
+    :class:`AbsVal`, ``v & mask == value`` — valid only when ``v`` is
+    proven inside ``[0, 2**64)`` (the :class:`AbsVal` constructors
+    guarantee this; an invalid claim is represented by ``mask == 0``).
+    """
+
+    mask: int = 0
+    value: int = 0
+
+    def is_unknown(self) -> bool:
+        return self.mask == 0
+
+    def bit(self, i: int) -> Optional[int]:
+        """Return 0/1 when bit ``i`` is known, else None."""
+        if self.mask >> i & 1:
+            return self.value >> i & 1
+        return None
+
+    def join(self, other: "KnownBits") -> "KnownBits":
+        mask = self.mask & other.mask & ~(self.value ^ other.value)
+        mask &= MASK64
+        return KnownBits(mask, self.value & mask)
+
+
+UNKNOWN_BITS = KnownBits()
+
+
+def bits_from_const(c: int) -> KnownBits:
+    if 0 <= c < (1 << BIT_UNIVERSE):
+        return KnownBits(MASK64, c)
+    return UNKNOWN_BITS
+
+
+def _bits_from_interval(iv: Interval) -> KnownBits:
+    """Bit claims implied by tight bounds: every bit above the highest
+    bit where ``lo`` and ``hi`` differ is pinned (in particular all
+    high zero bits of a small non-negative range)."""
+    if not iv.within(0, MASK64):
+        return UNKNOWN_BITS
+    lo, hi = iv.lo, iv.hi
+    assert lo is not None and hi is not None
+    diff = (lo ^ hi).bit_length()
+    mask = (MASK64 >> diff) << diff if diff < BIT_UNIVERSE else 0
+    mask &= MASK64
+    return KnownBits(mask, lo & mask)
+
+
+def _add_bits(a: KnownBits, b: KnownBits, cin: int = 0) -> KnownBits:
+    """Ripple known-bits addition (LLVM-style, bit by bit).
+
+    Sound for mathematical addition when the true sum stays below
+    2**64 (the caller checks via the result interval).
+    """
+    mask = 0
+    value = 0
+    carry: Optional[int] = cin
+    for i in range(BIT_UNIVERSE):
+        ba, bb = a.bit(i), b.bit(i)
+        if ba is not None and bb is not None and carry is not None:
+            s = ba ^ bb ^ carry
+            carry = (ba + bb + carry) >> 1
+            mask |= 1 << i
+            value |= s << i
+        elif ba == 0 and bb == 0:
+            # 0 + 0 + c: sum bit unknown (= carry), carry-out known 0
+            carry = 0
+        elif ba == 1 and bb == 1:
+            carry = 1
+        else:
+            carry = None
+    return KnownBits(mask, value)
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """One abstract value: interval × known-bits × uniformity."""
+
+    interval: Interval = TOP_INTERVAL
+    bits: KnownBits = UNKNOWN_BITS
+    uniform: bool = False
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        return AbsVal(self.interval.join(other.interval),
+                      self.bits.join(other.bits),
+                      self.uniform and other.uniform)
+
+    def widen(self, newer: "AbsVal") -> "AbsVal":
+        """Widen intervals; bits/uniformity only descend (finite)."""
+        return AbsVal(self.interval.widen(newer.interval),
+                      self.bits.join(newer.bits),
+                      self.uniform and newer.uniform)
+
+    def all_bits(self) -> KnownBits:
+        """Explicit bit claims merged with interval-implied ones."""
+        implied = _bits_from_interval(self.interval)
+        if implied.is_unknown():
+            return self.bits
+        mask = self.bits.mask | implied.mask
+        value = (self.bits.value | implied.value) & mask
+        return KnownBits(mask, value)
+
+    def truth(self) -> Optional[bool]:
+        """Definite truthiness, or None when unknown."""
+        iv = self.interval
+        if iv.lo is not None and iv.hi is not None \
+                and iv.lo == 0 and iv.hi == 0:
+            return False
+        if (iv.lo is not None and iv.lo >= 1) \
+                or (iv.hi is not None and iv.hi <= -1):
+            return True
+        return None
+
+
+TOP = AbsVal()
+TOP_UNIFORM = AbsVal(uniform=True)
+TOP_DIVERGENT = AbsVal(uniform=False)
+
+
+def const_val(c: object, uniform: bool = True) -> AbsVal:
+    """Abstract a Python constant (bool/int get bounds; rest is ⊤)."""
+    if isinstance(c, bool):
+        c = int(c)
+    if isinstance(c, int):
+        return AbsVal(Interval(c, c), bits_from_const(c), uniform)
+    return AbsVal(uniform=uniform)
+
+
+def _result(iv: Interval, bits: KnownBits, uniform: bool) -> AbsVal:
+    """Build a result, dropping bit claims invalid for the interval."""
+    if not iv.within(0, MASK64):
+        bits = UNKNOWN_BITS
+    if iv.is_empty():
+        iv = TOP_INTERVAL
+    return AbsVal(iv, bits, uniform)
+
+
+def _both_uniform(a: AbsVal, b: AbsVal) -> bool:
+    return a.uniform and b.uniform
+
+
+# ----------------------------------------------------------------------
+# arithmetic transfer functions
+# ----------------------------------------------------------------------
+
+def av_add(a: AbsVal, b: AbsVal) -> AbsVal:
+    lo = None if a.interval.lo is None or b.interval.lo is None \
+        else a.interval.lo + b.interval.lo
+    hi = None if a.interval.hi is None or b.interval.hi is None \
+        else a.interval.hi + b.interval.hi
+    iv = Interval(lo, hi)
+    bits = UNKNOWN_BITS
+    if iv.within(0, MASK64):
+        bits = _add_bits(a.all_bits(), b.all_bits())
+    return _result(iv, bits, _both_uniform(a, b))
+
+
+def av_sub(a: AbsVal, b: AbsVal) -> AbsVal:
+    lo = None if a.interval.lo is None or b.interval.hi is None \
+        else a.interval.lo - b.interval.hi
+    hi = None if a.interval.hi is None or b.interval.lo is None \
+        else a.interval.hi - b.interval.lo
+    return _result(Interval(lo, hi), UNKNOWN_BITS, _both_uniform(a, b))
+
+
+def av_neg(a: AbsVal) -> AbsVal:
+    lo = None if a.interval.hi is None else -a.interval.hi
+    hi = None if a.interval.lo is None else -a.interval.lo
+    return _result(Interval(lo, hi), UNKNOWN_BITS, a.uniform)
+
+
+def av_mul(a: AbsVal, b: AbsVal) -> AbsVal:
+    ia, ib = a.interval, b.interval
+    if None in (ia.lo, ia.hi, ib.lo, ib.hi):
+        return AbsVal(uniform=_both_uniform(a, b))
+    corners = [ia.lo * ib.lo, ia.lo * ib.hi, ia.hi * ib.lo,
+               ia.hi * ib.hi]
+    return _result(Interval(min(corners), max(corners)), UNKNOWN_BITS,
+                   _both_uniform(a, b))
+
+
+def av_floordiv(a: AbsVal, b: AbsVal) -> AbsVal:
+    ib = b.interval
+    uniform = _both_uniform(a, b)
+    if ib.lo is not None and ib.lo >= 1 and not a.interval.is_top():
+        lo = None if a.interval.lo is None else (
+            a.interval.lo // ib.lo if a.interval.lo < 0
+            else (0 if ib.hi is None else a.interval.lo // ib.hi))
+        hi = None if a.interval.hi is None or ib.lo is None \
+            else a.interval.hi // ib.lo if a.interval.hi >= 0 \
+            else (a.interval.hi // ib.hi if ib.hi is not None else 0)
+        return _result(Interval(lo, hi), UNKNOWN_BITS, uniform)
+    return AbsVal(uniform=uniform)
+
+
+def av_mod(a: AbsVal, b: AbsVal) -> AbsVal:
+    ib = b.interval
+    uniform = _both_uniform(a, b)
+    if ib.lo is not None and ib.lo >= 1 and ib.hi is not None:
+        # Python % with a positive divisor is always in [0, m-1]
+        return _result(Interval(0, ib.hi - 1), UNKNOWN_BITS, uniform)
+    return AbsVal(uniform=uniform)
+
+
+def av_and(a: AbsVal, b: AbsVal) -> AbsVal:
+    ba, bb = a.all_bits(), b.all_bits()
+    zeros = (ba.mask & ~ba.value) | (bb.mask & ~bb.value)
+    ones = (ba.mask & ba.value) & (bb.mask & bb.value)
+    bits = KnownBits((zeros | ones) & MASK64, ones & MASK64)
+    iv = TOP_INTERVAL
+    if a.interval.nonneg() and b.interval.nonneg():
+        hi = _min_opt(a.interval.hi, b.interval.hi)
+        iv = Interval(0, hi)
+    elif a.interval.within(0, MASK64):
+        iv = Interval(0, a.interval.hi)
+    elif b.interval.within(0, MASK64):
+        iv = Interval(0, b.interval.hi)
+    return _result(iv, bits, _both_uniform(a, b))
+
+
+def av_or(a: AbsVal, b: AbsVal) -> AbsVal:
+    ba, bb = a.all_bits(), b.all_bits()
+    ones = (ba.mask & ba.value) | (bb.mask & bb.value)
+    zeros = (ba.mask & ~ba.value) & (bb.mask & ~bb.value)
+    bits = KnownBits((zeros | ones) & MASK64, ones & MASK64)
+    iv = TOP_INTERVAL
+    if a.interval.nonneg() and b.interval.nonneg() \
+            and a.interval.hi is not None and b.interval.hi is not None:
+        width = max(a.interval.hi.bit_length(),
+                    b.interval.hi.bit_length())
+        iv = Interval(0, (1 << width) - 1)
+    return _result(iv, bits, _both_uniform(a, b))
+
+
+def av_xor(a: AbsVal, b: AbsVal) -> AbsVal:
+    ba, bb = a.all_bits(), b.all_bits()
+    mask = ba.mask & bb.mask
+    bits = KnownBits(mask & MASK64, (ba.value ^ bb.value) & mask & MASK64)
+    iv = TOP_INTERVAL
+    if a.interval.nonneg() and b.interval.nonneg() \
+            and a.interval.hi is not None and b.interval.hi is not None:
+        width = max(a.interval.hi.bit_length(),
+                    b.interval.hi.bit_length())
+        iv = Interval(0, (1 << width) - 1)
+    return _result(iv, bits, _both_uniform(a, b))
+
+
+def av_shl(a: AbsVal, b: AbsVal) -> AbsVal:
+    uniform = _both_uniform(a, b)
+    ib = b.interval
+    if ib.lo is None or ib.hi is None or ib.lo < 0:
+        return AbsVal(uniform=uniform)
+    lo = None if a.interval.lo is None else a.interval.lo << (
+        ib.lo if a.interval.lo >= 0 else ib.hi)
+    hi = None if a.interval.hi is None else a.interval.hi << (
+        ib.hi if a.interval.hi >= 0 else ib.lo)
+    iv = Interval(lo, hi)
+    bits = UNKNOWN_BITS
+    if ib.lo == ib.hi and iv.within(0, MASK64):
+        k = ib.lo
+        ba = a.all_bits()
+        mask = ((ba.mask << k) | ((1 << k) - 1)) & MASK64
+        bits = KnownBits(mask, (ba.value << k) & mask)
+    return _result(iv, bits, uniform)
+
+
+def av_shr(a: AbsVal, b: AbsVal) -> AbsVal:
+    uniform = _both_uniform(a, b)
+    ib = b.interval
+    if ib.lo is None or ib.hi is None or ib.lo < 0:
+        return AbsVal(uniform=uniform)
+    lo = None if a.interval.lo is None else a.interval.lo >> (
+        ib.hi if a.interval.lo >= 0 else ib.lo)
+    hi = None if a.interval.hi is None else a.interval.hi >> (
+        ib.lo if a.interval.hi >= 0 else ib.hi)
+    iv = Interval(lo, hi)
+    bits = UNKNOWN_BITS
+    if ib.lo == ib.hi and a.interval.within(0, MASK64):
+        k = ib.lo
+        ba = a.all_bits()
+        high_zero = MASK64 ^ ((1 << (BIT_UNIVERSE - k)) - 1) \
+            if k else 0
+        mask = ((ba.mask >> k) | high_zero) & MASK64
+        bits = KnownBits(mask, (ba.value >> k) & mask)
+    return _result(iv, bits, uniform)
+
+
+def av_invert(a: AbsVal) -> AbsVal:
+    """Python ``~x`` (= -x - 1, infinite-width two's complement)."""
+    lo = None if a.interval.hi is None else -a.interval.hi - 1
+    hi = None if a.interval.lo is None else -a.interval.lo - 1
+    return _result(Interval(lo, hi), UNKNOWN_BITS, a.uniform)
+
+
+def av_min(a: AbsVal, b: AbsVal) -> AbsVal:
+    # result >= both los (needs both); result <= either known hi
+    lo = _min_opt(a.interval.lo, b.interval.lo)
+    hi = _min_opt_meet(a.interval.hi, b.interval.hi)
+    return _result(Interval(lo, hi), UNKNOWN_BITS, _both_uniform(a, b))
+
+
+def av_max(a: AbsVal, b: AbsVal) -> AbsVal:
+    lo = _max_opt_meet(a.interval.lo, b.interval.lo)
+    hi = None
+    if a.interval.hi is not None and b.interval.hi is not None:
+        hi = max(a.interval.hi, b.interval.hi)
+    return _result(Interval(lo, hi), UNKNOWN_BITS, _both_uniform(a, b))
+
+
+def av_join(a: AbsVal, b: AbsVal) -> AbsVal:
+    return a.join(b)
+
+
+# ----------------------------------------------------------------------
+# comparisons
+# ----------------------------------------------------------------------
+
+_BOOL_TOP = Interval(0, 1)
+
+
+def av_cmp(op: str, a: AbsVal, b: AbsVal) -> AbsVal:
+    """Comparison result as a 0/1 abstract boolean."""
+    ia, ib = a.interval, b.interval
+    verdict: Optional[bool] = None
+    if op == "<":
+        if ia.hi is not None and ib.lo is not None and ia.hi < ib.lo:
+            verdict = True
+        elif ia.lo is not None and ib.hi is not None and ia.lo >= ib.hi:
+            verdict = False
+    elif op == "<=":
+        if ia.hi is not None and ib.lo is not None and ia.hi <= ib.lo:
+            verdict = True
+        elif ia.lo is not None and ib.hi is not None and ia.lo > ib.hi:
+            verdict = False
+    elif op == ">":
+        return av_cmp("<", b, a)
+    elif op == ">=":
+        return av_cmp("<=", b, a)
+    elif op == "==":
+        if (ia.lo is not None and ia.lo == ia.hi
+                and ib.lo is not None and ib.lo == ib.hi):
+            verdict = ia.lo == ib.lo
+        elif (ia.hi is not None and ib.lo is not None
+                and ia.hi < ib.lo) or \
+             (ia.lo is not None and ib.hi is not None
+                and ia.lo > ib.hi):
+            verdict = False
+    elif op == "!=":
+        inner = av_cmp("==", a, b)
+        t = inner.truth()
+        verdict = None if t is None else not t
+    uniform = _both_uniform(a, b)
+    if verdict is None:
+        return AbsVal(_BOOL_TOP, UNKNOWN_BITS, uniform)
+    return const_val(int(verdict), uniform=uniform)
+
+
+# ----------------------------------------------------------------------
+# branch refinement
+# ----------------------------------------------------------------------
+
+_NEGATED = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+            "==": "!=", "!=": "=="}
+
+
+def refine_cmp(op: str, var: AbsVal, other: AbsVal,
+               assume: bool) -> AbsVal:
+    """Refine ``var``'s interval assuming ``var <op> other`` is
+    ``assume``; ``other`` stays untouched (refine it via the swapped
+    operator)."""
+    if not assume:
+        op = _NEGATED[op]
+    iv = var.interval
+    o = other.interval
+    if op == "<" and o.hi is not None:
+        iv = iv.meet(Interval(None, o.hi - 1))
+    elif op == "<=" and o.hi is not None:
+        iv = iv.meet(Interval(None, o.hi))
+    elif op == ">" and o.lo is not None:
+        iv = iv.meet(Interval(o.lo + 1, None))
+    elif op == ">=" and o.lo is not None:
+        iv = iv.meet(Interval(o.lo, None))
+    elif op == "==":
+        iv = iv.meet(o)
+    if iv.is_empty():
+        # contradictory path: keep the original (caller prunes via
+        # branch truthiness, not via empty envs)
+        return var
+    return AbsVal(iv, var.bits, var.uniform)
+
+
+def swap_op(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+            "==": "==", "!=": "!="}[op]

@@ -17,8 +17,21 @@ RULES = {
           "deadlock)",
     "L5": "nondeterminism (unseeded RNG / wall-clock) in a module the "
           "runner cache hashes",
+    "L6": "provably-constant slice carry: abstract interpretation pins "
+          "slice-boundary carries of an integer adder site "
+          "(informational; exported by `st2-lint facts`)",
+    "L7": "infeasible-path-aware barrier divergence: syncthreads under "
+          "a k.where mask whose divergence is actually reachable "
+          "(flow-sensitive upgrade of L4)",
+    "L8": "range-proven dead speculation: every boundary carry of an "
+          "adder site is static, so ST2 speculation can never "
+          "mispredict there (informational)",
     "E0": "file could not be parsed",
 }
+
+#: informational rules: reported on request, never fail the run and
+#: never enter baselines.
+INFO_RULES = frozenset({"L6", "L8"})
 
 
 @dataclass(frozen=True)

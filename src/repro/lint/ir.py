@@ -1,0 +1,567 @@
+"""Kernel IR: AST → basic blocks + CFG for the abstract interpreter.
+
+Each kernel function is lowered into a small register-machine IR:
+expression evaluation produces single-assignment temporaries, local
+variables are explicit ``load``/``store`` instructions, and control
+flow is a graph of :class:`Block`\\ s.  DSL constructs become
+first-class instructions:
+
+* ``dslcall`` — any ``k.<method>(...)`` call, annotated with the active
+  ``k.inline`` scope stack and ``k.where`` condition stack;
+* ``barrier`` — ``k.syncthreads()``, annotated the same way (the L7
+  rule reads the condition stack off this instruction);
+* ``loopiter`` — a loop header defining the loop variable (from
+  ``k.range`` bounds or a generic iterable);
+* ``range_inc`` — the synthetic latch instruction modelling the *real*
+  recorded loop-increment IADD that ``k.range`` emits once per
+  iteration (the paper's "PC1" highly-correlated addition).
+
+``k.where`` bodies are *not* branches: every lane executes them with a
+mask, so they stay in straight-line code and only contribute to the
+condition stack.  Real Python ``if``/``while``/``for`` become CFG
+edges.
+
+Constructs the lowering cannot model soundly raise
+:class:`LoweringError`; the analyzer then falls back to the syntactic
+rules for that function (no facts, no L4→L7 refinement).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+Temp = int
+Arg = Union[int, None]
+
+
+class LoweringError(Exception):
+    """The function uses a construct the IR cannot model soundly."""
+
+
+@dataclass
+class Instr:
+    """One IR instruction.
+
+    ``op`` selects the kind; ``dest`` is the defined temp (or None),
+    ``args`` are operand temps.  ``name`` carries variable / attribute
+    / method / function identity where applicable.  DSL instructions
+    additionally carry ``scopes`` (the lexical ``k.inline`` stack,
+    ``None`` entries for dynamic tags) and ``where`` (the ``k.where``
+    condition temps active at the site).
+    """
+
+    op: str
+    dest: Optional[Temp] = None
+    args: Tuple[Temp, ...] = ()
+    name: str = ""
+    value: object = None
+    lineno: int = 0
+    scopes: Tuple[Optional[str], ...] = ()
+    where: Tuple[Temp, ...] = ()
+    # range loops: normalised (start, stop, step) argument temps
+    range_args: Tuple[Temp, ...] = ()
+    var: str = ""
+
+
+@dataclass
+class Block:
+    """Basic block: straight-line instructions + successor edges.
+
+    ``succs`` ordering is meaningful for two-way terminators:
+    ``branch`` and ``loopiter`` list ``[taken/body, fallthrough/exit]``.
+    """
+
+    id: int
+    instrs: List[Instr] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    terminator: str = "jump"     # jump | branch | loop | ret
+
+
+@dataclass
+class IRFunction:
+    """A lowered kernel function."""
+
+    name: str
+    path: str
+    lineno: int
+    ctx: str                      # the BlockContext parameter name
+    params: Tuple[str, ...]
+    blocks: List[Block]
+    entry: int = 0
+
+    def def_map(self) -> Dict[Temp, Instr]:
+        """temp id -> defining instruction (temps are SSA)."""
+        out: Dict[Temp, Instr] = {}
+        for block in self.blocks:
+            for instr in block.instrs:
+                if instr.dest is not None:
+                    out[instr.dest] = instr
+        return out
+
+    def preds(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {b.id: [] for b in self.blocks}
+        for block in self.blocks:
+            for s in block.succs:
+                out[s].append(block.id)
+        return out
+
+
+def _dotted_name(node: ast.AST) -> str:
+    """'np.zeros' for Attribute chains on Names; '' when not static."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _Lowerer:
+    def __init__(self, fn: ast.FunctionDef, path: str):
+        self.fn = fn
+        self.path = path
+        self.ctx = fn.args.args[0].arg if fn.args.args else "k"
+        self.blocks: List[Block] = []
+        self.cur = self._new_block()
+        self.n_temps = 0
+        self.where_stack: List[Temp] = []
+        self.scope_stack: List[Optional[str]] = []
+        # (latch_block, exit_block, is_krange) per enclosing loop
+        self.loop_stack: List[Tuple[int, int, bool]] = []
+        self.exit_block = self._new_block()
+        self.exit_block.terminator = "ret"
+
+    # -- plumbing ------------------------------------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _new_temp(self) -> Temp:
+        self.n_temps += 1
+        return self.n_temps - 1
+
+    def emit(self, op: str, *, args: Tuple[Temp, ...] = (),
+             name: str = "", value: object = None, lineno: int = 0,
+             dest: bool = True, range_args: Tuple[Temp, ...] = (),
+             var: str = "") -> Optional[Temp]:
+        d = self._new_temp() if dest else None
+        self.cur.instrs.append(Instr(
+            op=op, dest=d, args=args, name=name, value=value,
+            lineno=lineno, scopes=tuple(self.scope_stack),
+            where=tuple(self.where_stack), range_args=range_args,
+            var=var))
+        return d
+
+    def _seal(self, *succs: int, terminator: str = "jump") -> None:
+        self.cur.succs = list(succs)
+        self.cur.terminator = terminator
+
+    def _start(self, block: Block) -> None:
+        self.cur = block
+
+    # -- expressions ---------------------------------------------------
+
+    def _is_ctx_method(self, node: ast.AST, method: str = "") -> str:
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == self.ctx):
+            attr = node.func.attr
+            if not method or attr == method:
+                return attr
+        return ""
+
+    def lower_expr(self, node: ast.AST) -> Temp:
+        ln = getattr(node, "lineno", 0)
+        if isinstance(node, ast.Constant):
+            return self.emit("const", value=node.value, lineno=ln)
+        if isinstance(node, ast.Name):
+            return self.emit("load", name=node.id, lineno=ln)
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == self.ctx:
+                return self.emit("ctxattr", name=node.attr, lineno=ln)
+            src = self.lower_expr(base)
+            return self.emit("attr", args=(src,), name=node.attr,
+                             lineno=ln)
+        if isinstance(node, ast.BinOp):
+            a = self.lower_expr(node.left)
+            b = self.lower_expr(node.right)
+            sym = _BINOPS.get(type(node.op), "?")
+            return self.emit("binop", args=(a, b), name=sym, lineno=ln)
+        if isinstance(node, ast.UnaryOp):
+            a = self.lower_expr(node.operand)
+            sym = _UNOPS.get(type(node.op), "?")
+            return self.emit("unop", args=(a,), name=sym, lineno=ln)
+        if isinstance(node, ast.BoolOp):
+            vals = tuple(self.lower_expr(v) for v in node.values)
+            sym = "and" if isinstance(node.op, ast.And) else "or"
+            return self.emit("boolop", args=vals, name=sym, lineno=ln)
+        if isinstance(node, ast.Compare):
+            if len(node.ops) == 1:
+                a = self.lower_expr(node.left)
+                b = self.lower_expr(node.comparators[0])
+                sym = _CMPOPS.get(type(node.ops[0]), "?")
+                return self.emit("cmp", args=(a, b), name=sym,
+                                 lineno=ln)
+            for comp in [node.left] + list(node.comparators):
+                self.lower_expr(comp)
+            return self.emit("unknown", lineno=ln, name="chained-cmp")
+        if isinstance(node, ast.Call):
+            return self._lower_call(node)
+        if isinstance(node, ast.IfExp):
+            c = self.lower_expr(node.test)
+            a = self.lower_expr(node.body)
+            b = self.lower_expr(node.orelse)
+            return self.emit("select", args=(c, a, b), lineno=ln)
+        if isinstance(node, ast.Subscript):
+            base = self.lower_expr(node.value)
+            idx = self.lower_expr(node.slice) \
+                if not isinstance(node.slice, ast.Slice) \
+                else self.emit("unknown", name="slice", lineno=ln)
+            return self.emit("subscript", args=(base, idx), lineno=ln)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            items = tuple(self.lower_expr(e) for e in node.elts
+                          if not isinstance(e, ast.Starred))
+            return self.emit("tuple", args=items, lineno=ln)
+        if isinstance(node, ast.JoinedStr):
+            return self.emit("unknown", name="fstring", lineno=ln)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp, ast.Lambda, ast.Dict,
+                             ast.Set, ast.Starred, ast.Await,
+                             ast.NamedExpr, ast.Slice)):
+            if _contains_ctx_use(node, self.ctx):
+                raise LoweringError(
+                    f"{self.path}:{ln}: DSL use inside "
+                    f"{type(node).__name__} is not lowerable")
+            return self.emit("unknown", name=type(node).__name__,
+                             lineno=ln)
+        raise LoweringError(
+            f"{self.path}:{ln}: unsupported expression "
+            f"{type(node).__name__}")
+
+    def _lower_call(self, node: ast.Call) -> Temp:
+        ln = node.lineno
+        method = self._is_ctx_method(node)
+        args = tuple(self.lower_expr(a) for a in node.args)
+        for kw in node.keywords:
+            if kw.value is not None:
+                self.lower_expr(kw.value)
+        if method:
+            if method == "syncthreads":
+                return self.emit("barrier", lineno=ln, name=method)
+            return self.emit("dslcall", args=args, name=method,
+                             lineno=ln)
+        func_path = _dotted_name(node.func)
+        if not func_path:
+            self.lower_expr(node.func)
+        return self.emit("call", args=args, name=func_path, lineno=ln)
+
+    # -- statements ----------------------------------------------------
+
+    def lower_body(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.stmt) -> None:
+        ln = getattr(stmt, "lineno", 0)
+        if isinstance(stmt, ast.Expr):
+            self.lower_expr(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            src = self.lower_expr(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, src)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                src = self.lower_expr(stmt.value)
+                self._assign(stmt.target, src)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                cur = self.emit("load", name=stmt.target.id, lineno=ln)
+                val = self.lower_expr(stmt.value)
+                sym = _BINOPS.get(type(stmt.op), "?")
+                res = self.emit("binop", args=(cur, val), name=sym,
+                                lineno=ln)
+                self.emit("store", args=(res,), name=stmt.target.id,
+                          lineno=ln, dest=False)
+            else:
+                self.lower_expr(stmt.value)
+                self._assign(stmt.target,
+                             self.emit("unknown", lineno=ln))
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.With):
+            self._lower_with(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.lower_expr(stmt.value)
+            self.emit("ret", lineno=ln, dest=False)
+            self._seal(self.exit_block.id, terminator="ret")
+            self._start(self._new_block())
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise LoweringError(f"{self.path}:{ln}: break outside "
+                                    f"loop")
+            # jumps straight to the loop exit: a k.range generator
+            # abandoned by break never emits its pending increment,
+            # so the latch is (correctly) bypassed
+            self._seal(self.loop_stack[-1][1])
+            self._start(self._new_block())
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise LoweringError(f"{self.path}:{ln}: continue "
+                                    f"outside loop")
+            # continue resumes the generator: the latch (and its
+            # recorded increment) still runs
+            self._seal(self.loop_stack[-1][0])
+            self._start(self._new_block())
+        elif isinstance(stmt, (ast.Pass, ast.Import, ast.ImportFrom,
+                               ast.Global, ast.Nonlocal)):
+            pass
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            if _contains_ctx_use(stmt, self.ctx):
+                raise LoweringError(
+                    f"{self.path}:{ln}: nested definition uses the "
+                    f"DSL context")
+            self.emit("store", args=(self.emit("unknown", lineno=ln),),
+                      name=stmt.name, lineno=ln, dest=False)
+        elif isinstance(stmt, ast.Assert):
+            self.lower_expr(stmt.test)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.lower_expr(stmt.exc)
+            self.emit("ret", name="raise", lineno=ln, dest=False)
+            self._seal(self.exit_block.id, terminator="ret")
+            self._start(self._new_block())
+        else:
+            raise LoweringError(
+                f"{self.path}:{ln}: unsupported statement "
+                f"{type(stmt).__name__}")
+
+    def _assign(self, target: ast.AST, src: Temp) -> None:
+        ln = getattr(target, "lineno", 0)
+        if isinstance(target, ast.Name):
+            self.emit("store", args=(src,), name=target.id, lineno=ln,
+                      dest=False)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, self.emit("unknown", lineno=ln))
+        elif isinstance(target, ast.Subscript):
+            self.lower_expr(target.value)
+            if not isinstance(target.slice, ast.Slice):
+                self.lower_expr(target.slice)
+        elif isinstance(target, ast.Attribute):
+            self.lower_expr(target.value)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, src)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        cond = self.lower_expr(stmt.test)
+        then_block = self._new_block()
+        else_block = self._new_block()
+        join_block = self._new_block()
+        self._seal(then_block.id, else_block.id, terminator="branch")
+        self.cur.instrs.append(Instr(
+            op="branch", args=(cond,), lineno=stmt.lineno,
+            scopes=tuple(self.scope_stack),
+            where=tuple(self.where_stack)))
+
+        self._start(then_block)
+        self.lower_body(stmt.body)
+        self._seal(join_block.id)
+
+        self._start(else_block)
+        self.lower_body(stmt.orelse)
+        self._seal(join_block.id)
+
+        self._start(join_block)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        header = self._new_block()
+        body = self._new_block()
+        exit_block = self._new_block()
+        self._seal(header.id)
+
+        self._start(header)
+        cond = self.lower_expr(stmt.test)
+        self.cur.instrs.append(Instr(
+            op="branch", args=(cond,), lineno=stmt.lineno,
+            scopes=tuple(self.scope_stack),
+            where=tuple(self.where_stack)))
+        self._seal(body.id, exit_block.id, terminator="branch")
+
+        self.loop_stack.append((header.id, exit_block.id, False))
+        self._start(body)
+        self.lower_body(stmt.body)
+        self._seal(header.id)
+        self.loop_stack.pop()
+
+        if stmt.orelse:
+            self._start(exit_block)
+            self.lower_body(stmt.orelse)
+            after = self._new_block()
+            self._seal(after.id)
+            self._start(after)
+        else:
+            self._start(exit_block)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            # tuple targets: model as generic iteration over unknowns
+            var = ""
+        else:
+            var = stmt.target.id
+        is_krange = bool(self._is_ctx_method(stmt.iter, "range"))
+        ln = stmt.lineno
+
+        if is_krange:
+            it = stmt.iter
+            assert isinstance(it, ast.Call)
+            raw = [self.lower_expr(a) for a in it.args]
+            if len(raw) == 1:
+                zero = self.emit("const", value=0, lineno=ln)
+                one = self.emit("const", value=1, lineno=ln)
+                range_args = (zero, raw[0], one)
+            elif len(raw) == 2:
+                one = self.emit("const", value=1, lineno=ln)
+                range_args = (raw[0], raw[1], one)
+            elif len(raw) == 3:
+                range_args = (raw[0], raw[1], raw[2])
+            else:
+                raise LoweringError(f"{self.path}:{ln}: k.range() "
+                                    f"needs 1-3 arguments")
+            iter_temp: Tuple[Temp, ...] = ()
+        else:
+            iter_temp = (self.lower_expr(stmt.iter),)
+            range_args = ()
+
+        header = self._new_block()
+        body = self._new_block()
+        latch = self._new_block()
+        exit_block = self._new_block()
+        self._seal(header.id)
+
+        self._start(header)
+        self.cur.instrs.append(Instr(
+            op="loopiter", args=iter_temp, name="krange" if is_krange
+            else "iter", lineno=ln, var=var,
+            range_args=range_args, scopes=tuple(self.scope_stack),
+            where=tuple(self.where_stack)))
+        self._seal(body.id, exit_block.id, terminator="loop")
+
+        self.loop_stack.append((latch.id, exit_block.id, is_krange))
+        self._start(body)
+        self.lower_body(stmt.body)
+        self._seal(latch.id)
+        self.loop_stack.pop()
+
+        self._start(latch)
+        if is_krange:
+            # the recorded loop-increment IADD: i + step at the
+            # k.range call site, once per iteration
+            self.cur.instrs.append(Instr(
+                op="range_inc", args=(), name="loop-inc", lineno=ln,
+                var=var, range_args=range_args,
+                scopes=tuple(self.scope_stack),
+                where=tuple(self.where_stack)))
+        self._seal(header.id)
+
+        if stmt.orelse:
+            self._start(exit_block)
+            self.lower_body(stmt.orelse)
+            after = self._new_block()
+            self._seal(after.id)
+            self._start(after)
+        else:
+            self._start(exit_block)
+
+    def _lower_with(self, stmt: ast.With) -> None:
+        pushed_where = 0
+        pushed_scope = 0
+        for item in stmt.items:
+            call = item.context_expr
+            attr = self._is_ctx_method(call)
+            if attr == "where":
+                assert isinstance(call, ast.Call)
+                if len(call.args) != 1:
+                    raise LoweringError(
+                        f"{self.path}:{stmt.lineno}: k.where() takes "
+                        f"one condition")
+                cond = self.lower_expr(call.args[0])
+                self.where_stack.append(cond)
+                pushed_where += 1
+            elif attr == "inline":
+                assert isinstance(call, ast.Call)
+                tag: Optional[str] = None
+                if call.args and isinstance(call.args[0], ast.Constant):
+                    tag = str(call.args[0].value)
+                else:
+                    for a in call.args:
+                        self.lower_expr(a)
+                self.scope_stack.append(tag)
+                pushed_scope += 1
+            else:
+                self.lower_expr(call)
+            if item.optional_vars is not None:
+                self._assign(item.optional_vars,
+                             self.emit("unknown",
+                                       lineno=stmt.lineno))
+        try:
+            self.lower_body(stmt.body)
+        finally:
+            for _ in range(pushed_where):
+                self.where_stack.pop()
+            for _ in range(pushed_scope):
+                self.scope_stack.pop()
+
+    # -- entry ---------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        params = tuple(a.arg for a in self.fn.args.args)
+        self.lower_body(self.fn.body)
+        self._seal(self.exit_block.id)
+        return IRFunction(
+            name=self.fn.name, path=self.path, lineno=self.fn.lineno,
+            ctx=self.ctx, params=params, blocks=self.blocks,
+            entry=0)
+
+
+_BINOPS = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+           ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**",
+           ast.LShift: "<<", ast.RShift: ">>", ast.BitAnd: "&",
+           ast.BitOr: "|", ast.BitXor: "^", ast.MatMult: "@"}
+_UNOPS = {ast.USub: "-", ast.UAdd: "+", ast.Invert: "~",
+          ast.Not: "not"}
+_CMPOPS = {ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+           ast.Eq: "==", ast.NotEq: "!=", ast.Is: "==",
+           ast.IsNot: "!=", ast.In: "in", ast.NotIn: "not-in"}
+
+
+def _contains_ctx_use(node: ast.AST, ctx: str) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == ctx:
+            return True
+    return False
+
+
+def lower_function(fn: ast.FunctionDef, path: str = "<string>"
+                   ) -> IRFunction:
+    """Lower one kernel function; raises :class:`LoweringError` on
+    constructs the IR cannot model."""
+    if isinstance(fn, ast.AsyncFunctionDef):  # pragma: no cover
+        raise LoweringError(f"{path}:{fn.lineno}: async kernels are "
+                            f"not supported")
+    return _Lowerer(fn, path).lower()

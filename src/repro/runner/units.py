@@ -32,7 +32,8 @@ from repro.st2.results import RunResult
 #: Bump when the shape of the result dict changes; part of the cache key.
 #: v2: trace-store provenance (``trace_cache_hit``) and per-stage
 #: timings (``capture_time_s`` / ``eval_time_s``) joined the payload.
-RESULT_SCHEMA = 2
+#: v3: ``metrics.static_peek`` — the static carry-fact ablation row.
+RESULT_SCHEMA = 3
 
 #: Fields every valid result dict must carry (cache validation).
 RESULT_FIELDS = ("kernel", "scale", "seed", "config", "config_fields",
@@ -168,6 +169,35 @@ def _aux_metrics(run) -> dict:
     }
 
 
+def _static_peek_metrics(spec: UnitSpec, run) -> dict:
+    """The static carry-fact ablation row of one unit.
+
+    Facts come from the abstract interpreter over the kernel's source
+    (memoised per module path inside :mod:`repro.lint.facts`, so the
+    analysis runs once per module per process); the ``absint.facts``
+    counter is still added per unit to keep obs totals independent of
+    how units are distributed over workers.
+    """
+    from repro.lint.facts import facts_for_kernel
+    from repro.st2.ablations import static_peek_ablation
+
+    facts = facts_for_kernel(spec.kernel)
+    obs.add("absint.facts",
+            sum(len(f.carries) for f in facts.values()))
+    point = static_peek_ablation(run.trace, facts, config=spec.config)
+    return {
+        "fact_labels": point.fact_labels,
+        "fact_bits": point.fact_bits,
+        "static_bits": point.static_bits,
+        "new_static_bits": point.new_static_bits,
+        "dynamic_events_base": point.dynamic_events_base,
+        "dynamic_events_static": point.dynamic_events_static,
+        "events_reduced": point.events_reduced,
+        "misprediction_rate_base": point.misprediction_rate_base,
+        "misprediction_rate_static": point.misprediction_rate_static,
+    }
+
+
 def unit_trace_key(spec: UnitSpec, version: str = None) -> str:
     """The trace-store key of this unit's functional execution — shared
     by every config evaluated against the same (kernel, scale, seed)."""
@@ -253,6 +283,7 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
             "chip_saving": float(ev.chip_saving),
             "alu_fpu_share": float(ev.energy.alu_fpu_share),
             "arithmetic_intensive": bool(ev.arithmetic_intensive),
+            "static_peek": _static_peek_metrics(spec, run),
         },
         "energy_stacks": {"baseline": base_stack, "st2": st2_stack},
     }

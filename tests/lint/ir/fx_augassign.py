@@ -1,0 +1,17 @@
+"""IR-lowering fixture: augmented assigns feeding a ``k.range`` loop.
+
+``acc += 2`` must lower to a binop + store (same dataflow as
+``acc = acc + 2``), and the ``k.range`` latch must model the
+generator's own increment (interval ``[0, 3] + 1``) regardless of any
+body reassignment of the loop variable.
+"""
+
+
+def augassign_kernel(k, out):
+    t = k.thread_id()
+    acc = 0
+    for i in k.range(4):
+        acc += 2
+        acc = k.iadd(acc, i)
+        i = i * 10
+    k.st_global(out, t, acc)

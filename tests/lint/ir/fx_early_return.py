@@ -1,0 +1,25 @@
+"""IR-lowering fixture: early ``return`` inside a divergent branch.
+
+The return seals its block straight to the exit; statements after it
+in the same branch are unreachable, while the barrier on the
+fall-through path stays reachable (at where-depth 0, so it is clean).
+"""
+
+
+def early_return_kernel(k, out, n):
+    t = k.thread_id()
+    if n == 0:
+        k.st_global(out, t, t)
+        return
+    x = k.iadd(t, 1)
+    k.syncthreads()
+    k.st_global(out, t, x)
+
+
+def dead_barrier_kernel(k, out, n):
+    t = k.thread_id()
+    if True:
+        k.st_global(out, t, t)
+        return
+    with k.where(k.lt(t, n)):
+        k.syncthreads()

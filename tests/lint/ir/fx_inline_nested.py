@@ -1,0 +1,17 @@
+"""IR-lowering fixture: nested ``k.inline`` scopes.
+
+The first adder runs under two static scopes (its PC label composes
+them as ``outer/inner``); the second runs under a *dynamic* scope (a
+parameter), which makes its runtime label unknowable — the site must
+export no facts.
+"""
+
+
+def inline_kernel(k, out, tag):
+    t = k.thread_id()
+    with k.inline("outer"):
+        with k.inline("inner"):
+            a = k.iadd(t, 4)
+    with k.inline(tag):
+        b = k.iadd(t, 8)
+    k.st_global(out, t, k.iadd(a, b))

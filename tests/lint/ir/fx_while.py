@@ -1,0 +1,16 @@
+"""IR-lowering fixture: ``while`` loop with a loop-carried adder.
+
+The header condition re-evaluates every iteration; the branch refines
+``i`` to ``[0, 7]`` inside the body, so the increment stays bounded
+while the accumulator widens to ``[0, +inf)``.
+"""
+
+
+def while_kernel(k, out, n):
+    t = k.thread_id()
+    i = 0
+    acc = 0
+    while i < 8:
+        acc = k.iadd(acc, 2)
+        i = i + 1
+    k.st_global(out, t, acc)

@@ -1,0 +1,216 @@
+"""Abstract domains + fixpoint engine (repro.lint.absint).
+
+Domain algebra is tested directly; engine behaviour (branch pruning,
+comparison refinement, divergence verdicts, bail-outs) through
+:func:`analyze_source` on small inline kernels.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.absint import (analyze_source, module_constants)
+from repro.lint.domains import (AbsVal, Interval, av_add, av_cmp,
+                                av_min, av_mod, av_shl,
+                                bits_from_const, const_val, refine_cmp)
+
+
+def analyze(src):
+    return analyze_source(textwrap.dedent(src), "<test>")
+
+
+class TestInterval:
+    def test_join_widens_bounds(self):
+        assert Interval(0, 3).join(Interval(2, 9)) == Interval(0, 9)
+        assert Interval(0, 3).join(Interval(None, 9)) == \
+            Interval(None, 9)
+
+    def test_widen_jumps_moving_bound_to_infinity(self):
+        assert Interval(0, 3).widen(Interval(0, 5)) == Interval(0, None)
+        assert Interval(0, 3).widen(Interval(-1, 3)) == \
+            Interval(None, 3)
+        # stable bounds survive
+        assert Interval(0, 3).widen(Interval(1, 2)) == Interval(0, 3)
+
+    def test_meet_and_empty(self):
+        assert Interval(0, 10).meet(Interval(4, None)) == Interval(4, 10)
+        assert Interval(0, 3).meet(Interval(5, 9)).is_empty()
+
+    def test_within(self):
+        assert Interval(0, 255).within(0, 2**32 - 1)
+        assert not Interval(-1, 3).within(0, 2**32 - 1)
+        assert not Interval(None, 3).within(0, 2**32 - 1)
+
+
+class TestKnownBits:
+    def test_join_keeps_agreeing_bits(self):
+        a = bits_from_const(0b1100)
+        b = bits_from_const(0b1010)
+        j = a.join(b)
+        assert j.bit(3) == 1          # both have bit 3 set
+        assert j.bit(0) == 0          # both have bit 0 clear
+        assert j.bit(1) is None       # disagree
+        assert j.bit(2) is None
+
+    def test_ripple_add_exact_when_fully_known(self):
+        s = av_add(const_val(1234), const_val(5678))
+        assert s.interval == Interval(6912, 6912)
+        assert s.bits.mask != 0 and s.bits.value == 6912 & s.bits.mask
+
+    def test_interval_implies_high_zero_bits(self):
+        bits = AbsVal(Interval(0, 7)).all_bits()
+        assert bits.bit(3) == 0 and bits.bit(63) == 0
+        assert bits.bit(2) is None
+
+
+class TestTransfers:
+    def test_mod_positive_divisor(self):
+        r = av_mod(AbsVal(uniform=True), const_val(8))
+        assert r.interval == Interval(0, 7)
+
+    def test_min_uses_either_hi(self):
+        r = av_min(AbsVal(Interval(0, None)), const_val(31))
+        assert r.interval == Interval(0, 31)
+
+    def test_shl_const_shift_keeps_low_zeros(self):
+        r = av_shl(AbsVal(Interval(0, 15), uniform=True), const_val(4))
+        assert r.interval == Interval(0, 240)
+        assert r.bits.bit(0) == 0 and r.bits.bit(3) == 0
+
+    def test_cmp_verdicts(self):
+        lo = AbsVal(Interval(0, 3))
+        hi = AbsVal(Interval(8, 12))
+        assert av_cmp("<", lo, hi).truth() is True
+        assert av_cmp(">=", lo, hi).truth() is False
+        assert av_cmp("<", lo, AbsVal(Interval(2, 9))).truth() is None
+
+    def test_refine_cmp(self):
+        x = AbsVal(Interval(0, None))
+        assert refine_cmp("<", x, const_val(8), True).interval == \
+            Interval(0, 7)
+        assert refine_cmp("<", x, const_val(8), False).interval == \
+            Interval(8, None)
+        # contradictory refinement keeps the original (pruning is the
+        # branch's job)
+        y = AbsVal(Interval(10, 20))
+        assert refine_cmp("<", y, const_val(0), True).interval == \
+            Interval(10, 20)
+
+
+class TestModuleConstants:
+    def test_folds_literals_and_arithmetic(self):
+        tree = ast.parse("A = 4\nB = A * 8\nC = -2\nD = (1, 2, 3)\n")
+        consts = module_constants(tree)
+        assert consts["A"] == 4 and consts["B"] == 32
+        assert consts["C"] == -2 and consts["D"] == (1, 2, 3)
+
+    def test_reassignment_to_unfoldable_drops_name(self):
+        tree = ast.parse("A = 4\nA = object()\n")
+        assert "A" not in module_constants(tree)
+
+
+class TestEngine:
+    def test_branch_refines_thread_id(self):
+        s = analyze("""
+            def fn(k, out):
+                t = k.thread_id()
+                if t < 8:
+                    a = k.iadd(t, 1)
+                else:
+                    a = k.iadd(t, 100)
+                k.st_global(out, t, a)
+        """)["fn"]
+        assert not s.bailed
+        taken, other = s.adder_sites
+        assert taken.op_a.interval == Interval(0, 7)
+        assert other.op_a.interval == Interval(8, None)
+
+    def test_const_false_branch_is_pruned(self):
+        s = analyze("""
+            FLAG = 0
+
+            def fn(k, out):
+                t = k.thread_id()
+                if FLAG:
+                    k.syncthreads()
+                k.st_global(out, t, t)
+        """)["fn"]
+        (barrier,) = s.barrier_sites
+        assert not barrier.reachable and barrier.clean
+
+    def test_params_are_divergent(self):
+        # helper functions receive per-lane vectors from callers, so a
+        # barrier guarded by a parameter comparison must stay suspect
+        s = analyze("""
+            def fn(k, out, n):
+                t = k.thread_id()
+                with k.where(k.lt(t, n)):
+                    k.syncthreads()
+        """)["fn"]
+        (barrier,) = s.barrier_sites
+        assert barrier.reachable and barrier.divergent
+        assert not barrier.clean
+
+    def test_uniform_where_is_clean(self):
+        s = analyze("""
+            def fn(k, out):
+                t = k.thread_id()
+                with k.where(k.lt(k.n_threads, 1024)):
+                    k.syncthreads()
+                k.st_global(out, t, t)
+        """)["fn"]
+        (barrier,) = s.barrier_sites
+        assert barrier.n_conds == 1
+        assert barrier.reachable and not barrier.divergent
+        assert barrier.clean
+
+    def test_decided_divergent_cond_is_clean(self):
+        # per-lane value, but the comparison is decided for every lane
+        s = analyze("""
+            def fn(k, out):
+                t = k.thread_id()
+                with k.where(k.ge(t, 0)):
+                    k.syncthreads()
+        """)["fn"]
+        (barrier,) = s.barrier_sites
+        assert barrier.clean
+
+    def test_unlowerable_construct_bails(self):
+        s = analyze("""
+            def fn(k, out):
+                try:
+                    k.syncthreads()
+                except Exception:
+                    pass
+        """)["fn"]
+        assert s.bailed and s.reason
+
+    def test_widening_terminates_open_loop(self):
+        s = analyze("""
+            def fn(k, out, n):
+                t = k.thread_id()
+                i = 0
+                acc = 0
+                while i < n:
+                    acc = k.iadd(acc, 3)
+                    i = i + 1
+                k.st_global(out, t, acc)
+        """)["fn"]
+        assert not s.bailed
+        (site,) = [x for x in s.adder_sites if x.kind == "iadd"]
+        assert site.op_a.interval.lo == 0     # widened hi, stable lo
+        assert site.op_a.interval.hi is None
+
+    def test_krange_const_bounds(self):
+        s = analyze("""
+            N = 16
+
+            def fn(k, out):
+                t = k.thread_id()
+                acc = 0
+                for i in k.range(N):
+                    acc = k.iadd(acc, i)
+                k.st_global(out, t, acc)
+        """)["fn"]
+        (inc,) = [x for x in s.adder_sites if x.kind == "loop-inc"]
+        assert inc.op_a.interval == Interval(0, 15)
+        assert inc.op_b.interval == Interval(1, 1)

@@ -1,0 +1,138 @@
+"""IR-lowering corner cases: ``while`` loops, ``k.inline`` nesting,
+early ``return`` inside branches, augmented assigns.
+
+Each shape has a fixture kernel under ``tests/lint/ir/``; the tests
+lower it, run the abstract interpreter, and check the structural
+properties the facts/rules layers rely on.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.lint.absint import analyze_source
+from repro.lint.facts import module_facts_from_source, site_label
+from repro.lint.ir import lower_function
+
+FIXTURES = Path(__file__).parent / "ir"
+
+
+def load(name):
+    src = (FIXTURES / name).read_text()
+    return src, ast.parse(src, filename=name)
+
+
+def lower(tree, fn_name):
+    fn = next(n for n in tree.body
+              if isinstance(n, ast.FunctionDef) and n.name == fn_name)
+    return lower_function(fn, "<fixture>")
+
+
+class TestWhileLoop:
+    def test_lowers_to_branch_loop(self):
+        _, tree = load("fx_while.py")
+        ir = lower(tree, "while_kernel")
+        # the header must be a two-way branch whose taken edge reaches
+        # a block that jumps back to it (a loop in the CFG)
+        headers = [b for b in ir.blocks if b.terminator == "branch"]
+        assert headers, "while header missing"
+        preds = ir.preds()
+        assert any(len(preds[h.id]) >= 2 for h in headers), \
+            "no back edge into the while header"
+
+    def test_analysis_terminates_and_bounds_operands(self):
+        src, _ = load("fx_while.py")
+        summaries = analyze_source(src, "fx_while.py")
+        s = summaries["while_kernel"]
+        assert not s.bailed
+        (site,) = s.adder_sites
+        assert site.kind == "iadd"
+        # acc starts at 0 and only grows; the constant addend is exact
+        assert site.op_a.interval.lo == 0
+        assert site.op_b.interval.lo == site.op_b.interval.hi == 2
+
+    def test_facts_exported(self):
+        src, _ = load("fx_while.py")
+        facts = module_facts_from_source(src, "fx_while.py")
+        # acc widens to [0, +inf) -- no 32-bit proof, so no fact; the
+        # analysis must stay sound rather than guess
+        assert facts == {}
+
+
+class TestInlineNesting:
+    def test_scopes_compose_lexically(self):
+        src, _ = load("fx_inline_nested.py")
+        s = analyze_source(src, "fx_inline_nested.py")["inline_kernel"]
+        assert not s.bailed
+        by_line = {site.lineno: site for site in s.adder_sites}
+        assert by_line[14].scopes == ("outer", "inner")
+        assert by_line[16].scopes == (None,)
+        assert by_line[17].scopes == ()
+
+    def test_dynamic_scope_has_no_label(self):
+        src, _ = load("fx_inline_nested.py")
+        s = analyze_source(src, "fx_inline_nested.py")["inline_kernel"]
+        by_line = {site.lineno: site for site in s.adder_sites}
+        assert site_label("inline_kernel", by_line[14]) == \
+            "inline_kernel:14#outer/inner"
+        assert site_label("inline_kernel", by_line[16]) is None
+        assert site_label("inline_kernel", by_line[17]) == \
+            "inline_kernel:17"
+
+
+class TestEarlyReturn:
+    def test_return_seals_block(self):
+        _, tree = load("fx_early_return.py")
+        ir = lower(tree, "early_return_kernel")
+        rets = [b for b in ir.blocks if b.terminator == "ret"]
+        # the early return and the function tail both end in ret
+        assert len(rets) >= 2
+
+    def test_fallthrough_stays_reachable(self):
+        src, _ = load("fx_early_return.py")
+        summaries = analyze_source(src, "fx_early_return.py")
+        s = summaries["early_return_kernel"]
+        assert not s.bailed
+        (barrier,) = s.barrier_sites
+        assert barrier.reachable
+        assert barrier.n_conds == 0          # where-depth 0 -> clean
+        (site,) = s.adder_sites
+        assert site.visits >= 1
+
+    def test_code_after_unconditional_return_is_dead(self):
+        src, _ = load("fx_early_return.py")
+        summaries = analyze_source(src, "fx_early_return.py")
+        s = summaries["dead_barrier_kernel"]
+        assert not s.bailed
+        (barrier,) = s.barrier_sites
+        assert barrier.n_conds == 1
+        assert not barrier.reachable
+        assert barrier.clean
+
+
+class TestAugAssign:
+    def test_lowers_like_plain_assign(self):
+        _, tree = load("fx_augassign.py")
+        ir = lower(tree, "augassign_kernel")
+        stores = [i for b in ir.blocks for i in b.instrs
+                  if i.op == "store" and i.name == "acc"]
+        # init + augassign + iadd result
+        assert len(stores) == 3
+
+    def test_loop_inc_uses_generator_interval(self):
+        src, _ = load("fx_augassign.py")
+        s = analyze_source(src, "fx_augassign.py")["augassign_kernel"]
+        assert not s.bailed
+        incs = [x for x in s.adder_sites if x.kind == "loop-inc"]
+        (inc,) = incs
+        # k.range(4): the latch adds step 1 to the generator's own i
+        # in [0, 3] -- the body's `i = i * 10` must not leak in
+        assert inc.op_a.interval.lo == 0
+        assert inc.op_a.interval.hi == 3
+        assert inc.op_b.interval.lo == inc.op_b.interval.hi == 1
+
+    def test_loop_inc_fact_proved(self):
+        src, _ = load("fx_augassign.py")
+        facts = module_facts_from_source(src, "fx_augassign.py")
+        label = "augassign_kernel:13#loop-inc"
+        assert label in facts
+        assert facts[label].carries == {0: 0, 1: 0, 2: 0}

@@ -1,0 +1,86 @@
+"""Finding-order determinism: CLI output and baseline files must be
+byte-identical regardless of the order paths are given in (satellite
+of the flow-sensitive analyzer work: fingerprint counting is
+order-sensitive for duplicate findings, so the sort is load-bearing).
+"""
+
+import io
+import json
+
+from repro.lint.analyzer import lint_paths
+from repro.lint.baseline import write_baseline
+from repro.lint.cli import main
+
+BAD_A = """\
+def kernel(k, out):
+    t = k.thread_id()
+    x = t + 1
+    k.st_global(out, t, x)
+"""
+
+BAD_B = """\
+def kernel(k, out, n):
+    t = k.thread_id()
+    y = t - n
+    with k.where(k.lt(t, n)):
+        k.syncthreads()
+    k.st_global(out, t, y)
+"""
+
+
+def write_tree(tmp_path):
+    d = tmp_path / "pkg"
+    d.mkdir()
+    (d / "zz_last.py").write_text(BAD_A)
+    (d / "aa_first.py").write_text(BAD_B)
+    (d / "mid.py").write_text(BAD_A)
+    return d
+
+
+def test_findings_sorted_regardless_of_argument_order(tmp_path):
+    d = write_tree(tmp_path)
+    files = [d / "zz_last.py", d / "aa_first.py", d / "mid.py"]
+    forward = lint_paths([str(p) for p in files])
+    reverse = lint_paths([str(p) for p in reversed(files)])
+    keys = [(f.path, f.line, f.rule) for f in forward]
+    assert keys == sorted(keys)
+    assert [(f.path, f.line, f.rule, f.message) for f in forward] == \
+        [(f.path, f.line, f.rule, f.message) for f in reverse]
+
+
+def test_directory_walk_matches_explicit_files(tmp_path):
+    d = write_tree(tmp_path)
+    via_dir = lint_paths([str(d)])
+    via_files = lint_paths(
+        sorted(str(p) for p in d.glob("*.py")))
+    assert [(f.path, f.line, f.rule) for f in via_dir] == \
+        [(f.path, f.line, f.rule) for f in via_files]
+
+
+def test_baseline_bytes_identical_under_shuffle(tmp_path):
+    d = write_tree(tmp_path)
+    files = [str(d / n) for n in
+             ("zz_last.py", "aa_first.py", "mid.py")]
+    p1 = tmp_path / "b1.json"
+    p2 = tmp_path / "b2.json"
+    write_baseline(p1, lint_paths(files))
+    write_baseline(p2, lint_paths(list(reversed(files))))
+    assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_cli_output_identical_under_shuffle(tmp_path):
+    d = write_tree(tmp_path)
+    files = [str(d / n) for n in
+             ("zz_last.py", "aa_first.py", "mid.py")]
+
+    def run(args):
+        out = io.StringIO()
+        code = main(args, out=out)
+        return code, out.getvalue()
+
+    c1, o1 = run(["--json", *files])
+    c2, o2 = run(["--json", *list(reversed(files))])
+    assert c1 == c2
+    assert o1 == o2
+    parsed = json.loads(o1)
+    assert parsed["findings"]

@@ -1,0 +1,126 @@
+"""Flow-sensitive rules L6-L8 and the L4 -> L7 retraction logic."""
+
+import textwrap
+
+from repro.lint.analyzer import lint_source
+from repro.lint.findings import INFO_RULES
+
+
+def lint(src, **kw):
+    kw.setdefault("hashed", False)
+    return lint_source(textwrap.dedent(src), path="fixture.py", **kw)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings if not f.suppressed})
+
+
+DIVERGENT_BARRIER = """
+    def kernel(k, out, n):
+        t = k.thread_id()
+        with k.where(k.lt(t, n)):
+            k.syncthreads()
+        k.st_global(out, t, t)
+"""
+
+UNIFORM_BARRIER = """
+    def kernel(k, out):
+        t = k.thread_id()
+        with k.where(k.lt(k.n_threads, 1024)):
+            k.syncthreads()
+        k.st_global(out, t, t)
+"""
+
+UNREACHABLE_BARRIER = """
+    FLAG = 0
+
+    def kernel(k, out, n):
+        t = k.thread_id()
+        if FLAG:
+            with k.where(k.lt(t, n)):
+                k.syncthreads()
+        k.st_global(out, t, t)
+"""
+
+BAILING_BARRIER = """
+    def kernel(k, out, n):
+        t = k.thread_id()
+        try:
+            pass
+        except Exception:
+            pass
+        with k.where(k.lt(t, n)):
+            k.syncthreads()
+        k.st_global(out, t, t)
+"""
+
+
+class TestL7:
+    def test_fires_with_l4_on_confirmed_divergence(self):
+        findings = lint(DIVERGENT_BARRIER)
+        assert rules_of(findings) == ["L4", "L7"]
+        l7 = next(f for f in findings if f.rule == "L7")
+        assert "reachable" in l7.message
+
+    def test_uniform_mask_retracts_l4(self):
+        assert rules_of(lint(UNIFORM_BARRIER)) == []
+
+    def test_unreachable_barrier_retracts_l4(self):
+        assert rules_of(lint(UNREACHABLE_BARRIER)) == []
+
+    def test_bailed_function_keeps_syntactic_l4(self):
+        # flow analysis cannot vouch for the function: the syntactic
+        # finding must survive, without a (confirmed) L7
+        assert rules_of(lint(BAILING_BARRIER)) == ["L4"]
+
+    def test_l4_alone_stays_syntactic(self):
+        # --rules L4 without L7 must not silently enable flow analysis
+        findings = lint(UNIFORM_BARRIER, rules=("L4",))
+        assert rules_of(findings) == ["L4"]
+
+
+PROVEN_LOOP = """
+    N = 16
+
+    def kernel(k, out):
+        t = k.thread_id()
+        acc = 0
+        for i in k.range(N):
+            acc = k.iadd(acc, i)
+        k.st_global(out, t, acc)
+"""
+
+
+class TestL6L8:
+    def test_only_informational_rules_fire(self):
+        # lint_source returns them; CLI/baseline filter on INFO_RULES
+        findings = lint(PROVEN_LOOP)
+        assert set(rules_of(findings)) <= INFO_RULES
+
+    def test_l6_reports_proven_carries(self):
+        findings = lint(PROVEN_LOOP, rules=("L6",))
+        assert rules_of(findings) == ["L6"]
+        assert "carry" in findings[0].message
+
+    def test_l8_requires_all_boundaries(self):
+        findings = lint(PROVEN_LOOP, rules=("L8",))
+        # the loop-inc pins every boundary -> fully dead speculation
+        assert "L8" in rules_of(findings)
+
+    def test_partial_proof_is_l6_only(self):
+        # x in [0, 255] plus 1: boundary 0 straddles 256, boundaries
+        # 1 and 2 are proven 0 -- a partial proof, so no L8
+        src = """
+            def kernel(k, out):
+                t = k.thread_id()
+                x = t % 256
+                y = k.iadd(x, 1)
+                k.st_global(out, t, y)
+        """
+        l6 = lint(src, rules=("L6",))
+        l8 = lint(src, rules=("L8",))
+        assert rules_of(l6) == ["L6"]
+        assert rules_of(l8) == []
+
+    def test_info_rules_are_exactly_l6_l8(self):
+        assert INFO_RULES == {"L6", "L8"}
