@@ -24,9 +24,10 @@ import sys
 from pathlib import Path
 
 from repro import cli_common
-from repro.obs.metrics import (baseline_from_metrics, check_baseline,
-                               diff_metrics, load_baseline,
-                               metrics_path_for, read_metrics)
+from repro.obs.metrics import (baseline_from_metrics,
+                               check_baseline_rows, diff_metrics,
+                               load_baseline, metrics_path_for,
+                               read_metrics)
 
 
 def build_parser():
@@ -142,12 +143,14 @@ def _cmd_diff(args) -> int:
 def _cmd_check(args) -> int:
     metrics = _load(args.metrics)
     baseline = load_baseline(args.baseline)
-    problems = check_baseline(metrics, baseline)
-    checked = len(baseline.get("metrics", []))
+    rows = check_baseline_rows(metrics, baseline)
+    problems = [p for row in rows for p in row["problems"]]
+    checked = len(rows)
     if args.json:
         cli_common.emit_json({"checked": checked,
                               "deviations": problems,
-                              "ok": not problems})
+                              "ok": not problems,
+                              "rows": rows})
         return cli_common.EXIT_PROBLEMS if problems \
             else cli_common.EXIT_OK
     for problem in problems:

@@ -9,10 +9,12 @@ metadata::
      "timers":   {"runner.stage.eval": {"count": 1, "total_s": ..}, ..}}
 
 Individual numbers are addressed with dotted **metric refs**:
-``counters.<name>`` or ``timers.<name>.<field>`` where ``<field>`` is
+``counters.<name>``, ``timers.<name>.<field>`` where ``<field>`` is
 one of ``count`` / ``total_s`` / ``max_s`` / ``mean_s`` (field names
 are reserved, so the trailing segment is unambiguous even though timer
-names themselves contain dots).
+names themselves contain dots), or ``meta.<path>`` for numeric run
+metadata (nested dicts traverse dotted path segments, e.g.
+``meta.stage_eval_s``).
 
 A **baseline** (``BENCH_pipeline.json``) pins a set of metric refs with
 tolerance bands; :func:`check_baseline` returns the deviations —
@@ -104,6 +106,16 @@ def lookup_metric(metrics: dict, ref: str):
         if stat is None or fieldname not in stat:
             raise KeyError(ref)
         return stat[fieldname]
+    if kind == "meta":
+        node = metrics.get("meta", {})
+        for segment in rest.split("."):
+            if not isinstance(node, dict) or segment not in node:
+                raise KeyError(ref)
+            node = node[segment]
+        # refs address *numbers*: tolerance-band arithmetic needs one
+        if isinstance(node, bool) or not isinstance(node, (int, float)):
+            raise KeyError(ref)
+        return node
     raise KeyError(ref)
 
 
@@ -157,34 +169,63 @@ def load_baseline(path) -> dict:
     return payload
 
 
-def check_baseline(metrics: dict, baseline: dict) -> list:
+def check_baseline_rows(metrics: dict, baseline: dict) -> list:
     """Compare a metrics file against a baseline's tolerance bands.
 
-    Returns a list of human-readable deviation strings — empty means
-    every pinned metric is inside its band.
+    Returns one row dict per pinned metric, in baseline order::
+
+        {"metric": ref,           # the pinned ref
+         "value": measured,       # None when missing from metrics
+         "ok": bool,              # inside every band it pins?
+         "problems": [str, ...]}  # human-readable, empty when ok
+
+    Rows carry the bound that applied: ``expect``/``band`` for value
+    pins, ``max``/``min`` for bound pins (absent keys were not
+    pinned).  CI consumes this via ``st2-stats check --json``.
     """
-    problems = []
+    rows = []
     for entry in baseline.get("metrics", []):
         ref = entry["metric"]
+        row = {"metric": ref, "value": None, "ok": True, "problems": []}
+        rows.append(row)
         try:
             value = lookup_metric(metrics, ref)
         except KeyError:
-            problems.append(f"{ref}: missing from metrics")
+            row["ok"] = False
+            row["problems"].append(f"{ref}: missing from metrics")
             continue
+        row["value"] = value
         if "value" in entry:
             expect = entry["value"]
             rel_tol = float(entry.get("rel_tol", 0.0))
             abs_tol = float(entry.get("abs_tol", 0.0))
             band = abs_tol + rel_tol * abs(expect)
+            row["expect"] = expect
+            row["band"] = band
             if abs(value - expect) > band:
-                problems.append(
+                row["problems"].append(
                     f"{ref}: {value:g} outside {expect:g} ± {band:g}")
-        if "max" in entry and value > entry["max"]:
-            problems.append(
-                f"{ref}: {value:g} exceeds max {entry['max']:g}")
-        if "min" in entry and value < entry["min"]:
-            problems.append(
-                f"{ref}: {value:g} below min {entry['min']:g}")
+        if "max" in entry:
+            row["max"] = entry["max"]
+            if value > entry["max"]:
+                row["problems"].append(
+                    f"{ref}: {value:g} exceeds max {entry['max']:g}")
+        if "min" in entry:
+            row["min"] = entry["min"]
+            if value < entry["min"]:
+                row["problems"].append(
+                    f"{ref}: {value:g} below min {entry['min']:g}")
+        row["ok"] = not row["problems"]
+    return rows
+
+
+def check_baseline(metrics: dict, baseline: dict) -> list:
+    """The deviations from :func:`check_baseline_rows`, flattened to
+    human-readable strings — empty means every pinned metric is inside
+    its band."""
+    problems = []
+    for row in check_baseline_rows(metrics, baseline):
+        problems.extend(row["problems"])
     return problems
 
 

@@ -37,6 +37,15 @@ from repro.runner.units import (ModelBundle, UnitSpec, execute_unit,
 _WORKER_MODELS = ModelBundle()
 _WORKER_STORE = None
 
+#: Evaluation fan-outs at or below this many units run inline when the
+#: requested engine is ``vec``: a batched unit costs milliseconds, so
+#: the pool's fork + IPC overhead dominates small grids.  Inline and
+#: pooled execution produce identical results and metrics (the
+#: parallel-equals-serial guarantee), so the cutoff is purely a
+#: latency choice.  ``auto`` and ``interp`` grids always honour
+#: ``options.workers`` — their units may be interpreter-priced.
+VEC_INLINE_MAX_UNITS = 16
+
 
 def default_workers() -> int:
     """A safe parallelism default: the pool pays off quickly but the
@@ -70,12 +79,12 @@ def _run_one(item) -> tuple:
     """Stage-2 / single-stage work item: one unit, end to end, under a
     fresh obs scope whose snapshot travels home with the result (as the
     transient ``"obs"`` key — popped and merged by the parent)."""
-    index, spec, store_key = item
+    index, spec, store_key, engine = item
     with obs.scoped() as reg:
         with reg.span("runner.unit"):
             result = execute_unit(spec, models=_WORKER_MODELS,
                                   store=_WORKER_STORE,
-                                  store_key=store_key)
+                                  store_key=store_key, engine=engine)
     result.data["obs"] = reg.snapshot()
     return index, result
 
@@ -110,11 +119,19 @@ def _pool_context():
 
 
 def _map_parallel(fn, items, workers, store_root=None,
-                  need_models: bool = True):
+                  need_models: bool = True, chunksize: int = 1):
     """Run ``fn`` over ``items`` inline or across a pool, yielding
     results unordered.  The inline path goes through the same worker
     entry points, which is what the parallel-equals-serial guarantee
-    rests on."""
+    rests on.
+
+    ``chunksize`` trades scheduling granularity for locality: the
+    evaluation stage passes 2 on large work lists so that adjacent
+    units — the work list is kernel-major, so usually two configs of
+    the same trace — land on the same worker and share its warm
+    trace-store handle and evaluation plan.  Results and metrics are
+    scheduling-independent either way.
+    """
     if not items:
         return
     if workers > 1 and len(items) > 1:
@@ -122,7 +139,7 @@ def _map_parallel(fn, items, workers, store_root=None,
         with ctx.Pool(min(workers, len(items)),
                       initializer=_init_worker,
                       initargs=(store_root, need_models)) as pool:
-            yield from pool.imap_unordered(fn, items)
+            yield from pool.imap_unordered(fn, items, chunksize)
     else:
         _init_worker(store_root, need_models=need_models)
         for item in items:
@@ -196,7 +213,8 @@ def run_units(specs, options: RunOptions = None, **legacy) -> list:
                 pending.append((i, spec))
 
         store = options.trace_store
-        stats = {"stage_capture_s": 0.0, "stage_eval_s": 0.0}
+        stats = {"stage_capture_s": 0.0, "stage_init_s": 0.0,
+                 "stage_eval_s": 0.0}
         options.stats = stats
 
         trace_keys = {}             # unit index -> trace key (or None)
@@ -221,18 +239,54 @@ def run_units(specs, options: RunOptions = None, **legacy) -> list:
             results[i] = result
             options.notify(specs[i], result)
 
+        if pending:
+            with reg.span("runner.stage.init"):
+                stats["stage_init_s"] = _prepare_eval(pending)
         t0 = time.perf_counter()
         if pending:
-            items = [(i, spec, trace_keys.get(i)) for i, spec in pending]
+            items = [(i, spec, trace_keys.get(i), options.engine)
+                     for i, spec in pending]
             store_root = str(store.root) if store is not None else None
+            workers = options.workers
+            if options.engine == "vec" \
+                    and len(items) <= VEC_INLINE_MAX_UNITS:
+                workers = 1
+            chunk = 2 if len(items) >= 4 * max(workers, 1) else 1
             with reg.span("runner.stage.eval"):
                 for i, result in _map_parallel(_run_one, items,
-                                               options.workers,
-                                               store_root):
+                                               workers, store_root,
+                                               chunksize=chunk):
                     finish(i, result)
         stats["stage_eval_s"] = time.perf_counter() - t0
         stats.pop("warm_keys", None)
     return results
+
+
+def _prepare_eval(pending) -> float:
+    """Build the shared per-process state in the *parent* before the
+    evaluation fan-out: the calibrated power + adder models and the
+    per-kernel static carry facts.
+
+    Pool workers are forked from the parent wherever fork exists
+    (Linux, the CI runners), so warming these memos here means every
+    worker inherits them instead of each paying the model calibration
+    on first use inside the evaluation stage — ``stage_eval_s`` then
+    measures evaluation, not interpreter start-up.  On spawn platforms
+    the workers still build their own models in ``_init_worker``;
+    results are identical either way.
+
+    Model calibration runs inside a discarded obs scope for the same
+    reason as in ``_init_worker``; the facts memo emits no obs at all.
+    Returns the wall time spent (reported as ``stage_init_s``).
+    """
+    from repro.lint.facts import facts_for_kernel
+
+    t0 = time.perf_counter()
+    with obs.scoped():
+        _WORKER_MODELS.ensure()
+    for kernel in sorted({spec.kernel for _, spec in pending}):
+        facts_for_kernel(kernel)
+    return time.perf_counter() - t0
 
 
 def _populate_store(store, pending, options: RunOptions,

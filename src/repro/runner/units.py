@@ -33,13 +33,24 @@ from repro.st2.results import RunResult
 #: v2: trace-store provenance (``trace_cache_hit``) and per-stage
 #: timings (``capture_time_s`` / ``eval_time_s``) joined the payload.
 #: v3: ``metrics.static_peek`` — the static carry-fact ablation row.
-RESULT_SCHEMA = 3
+#: v4: ``engine`` — which evaluation engine produced the numbers.
+RESULT_SCHEMA = 4
 
 #: Fields every valid result dict must carry (cache validation).
 RESULT_FIELDS = ("kernel", "scale", "seed", "config", "config_fields",
-                 "wall_time_s", "capture_time_s", "eval_time_s",
-                 "trace_cache_hit", "trace_rows", "trace_bytes",
-                 "n_static_pcs", "metrics", "energy_stacks")
+                 "engine", "wall_time_s", "capture_time_s",
+                 "eval_time_s", "trace_cache_hit", "trace_rows",
+                 "trace_bytes", "n_static_pcs", "metrics",
+                 "energy_stacks")
+
+#: Evaluation engines :func:`execute_unit` dispatches between.
+#: ``interp`` is the reference per-width interpreter
+#: (:func:`repro.st2.architecture.evaluate_run` + the static-peek
+#: ablation); ``vec`` is the batched replay engine
+#: (:mod:`repro.sim.vec`), bit-identical where supported; ``auto``
+#: picks ``vec`` when :func:`repro.sim.vec.supported` allows it and
+#: falls back to ``interp`` otherwise.
+ENGINES = ("interp", "vec", "auto")
 
 
 @dataclass(frozen=True)
@@ -232,9 +243,36 @@ def _obtain_run(spec: UnitSpec, store, store_key, use_mem_cache):
     return run, hit, 0.0 if hit else time.perf_counter() - t0
 
 
+def _resolve_engine(engine: str, run, plan_key=None) -> str:
+    """Pick the engine that will evaluate ``run``.
+
+    ``interp`` and ``vec`` are honoured as requested (``vec`` raises
+    :class:`~repro.sim.vec.VecUnsupportedError` when the run cannot
+    take the vectorized path); ``auto`` prefers ``vec`` and falls back
+    to the interpreter, counting the fallback so grid-level metrics
+    surface it.  ``plan_key`` memoises the support verdict per trace.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose one of {ENGINES}")
+    if engine == "interp":
+        return "interp"
+    from repro.sim import vec
+
+    reason = vec.supported(run, key=plan_key)
+    if reason is None:
+        return "vec"
+    if engine == "vec":
+        raise vec.VecUnsupportedError(
+            f"{run.name}: engine 'vec' requested but {reason} "
+            f"(use --engine auto to fall back to the interpreter)")
+    obs.add("runner.engine.fallback")
+    return "interp"
+
+
 def execute_unit(spec: UnitSpec, models: ModelBundle = None,
                  use_mem_cache: bool = True, store=None,
-                 store_key: str = None) -> RunResult:
+                 store_key: str = None, engine: str = "auto") -> RunResult:
     """Run one unit end to end; returns its typed
     :class:`~repro.st2.results.RunResult`.
 
@@ -247,6 +285,11 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
     functional execution is decoupled: the trace is opened read-only
     from the store (memory-mapped, shared across processes) and only
     captured — once, for every config that shares it — on a cold miss.
+
+    ``engine`` selects the evaluation engine (see :data:`ENGINES`);
+    the result's ``engine`` field records which one actually ran.
+    Both engines produce bit-identical payloads and obs counters, so
+    the choice never changes the numbers — only the wall time.
     """
     from repro.st2.architecture import evaluate_run
 
@@ -255,9 +298,24 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
     run, trace_hit, capture_s = _obtain_run(spec, store, store_key,
                                             use_mem_cache)
     t_eval = time.perf_counter()
-    ev = evaluate_run(run, config=spec.config,
-                      model=models.power_model,
-                      adder_model=models.adder_model)
+    engine_used = _resolve_engine(
+        engine, run, plan_key=(spec.kernel, spec.scale, spec.seed))
+    if engine_used == "vec":
+        from repro.lint.facts import facts_for_kernel
+        from repro.sim import vec
+
+        facts = facts_for_kernel(spec.kernel)
+        obs.add("absint.facts",
+                sum(len(f.carries) for f in facts.values()))
+        ev, static_peek = vec.evaluate_unit(
+            run, spec.config, facts, models.power_model,
+            models.adder_model,
+            plan_key=(spec.kernel, spec.scale, spec.seed))
+    else:
+        ev = evaluate_run(run, config=spec.config,
+                          model=models.power_model,
+                          adder_model=models.adder_model)
+        static_peek = _static_peek_metrics(spec, run)
     base_stack, st2_stack = ev.energy.normalized_stacks()
     result = {
         "kernel": spec.kernel,
@@ -265,6 +323,7 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
         "seed": spec.seed,
         "config": spec.config.name,
         "config_fields": dataclasses.asdict(spec.config),
+        "engine": engine_used,
         "wall_time_s": 0.0,     # patched below, after measuring
         "capture_time_s": capture_s,
         "eval_time_s": 0.0,     # patched below, after measuring
@@ -283,7 +342,7 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
             "chip_saving": float(ev.chip_saving),
             "alu_fpu_share": float(ev.energy.alu_fpu_share),
             "arithmetic_intensive": bool(ev.arithmetic_intensive),
-            "static_peek": _static_peek_metrics(spec, run),
+            "static_peek": static_peek,
         },
         "energy_stacks": {"baseline": base_stack, "st2": st2_stack},
     }
@@ -299,8 +358,11 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
 
 #: Result keys that describe *this invocation's* execution, not the
 #: experiment's numbers — excluded from numerical-identity comparison.
+#: ``engine`` belongs here because both engines are bit-identical: a
+#: result computed by ``vec`` must compare equal to one computed by
+#: ``interp`` (the vec-equivalence CI job rests on exactly this).
 RUNTIME_FIELDS = ("wall_time_s", "capture_time_s", "eval_time_s",
-                  "trace_cache_hit", "cached", "key")
+                  "trace_cache_hit", "cached", "key", "engine")
 
 
 def comparable(result) -> dict:

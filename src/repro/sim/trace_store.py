@@ -5,9 +5,10 @@ stages need — the adder trace, the warp instruction stream, the memory
 counters and the launch shape.  The store persists that capture exactly
 once per ``(kernel, scale, seed, code_version)`` key and serves it to
 any number of readers as **read-only memory maps**: each column is a
-raw ``.npy`` file loaded with ``np.load(mmap_mode="r")``, so concurrent
-pool workers share the OS page cache instead of each decompressing a
-private ``.npz`` copy.
+raw ``.npy`` file mapped directly to the geometry recorded in the
+header (``np.load(mmap_mode="r")`` for entries that predate it), so
+concurrent pool workers share the OS page cache instead of each
+decompressing a private ``.npz`` copy.
 
 On-disk layout (one directory per entry)::
 
@@ -59,6 +60,11 @@ _MEM_FIELDS = ("global_loads", "global_stores",
                "shared_loads", "shared_stores", "const_loads")
 
 HEADER_NAME = "header.json"
+
+#: Read-side memo capacity per :class:`TraceStore` instance: number of
+#: served :class:`StoredRun` handles kept alive before the least
+#: recently used one is dropped.
+GET_MEMO_SIZE = 4
 
 
 def default_store_dir() -> Path:
@@ -124,6 +130,7 @@ class TraceStore:
 
     def __init__(self, root=None):
         self.root = Path(root) if root is not None else default_store_dir()
+        self._get_memo = {}         # key -> (StoredRun, bytes mapped)
 
     # -- paths ---------------------------------------------------------
 
@@ -169,10 +176,18 @@ class TraceStore:
         for col in _INST_COLUMNS:
             files[f"inst_{col}"] = getattr(run.insts, col)
         digests = {}
+        columns = {}
         for name, arr in files.items():
-            np.save(tmp / f"{name}.npy", np.ascontiguousarray(arr),
+            path = tmp / f"{name}.npy"
+            np.save(path, np.ascontiguousarray(arr),
                     allow_pickle=False)
             digests[name] = _array_digest(arr)
+            # record the mapping geometry so readers can np.memmap the
+            # data directly instead of re-parsing every .npy header
+            mapped = np.load(path, mmap_mode="r", allow_pickle=False)
+            columns[name] = {"dtype": mapped.dtype.str,
+                             "shape": list(mapped.shape),
+                             "offset": int(mapped.offset)}
         header = {
             "format_version": STORE_FORMAT_VERSION,
             "key": key,
@@ -189,6 +204,7 @@ class TraceStore:
             "mem": {f: int(getattr(run.mem, f))
                     for f in _MEM_FIELDS},
             "digests": digests,
+            "columns": columns,
             "metadata": metadata or {},
         }
         with open(tmp / HEADER_NAME, "w") as fh:
@@ -223,14 +239,44 @@ class TraceStore:
         return header
 
     def get(self, key: str) -> StoredRun:
-        """Open one entry read-only; every column is a memmap."""
+        """Open one entry read-only; every column is a memmap.
+
+        Entries are immutable once published, so repeated ``get``\\ s of
+        a key are served from a small per-instance memo — the returned
+        :class:`StoredRun` is shared between callers, which is safe
+        because the evaluation pipeline only ever reads it.  A memo hit
+        emits exactly the observability a real open would (the
+        ``trace_store.get`` timer, the ``trace_store.open`` and
+        ``bytes_mapped`` counters), so run metrics stay independent of
+        how evaluation units are scheduled over pool workers.
+        """
+        memo = self._get_memo.get(key)
+        if memo is not None:
+            self._get_memo[key] = self._get_memo.pop(key)  # LRU refresh
+            stored, mapped = memo
+            with obs.timer("trace_store.get"):
+                obs.add("trace_store.bytes_mapped", mapped)
+            obs.add("trace_store.open")
+            return stored
+        mapped = 0
         with obs.timer("trace_store.get"):
             header = self.header(key)
             entry = self.path(key)
+            geometry = header.get("columns", {})
 
             def col(name):
-                arr = np.load(entry / f"{name}.npy", mmap_mode="r",
-                              allow_pickle=False)
+                nonlocal mapped
+                geo = geometry.get(name)
+                if geo is not None and 0 not in geo["shape"]:
+                    # fast path: map straight to the recorded geometry
+                    arr = np.memmap(entry / f"{name}.npy",
+                                    dtype=np.dtype(geo["dtype"]),
+                                    mode="r", offset=int(geo["offset"]),
+                                    shape=tuple(geo["shape"]))
+                else:   # empty column, or entry predates "columns"
+                    arr = np.load(entry / f"{name}.npy", mmap_mode="r",
+                                  allow_pickle=False)
+                mapped += int(arr.nbytes)
                 obs.add("trace_store.bytes_mapped", int(arr.nbytes))
                 return arr
 
@@ -242,13 +288,17 @@ class TraceStore:
             mem = MemoryStats(**{f: header["mem"][f]
                                  for f in _MEM_FIELDS})
         obs.add("trace_store.open")
-        return StoredRun(
+        stored = StoredRun(
             name=header["kernel"],
             launch=LaunchConfig(header["launch"]["grid_blocks"],
                                 header["launch"]["block_threads"]),
             trace=trace, insts=insts, mem=mem,
             n_static_pcs=header["n_static_pcs"],
             key=key, metadata=header.get("metadata", {}))
+        self._get_memo[key] = (stored, mapped)
+        while len(self._get_memo) > GET_MEMO_SIZE:
+            self._get_memo.pop(next(iter(self._get_memo)))
+        return stored
 
     # -- maintenance ---------------------------------------------------
 
@@ -274,6 +324,7 @@ class TraceStore:
         return self.header_path(key).stat().st_mtime
 
     def remove(self, key: str) -> None:
+        self._get_memo.pop(key, None)
         shutil.rmtree(self.path(key), ignore_errors=True)
 
     def verify(self, key: str) -> list:

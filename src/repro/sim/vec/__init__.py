@@ -1,0 +1,19 @@
+"""Vectorized trace-replay evaluation engine (``--engine vec``).
+
+Replays a (trace × config) evaluation unit as batched numpy operations
+over the trace store's read-only memmap columns — speculative-adder
+slice evaluation, predictor updates (including the
+``StaticPeekPredictor`` facts overlay) and misprediction/recompute
+accounting — instead of the interpreter's per-width, per-pass Python.
+Bit-identical results and identical obs counter totals are the
+contract; the dispatch in :mod:`repro.runner.units` falls back to the
+interpreter (engine ``auto``) whenever :func:`supported` names a
+reason a run cannot take this path.
+"""
+
+from repro.sim.vec.engine import (VecUnsupportedError, evaluate_unit,
+                                  supported)
+from repro.sim.vec.plan import clear_plans, plan_for
+
+__all__ = ["VecUnsupportedError", "evaluate_unit", "supported",
+           "plan_for", "clear_plans"]

@@ -1,0 +1,97 @@
+"""Per-trace plans for the vectorized engine, with a small cache.
+
+A *plan* bundles everything about one captured run that does not depend
+on the :class:`~repro.core.predictors.SpeculationConfig` being
+evaluated: the :class:`~repro.core.batch.TracePack` of derived adder
+arrays and the :class:`~repro.sim.vec.timing.TimingPlan` of resolved
+scheduling decisions, plus a memo of the static carry-fact overlay.
+
+The stage-2 runner evaluates each trace under several configs (and the
+static-peek ablation re-reads the same arrays), so plans are cached —
+keyed by the unit's ``(kernel, scale, seed)`` identity, the same
+triple that keys the trace store — with a small bounded LRU: grids
+iterate configs per trace, so only a handful of traces are ever hot at
+once, and a pack is a few padded copies of the trace columns that
+should not accumulate for a whole suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch import TracePack, build_pack
+from repro.core.predictors import trace_static_peek
+from repro.sim.vec.timing import TimingPlan, build_timing_plan
+
+#: traces kept planned at once (a grid evaluates configs per trace)
+PLAN_CACHE_SIZE = 8
+
+PlanKey = Tuple[str, float, int]
+
+
+@dataclass
+class TracePlan:
+    """Config-independent plan of one captured kernel run."""
+
+    n_rows: int
+    n_insts: int
+    pack: TracePack
+    timing: TimingPlan
+    # memo of the static carry-fact overlay; facts tables come from the
+    # per-module memo in repro.lint.facts, so identity comparison of
+    # the table object is the cache key
+    _static_facts: Any = field(default=None, repr=False)
+    _static_overlay: Optional[Tuple[np.ndarray, np.ndarray]] = \
+        field(default=None, repr=False)
+
+    def static_peek(self, trace: Any,
+                    facts: Any) -> Tuple[np.ndarray, np.ndarray]:
+        """``(known, value)`` of the compile-time facts over ``trace``."""
+        if self._static_overlay is None or self._static_facts is not facts:
+            self._static_facts = facts
+            self._static_overlay = trace_static_peek(trace, facts)
+        return self._static_overlay
+
+
+_PLANS: Dict[PlanKey, TracePlan] = {}
+
+#: memoised :func:`repro.sim.vec.engine.supported` verdicts.  The
+#: verdict depends only on the captured trace the key identifies, so
+#: the dispatch guard scans each trace's columns once per process, not
+#: once per (trace x config) unit.  Lives here (not in ``engine``) so
+#: :func:`clear_plans` resets every vec-side cache in one place.
+_SUPPORTED: Dict[PlanKey, Optional[str]] = {}
+
+
+def plan_for(run: Any, key: Optional[PlanKey] = None) -> TracePlan:
+    """The (possibly cached) plan of ``run``.
+
+    ``key`` is the unit's ``(kernel, scale, seed)``; without one the
+    plan is built fresh and not cached.  A cached plan is only reused
+    if its row counts still match the run (defensive: a key collision
+    across processes with different code versions would otherwise read
+    stale shapes).
+    """
+    if key is not None:
+        plan = _PLANS.get(key)
+        if (plan is not None and plan.n_rows == len(run.trace)
+                and plan.n_insts == len(run.insts)):
+            _PLANS[key] = _PLANS.pop(key)      # refresh LRU position
+            return plan
+    plan = TracePlan(n_rows=len(run.trace), n_insts=len(run.insts),
+                     pack=build_pack(run.trace),
+                     timing=build_timing_plan(run))
+    if key is not None:
+        _PLANS[key] = plan
+        while len(_PLANS) > PLAN_CACHE_SIZE:
+            _PLANS.pop(next(iter(_PLANS)))
+    return plan
+
+
+def clear_plans() -> None:
+    """Drop every cached plan and supported-verdict memo (tests)."""
+    _PLANS.clear()
+    _SUPPORTED.clear()

@@ -1,0 +1,255 @@
+"""Pre-planned replica of the shared-schedule timing pair.
+
+:func:`repro.sim.pipeline._simulate_sm_pair` re-derives the resident
+blocks, the per-warp instruction order and every opcode's dispatch /
+latency / functional unit on **every** call, and looks each warp
+instruction's misprediction fraction up in a Python dict.  All of that
+is config-independent, so the vec engine splits it:
+
+* :func:`build_timing_plan` — once per trace: resident-block
+  selection, the lexsorted per-warp instruction lists with their
+  dispatch/latency/unit already resolved, the warp-instruction keys
+  pre-matched (``searchsorted``) against the trace's warp-instruction
+  ids, and the wave count.
+* :func:`plan_miss_frac` — per config: the mispredicted-lane fraction
+  of every planned instruction, as one vectorised ``bincount`` +
+  gather instead of a dict of decoded tuples.
+* :func:`run_pair` — the event loop itself, arithmetic-for-arithmetic
+  identical to the reference (same heap tuples in the same initial
+  order, same float64 accumulation order, same completion-window
+  truncation), just without the per-iteration re-derivation.
+
+The replica must stay *exactly* equivalent — ``TimingResult`` feeds the
+energy model's duration scaling, and the equivalence suite asserts
+equality against the reference on real kernel runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.isa.opcodes import FunctionalUnit
+from repro.sim.config import GPUConfig, TITAN_V
+from repro.sim.pipeline import (ILP_DEPTH, TimingResult, _pool_width,
+                                _resident_blocks)
+from repro.sim.trace import opcode_from_id
+
+_UNITS = list(FunctionalUnit)
+_UNIT_INDEX = {unit: i for i, unit in enumerate(_UNITS)}
+
+
+@dataclass
+class TimingPlan:
+    """Everything config-independent about one run's timing pair."""
+
+    #: per warp id: (dispatch, latency, unit-index, planned-row) lists,
+    #: already in the reference's ``lexsort((seqs, warps))`` order
+    warps: Dict[int, Tuple[List[int], List[int], List[int], List[int]]]
+    warp_ids: List[int]         # np.unique order — fixes heap ties
+    n_insts: int                # resident warp instructions
+    waves: int
+    #: warp-instruction key per planned row, and its pre-computed match
+    #: against the trace's sorted unique warp-instruction ids
+    inst_pos: np.ndarray        # (n_insts,) index into the unique ids
+    inst_match: np.ndarray      # (n_insts,) bool — key present in trace
+    #: the trace side of the match: unique warp-instruction ids with
+    #: their lane inverse mapping and lane counts
+    lane_inverse: np.ndarray    # (n_trace_rows,)
+    lane_counts: np.ndarray     # (n_uniq,) int64
+    n_uniq: int
+
+
+def _warp_inst_keys(block: np.ndarray, seq: np.ndarray,
+                    warp: np.ndarray) -> np.ndarray:
+    """The ``(block, seq, warp)`` packing of ``warp_misprediction_map``."""
+    return ((block.astype(np.int64) << 44)
+            + (seq.astype(np.int64) << 20)
+            + warp.astype(np.int64))
+
+
+def build_timing_plan(run: Any, gpu: GPUConfig = TITAN_V) -> TimingPlan:
+    """Resolve every config-independent decision of the pair sim."""
+    insts = run.insts
+    launch = run.launch
+    resident = _resident_blocks(insts, gpu, launch.block_threads)
+    sel = np.isin(insts.block, resident)
+    blocks = insts.block[sel]
+    seqs = insts.seq[sel]
+    warps = insts.warp[sel]
+    opcodes = insts.opcode[sel]
+    order = np.lexsort((seqs, warps))
+    blocks, seqs, warps, opcodes = (a[order] for a in
+                                    (blocks, seqs, warps, opcodes))
+    opcodes = np.asarray(opcodes, dtype=np.int64)
+
+    # per-opcode-id dispatch / latency / unit, resolved once into
+    # lookup tables (any id opcode_from_id accepts is a non-negative
+    # enum position, so direct indexing is sound)
+    uniq_ops = np.unique(opcodes)
+    n_ids = int(uniq_ops[-1]) + 1 if len(uniq_ops) else 0
+    disp_lut = np.zeros(n_ids, dtype=np.int64)
+    lat_lut = np.zeros(n_ids, dtype=np.int64)
+    unit_lut = np.zeros(n_ids, dtype=np.int64)
+    for oid in uniq_ops:
+        op = opcode_from_id(int(oid))
+        unit = op.unit
+        width = _pool_width(gpu, unit)
+        dispatch = (math.ceil(gpu.warp_size / max(width // 4, 1))
+                    if unit != FunctionalUnit.CONTROL else 1)
+        disp_lut[oid] = dispatch
+        lat_lut[oid] = op.latency
+        unit_lut[oid] = _UNIT_INDEX[unit]
+    dl_all = disp_lut[opcodes]
+    ll_all = lat_lut[opcodes]
+    ul_all = unit_lut[opcodes]
+
+    # rows are sorted by warp (the lexsort's primary key), so every
+    # warp's plan is a contiguous slice of the resolved columns
+    uniq_warps = np.unique(warps)
+    warp_ids = [int(w) for w in uniq_warps]
+    starts = np.searchsorted(warps, uniq_warps, side="left")
+    ends = np.searchsorted(warps, uniq_warps, side="right")
+    warp_plans = {}
+    for w, s, e in zip(warp_ids, starts, ends):
+        warp_plans[w] = (dl_all[s:e].tolist(), ll_all[s:e].tolist(),
+                         ul_all[s:e].tolist(),
+                         list(range(int(s), int(e))))
+
+    # pre-match the planned rows against the trace's warp-instruction
+    # ids so per-config miss fractions become a pure gather
+    tkey = _warp_inst_keys(run.trace.block, run.trace.seq,
+                           run.trace.warp)
+    uniq, lane_inverse, lane_counts = np.unique(
+        tkey, return_inverse=True, return_counts=True)
+    ikey = _warp_inst_keys(blocks, seqs, warps)
+    if len(uniq):
+        pos = np.searchsorted(uniq, ikey)
+        pos = np.clip(pos, 0, len(uniq) - 1)
+        match = uniq[pos] == ikey
+    else:
+        pos = np.zeros(len(ikey), dtype=np.int64)
+        match = np.zeros(len(ikey), dtype=bool)
+
+    waves = max(1, math.ceil(launch.grid_blocks
+                             / (len(resident) * gpu.n_sms)))
+    return TimingPlan(warps=warp_plans, warp_ids=warp_ids,
+                      n_insts=len(blocks), waves=waves,
+                      inst_pos=pos, inst_match=match,
+                      lane_inverse=lane_inverse,
+                      lane_counts=lane_counts.astype(np.int64),
+                      n_uniq=len(uniq))
+
+
+def plan_miss_frac(plan: TimingPlan,
+                   mispredicted: np.ndarray) -> np.ndarray:
+    """Mispredicted-lane fraction of every planned instruction.
+
+    Bit-identical values to looking the instruction up in
+    :func:`~repro.sim.pipeline.warp_misprediction_map`'s dict (same
+    ``bincount(weights=...) / counts`` float64 division; absent keys
+    and all-correct warps are 0.0 there and 0.0 here).
+    """
+    miss_counts = np.bincount(plan.lane_inverse,
+                              weights=mispredicted.astype(float),
+                              minlength=plan.n_uniq)
+    if not plan.n_uniq:
+        return np.zeros(len(plan.inst_pos), dtype=np.float64)
+    frac = miss_counts / plan.lane_counts
+    out: np.ndarray = np.where(plan.inst_match, frac[plan.inst_pos],
+                               0.0)
+    return out
+
+
+def run_pair(plan: TimingPlan, miss_frac: np.ndarray) -> tuple:
+    """Replay the baseline/ST2 shared-schedule pair over a plan.
+
+    The loop body mirrors ``_simulate_sm_pair`` operation for
+    operation: identical heap contents, identical float64 expression
+    order, identical completion-window truncation — so every
+    ``TimingResult`` field (makespans included) matches exactly.  (The
+    ``a if a > b else b`` forms below ARE ``max(b, a)``: floats that
+    compare equal are the same value, so branch choice cannot change
+    the result — only the per-iteration builtin-call cost.)
+    """
+    frac_list: List[float] = miss_frac.tolist()
+    n_units = len(_UNITS)
+    fu_free_b = [0.0] * n_units
+    fu_free_s = [0.0] * n_units
+    warp_ptr = {w: 0 for w in plan.warp_ids}
+    comp_b: Dict[int, List[float]] = {w: [] for w in plan.warp_ids}
+    comp_s: Dict[int, List[float]] = {w: [] for w in plan.warp_ids}
+    stall_b = 0.0
+    extra = 0
+    makespan_b = 0.0
+    makespan_s = 0.0
+
+    heap: List[Tuple[float, float, int]] = [(0.0, 0.0, w)
+                                            for w in plan.warp_ids]
+    heapq.heapify(heap)
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    warps = plan.warps
+    while heap:
+        dep_b, dep_s, w = heappop(heap)
+        ptr = warp_ptr[w]
+        dl, ll, ul, row_list = warps[w]
+        n_w = len(dl)
+        if ptr >= n_w:
+            continue
+        dispatch = dl[ptr]
+        latency = ll[ptr]
+        unit = ul[ptr]
+
+        cb = comp_b[w]
+        cs = comp_s[w]
+        if len(cb) >= ILP_DEPTH:
+            d = cb[-ILP_DEPTH]
+            if d > dep_b:
+                dep_b = d
+            d = cs[-ILP_DEPTH]
+            if d > dep_s:
+                dep_s = d
+
+        f = fu_free_b[unit]
+        start_b = f if f > dep_b else dep_b
+        f = fu_free_s[unit]
+        start_s = f if f > dep_s else dep_s
+        stall_b += start_b - dep_b
+
+        frac = frac_list[row_list[ptr]]
+        if frac > 0:
+            extra += 1
+        next_b = start_b + dispatch
+        next_s = start_s + dispatch
+        fu_free_b[unit] = next_b
+        fu_free_s[unit] = next_s + frac
+        done_b = next_b + latency
+        done_s = next_s + latency + (1 if frac > 0 else 0)
+        cb.append(done_b)
+        if len(cb) > 4:
+            del cb[:-4]
+        cs.append(done_s)
+        if len(cs) > 4:
+            del cs[:-4]
+        if done_b > makespan_b:
+            makespan_b = done_b
+        if done_s > makespan_s:
+            makespan_s = done_s
+        warp_ptr[w] = ptr + 1
+        if ptr + 1 < n_w:
+            heappush(heap, (next_b, next_s, w))
+
+    base = TimingResult(cycles=int(math.ceil(makespan_b)),
+                        waves=plan.waves, instructions=plan.n_insts,
+                        stall_cycles_fu=int(stall_b),
+                        extra_recompute_insts=0)
+    st2 = TimingResult(cycles=int(math.ceil(makespan_s)),
+                       waves=plan.waves, instructions=plan.n_insts,
+                       stall_cycles_fu=int(stall_b),
+                       extra_recompute_insts=extra)
+    return base, st2

@@ -1,0 +1,174 @@
+"""The batched carry-speculation kernels vs their sequential
+references.
+
+Every function in :mod:`repro.core.batch` claims bit-identity with a
+reference implementation in :mod:`repro.core.predictors` /
+:mod:`repro.core.bitops`; these tests assert it on synthetic traces
+that sweep odd widths (1, 7, 9, 23, 33, 63 ...) alongside the
+canonical 23/32/52/64-bit geometries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import bitops
+from repro.core.batch import (_gen_prop_all, _peek_all,
+                              _slice_carries_all, build_pack,
+                              evaluate_trace_batch, predict_trace_batch,
+                              previous_same_key_batch)
+from repro.core.predictors import (MAX_PREDICTIONS, evaluate_trace,
+                                   predict_trace, previous_same_key,
+                                   trace_n_predictions, trace_peek,
+                                   trace_slice_carries)
+from repro.core.speculation import CASA, PREV, ST2_DESIGN, VALHALLA
+from tests.conftest import make_trace
+
+#: deliberately awkward adder geometries: single-slice rows, widths
+#: one off a slice boundary, and the canonical suite widths
+WIDTHS = (1, 7, 8, 9, 16, 23, 24, 32, 33, 52, 63, 64)
+
+CONFIGS = [ST2_DESIGN, PREV, VALHALLA, CASA]
+
+
+def odd_width_trace(seed: int, n: int = 400):
+    """A random trace mixing every width in :data:`WIDTHS`, with
+    full-range operands (bit 63 reachable for 64-bit rows)."""
+    rng = np.random.default_rng(seed)
+    width = rng.choice(WIDTHS, n).astype(np.uint8)
+    hi = rng.integers(0, 1 << 32, n, dtype=np.uint64) << np.uint64(32)
+    lo = rng.integers(0, 1 << 32, n, dtype=np.uint64)
+    mask = np.uint64(0xFFFFFFFFFFFFFFFF) >> \
+        (np.uint64(64) - width.astype(np.uint64))
+    op_a = (hi | lo) & mask
+    hi = rng.integers(0, 1 << 32, n, dtype=np.uint64) << np.uint64(32)
+    lo = rng.integers(0, 1 << 32, n, dtype=np.uint64)
+    op_b = (hi | lo) & mask
+    gtid = rng.integers(0, 96, n)
+    return make_trace(rng.integers(0, 8, n), gtid, gtid % 32,
+                      op_a, op_b, cin=rng.integers(0, 2, n),
+                      width=width, sm=gtid % 4)
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2])
+def trace(request):
+    return odd_width_trace(request.param)
+
+
+class TestPackBuilders:
+    def test_slice_carries_match_reference(self, trace):
+        np.testing.assert_array_equal(_slice_carries_all(trace),
+                                      trace_slice_carries(trace))
+
+    def test_peek_matches_reference(self, trace):
+        n_preds = trace_n_predictions(trace)
+        pred_valid = (np.arange(MAX_PREDICTIONS)[None, :]
+                      < n_preds[:, None])
+        known, value = _peek_all(trace, pred_valid)
+        ref_known, ref_value = trace_peek(trace)
+        np.testing.assert_array_equal(known, ref_known)
+        np.testing.assert_array_equal(value, ref_value)
+
+    def test_gen_prop_match_bitops_loop(self, trace):
+        """The one-pass G/P tables vs the per-row, per-slice
+        :func:`bitops.carry_out` definition: ``g`` is the slice's
+        carry-out under carry-in 0, ``p`` marks carry-in 1 flipping
+        it."""
+        gen, prop = _gen_prop_all(trace)
+        for r in rows_sample(trace):
+            w = int(trace.width[r])
+            bounds = bitops.slice_bounds(w, 8)
+            for j in range(8):
+                if j >= len(bounds):
+                    assert gen[r, j] == 0 and prop[r, j] == 0
+                    continue
+                lo, hi = bounds[j]
+                sw = hi - lo
+                sa = (int(trace.op_a[r]) >> lo) & ((1 << sw) - 1)
+                sb = (int(trace.op_b[r]) >> lo) & ((1 << sw) - 1)
+                g = int(bitops.carry_out(sa, sb, sw, cin=0))
+                c1 = int(bitops.carry_out(sa, sb, sw, cin=1))
+                assert gen[r, j] == g, (r, j, w)
+                assert prop[r, j] == (c1 & ~g & 1), (r, j, w)
+
+    def test_pack_rows_subset(self, trace):
+        pack = build_pack(trace)
+        idx = np.array([0, 5, 17, len(trace) - 1])
+        sub = pack.rows(idx)
+        assert sub.n_rows == len(idx)
+        np.testing.assert_array_equal(sub.carries, pack.carries[idx])
+        np.testing.assert_array_equal(sub.pred_valid,
+                                      pack.pred_valid[idx])
+        np.testing.assert_array_equal(sub.gen, pack.gen[idx])
+        np.testing.assert_array_equal(sub.cin, pack.cin[idx])
+
+
+def rows_sample(trace, per_width: int = 6):
+    """A few row indices of every distinct width (keeps the pure-Python
+    reference loop affordable)."""
+    out = []
+    for w in np.unique(trace.width):
+        out.extend(np.nonzero(trace.width == w)[0][:per_width])
+    return out
+
+
+class TestPredictEvaluateParity:
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=[c.name for c in CONFIGS])
+    def test_predict_matches_reference(self, trace, config):
+        pack = build_pack(trace)
+        ref = predict_trace(trace, config)
+        vec = predict_trace_batch(trace, config, pack)
+        np.testing.assert_array_equal(vec.bits, ref.bits)
+        np.testing.assert_array_equal(vec.has_prev, ref.has_prev)
+        np.testing.assert_array_equal(vec.peek_known, ref.peek_known)
+
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=[c.name for c in CONFIGS])
+    def test_evaluate_matches_reference(self, trace, config):
+        pack = build_pack(trace)
+        pred = predict_trace(trace, config)
+        ref = evaluate_trace(trace, pred)
+        mis, rec, wrong = evaluate_trace_batch(pack, pred.bits)
+        np.testing.assert_array_equal(mis, ref.mispredicted)
+        np.testing.assert_array_equal(rec, ref.recomputed)
+        np.testing.assert_array_equal(wrong, ref.wrong_bits)
+
+    def test_evaluate_arbitrary_bits(self, trace):
+        """Parity must hold for *any* prediction overlay, not just ones
+        a mechanism produces (the static-fact path feeds synthetic
+        bits)."""
+        pack = build_pack(trace)
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, (len(trace), MAX_PREDICTIONS),
+                            dtype=np.uint8)
+        pred = predict_trace(trace, ST2_DESIGN)
+        forged = type(pred)(config=pred.config, bits=bits,
+                            has_prev=pred.has_prev,
+                            peek_known=pred.peek_known)
+        ref = evaluate_trace(trace, forged)
+        mis, rec, wrong = evaluate_trace_batch(pack, bits)
+        np.testing.assert_array_equal(mis, ref.mispredicted)
+        np.testing.assert_array_equal(rec, ref.recomputed)
+        np.testing.assert_array_equal(wrong, ref.wrong_bits)
+
+
+class TestPreviousSameKeyBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_per_boundary_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = 300, MAX_PREDICTIONS
+        keys = rng.integers(0, 12, n)
+        groups = np.repeat(np.arange((n + 3) // 4), 4)[:n]
+        valid = rng.random((n, k)) < 0.6
+        batch = previous_same_key_batch(keys, groups, valid)
+        for j in range(k):
+            ref = previous_same_key(keys, valid[:, j], groups)
+            np.testing.assert_array_equal(batch[:, j], ref, err_msg=str(j))
+
+    def test_short_input(self):
+        prev = previous_same_key_batch(
+            np.array([3]), np.array([0]),
+            np.ones((1, MAX_PREDICTIONS), dtype=bool))
+        assert (prev == -1).all()

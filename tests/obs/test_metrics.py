@@ -9,10 +9,10 @@ import pytest
 
 from repro.obs import Obs
 from repro.obs.metrics import (baseline_from_metrics, check_baseline,
-                               diff_metrics, flatten_metrics,
-                               load_baseline, lookup_metric,
-                               metrics_path_for, read_metrics,
-                               write_metrics)
+                               check_baseline_rows, diff_metrics,
+                               flatten_metrics, load_baseline,
+                               lookup_metric, metrics_path_for,
+                               read_metrics, write_metrics)
 
 
 @pytest.fixture
@@ -76,6 +76,31 @@ class TestMetricRefs:
     def test_lookup_misses_raise_keyerror(self, snapshot, ref):
         with pytest.raises(KeyError):
             lookup_metric(snapshot, ref)
+
+    def test_meta_refs_traverse_nested_numbers(self, snapshot):
+        metrics = {**snapshot,
+                   "meta": {"stage_eval_s": 0.25, "workers": 2,
+                            "grid": {"n_units": 8}}}
+        assert lookup_metric(metrics, "meta.stage_eval_s") \
+            == pytest.approx(0.25)
+        assert lookup_metric(metrics, "meta.workers") == 2
+        assert lookup_metric(metrics, "meta.grid.n_units") == 8
+
+    @pytest.mark.parametrize("ref", [
+        "meta.nope",                 # absent key
+        "meta.grid",                 # dict, not a number
+        "meta.kernels",              # list, not a number
+        "meta.tag",                  # string, not a number
+        "meta.flag",                 # bool is not a metric
+        "meta.stage_eval_s.deeper",  # descends through a scalar
+    ])
+    def test_meta_refs_are_numeric_only(self, snapshot, ref):
+        metrics = {**snapshot,
+                   "meta": {"stage_eval_s": 0.25, "flag": True,
+                            "tag": "x", "kernels": ["qrng_K2"],
+                            "grid": {"n_units": 8}}}
+        with pytest.raises(KeyError):
+            lookup_metric(metrics, ref)
 
 
 class TestDiff:
@@ -142,3 +167,63 @@ class TestBaseline:
                                     "metrics": [{"value": 3}]}))
         with pytest.raises(ValueError, match="metric"):
             load_baseline(path)
+
+
+class TestBaselineRows:
+    """The structured per-entry report behind ``check --json`` — one
+    row per pinned metric, in baseline order, carrying the bound that
+    applied."""
+
+    BASELINE = {"bench_version": 1, "metrics": [
+        {"metric": "counters.core.predict.ops", "value": 40,
+         "rel_tol": 0.05},
+        {"metric": "timers.runner.stage.eval.total_s", "max": 1.0},
+        {"metric": "counters.core.predict.ops", "min": 100},
+        {"metric": "counters.not.there", "value": 1},
+    ]}
+
+    def test_rows_in_baseline_order(self, snapshot):
+        rows = check_baseline_rows(snapshot, self.BASELINE)
+        assert [r["metric"] for r in rows] == \
+            [e["metric"] for e in self.BASELINE["metrics"]]
+
+    def test_value_pin_row(self, snapshot):
+        row = check_baseline_rows(snapshot, self.BASELINE)[0]
+        assert row["ok"] and row["problems"] == []
+        assert row["value"] == 40
+        assert row["expect"] == 40
+        assert row["band"] == pytest.approx(2.0)     # 5% of 40
+        assert "max" not in row and "min" not in row
+
+    def test_max_pin_row_violation(self, snapshot):
+        row = check_baseline_rows(snapshot, self.BASELINE)[1]
+        assert not row["ok"]
+        assert row["value"] == pytest.approx(2.0)
+        assert row["max"] == 1.0
+        assert "expect" not in row
+        assert any("exceeds max" in p for p in row["problems"])
+
+    def test_min_pin_row_violation(self, snapshot):
+        row = check_baseline_rows(snapshot, self.BASELINE)[2]
+        assert not row["ok"]
+        assert row["min"] == 100
+        assert any("below min" in p for p in row["problems"])
+
+    def test_missing_metric_row(self, snapshot):
+        row = check_baseline_rows(snapshot, self.BASELINE)[3]
+        assert row["value"] is None
+        assert not row["ok"]
+        assert row["problems"] == \
+            ["counters.not.there: missing from metrics"]
+
+    def test_flat_check_is_the_rows_problems(self, snapshot):
+        rows = check_baseline_rows(snapshot, self.BASELINE)
+        assert check_baseline(snapshot, self.BASELINE) == \
+            [p for r in rows for p in r["problems"]]
+
+    def test_meta_ref_checkable(self, snapshot):
+        metrics = {**snapshot, "meta": {"stage_eval_s": 0.09}}
+        baseline = {"bench_version": 1, "metrics": [
+            {"metric": "meta.stage_eval_s", "max": 0.2}]}
+        (row,) = check_baseline_rows(metrics, baseline)
+        assert row["ok"] and row["value"] == pytest.approx(0.09)

@@ -94,6 +94,22 @@ class TestCheck:
         assert payload["ok"] is False
         assert payload["deviations"]
 
+    def test_json_reports_structured_rows(self, metrics_file,
+                                          baseline_file, capsys):
+        """``--json`` carries one row per pinned metric so CI can
+        print the measured eval-gate value, not just pass/fail."""
+        assert main(["check", str(metrics_file), "--json",
+                     "--baseline", str(baseline_file)]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["checked"] == len(payload["rows"]) > 0
+        by_ref = {r["metric"]: r for r in payload["rows"]}
+        pinned = by_ref["counters.sim.functional.trace_rows"]
+        assert pinned["ok"] and pinned["value"] == 1000
+        assert pinned["expect"] == 1000 and "band" in pinned
+        timer = by_ref["timers.runner.stage.eval.total_s"]
+        assert timer["ok"] and "max" in timer
+
 
 class TestUsageErrors:
     def test_missing_file_exits_two(self, tmp_path, capsys):

@@ -105,17 +105,18 @@ class TestExecuteUnitWithStore:
         assert warm.capture_time_s == 0.0
         assert results_equal(cold, warm)
 
-    def test_schema_v3_fields_present(self, units):
+    def test_schema_v4_fields_present(self, units):
         result = execute_unit(units[0])
         for fieldname in ("trace_cache_hit", "capture_time_s",
-                          "eval_time_s"):
+                          "eval_time_s", "engine"):
             assert fieldname in result.data
         assert result.eval_time_s > 0
+        assert result.data["engine"] in ("interp", "vec")
         static = result.data["metrics"]["static_peek"]
         assert static["events_reduced"] >= 0
         assert static["dynamic_events_static"] \
             <= static["dynamic_events_base"]
-        assert RESULT_SCHEMA == 3
+        assert RESULT_SCHEMA == 4
 
     def test_pre_v2_cache_entries_invalidated(self, tmp_path, units):
         """A disk entry written by the old schema (no trace fields)

@@ -108,6 +108,97 @@ class TestStoreSemantics:
         assert default_store_dir() == tmp_path / "x"
 
 
+class TestGetMemo:
+    """The read-side memo: repeated ``get`` of a hot key returns the
+    shared handle, with obs emissions identical to a real open so
+    grid metrics stay independent of unit→worker scheduling."""
+
+    @pytest.fixture()
+    def memo_store(self, suite_runs, tmp_path):
+        store = TraceStore(tmp_path / "m")
+        for name in ("binomial", "pathfinder", "qrng_K2",
+                     "sortNets_K2", "sgemm"):
+            store.put(trace_key(name, SCALE, 0, "v-m"),
+                      suite_runs[name], code_version="v-m",
+                      scale=SCALE, seed=0)
+        return store
+
+    def get_with_obs(self, store, key):
+        from repro import obs
+        with obs.scoped() as reg:
+            stored = store.get(key)
+        return stored, reg.snapshot()
+
+    def test_hit_returns_shared_handle(self, memo_store):
+        key = trace_key("binomial", SCALE, 0, "v-m")
+        first = memo_store.get(key)
+        assert memo_store.get(key) is first
+
+    def test_hit_emits_identical_obs(self, memo_store):
+        key = trace_key("binomial", SCALE, 0, "v-m")
+        _, cold = self.get_with_obs(memo_store, key)
+        _, warm = self.get_with_obs(memo_store, key)
+        assert warm["counters"] == cold["counters"]
+        assert warm["counters"]["trace_store.open"] == 1
+        assert warm["counters"]["trace_store.bytes_mapped"] > 0
+        assert warm["timers"]["trace_store.get"]["count"] \
+            == cold["timers"]["trace_store.get"]["count"] == 1
+
+    def test_memo_is_bounded(self, memo_store):
+        from repro.sim.trace_store import GET_MEMO_SIZE
+        for name in ("binomial", "pathfinder", "qrng_K2",
+                     "sortNets_K2", "sgemm"):
+            memo_store.get(trace_key(name, SCALE, 0, "v-m"))
+        assert len(memo_store._get_memo) == GET_MEMO_SIZE
+
+    def test_remove_invalidates_memo(self, memo_store):
+        key = trace_key("qrng_K2", SCALE, 0, "v-m")
+        memo_store.get(key)
+        memo_store.remove(key)
+        assert key not in memo_store._get_memo
+        with pytest.raises(OSError):
+            memo_store.get(key)
+
+
+class TestColumnGeometry:
+    """Columns map directly via the geometry recorded in the header;
+    entries that predate the ``columns`` record fall back to
+    ``np.load`` — byte-identically."""
+
+    def test_header_records_geometry(self, store):
+        header = store.header(trace_key("sgemm", SCALE, 0, "v-test"))
+        columns = header["columns"]
+        assert set(columns) == set(header["digests"])
+        geo = columns["add_op_a"]
+        assert geo["dtype"] == np.dtype(np.uint64).str
+        assert geo["shape"][0] == header["n_rows"]
+        assert geo["offset"] > 0
+
+    def test_legacy_entry_without_geometry(self, suite_runs,
+                                           tmp_path):
+        store = TraceStore(tmp_path / "g")
+        key = trace_key("binomial", SCALE, 0, "v-g")
+        store.put(key, suite_runs["binomial"], code_version="v-g",
+                  scale=SCALE, seed=0)
+        direct = store.get(key)
+
+        header_path = store.header_path(key)
+        header = json.loads(header_path.read_text())
+        del header["columns"]
+        header_path.write_text(json.dumps(header))
+        fallback = TraceStore(tmp_path / "g").get(key)
+
+        run = suite_runs["binomial"]
+        for col in _ADD_COLUMNS:
+            assert np.array_equal(getattr(fallback.trace, col),
+                                  getattr(run.trace, col)), col
+            assert np.array_equal(getattr(fallback.trace, col),
+                                  getattr(direct.trace, col)), col
+        for col in _INST_COLUMNS:
+            assert np.array_equal(getattr(fallback.insts, col),
+                                  getattr(run.insts, col)), col
+
+
 class TestVerifyAndGc:
     @pytest.fixture()
     def small_store(self, suite_runs, tmp_path):
