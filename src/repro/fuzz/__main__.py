@@ -1,0 +1,6 @@
+"""``python -m repro.fuzz`` — the ``st2-fuzz`` console tool."""
+
+from repro.fuzz.cli import console_main
+
+if __name__ == "__main__":
+    console_main()

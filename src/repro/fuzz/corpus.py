@@ -1,0 +1,124 @@
+"""The committed counterexample corpus.
+
+Every genuine bug the fuzzer finds leaves a **minimized fixture**
+behind: a small JSON file holding the reduced kernel source, its
+launch geometry, the data seed and the oracle it used to fail.  The
+corpus lives in ``tests/fuzz/corpus/`` and is replayed two ways —
+
+* ``pytest`` parametrizes over every fixture and asserts the kernel
+  now passes **all** oracles (regressions reopen as test failures
+  with the minimized program in the name);
+* ``st2-fuzz replay`` runs the same check from the command line /
+  CI, with ``--json`` machine output.
+
+Fixtures are plain data on purpose: reviewable in a diff, replayable
+without the generator, stable across generator changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.fuzz.harness import materialize
+from repro.fuzz.oracles import (DEFAULT_CONFIGS, KernelVerdict,
+                                check_kernel)
+
+#: repo-relative home of the committed fixtures
+CORPUS_DIR = os.path.join("tests", "fuzz", "corpus")
+
+_SLUG = re.compile(r"[^a-z0-9]+")
+
+
+@dataclass(frozen=True)
+class Fixture:
+    """One minimized counterexample."""
+
+    name: str
+    oracle: str
+    seed: int
+    description: str
+    source: str
+    blocks: int
+    threads: int
+    data_seed: int
+    configs: str = DEFAULT_CONFIGS
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "oracle": self.oracle,
+            "seed": self.seed,
+            "description": self.description,
+            "source": self.source,
+            "launch": {"blocks": self.blocks, "threads": self.threads},
+            "data_seed": self.data_seed,
+            "configs": self.configs,
+        }
+
+
+def fixture_from_dict(payload: Dict[str, Any]) -> Fixture:
+    launch = payload["launch"]
+    return Fixture(
+        name=payload["name"], oracle=payload["oracle"],
+        seed=int(payload["seed"]), description=payload["description"],
+        source=payload["source"], blocks=int(launch["blocks"]),
+        threads=int(launch["threads"]),
+        data_seed=int(payload["data_seed"]),
+        configs=payload.get("configs", DEFAULT_CONFIGS))
+
+
+def fixture_filename(fixture: Fixture) -> str:
+    slug = _SLUG.sub("-", fixture.description.lower()).strip("-")[:48]
+    return f"{fixture.oracle}-{slug or fixture.name}.json"
+
+
+def save_fixture(fixture: Fixture, directory: str) -> str:
+    """Write one fixture; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, fixture_filename(fixture))
+    with open(path, "w") as fh:
+        json.dump(fixture.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_fixture(path: str) -> Fixture:
+    with open(path) as fh:
+        return fixture_from_dict(json.load(fh))
+
+
+def corpus_paths(directory: str) -> List[str]:
+    """Every fixture file under ``directory``, sorted (empty if the
+    directory does not exist yet)."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(os.path.join(directory, name)
+                  for name in os.listdir(directory)
+                  if name.endswith(".json"))
+
+
+def replay_fixture(fixture: Fixture, workdir: str,
+                   filename: str = "") -> KernelVerdict:
+    """Re-run **all** oracles over one fixture's kernel.
+
+    A healthy corpus replays green: each fixture captures a bug that
+    has since been fixed, so the kernel must now pass everything.
+    """
+    from repro.runner.units import resolve_configs
+
+    bundle = materialize(fixture.source, fixture.name, workdir,
+                         filename=filename)
+    bundle.blocks = fixture.blocks
+    bundle.threads = fixture.threads
+    bundle.data_seed = fixture.data_seed
+    configs: Sequence[Any] = resolve_configs(fixture.configs)
+    return check_kernel(bundle, configs, adder_seed=fixture.seed)
+
+
+__all__ = ["CORPUS_DIR", "Fixture", "corpus_paths", "fixture_filename",
+           "fixture_from_dict", "load_fixture", "replay_fixture",
+           "save_fixture"]

@@ -1,0 +1,113 @@
+"""Materialize and execute generated kernels.
+
+A generated kernel only becomes comparable to its static analysis once
+its *runtime line numbers* match its *AST line numbers*: the PC labels
+the simulator interns come from live stack frames
+(``function:f_lineno``), while the abstract interpreter reads the same
+lines from ``ast.parse``.  :func:`materialize` therefore writes the
+rendered source to a real file and ``compile()``s it with that path —
+tracebacks, ``linecache`` (which the sanitizer's suppression check
+uses) and ``st2-lint`` all see the same module a suite kernel would.
+
+Device buffers are derived deterministically from the kernel's data
+seed; the integer buffer mixes full-range and small values so carry
+chains of every length occur.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.sim.config import LaunchConfig
+from repro.sim.functional import GridLauncher
+
+#: cells in each of the four global buffers
+BUFFER_CELLS = 256
+
+
+@dataclass
+class KernelBundle:
+    """A generated kernel materialized to disk and importable."""
+
+    name: str
+    source: str
+    path: str
+    fn: Callable[..., None]
+    blocks: int
+    threads: int
+    data_seed: int
+
+    @property
+    def total_threads(self) -> int:
+        return self.blocks * self.threads
+
+
+def materialize(source: str, name: str, directory: str,
+                fn_name: str = "fuzz_kernel",
+                filename: str = "") -> KernelBundle:
+    """Write ``source`` under ``directory`` and bind its kernel
+    function.  ``blocks``/``threads``/``data_seed`` are filled by
+    :func:`bundle_for`; this low-level form exists for corpus replay,
+    which carries its own launch geometry."""
+    path = os.path.join(directory, filename or f"{name}.py")
+    with open(path, "w") as fh:
+        fh.write(source)
+    namespace: Dict[str, Any] = {"np": np}
+    code = compile(source, path, "exec")
+    exec(code, namespace)
+    fn = namespace[fn_name]
+    return KernelBundle(name=name, source=source, path=path, fn=fn,
+                        blocks=1, threads=32, data_seed=0)
+
+
+def bundle_for(kernel: Any, directory: str,
+               filename: str = "") -> KernelBundle:
+    """Materialize one :class:`~repro.fuzz.gen.GeneratedKernel`."""
+    bundle = materialize(kernel.source, kernel.name, directory,
+                         filename=filename)
+    bundle.blocks = kernel.blocks
+    bundle.threads = kernel.threads
+    bundle.data_seed = kernel.data_seed
+    return bundle
+
+
+def device_data(data_seed: int) -> Dict[str, np.ndarray]:
+    """The deterministic initial contents of the four global buffers."""
+    rng = np.random.default_rng(data_seed)
+    ints = rng.integers(0, 1 << 31, size=BUFFER_CELLS, dtype=np.int64)
+    small = rng.integers(0, 256, size=BUFFER_CELLS, dtype=np.int64)
+    take_small = rng.random(BUFFER_CELLS) < 0.3
+    ints = np.where(take_small, small, ints)
+    flts = (rng.standard_normal(BUFFER_CELLS) * 2.0).astype(np.float32)
+    return {
+        "ints": ints,
+        "flts": flts,
+        "iout": np.zeros(BUFFER_CELLS, dtype=np.int64),
+        "fout": np.zeros(BUFFER_CELLS, dtype=np.float32),
+    }
+
+
+def execute(bundle: KernelBundle, sanitize: bool = False) -> Any:
+    """Run the kernel once; returns the
+    :class:`~repro.sim.functional.KernelRun`.
+
+    ``sanitize`` is explicit (never inherited from ``ST2_SANITIZE``):
+    the oracles need one unsanitized run for trace capture and one
+    sanitized run for the contract check, regardless of environment.
+    """
+    launcher = GridLauncher(seed=0, sanitize=sanitize)
+    data = device_data(bundle.data_seed)
+    params: Dict[str, Any] = {name: launcher.buffer(name, arr)
+                              for name, arr in data.items()}
+    params["n"] = bundle.total_threads
+    launch = LaunchConfig(grid_blocks=bundle.blocks,
+                          block_threads=bundle.threads)
+    return launcher.run(bundle.fn, launch, name=bundle.name, **params)
+
+
+__all__ = ["BUFFER_CELLS", "KernelBundle", "bundle_for", "device_data",
+           "execute", "materialize"]

@@ -1,0 +1,317 @@
+"""The fuzz kernel mini-AST: three-address DSL programs.
+
+:mod:`repro.fuzz` generates kernels in a deliberately restricted shape
+— every statement is either one DSL call (``dest = k.op(atom, ...)``)
+or a structured block (``k.where`` / ``k.range`` / ``k.inline``) over
+such statements.  Three-address form buys three properties at once:
+
+* every DSL emit sits on its **own source line**, so the PC labels the
+  runtime interns (``function:line[#tag]``) coincide exactly with the
+  line numbers the abstract interpreter reports — the static-facts
+  oracle compares the two without any fuzzy matching;
+* delta-debugging reduces to **statement-list surgery** (drop a
+  statement, unwrap a block, swap an operand atom) — no expression
+  tree rebalancing;
+* validity is a **scope check**: a program is renderable iff every
+  referenced name was defined earlier (:func:`program_ok`).
+
+Atoms are either names (``str``) or literal numbers.  :class:`Raw`
+carries verbatim source lines for the constructs the IR lowering
+*refuses* (comprehensions, ``try``, nested ``def`` using the context,
+dynamic ``k.inline`` tags) — they execute fine but must make the
+static analysis bail soundly, which the fuzzer checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+#: A variable/parameter/buffer name, or a literal int/float constant.
+Atom = Union[str, int, float]
+
+#: The fixed kernel function name every generated module defines.
+KERNEL_NAME = "fuzz_kernel"
+
+#: The fixed parameter list after ``k`` (two input buffers, two output
+#: buffers, and the launch-uniform scalar thread count).
+PARAMS = ("ints", "flts", "iout", "fout", "n")
+
+_INDENT = "    "
+
+
+def atom_src(atom: Atom) -> str:
+    """Render one atom as Python source."""
+    if isinstance(atom, bool):
+        raise TypeError("bool atoms are not part of the grammar")
+    if isinstance(atom, str):
+        return atom
+    if isinstance(atom, float):
+        return repr(float(atom))
+    return repr(int(atom))
+
+
+@dataclass(frozen=True)
+class Op:
+    """``dest = k.method(args...)`` — one value-producing DSL call."""
+
+    dest: str
+    method: str
+    args: Tuple[Atom, ...]
+
+
+@dataclass(frozen=True)
+class Call:
+    """``k.method(args...)`` — one effect-only DSL call
+    (stores, ``syncthreads``, ``tensor_mma``)."""
+
+    method: str
+    args: Tuple[Atom, ...]
+
+
+@dataclass(frozen=True)
+class Alloc:
+    """``dest = k.shared(size, dtype)`` — a shared-memory buffer."""
+
+    dest: str
+    size: int
+    dtype: str                      # "np.int64" | "np.float32"
+
+
+@dataclass(frozen=True)
+class Where:
+    """``with k.where(cond): body`` — masked (divergent) execution."""
+
+    cond: Atom
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for var in k.range(trips): body`` — a recorded counted loop."""
+
+    var: str
+    trips: int
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Inline:
+    """``with k.inline(tag): body`` — a PC-label namespace."""
+
+    tag: str
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Raw:
+    """Verbatim source lines (the IR-unlowerable constructs).
+
+    ``uses`` names the variables the lines read; ``defines`` the ones
+    they bind — both feed the same scope check as structured
+    statements so shrinking never orphans them.
+    """
+
+    lines: Tuple[str, ...]
+    uses: Tuple[str, ...] = ()
+    defines: Tuple[str, ...] = ()
+
+
+Stmt = Union[Op, Call, Alloc, Where, Loop, Inline, Raw]
+Body = Tuple[Stmt, ...]
+Path = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Program:
+    """One generated kernel module (a single kernel function)."""
+
+    body: Body
+    name: str = KERNEL_NAME
+    params: Tuple[str, ...] = PARAMS
+
+    def render(self) -> str:
+        """The complete module source for this program."""
+        lines = ["import numpy as np", "", "",
+                 f"def {self.name}(k, {', '.join(self.params)}):"]
+        body_lines = render_body(self.body, 1)
+        lines.extend(body_lines if body_lines else [_INDENT + "pass"])
+        return "\n".join(lines) + "\n"
+
+    def size(self) -> int:
+        return count_stmts(self.body)
+
+
+def render_stmt(stmt: Stmt, depth: int) -> List[str]:
+    """Source lines of one statement at the given indent depth."""
+    pad = _INDENT * depth
+    if isinstance(stmt, Op):
+        args = ", ".join(atom_src(a) for a in stmt.args)
+        return [f"{pad}{stmt.dest} = k.{stmt.method}({args})"]
+    if isinstance(stmt, Call):
+        args = ", ".join(atom_src(a) for a in stmt.args)
+        return [f"{pad}k.{stmt.method}({args})"]
+    if isinstance(stmt, Alloc):
+        return [f"{pad}{stmt.dest} = k.shared({stmt.size}, {stmt.dtype})"]
+    if isinstance(stmt, Where):
+        head = f"{pad}with k.where({atom_src(stmt.cond)}):"
+        return [head] + _block_lines(stmt.body, depth + 1)
+    if isinstance(stmt, Loop):
+        head = f"{pad}for {stmt.var} in k.range({stmt.trips}):"
+        return [head] + _block_lines(stmt.body, depth + 1)
+    if isinstance(stmt, Inline):
+        head = f"{pad}with k.inline({stmt.tag!r}):"
+        return [head] + _block_lines(stmt.body, depth + 1)
+    if isinstance(stmt, Raw):
+        return [pad + line for line in stmt.lines]
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _block_lines(body: Body, depth: int) -> List[str]:
+    lines = render_body(body, depth)
+    return lines if lines else [_INDENT * depth + "pass"]
+
+
+def render_body(body: Body, depth: int) -> List[str]:
+    lines: List[str] = []
+    for stmt in body:
+        lines.extend(render_stmt(stmt, depth))
+    return lines
+
+
+# ----------------------------------------------------------------------
+# structure: paths, surgery (the shrinker's toolkit)
+# ----------------------------------------------------------------------
+
+def child_body(stmt: Stmt) -> Optional[Body]:
+    """The nested statement tuple of a block statement, else None."""
+    if isinstance(stmt, (Where, Loop, Inline)):
+        return stmt.body
+    return None
+
+
+def with_body(stmt: Stmt, body: Body) -> Stmt:
+    """A copy of a block statement with ``body`` swapped in."""
+    if not isinstance(stmt, (Where, Loop, Inline)):
+        raise TypeError(f"{stmt!r} has no body")
+    return dataclasses.replace(stmt, body=body)
+
+
+def all_paths(body: Body, prefix: Path = ()) -> List[Path]:
+    """Every statement position, in depth-first source order."""
+    out: List[Path] = []
+    for i, stmt in enumerate(body):
+        path = prefix + (i,)
+        out.append(path)
+        child = child_body(stmt)
+        if child is not None:
+            out.extend(all_paths(child, path))
+    return out
+
+
+def get_at(body: Body, path: Path) -> Stmt:
+    stmt = body[path[0]]
+    for index in path[1:]:
+        child = child_body(stmt)
+        assert child is not None, (stmt, path)
+        stmt = child[index]
+    return stmt
+
+
+def splice_at(body: Body, path: Path,
+              replacement: Sequence[Stmt]) -> Body:
+    """A new body with the statement at ``path`` replaced by zero or
+    more statements (the one structural edit shrinking needs)."""
+    i = path[0]
+    if len(path) == 1:
+        return body[:i] + tuple(replacement) + body[i + 1:]
+    stmt = body[i]
+    child = child_body(stmt)
+    assert child is not None, (stmt, path)
+    new_child = splice_at(child, path[1:], replacement)
+    return body[:i] + (with_body(stmt, new_child),) + body[i + 1:]
+
+
+def count_stmts(body: Body) -> int:
+    total = 0
+    for stmt in body:
+        total += 1
+        child = child_body(stmt)
+        if child is not None:
+            total += count_stmts(child)
+    return total
+
+
+# ----------------------------------------------------------------------
+# scope check
+# ----------------------------------------------------------------------
+
+def stmt_uses(stmt: Stmt) -> Tuple[str, ...]:
+    """Names the statement reads (atoms that are names)."""
+    if isinstance(stmt, (Op, Call)):
+        return tuple(a for a in stmt.args if isinstance(a, str))
+    if isinstance(stmt, Where):
+        return (stmt.cond,) if isinstance(stmt.cond, str) else ()
+    if isinstance(stmt, Raw):
+        return stmt.uses
+    return ()
+
+
+def stmt_defines(stmt: Stmt) -> Tuple[str, ...]:
+    """Names the statement binds in the enclosing scope."""
+    if isinstance(stmt, (Op, Alloc)):
+        return (stmt.dest,)
+    if isinstance(stmt, Raw):
+        return stmt.defines
+    return ()
+
+
+def _check_body(body: Body, defined: set) -> bool:
+    for stmt in body:
+        # dotted atoms ("k.block_id", "k.n_threads") are attribute
+        # reads — in scope whenever their root object is
+        if any(name.split(".", 1)[0] not in defined
+               for name in stmt_uses(stmt)):
+            return False
+        child = child_body(stmt)
+        if child is not None:
+            inner = set(defined)
+            if isinstance(stmt, Loop):
+                inner.add(stmt.var)
+            if not _check_body(child, inner):
+                return False
+            # DSL blocks always execute their bodies (k.where masks,
+            # it does not skip; k.range trips >= 1), so names bound
+            # inside remain bound afterwards — except the loop
+            # variable, which the generator keeps body-scoped.
+            for sub in _bound_names(child):
+                defined.add(sub)
+        for name in stmt_defines(stmt):
+            defined.add(name)
+    return True
+
+
+def _bound_names(body: Body) -> Iterable[str]:
+    for stmt in body:
+        yield from stmt_defines(stmt)
+        child = child_body(stmt)
+        if child is not None:
+            yield from _bound_names(child)
+
+
+def program_ok(program: Program) -> bool:
+    """Every referenced name is defined before use (renderable and
+    runnable as straight-line DSL code)."""
+    defined = {"k", "np"}
+    defined.update(program.params)
+    return _check_body(program.body, defined)
+
+
+__all__ = [
+    "Alloc", "Atom", "Body", "Call", "Inline", "KERNEL_NAME", "Loop",
+    "Op", "PARAMS", "Path", "Program", "Raw", "Stmt", "Where",
+    "all_paths", "atom_src", "child_body", "count_stmts", "get_at",
+    "program_ok", "render_body", "render_stmt", "splice_at",
+    "stmt_defines", "stmt_uses", "with_body",
+]

@@ -1,0 +1,171 @@
+"""Counterexample minimization (delta debugging over the mini-AST).
+
+A failing kernel from the generator has ~10–40 statements of which
+usually two or three matter.  :func:`minimize` greedily reduces the
+program while a caller-supplied predicate (*does this candidate still
+fail the same oracle?*) stays true, using only the structural edits
+the three-address form makes safe:
+
+* **drop** — remove one statement (rejected by the scope check when a
+  later statement uses its destination);
+* **unwrap** — replace a ``where``/``range``/``inline`` block with its
+  body (the block statement itself was the irrelevant part);
+* **simplify** — shrink literal atoms toward ``0``/``1``, collapse
+  loops to one trip, and redirect name operands at the prologue's
+  ``t0`` so the drop pass can then remove the old producer.
+
+Passes repeat to a fixpoint under an evaluation budget; every
+candidate is validated with :func:`~repro.fuzz.kast.program_ok` before
+the (expensive) predicate runs, and a predicate that *raises* counts
+as "different failure" — minimization never trades one bug for
+another.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.fuzz.kast import (Alloc, Atom, Call, Inline, Loop, Op,
+                             Program, Raw, Stmt, Where, all_paths,
+                             child_body, get_at, program_ok, splice_at)
+
+#: default cap on predicate evaluations per minimization
+MAX_EVALS = 400
+
+#: the always-defined prologue name operands are redirected at
+_ANCHOR = "t0"
+
+
+@dataclass
+class ShrinkOutcome:
+    """What :func:`minimize` did."""
+
+    program: Program
+    evaluations: int
+    reduced_from: int
+
+    @property
+    def size(self) -> int:
+        return self.program.size()
+
+
+class _Budget:
+    """Counts predicate evaluations; refuses when spent."""
+
+    def __init__(self, predicate: Callable[[Program], bool],
+                 max_evals: int) -> None:
+        self._predicate = predicate
+        self.remaining = max_evals
+        self.spent = 0
+
+    def check(self, candidate: Program) -> bool:
+        if self.remaining <= 0 or not program_ok(candidate):
+            return False
+        self.remaining -= 1
+        self.spent += 1
+        try:
+            return bool(self._predicate(candidate))
+        except Exception:
+            return False
+
+
+def _drop_pass(program: Program, budget: _Budget) -> Program:
+    """Remove statements one at a time, deepest-last-first so earlier
+    paths stay valid across accepted edits within the pass."""
+    for path in reversed(all_paths(program.body)):
+        candidate = dataclasses.replace(
+            program, body=splice_at(program.body, path, ()))
+        if budget.check(candidate):
+            program = candidate
+    return program
+
+
+def _unwrap_pass(program: Program, budget: _Budget) -> Program:
+    """Replace block statements with their bodies."""
+    for path in reversed(all_paths(program.body)):
+        stmt = get_at(program.body, path)
+        body = child_body(stmt)
+        if body is None:
+            continue
+        candidate = dataclasses.replace(
+            program, body=splice_at(program.body, path, body))
+        if budget.check(candidate):
+            program = candidate
+    return program
+
+
+def _atom_candidates(atom: Atom) -> List[Atom]:
+    if isinstance(atom, bool):
+        return []
+    if isinstance(atom, int):
+        return [c for c in (0, 1) if c != atom]
+    if isinstance(atom, float):
+        return [c for c in (0.0, 1.0) if c != atom]
+    if atom != _ANCHOR:
+        return [_ANCHOR]
+    return []
+
+
+def _simplified(stmt: Stmt) -> List[Stmt]:
+    """Single-edit simpler variants of one statement, best first."""
+    out: List[Stmt] = []
+    if isinstance(stmt, (Op, Call)):
+        for i, atom in enumerate(stmt.args):
+            for repl in _atom_candidates(atom):
+                args: Tuple[Atom, ...] = (stmt.args[:i] + (repl,)
+                                          + stmt.args[i + 1:])
+                out.append(dataclasses.replace(stmt, args=args))
+    elif isinstance(stmt, Where):
+        for repl in _atom_candidates(stmt.cond):
+            out.append(dataclasses.replace(stmt, cond=repl))
+    elif isinstance(stmt, Loop):
+        if stmt.trips > 1:
+            out.append(dataclasses.replace(stmt, trips=1))
+    elif isinstance(stmt, Alloc):
+        if stmt.size > 1:
+            out.append(dataclasses.replace(stmt, size=1))
+    elif isinstance(stmt, (Inline, Raw)):
+        pass
+    return out
+
+
+def _simplify_pass(program: Program, budget: _Budget) -> Program:
+    for path in reversed(all_paths(program.body)):
+        stmt = get_at(program.body, path)
+        for variant in _simplified(stmt):
+            candidate = dataclasses.replace(
+                program, body=splice_at(program.body, path, (variant,)))
+            if budget.check(candidate):
+                program = candidate
+                break
+    return program
+
+
+def minimize(program: Program,
+             still_fails: Callable[[Program], bool],
+             max_evals: int = MAX_EVALS) -> ShrinkOutcome:
+    """Greedy fixpoint of drop/unwrap/simplify under ``still_fails``.
+
+    ``still_fails`` receives a *candidate program* and must return
+    True iff it reproduces the original failure (same oracle).  The
+    input program is assumed failing; the result is the smallest
+    equivalent the budget reached and always satisfies
+    :func:`program_ok`.
+    """
+    budget = _Budget(still_fails, max_evals)
+    reduced_from = program.size()
+    while True:
+        before = (program.size(), program.body)
+        program = _drop_pass(program, budget)
+        program = _unwrap_pass(program, budget)
+        program = _simplify_pass(program, budget)
+        if (program.size(), program.body) == before \
+                or budget.remaining <= 0:
+            break
+    return ShrinkOutcome(program=program, evaluations=budget.spent,
+                         reduced_from=reduced_from)
+
+
+__all__ = ["MAX_EVALS", "ShrinkOutcome", "minimize"]

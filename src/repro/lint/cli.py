@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "code or baselines)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    parser.add_argument("--fact-dump", metavar="FILE",
+                        help="also write the statically proven per-PC "
+                             "carry facts of the linted paths to FILE "
+                             "as JSON (the `st2-lint facts --json` "
+                             "document; '-' for stdout)")
     cli_common.add_json_flag(parser)
     return parser
 
@@ -79,33 +84,13 @@ def build_facts_parser() -> argparse.ArgumentParser:
 def facts_main(argv, out) -> int:
     """``st2-lint facts`` — always exits 0 (the export is a report,
     not a gate; parse failures simply export no facts)."""
-    from repro.lint.facts import facts_to_json, module_facts_from_source
+    from repro.lint.facts import collect_facts_payload
     args = build_facts_parser().parse_args(argv)
-    files = []
-    for item in args.paths:
-        p = Path(item)
-        if p.is_dir():
-            files.extend(sorted(p.rglob("*.py")))
-        else:
-            files.append(p)
-    modules = {}
-    n_facts = n_bits = 0
-    for file in sorted(set(files), key=str):
-        try:
-            src = file.read_text()
-        except OSError:
-            continue
-        facts = module_facts_from_source(src, str(file))
-        if not facts:
-            continue
-        modules[str(file)] = facts_to_json(facts)
-        n_facts += len(facts)
-        n_bits += sum(len(f.carries) for f in facts.values())
+    payload = collect_facts_payload(args.paths)
     if args.json:
-        cli_common.emit_json(
-            {"version": 1, "facts": n_facts, "pinned_carries": n_bits,
-             "modules": modules}, out=out)
+        cli_common.emit_json(payload, out=out)
         return cli_common.EXIT_OK
+    modules = payload["modules"]
     for path in sorted(modules):
         for label, rec in modules[path].items():
             pinned = ", ".join(f"c{j}={c}"
@@ -113,8 +98,9 @@ def facts_main(argv, out) -> int:
             print(f"{path}:{rec['line']}: {label} "
                   f"[w{rec['width']}, {rec['sites']} site(s)] "
                   f"{pinned}", file=out)
-    print(f"st2-lint facts: {n_facts} PC label(s), "
-          f"{n_bits} pinned carry boundary(ies)", file=out)
+    print(f"st2-lint facts: {payload['facts']} PC label(s), "
+          f"{payload['pinned_carries']} pinned carry boundary(ies)",
+          file=out)
     return cli_common.EXIT_OK
 
 
@@ -146,6 +132,19 @@ def main(argv=None, out=None) -> int:
         print(f.format(), file=out)
     if errors:
         return cli_common.EXIT_USAGE
+
+    if args.fact_dump:
+        from repro.lint.facts import collect_facts_payload
+        if args.fact_dump == "-" and args.json:
+            print("st2-lint: --fact-dump - conflicts with --json "
+                  "(two documents on stdout)", file=sys.stderr)
+            return cli_common.EXIT_USAGE
+        payload = collect_facts_payload(args.paths)
+        if args.fact_dump == "-":
+            cli_common.emit_json(payload, out=out)
+        else:
+            with open(args.fact_dump, "w") as fh:
+                cli_common.emit_json(payload, out=fh)
 
     if args.write_baseline:
         recorded = write_baseline(args.write_baseline, findings)

@@ -229,6 +229,41 @@ def facts_to_json(facts: Mapping[str, CarryFact]) -> Dict[str, dict]:
     }
 
 
+def collect_facts_payload(paths) -> Dict[str, object]:
+    """The ``st2-lint facts --json`` / ``--fact-dump`` document.
+
+    Walks files and directories, analyses every ``*.py`` module and
+    returns the versioned, sorted, JSON-serialisable fact table —
+    byte-stable for fixed inputs (the golden-file contract external
+    consumers and the fuzzer's static-facts oracle rely on).
+    Unreadable files are skipped; unparsable ones export no facts.
+    """
+    from pathlib import Path
+
+    files = []
+    for item in paths:
+        p = Path(item)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    modules: Dict[str, Dict[str, dict]] = {}
+    n_facts = n_bits = 0
+    for file in sorted(set(files), key=str):
+        try:
+            src = file.read_text()
+        except OSError:
+            continue
+        facts = module_facts_from_source(src, str(file))
+        if not facts:
+            continue
+        modules[str(file)] = facts_to_json(facts)
+        n_facts += len(facts)
+        n_bits += sum(len(f.carries) for f in facts.values())
+    return {"version": 1, "facts": n_facts, "pinned_carries": n_bits,
+            "modules": modules}
+
+
 # ----------------------------------------------------------------------
 # kernel-suite resolution (for the simulator / runner)
 # ----------------------------------------------------------------------
@@ -282,6 +317,7 @@ def facts_for_kernel(kernel_name: str) -> Dict[str, CarryFact]:
 
 __all__ = [
     "CarryFact", "N_BOUNDARIES", "SLICE_BITS", "WIDTH",
+    "collect_facts_payload",
     "facts_for_kernel", "facts_for_module", "facts_to_json",
     "function_facts", "module_constants", "module_facts_from_source",
     "site_carries", "site_label",

@@ -180,32 +180,85 @@ def _aux_metrics(run) -> dict:
     }
 
 
-def _static_peek_metrics(spec: UnitSpec, run) -> dict:
-    """The static carry-fact ablation row of one unit.
+def _fact_bits(facts) -> int:
+    """Pinned carry-boundary count of a fact table (CarryFact objects
+    or their ``st2-lint facts --json`` dict form)."""
+    total = 0
+    for fact in (facts or {}).values():
+        total += len(fact["carries"] if isinstance(fact, dict)
+                     else fact.carries)
+    return total
 
-    Facts come from the abstract interpreter over the kernel's source
-    (memoised per module path inside :mod:`repro.lint.facts`, so the
-    analysis runs once per module per process); the ``absint.facts``
-    counter is still added per unit to keep obs totals independent of
+
+def evaluation_payload(run, config: SpeculationConfig,
+                       models: ModelBundle = None,
+                       engine: str = "interp", facts=None,
+                       plan_key=None) -> dict:
+    """The numeric core of one (run × config) evaluation.
+
+    Returns ``{"engine", "metrics", "energy_stacks"}`` — exactly the
+    payload slice of :func:`execute_unit`'s result dict, computed on
+    an **arbitrary** :class:`~repro.sim.functional.KernelRun` with an
+    explicit static-fact table.  This is the entry point the
+    differential fuzzer's engine oracle drives: the same code path
+    that produces production numbers, minus the suite registry (fuzz
+    kernels are not registered) and the trace-store bookkeeping.
+
+    ``engine`` must be ``"interp"`` or ``"vec"`` (already resolved —
+    see :func:`_resolve_engine` for the ``auto`` policy).  Both
+    engines add identical obs counter totals, including the per-unit
+    ``absint.facts`` count, which keeps grid snapshots independent of
     how units are distributed over workers.
     """
-    from repro.lint.facts import facts_for_kernel
-    from repro.st2.ablations import static_peek_ablation
+    from repro.st2.architecture import evaluate_run
 
-    facts = facts_for_kernel(spec.kernel)
-    obs.add("absint.facts",
-            sum(len(f.carries) for f in facts.values()))
-    point = static_peek_ablation(run.trace, facts, config=spec.config)
+    models = (models or ModelBundle()).ensure()
+    facts = facts or {}
+    obs.add("absint.facts", _fact_bits(facts))
+    if engine == "vec":
+        from repro.sim import vec
+
+        ev, static_peek = vec.evaluate_unit(
+            run, config, facts, models.power_model, models.adder_model,
+            plan_key=plan_key)
+    elif engine == "interp":
+        from repro.st2.ablations import static_peek_ablation
+
+        ev = evaluate_run(run, config=config, model=models.power_model,
+                          adder_model=models.adder_model)
+        point = static_peek_ablation(run.trace, facts, config=config)
+        static_peek = {
+            "fact_labels": point.fact_labels,
+            "fact_bits": point.fact_bits,
+            "static_bits": point.static_bits,
+            "new_static_bits": point.new_static_bits,
+            "dynamic_events_base": point.dynamic_events_base,
+            "dynamic_events_static": point.dynamic_events_static,
+            "events_reduced": point.events_reduced,
+            "misprediction_rate_base": point.misprediction_rate_base,
+            "misprediction_rate_static": point.misprediction_rate_static,
+        }
+    else:
+        raise ValueError(
+            f"evaluation_payload needs a resolved engine "
+            f"('interp' or 'vec'), got {engine!r}")
+    base_stack, st2_stack = ev.energy.normalized_stacks()
     return {
-        "fact_labels": point.fact_labels,
-        "fact_bits": point.fact_bits,
-        "static_bits": point.static_bits,
-        "new_static_bits": point.new_static_bits,
-        "dynamic_events_base": point.dynamic_events_base,
-        "dynamic_events_static": point.dynamic_events_static,
-        "events_reduced": point.events_reduced,
-        "misprediction_rate_base": point.misprediction_rate_base,
-        "misprediction_rate_static": point.misprediction_rate_static,
+        "engine": engine,
+        "metrics": {
+            "misprediction_rate": float(ev.misprediction_rate),
+            "recomputed_per_misprediction":
+                float(ev.recomputed_per_misprediction),
+            "slowdown": float(ev.slowdown),
+            "baseline_cycles": int(ev.timing_baseline.total_cycles),
+            "st2_cycles": int(ev.timing_st2.total_cycles),
+            "system_saving": float(ev.system_saving),
+            "chip_saving": float(ev.chip_saving),
+            "alu_fpu_share": float(ev.energy.alu_fpu_share),
+            "arithmetic_intensive": bool(ev.arithmetic_intensive),
+            "static_peek": static_peek,
+        },
+        "energy_stacks": {"baseline": base_stack, "st2": st2_stack},
     }
 
 
@@ -291,32 +344,19 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
     Both engines produce bit-identical payloads and obs counters, so
     the choice never changes the numbers — only the wall time.
     """
-    from repro.st2.architecture import evaluate_run
+    from repro.lint.facts import facts_for_kernel
 
     models = (models or ModelBundle()).ensure()
     t0 = time.perf_counter()
     run, trace_hit, capture_s = _obtain_run(spec, store, store_key,
                                             use_mem_cache)
     t_eval = time.perf_counter()
-    engine_used = _resolve_engine(
-        engine, run, plan_key=(spec.kernel, spec.scale, spec.seed))
-    if engine_used == "vec":
-        from repro.lint.facts import facts_for_kernel
-        from repro.sim import vec
-
-        facts = facts_for_kernel(spec.kernel)
-        obs.add("absint.facts",
-                sum(len(f.carries) for f in facts.values()))
-        ev, static_peek = vec.evaluate_unit(
-            run, spec.config, facts, models.power_model,
-            models.adder_model,
-            plan_key=(spec.kernel, spec.scale, spec.seed))
-    else:
-        ev = evaluate_run(run, config=spec.config,
-                          model=models.power_model,
-                          adder_model=models.adder_model)
-        static_peek = _static_peek_metrics(spec, run)
-    base_stack, st2_stack = ev.energy.normalized_stacks()
+    plan_key = (spec.kernel, spec.scale, spec.seed)
+    engine_used = _resolve_engine(engine, run, plan_key=plan_key)
+    payload = evaluation_payload(run, spec.config, models=models,
+                                 engine=engine_used,
+                                 facts=facts_for_kernel(spec.kernel),
+                                 plan_key=plan_key)
     result = {
         "kernel": spec.kernel,
         "scale": spec.scale,
@@ -331,20 +371,8 @@ def execute_unit(spec: UnitSpec, models: ModelBundle = None,
         "trace_rows": int(len(run.trace)),
         "trace_bytes": int(trace_nbytes(run.trace, run.insts)),
         "n_static_pcs": int(run.n_static_pcs),
-        "metrics": {
-            "misprediction_rate": float(ev.misprediction_rate),
-            "recomputed_per_misprediction":
-                float(ev.recomputed_per_misprediction),
-            "slowdown": float(ev.slowdown),
-            "baseline_cycles": int(ev.timing_baseline.total_cycles),
-            "st2_cycles": int(ev.timing_st2.total_cycles),
-            "system_saving": float(ev.system_saving),
-            "chip_saving": float(ev.chip_saving),
-            "alu_fpu_share": float(ev.energy.alu_fpu_share),
-            "arithmetic_intensive": bool(ev.arithmetic_intensive),
-            "static_peek": static_peek,
-        },
-        "energy_stacks": {"baseline": base_stack, "st2": st2_stack},
+        "metrics": payload["metrics"],
+        "energy_stacks": payload["energy_stacks"],
     }
     if spec.aux:
         result["aux"] = _aux_metrics(run)

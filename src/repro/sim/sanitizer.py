@@ -151,6 +151,14 @@ class KernelSanitizer:
         self._shadows.clear()
 
     def on_barrier(self, mask: np.ndarray) -> None:
+        if not mask.any():
+            # no thread reaches the barrier — on hardware the BAR
+            # simply never executes (the legal uniform-branch pattern
+            # ``if (blockIdx.x == 0) __syncthreads()``).  Nothing to
+            # check, and the epoch must NOT advance: an unexecuted
+            # barrier orders nothing, so advancing would hide real
+            # cross-warp races spanning it.
+            return
         if not mask.all():
             fname, line = _kernel_frame()
             raise BarrierDivergenceError(

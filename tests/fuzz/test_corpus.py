@@ -1,0 +1,75 @@
+"""The committed counterexample corpus replays green — and would
+still catch the bugs it memorializes if they were re-introduced."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (Fixture, corpus_paths, fixture_filename,
+                               load_fixture, replay_fixture,
+                               save_fixture)
+
+CORPUS = Path(__file__).parent / "corpus"
+FIXTURE_PATHS = corpus_paths(str(CORPUS))
+
+
+def test_corpus_is_not_empty():
+    """Every genuine bug the fuzzer found leaves a fixture behind."""
+    assert FIXTURE_PATHS
+
+
+@pytest.mark.parametrize("path", FIXTURE_PATHS,
+                         ids=[Path(p).stem for p in FIXTURE_PATHS])
+def test_fixture_replays_green(path, tmp_path):
+    """All oracles pass on every minimized counterexample: the bug
+    each fixture captured stays fixed."""
+    fixture = load_fixture(path)
+    verdict = replay_fixture(fixture, str(tmp_path))
+    assert verdict.ok, [f.message for f in verdict.failures]
+
+
+@pytest.mark.parametrize("path", FIXTURE_PATHS,
+                         ids=[Path(p).stem for p in FIXTURE_PATHS])
+def test_fixture_is_well_formed(path):
+    doc = json.loads(Path(path).read_text())
+    assert {"name", "oracle", "seed", "description", "source",
+            "launch", "data_seed"} <= set(doc)
+    assert doc["source"].lstrip().startswith("import numpy")
+    assert doc["launch"]["threads"] % 32 == 0
+    assert doc["description"]                # reviewable in a diff
+
+
+def test_round_trip(tmp_path):
+    fixture = Fixture(name="t", oracle="static", seed=5,
+                      description="a bug", source="import numpy\n",
+                      blocks=2, threads=32, data_seed=9)
+    path = save_fixture(fixture, str(tmp_path))
+    assert load_fixture(path) == fixture
+    assert fixture_filename(fixture).startswith("static-")
+
+
+def test_empty_mask_fixture_would_catch_the_old_sanitizer(tmp_path,
+                                                          monkeypatch):
+    """Red-before/green-after, permanently: re-introduce the old
+    ``on_barrier`` (raise whenever the mask is not full — including
+    all-false masks at barriers no thread reaches) and the committed
+    fixture must go red again."""
+    import numpy as np
+
+    from repro.sim import sanitizer as san_mod
+    from repro.sim.sanitizer import BarrierDivergenceError
+
+    [path] = [p for p in FIXTURE_PATHS if "empty-mask" in p]
+
+    def old_on_barrier(self, mask: np.ndarray) -> None:
+        if not mask.all():
+            raise BarrierDivergenceError(
+                f"{self.kernel_name}: divergent barrier")
+        self.epoch += 1
+
+    monkeypatch.setattr(san_mod.KernelSanitizer, "on_barrier",
+                        old_on_barrier)
+    verdict = replay_fixture(load_fixture(path), str(tmp_path))
+    assert not verdict.ok, \
+        "fixture no longer detects the empty-mask false positive"

@@ -1,0 +1,94 @@
+"""Generator properties: determinism, validity, coverage, alignment."""
+
+import ast
+
+import pytest
+
+from repro.fuzz.gen import (FuzzProfile, derive_stream, generate_batch,
+                            generate_kernel)
+from repro.fuzz.kast import KERNEL_NAME, program_ok
+
+
+class TestDeterminism:
+    def test_same_seed_index_is_identical(self):
+        a = generate_kernel(11, 4)
+        b = generate_kernel(11, 4)
+        assert a.source == b.source
+        assert (a.blocks, a.threads, a.data_seed) \
+            == (b.blocks, b.threads, b.data_seed)
+
+    def test_streams_are_per_index(self):
+        """Growing the budget appends kernels — it never reshuffles
+        the ones already generated (CI seeds stay meaningful)."""
+        first = [k.source for k in generate_batch(3, 5)]
+        grown = [k.source for k in generate_batch(3, 9)]
+        assert grown[:5] == first
+
+    def test_derive_stream_separates_tags(self):
+        assert derive_stream(1, 2, "gen") != derive_stream(1, 2, "data")
+        assert derive_stream(1, 2) != derive_stream(2, 1)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    def test_programs_are_scope_valid_and_compile(self, seed):
+        for index in range(40):
+            kernel = generate_kernel(seed, index)
+            assert program_ok(kernel.program), kernel.source
+            tree = compile(kernel.source, f"<{kernel.name}>", "exec")
+            assert tree is not None
+
+    def test_launch_geometry_is_warp_aligned(self):
+        for index in range(30):
+            kernel = generate_kernel(5, index)
+            assert kernel.threads % 32 == 0 and kernel.threads > 0
+            assert kernel.blocks >= 1
+
+    def test_defines_the_fixed_kernel_function(self):
+        kernel = generate_kernel(0, 0)
+        tree = ast.parse(kernel.source)
+        fns = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+        assert [f.name for f in fns] == [KERNEL_NAME]
+
+
+class TestCoverage:
+    def test_constructs_all_appear_across_a_batch(self):
+        blob = "\n".join(k.source for k in generate_batch(2, 80))
+        for needle in ("k.where(", "k.range(", "k.inline(",
+                       "k.syncthreads()", "k.shared(", "k.st_shared(",
+                       "k.ld_shared(", "shfl_", "k.atomic_add(",
+                       "warp_reduce", "k.ffma(", "k.sel(",
+                       "k.st_global(", "k.ld_global("):
+            assert needle in blob, f"{needle} never generated"
+
+    def test_evil_constructs_appear_with_low_probability(self):
+        blob = "\n".join(k.source for k in generate_batch(2, 120))
+        assert ("try:" in blob or "for c in (1, 2)" in blob
+                or "def _h" in blob or "'d' + 'yn'" in blob)
+
+    def test_uniform_barrier_sources_vary(self):
+        blob = "\n".join(k.source for k in generate_batch(4, 150))
+        assert "k.lt(k.block_id," in blob
+        assert "k.lt(n," in blob
+
+
+class TestThreeAddressAlignment:
+    def test_one_dsl_call_per_generated_line(self):
+        """The PC-label contract: structured statements put exactly one
+        DSL call on each line (Raw evil lines are exempt — they make
+        the static analysis bail, so nothing is claimed about them)."""
+        import re
+
+        call = re.compile(r"\bk\.\w+\(")
+        for index in range(25):
+            kernel = generate_kernel(9, index)
+            for line in kernel.source.splitlines():
+                if "for c in" in line or "_h" in line:
+                    continue        # Raw constructs
+                assert len(call.findall(line)) <= 1, line
+
+    def test_profile_bounds_are_respected(self):
+        profile = FuzzProfile(min_stmts=2, max_stmts=3, max_depth=1)
+        for index in range(10):
+            kernel = generate_kernel(1, index, profile)
+            assert kernel.program.size() <= 3 + 8 + 6

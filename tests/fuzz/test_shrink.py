@@ -1,0 +1,114 @@
+"""Delta debugging over the mini-AST: drops, unwraps, simplifies —
+and never returns an invalid or non-failing program."""
+
+from repro.fuzz.gen import generate_kernel
+from repro.fuzz.kast import (Call, Loop, Op, Program, Where, all_paths,
+                             get_at, program_ok)
+from repro.fuzz.shrink import minimize
+
+
+def _has_sync(body) -> bool:
+    for path in all_paths(body):
+        stmt = get_at(body, path)
+        if isinstance(stmt, Call) and stmt.method == "syncthreads":
+            return True
+    return False
+
+
+class TestMinimize:
+    def test_reduces_to_the_failing_statement(self):
+        kernel = generate_kernel(21, 0)
+        program = Program(kernel.program.body
+                          + (Call("syncthreads", ()),))
+        outcome = minimize(program,
+                           lambda p: _has_sync(p.body))
+        assert outcome.size < program.size()
+        assert outcome.size <= 2
+        assert _has_sync(outcome.program.body)
+        assert program_ok(outcome.program)
+
+    def test_unwraps_enclosing_blocks(self):
+        program = Program((
+            Op("t0", "thread_id", ()),
+            Op("p0", "lt", ("t0", 5)),
+            Where("p0", (
+                Loop("i1", 3, (
+                    Op("x1", "iadd", ("t0", 1)),
+                )),
+            )),
+        ))
+
+        def has_iadd(p):
+            return any(isinstance(get_at(p.body, path), Op)
+                       and get_at(p.body, path).method == "iadd"
+                       for path in all_paths(p.body))
+
+        outcome = minimize(program, has_iadd)
+        # the Where/Loop wrappers are irrelevant — both unwrap away
+        kinds = [type(get_at(outcome.program.body, p)).__name__
+                 for p in all_paths(outcome.program.body)]
+        assert "Where" not in kinds and "Loop" not in kinds
+        assert has_iadd(outcome.program)
+        assert program_ok(outcome.program)
+
+    def test_never_drops_a_needed_definition(self):
+        program = Program((
+            Op("t0", "thread_id", ()),
+            Op("x1", "iadd", ("t0", 7)),
+            Call("st_global", ("iout", "t0", "x1")),
+        ))
+
+        def uses_x1(p):
+            return any(isinstance(s := get_at(p.body, q), Call)
+                       and "x1" in s.args
+                       for q in all_paths(p.body))
+
+        outcome = minimize(program, uses_x1)
+        assert program_ok(outcome.program)
+        assert uses_x1(outcome.program)
+        # t0 and x1 producers must both survive (scope check)
+        assert outcome.size == 3
+
+    def test_simplifies_constants_toward_zero(self):
+        program = Program((
+            Op("t0", "thread_id", ()),
+            Op("x1", "iadd", ("t0", 987654)),
+        ))
+
+        def has_iadd(p):
+            return any(isinstance(get_at(p.body, q), Op)
+                       and get_at(p.body, q).method == "iadd"
+                       for q in all_paths(p.body))
+
+        outcome = minimize(program, has_iadd)
+        op = next(get_at(outcome.program.body, q)
+                  for q in all_paths(outcome.program.body)
+                  if isinstance(get_at(outcome.program.body, q), Op)
+                  and get_at(outcome.program.body, q).method == "iadd")
+        assert all(a in (0, 1, "t0") for a in op.args)
+
+    def test_respects_the_evaluation_budget(self):
+        kernel = generate_kernel(21, 1)
+        calls = []
+
+        def predicate(p):
+            calls.append(1)
+            return True
+
+        minimize(kernel.program, predicate, max_evals=25)
+        assert len(calls) <= 25
+
+    def test_raising_predicate_counts_as_different_failure(self):
+        program = Program((
+            Op("t0", "thread_id", ()),
+            Op("x1", "iadd", ("t0", 7)),
+        ))
+
+        def explosive(p):
+            if p.size() < 2:
+                raise RuntimeError("different crash")
+            return True
+
+        outcome = minimize(program, explosive)
+        assert outcome.size == 2
+        assert program_ok(outcome.program)

@@ -1,0 +1,12 @@
+"""Fixed fact-export sample for the golden byte-stability test."""
+import numpy as np
+
+
+def golden_kernel(k, data, out):
+    t = k.thread_id()
+    acc = k.ld_global(data, t)
+    for i in k.range(4):
+        acc = k.iadd(acc, 0)
+    x = k.iand(acc, 255)
+    y = k.iadd(x, 1)
+    k.st_global(out, t, y)

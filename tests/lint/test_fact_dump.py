@@ -1,0 +1,91 @@
+"""The machine-readable fact export is byte-stable.
+
+``st2-lint facts --json`` and ``st2-lint --fact-dump`` are interchange
+formats: the fuzzer's static-facts oracle, the runner's static-peek
+path and any external consumer parse them, so the bytes for a fixed
+input must never drift.  The golden file pins them (``{PATH}`` is
+substituted with the sample module's path at test time).
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import facts_main, main
+
+DATA = Path(__file__).parent / "data"
+KERNEL = DATA / "golden_kernel.py"
+GOLDEN = DATA / "golden_facts.json"
+
+
+def golden_text() -> str:
+    return GOLDEN.read_text().replace("{PATH}", str(KERNEL))
+
+
+def test_facts_json_matches_golden_bytes():
+    out = io.StringIO()
+    assert facts_main([str(KERNEL), "--json"], out) == 0
+    assert out.getvalue() == golden_text()
+
+
+def test_fact_dump_file_matches_golden_bytes(tmp_path, capsys):
+    dump = tmp_path / "facts.json"
+    code = main([str(KERNEL), "--fact-dump", str(dump)],
+                out=io.StringIO())
+    assert code == 0
+    assert dump.read_text() == golden_text()
+
+
+def test_fact_dump_stdout_matches_facts_json():
+    dumped, exported = io.StringIO(), io.StringIO()
+    assert main([str(KERNEL), "--fact-dump", "-"], out=dumped) == 0
+    assert facts_main([str(KERNEL), "--json"], exported) == 0
+    # --fact-dump - appends the lint verdict line after the document
+    assert dumped.getvalue().startswith(exported.getvalue())
+
+
+def test_fact_dump_dash_conflicts_with_json(capsys):
+    code = main([str(KERNEL), "--fact-dump", "-", "--json"],
+                out=io.StringIO())
+    assert code == 2
+    assert "--fact-dump" in capsys.readouterr().err
+
+
+def test_golden_document_shape():
+    """The golden file itself stays a valid versioned document."""
+    doc = json.loads(golden_text())
+    assert doc["version"] == 1
+    assert doc["facts"] == sum(len(m) for m in doc["modules"].values())
+    assert doc["pinned_carries"] == sum(
+        len(f["carries"])
+        for m in doc["modules"].values() for f in m.values())
+    for module in doc["modules"].values():
+        for label, fact in module.items():
+            assert set(fact) == {"width", "carries", "sites", "line"}
+            assert all(v in (0, 1) for v in fact["carries"].values())
+
+
+def test_dump_consumable_by_static_peek():
+    """The exported dict form feeds ``trace_static_peek`` directly —
+    the fact-dump format IS the predictor's fact-table format."""
+    from repro.core.predictors import trace_static_peek
+    from repro.kernels.suite import run_kernel
+
+    out = io.StringIO()
+    assert facts_main([str(KERNEL), "--json"], out) == 0
+    doc = json.loads(out.getvalue())
+    facts = next(iter(doc["modules"].values()))
+    run = run_kernel("pathfinder", scale=0.1, seed=0)
+    known, value = trace_static_peek(run.trace, facts)
+    # foreign labels match nothing, but the call must accept the format
+    assert known.shape == value.shape
+    assert not known.any()
+
+
+@pytest.mark.parametrize("flag", [["--json"], []])
+def test_facts_subcommand_still_exits_zero(flag):
+    out = io.StringIO()
+    assert facts_main([str(KERNEL)] + flag, out) == 0
+    assert out.getvalue()

@@ -1,0 +1,131 @@
+"""Sound bailing: a refused construct must suppress ALL static claims.
+
+Every kernel here contains a ``k.range`` loop that would normally
+export a ``#loop-inc`` carry fact — plus one construct the IR lowering
+refuses (:class:`~repro.lint.ir.LoweringError`).  The contract the
+fuzzer's static-facts oracle enforces dynamically is checked here
+statically for each refused construct: the function summary is
+``bailed`` with a reason, it exports **no** carry facts, and the flow
+analysis claims **no** adder or barrier sites — a bailed analysis must
+claim nothing at all, because unproven "facts" would be injected into
+the speculative adder as truth.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.absint import analyze_source
+from repro.lint.facts import module_facts_from_source
+from repro.lint.ir import LoweringError, lower_function
+
+#: the loop that would export a #loop-inc fact in a clean kernel
+_FACT_LOOP = """
+    acc = k.iadd(k.thread_id(), 1)
+    for i in k.range(4):
+        acc = k.iadd(acc, 0)
+    k.st_global(out, k.thread_id(), acc)
+"""
+
+#: constructs the IR lowering refuses (raise LoweringError)
+BAIL_CONSTRUCTS = {
+    "listcomp_ctx": "vals = [k.iadd(acc, c) for c in (1, 2)]",
+    "setcomp_ctx": "s = {k.iadd(acc, c) for c in (1, 2)}",
+    "dictcomp_ctx": "d = {c: k.iadd(acc, c) for c in (1, 2)}",
+    "genexp_ctx": "g = sum(k.iadd(acc, c).size for c in (1, 2))",
+    "lambda_ctx": "f = lambda: k.iadd(acc, 1)",
+    "try_except": textwrap.dedent("""\
+        try:
+            acc = k.iadd(acc, 3)
+        except ValueError:
+            pass"""),
+    "nested_def_ctx": textwrap.dedent("""\
+        def helper():
+            return k.iadd(acc, 1)
+        acc = helper()"""),
+    "yield_expr": "yield acc",
+    "where_arity": textwrap.dedent("""\
+        with k.where(acc, acc):
+            acc = k.iadd(acc, 1)"""),
+    "range_arity": textwrap.dedent("""\
+        for j in k.range(1, 2, 3, 4):
+            acc = k.iadd(acc, 1)"""),
+}
+
+#: near-misses that DO lower — the refusal boundary, pinned so it
+#: cannot silently widen (over-refusing loses real coverage)
+LOWERED_FINE = {
+    "with_open": textwrap.dedent("""\
+        with open('/dev/null') as fh:
+            acc = k.iadd(acc, 1)"""),
+    "while_loop": textwrap.dedent("""\
+        while False:
+            acc = k.iadd(acc, 1)"""),
+    "listcomp_no_ctx": "vals = [c + 1 for c in (1, 2)]",
+    "dynamic_inline_tag": textwrap.dedent("""\
+        with k.inline('d' + 'yn'):
+            acc = k.iadd(acc, 5)"""),
+}
+
+
+def _kernel_src(construct: str) -> str:
+    body = textwrap.indent(
+        textwrap.dedent(_FACT_LOOP).strip("\n"), "    ")
+    extra = textwrap.indent(construct, "    ")
+    return (f"import numpy as np\n\n\n"
+            f"def bail_kernel(k, data, out):\n{body}\n{extra}\n")
+
+
+def test_clean_variant_exports_the_fact():
+    """Sanity: without the refused construct the loop fact IS there."""
+    src = _kernel_src("pass")
+    facts = module_facts_from_source(src, "clean.py")
+    assert any(label.endswith("#loop-inc") for label in facts), facts
+    summaries = analyze_source(src, "clean.py")
+    assert not summaries["bail_kernel"].bailed
+
+
+@pytest.mark.parametrize("name", sorted(BAIL_CONSTRUCTS))
+def test_refused_construct_bails_and_claims_nothing(name):
+    src = _kernel_src(BAIL_CONSTRUCTS[name])
+    summaries = analyze_source(src, f"{name}.py")
+    summary = summaries["bail_kernel"]
+    assert summary.bailed, f"{name} did not bail"
+    assert summary.reason, f"{name} bailed without a reason"
+    assert not summary.adder_sites, \
+        f"{name} bailed but still claims adder sites"
+    assert not summary.barrier_sites, \
+        f"{name} bailed but still claims barrier sites"
+    facts = module_facts_from_source(src, f"{name}.py")
+    assert facts == {}, \
+        f"{name} bailed but still exports facts: {sorted(facts)}"
+
+
+@pytest.mark.parametrize("name", sorted(BAIL_CONSTRUCTS))
+def test_refusal_is_a_lowering_error_not_a_crash(name):
+    """The refusal surfaces as LoweringError from lower_function (the
+    analyzer catches exactly that) — never any other exception."""
+    src = _kernel_src(BAIL_CONSTRUCTS[name])
+    tree = ast.parse(src)
+    fn = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+    with pytest.raises(LoweringError):
+        lower_function(fn, f"{name}.py")
+
+
+@pytest.mark.parametrize("name", sorted(LOWERED_FINE))
+def test_near_miss_still_lowers_and_keeps_the_fact(name):
+    src = _kernel_src(LOWERED_FINE[name])
+    summary = analyze_source(src, f"{name}.py")["bail_kernel"]
+    assert not summary.bailed, \
+        f"{name} unexpectedly bailed: {summary.reason}"
+    facts = module_facts_from_source(src, f"{name}.py")
+    assert any(label.endswith("#loop-inc") for label in facts), \
+        f"{name} lost the loop fact"
+
+
+def test_bail_reason_names_the_construct():
+    src = _kernel_src(BAIL_CONSTRUCTS["listcomp_ctx"])
+    summary = analyze_source(src, "r.py")["bail_kernel"]
+    assert "ListComp" in summary.reason or "not lowerable" \
+        in summary.reason

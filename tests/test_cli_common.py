@@ -18,6 +18,9 @@ CLIS = {
     "st2-lint": ("repro.lint.cli",
                  ["--list-rules"], ["--list-rules", "--json"]),
     "st2-stats": ("repro.obs.cli", None, None),
+    "st2-fuzz": ("repro.fuzz.cli",
+                 ["gen", "--seed", "1", "--count", "1"],
+                 ["gen", "--seed", "1", "--count", "1", "--json"]),
 }
 
 
@@ -52,8 +55,8 @@ def test_json_flag_emits_one_document(name, capsys):
 
 
 def test_subcommand_tools_require_a_command():
-    """st2-trace / st2-stats demand a subcommand (usage error)."""
-    for name in ("st2-trace", "st2-stats"):
+    """st2-trace / st2-stats / st2-fuzz demand a subcommand."""
+    for name in ("st2-trace", "st2-stats", "st2-fuzz"):
         with pytest.raises(SystemExit) as exc:
             _main(name)([])
         assert exc.value.code == EXIT_USAGE
