@@ -16,6 +16,9 @@ Public API highlights
   Section VI evaluation (misprediction, timing, energy).
 * :mod:`repro.runner` — the parallel cached experiment runner
   (``st2-run``) with its two-stage trace-store pipeline (``st2-trace``).
+* :mod:`repro.serve` — the async sharded experiment service
+  (``st2-serve`` / ``st2-client``) speaking the typed, versioned wire
+  schemas of :mod:`repro.api`.
 
 See DESIGN.md for the full system inventory, EXPERIMENTS.md for the
 paper-vs-measured record of every figure, and README.md ("Public API")
@@ -38,8 +41,13 @@ __version__ = "1.0.0"
 #: machinery, which ``import repro`` users on the quickstart path
 #: should not pay for.
 _LAZY_EXPORTS = {
+    "ErrorEnvelope": ("repro.api", "ErrorEnvelope"),
+    "JobResult": ("repro.api", "JobResult"),
+    "JobSpec": ("repro.api", "JobSpec"),
+    "JobStatus": ("repro.api", "JobStatus"),
     "Obs": ("repro.obs", "Obs"),
     "ResultCache": ("repro.runner", "ResultCache"),
+    "ServeClient": ("repro.serve.client", "ServeClient"),
     "RunMetrics": ("repro.st2.results", "RunMetrics"),
     "RunOptions": ("repro.runner", "RunOptions"),
     "RunResult": ("repro.st2.results", "RunResult"),
@@ -59,8 +67,12 @@ __all__ = [
     "AdderGeometry",
     "CarrySelectAdder",
     "DESIGN_LADDER",
+    "ErrorEnvelope",
     "GPUConfig",
     "GridLauncher",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
     "KernelRun",
     "LaunchConfig",
     "Obs",
@@ -71,6 +83,7 @@ __all__ = [
     "RunResult",
     "ST2Adder",
     "ST2_DESIGN",
+    "ServeClient",
     "SpeculationConfig",
     "SpeculationResult",
     "TITAN_V",

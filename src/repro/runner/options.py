@@ -3,10 +3,11 @@
 :func:`~repro.runner.pool.run_units` grew a keyword surface (workers,
 cache handles, progress hooks, and now the trace-store knobs) that the
 Python API and the ``st2-run`` CLI both had to mirror.
-:class:`RunOptions` is the single shared carrier: construct it directly
-from Python, or from parsed CLI arguments via :meth:`from_args`.  The
-old ``run_units(..., workers=, cache=, use_cache=, progress=)`` kwargs
-still work for one release but emit a :class:`DeprecationWarning`.
+:class:`RunOptions` is the single shared carrier — and since the serve
+migration, the *only* way to configure an invocation: construct it
+directly from Python, or from parsed CLI arguments via
+:meth:`from_args`.  The deprecated ``run_units(..., workers=, cache=,
+use_cache=, progress=)`` keywords have been removed.
 """
 
 from __future__ import annotations
@@ -14,10 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.runner.cache import ResultCache
-
-#: Legacy ``run_units`` keyword names accepted (with a deprecation
-#: warning) and folded into a :class:`RunOptions`.
-LEGACY_RUN_KWARGS = ("workers", "cache", "use_cache", "progress")
 
 
 @dataclass

@@ -26,11 +26,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-import warnings
 
 from repro import obs
 from repro.runner.cache import code_version, unit_key
-from repro.runner.options import LEGACY_RUN_KWARGS, RunOptions
+from repro.runner.options import RunOptions
 from repro.runner.units import (ModelBundle, UnitSpec, execute_unit,
                                 unit_trace_key)
 
@@ -146,27 +145,7 @@ def _map_parallel(fn, items, workers, store_root=None,
             yield fn(item)
 
 
-def _coerce_options(options, legacy: dict) -> RunOptions:
-    """Fold deprecated ``run_units`` keywords into a RunOptions."""
-    unknown = set(legacy) - set(LEGACY_RUN_KWARGS)
-    if unknown:
-        raise TypeError(
-            f"run_units() got unexpected keyword arguments "
-            f"{sorted(unknown)}")
-    if legacy:
-        if options is not None:
-            raise TypeError(
-                "run_units() takes either a RunOptions or legacy "
-                "keyword arguments, not both")
-        warnings.warn(
-            f"run_units keyword arguments {sorted(legacy)} are "
-            f"deprecated; pass a repro.runner.RunOptions instead",
-            DeprecationWarning, stacklevel=3)
-        return RunOptions(**legacy)
-    return options if options is not None else RunOptions()
-
-
-def run_units(specs, options: RunOptions = None, **legacy) -> list:
+def run_units(specs, options: RunOptions = None) -> list:
     """Execute ``specs`` and return their results, in order.
 
     Each element is a typed :class:`~repro.st2.results.RunResult` —
@@ -174,10 +153,9 @@ def run_units(specs, options: RunOptions = None, **legacy) -> list:
     runtime fields: ``key`` (the cache key) and ``cached`` (whether
     this invocation served it from disk).
 
-    ``options`` is a :class:`~repro.runner.options.RunOptions`; the old
-    ``workers=/cache=/use_cache=/progress=`` keywords still work but
-    are deprecated.  After the call, ``options.stats`` holds the
-    invocation's stage accounting (``stage_capture_s``,
+    ``options`` is a :class:`~repro.runner.options.RunOptions`
+    (``None`` means defaults).  After the call, ``options.stats``
+    holds the invocation's stage accounting (``stage_capture_s``,
     ``stage_eval_s`` and — in two-stage mode — ``traces_captured`` /
     ``trace_store_hits``) and ``options.obs`` the invocation's
     observability registry: every counter and timer accumulated across
@@ -186,7 +164,7 @@ def run_units(specs, options: RunOptions = None, **legacy) -> list:
     """
     from repro.st2.results import RunResult
 
-    options = _coerce_options(options, legacy)
+    options = options if options is not None else RunOptions()
     specs = list(specs)
     for spec in specs:
         if not isinstance(spec, UnitSpec):
@@ -326,10 +304,10 @@ def _populate_store(store, pending, options: RunOptions,
     }
 
 
-def run_suite_units(specs, options: RunOptions = None, **legacy) -> dict:
+def run_suite_units(specs, options: RunOptions = None) -> dict:
     """Like :func:`run_units` but keyed ``{(kernel, config): result}``
     — the shape the benchmark fixtures want."""
-    results = run_units(specs, options=options, **legacy)
+    results = run_units(specs, options=options)
     return {(spec.kernel, spec.config.name): result
             for spec, result in zip(specs, results)}
 

@@ -1,0 +1,231 @@
+"""A zero-dependency asyncio HTTP/1.1 layer for ``st2-serve``.
+
+The stdlib has no *async* HTTP server, and the repo's no-new-runtime-
+deps rule rules out aiohttp — so this module implements the small,
+well-behaved subset the experiment service needs on top of
+``asyncio.start_server``:
+
+* request parsing (request line, headers, ``Content-Length`` bodies)
+  with hard size limits;
+* JSON responses (every body the service emits is one JSON document);
+* **streaming** responses via chunked transfer encoding — the
+  ``/v1/jobs/<id>/events`` endpoint yields NDJSON status lines as the
+  job progresses;
+* HTTP/1.1 keep-alive, so load-test clients can reuse connections.
+
+Routing stays with the application (:mod:`repro.serve.app`): the
+handler passed to :class:`HttpServer` receives a :class:`Request` and
+returns a :class:`Response`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro import obs
+
+#: Hard limits keeping one bad client from ballooning server memory.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """Malformed HTTP from the client; the connection is dropped."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str                       # decoded path, query stripped
+    query: dict                     # first value per query key
+    headers: dict                   # lower-cased header names
+    body: bytes = b""
+
+    def json(self):
+        """The body parsed as JSON; raises :class:`BadRequest` on
+        syntax errors (the route maps it to a 400 envelope)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One response: a JSON payload or a streaming chunk iterator.
+
+    ``payload`` is any JSON-serialisable object (ignored when
+    ``stream`` is set).  ``stream`` is an async iterator of ``bytes``
+    chunks, sent with chunked transfer encoding and flushed per chunk.
+    """
+
+    status: int = 200
+    payload: object = None
+    headers: dict = field(default_factory=dict)
+    stream: object = None           # async iterator of bytes, or None
+
+
+def json_response(payload, status: int = 200,
+                  headers: dict = None) -> Response:
+    return Response(status=status, payload=payload,
+                    headers=dict(headers or {}))
+
+
+async def _read_headers(reader) -> dict:
+    headers = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise BadRequest("header block too large")
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise BadRequest("undecodable header line")
+        headers[name.strip().lower()] = value.strip()
+
+
+async def read_request(reader) -> Request:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too large")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers = await _read_headers(reader)
+    length = headers.get("content-length", "0")
+    try:
+        n = int(length)
+    except ValueError:
+        raise BadRequest(f"bad Content-Length: {length!r}")
+    if n > MAX_BODY_BYTES:
+        raise BadRequest(f"body of {n} bytes exceeds the "
+                         f"{MAX_BODY_BYTES}-byte limit")
+    body = await reader.readexactly(n) if n else b""
+    split = urlsplit(target)
+    return Request(method=method.upper(), path=split.path,
+                   query=dict(parse_qsl(split.query)),
+                   headers=headers, body=body)
+
+
+def _head(status: int, headers: dict) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers.items()]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(writer, response: Response,
+                         keep_alive: bool = True) -> None:
+    headers = {"Content-Type": "application/json"}
+    headers.update(response.headers)
+    headers["Connection"] = "keep-alive" if keep_alive else "close"
+    if response.stream is not None:
+        headers["Transfer-Encoding"] = "chunked"
+        writer.write(_head(response.status, headers))
+        await writer.drain()
+        async for chunk in response.stream:
+            if not chunk:
+                continue
+            writer.write(b"%x\r\n%s\r\n" % (len(chunk), chunk))
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return
+    body = b"" if response.payload is None else \
+        (json.dumps(response.payload, sort_keys=True) + "\n").encode()
+    headers["Content-Length"] = str(len(body))
+    writer.write(_head(response.status, headers) + body)
+    await writer.drain()
+
+
+class HttpServer:
+    """``asyncio.start_server`` wrapper running one request handler.
+
+    ``handler(request)`` is an async callable returning a
+    :class:`Response`; exceptions it leaks become 500s (and are
+    counted, never propagated to the connection loop).
+    """
+
+    def __init__(self, handler, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self) -> "HttpServer":
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except (BadRequest, asyncio.IncompleteReadError):
+                    obs.add("serve.http.bad_requests")
+                    break
+                if request is None:
+                    break
+                obs.add("serve.http.requests")
+                try:
+                    response = await self.handler(request)
+                except Exception as exc:   # route bug: surface as 500
+                    obs.add("serve.http.errors")
+                    response = json_response(
+                        {"schema_version": 1, "error": "internal",
+                         "message": f"unhandled server error: {exc}",
+                         "retry_after_s": None, "detail": None},
+                        status=500)
+                keep = request.keep_alive and response.stream is None
+                try:
+                    await write_response(writer, response,
+                                         keep_alive=keep)
+                except (ConnectionError, asyncio.CancelledError):
+                    break
+                if not keep:
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

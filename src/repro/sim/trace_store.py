@@ -32,11 +32,13 @@ cache, keeping ``repro.sim`` free of any dependency on
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -65,6 +67,12 @@ HEADER_NAME = "header.json"
 #: served :class:`StoredRun` handles kept alive before the least
 #: recently used one is dropped.
 GET_MEMO_SIZE = 4
+
+#: Publication workspaces (``.{key}-XXXX`` temp dirs) older than this
+#: are considered abandoned by a crashed writer and swept by
+#: :meth:`TraceStore.gc`.  Live writers assemble and rename within
+#: seconds, so an hour is a comfortably wide safety margin.
+ORPHAN_TMP_AGE_S = 3600.0
 
 
 def default_store_dir() -> Path:
@@ -211,10 +219,23 @@ class TraceStore:
             json.dump(header, fh, indent=1)
         try:
             os.rename(tmp, self.path(key))
-        except OSError:
-            if self.has(key):       # lost the race: same bytes exist
+        except OSError as exc:
+            # Concurrent publication: another writer renamed the same
+            # key first.  Both captured identical bytes (the key is a
+            # content hash over everything that determines them), so
+            # losing the race is success with created=False.
+            if self.has(key):
                 obs.add("trace_store.put.existing")
                 return False
+            if exc.errno in (errno.EEXIST, errno.ENOTEMPTY):
+                # The race signature, yet no readable header: the
+                # destination is debris (e.g. a half-deleted entry),
+                # not a valid publication.  Surface it rather than
+                # pretending the trace exists.
+                raise RuntimeError(
+                    f"trace-store entry {key} exists without a "
+                    f"readable header; remove {self.path(key)} and "
+                    f"re-capture") from exc
             raise
         obs.add("trace_store.put.created")
         return True
@@ -327,6 +348,29 @@ class TraceStore:
         self._get_memo.pop(key, None)
         shutil.rmtree(self.path(key), ignore_errors=True)
 
+    def orphan_tmp_dirs(self,
+                        min_age_s: float = ORPHAN_TMP_AGE_S) -> list:
+        """Publication workspaces (``.{key}-XXXX``) abandoned by
+        crashed writers: dot-prefixed directories untouched for at
+        least ``min_age_s``.  Invisible to :meth:`keys` — without a
+        sweep they leak forever under a long-lived server."""
+        if not self.root.is_dir():
+            return []
+        # compared against filesystem mtimes, maintenance only —
+        # never reaches a cached result
+        now = time.time()  # st2-lint: disable=L5 — vs fs mtimes only
+        orphans = []
+        for child in self.root.iterdir():
+            if not child.name.startswith(".") or not child.is_dir():
+                continue
+            try:
+                age = now - child.stat().st_mtime
+            except OSError:
+                continue                # racing writer finished: gone
+            if age >= min_age_s:
+                orphans.append(child.name)
+        return sorted(orphans)
+
     def verify(self, key: str) -> list:
         """Integrity-check one entry; returns a list of problems
         (empty = sound).  Checks: header readable, every column file
@@ -369,6 +413,9 @@ class TraceStore:
            future run can ever read it (its key embeds the old digest).
         2. *Byte budget* — with ``max_bytes``, surviving entries are
            evicted oldest-first (header mtime) until the store fits.
+        3. *Orphaned workspaces* — always: temp publication dirs left
+           by crashed writers (:meth:`orphan_tmp_dirs`) are swept once
+           they are old enough that no live writer can own them.
         """
         removed = []
         survivors = []
@@ -392,6 +439,10 @@ class TraceStore:
                     break
                 removed.append(key)
                 total -= n
+        orphans = self.orphan_tmp_dirs()
+        if orphans:
+            obs.add("trace_store.gc.orphans", len(orphans))
+        removed.extend(orphans)
         if not dry_run:
             for key in removed:
                 self.remove(key)

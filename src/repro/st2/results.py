@@ -12,8 +12,10 @@ callers get typed attribute access::
     result.energy_stacks["st2"]   # {...}
 
 Dict-style access (``result["kernel"]``, ``result.get(...)``,
-iteration) still works for one release but emits a
-:class:`DeprecationWarning` — port call sites to attributes.
+iteration) is gone: the deprecation shim has been removed, and those
+operations now raise ``TypeError`` / ``AttributeError`` like any
+non-mapping object.  Port call sites to the typed attributes, or go
+through ``.to_dict()`` when you genuinely need the raw payload.
 
 This module is deliberately light (stdlib only): the runner imports it
 on the cache-hit path, where dragging in the power/circuit stack would
@@ -22,16 +24,7 @@ be pure waste.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-
-
-def _shim_warning(what: str) -> None:
-    warnings.warn(
-        f"dict-style access ({what}) on RunResult is deprecated; "
-        f"use the typed attributes (result.kernel, "
-        f"result.metrics.slowdown, ...)",
-        DeprecationWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -195,37 +188,6 @@ class RunResult:
     @property
     def arithmetic_intensive(self) -> bool:
         return self.data["metrics"]["arithmetic_intensive"]
-
-    # -- deprecated dict-style shim ------------------------------------
-
-    def __getitem__(self, name):
-        _shim_warning(f"result[{name!r}]")
-        return self.data[name]
-
-    def __contains__(self, name) -> bool:
-        _shim_warning(f"{name!r} in result")
-        return name in self.data
-
-    def __iter__(self):
-        _shim_warning("iter(result)")
-        return iter(self.data)
-
-    def get(self, name, default=None):
-        _shim_warning(f"result.get({name!r})")
-        return self.data.get(name, default)
-
-    def keys(self):
-        _shim_warning("result.keys()")
-        return self.data.keys()
-
-    def values(self):
-        _shim_warning("result.values()")
-        return self.data.values()
-
-    def items(self):
-        _shim_warning("result.items()")
-        return self.data.items()
-
 
 def as_run_result(result) -> RunResult:
     """Wrap a raw result dict (idempotent on RunResult)."""

@@ -69,25 +69,24 @@ def test_default_workers_bounded():
     assert 1 <= default_workers() <= 4
 
 
-class TestLegacyKwargs:
-    """The pre-RunOptions keyword surface: accepted, deprecated."""
+class TestRunOptionsOnly:
+    """The RunOptions migration is complete: the pre-RunOptions
+    keyword surface of ``run_units`` is gone, not deprecated."""
 
-    def test_legacy_kwargs_warn_and_work(self, serial_results):
+    def test_legacy_kwargs_rejected(self, serial_results):
+        units, _ = serial_results
+        for kwargs in ({"workers": 1}, {"use_cache": False},
+                       {"cache": None}, {"progress": print},
+                       {"frobnicate": True}):
+            with pytest.raises(TypeError):
+                run_units(units, **kwargs)
+
+    def test_positional_options_still_work(self, serial_results):
         units, serial = serial_results
-        with pytest.warns(DeprecationWarning, match="RunOptions"):
-            legacy = run_units(units, workers=1, use_cache=False)
-        for s, l in zip(serial, legacy):
-            assert results_equal(s, l)
-
-    def test_legacy_and_options_are_exclusive(self, serial_results):
-        units, _ = serial_results
-        with pytest.raises(TypeError):
-            run_units(units, RunOptions(), workers=1)
-
-    def test_unknown_kwarg_rejected(self, serial_results):
-        units, _ = serial_results
-        with pytest.raises(TypeError):
-            run_units(units, frobnicate=True)
+        again = run_units(units, RunOptions(workers=1,
+                                            use_cache=False))
+        for s, a in zip(serial, again):
+            assert results_equal(s, a)
 
     def test_timer_hook_counts(self, tmp_path, serial_results):
         from repro.runner.pool import RunTimer

@@ -1,0 +1,356 @@
+"""End-to-end service tests over real HTTP: served-vs-offline
+equivalence, coalescing, quotas/backpressure, error envelopes and
+drain-on-SIGTERM."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, JobSpec
+from repro.serve.client import ServeClient, ServeError
+from tests.serve.conftest import GRID_CONFIGS, GRID_KERNELS, GRID_SCALE
+
+GRID_SPEC = JobSpec(kernels=GRID_KERNELS, configs=GRID_CONFIGS,
+                    scale=GRID_SCALE, seed=0, aux=False)
+N_UNITS = len(GRID_KERNELS) * len(GRID_CONFIGS)
+
+
+def _counters(client):
+    return client.stats().get("counters", {})
+
+
+@pytest.fixture(scope="module")
+def completed(server):
+    """The grid job, submitted once and finished — several tests
+    inspect it."""
+    with ServeClient(server.address, client="equiv") as sc:
+        status = sc.submit(GRID_SPEC)
+        final = sc.wait(status.job_id, timeout=120)
+        return final, sc.result(status.job_id)
+
+
+class TestHealthAndRouting:
+    def test_health_document(self, server):
+        from repro.runner.cache import code_version
+        with ServeClient(server.address) as sc:
+            doc = sc.health()
+        assert doc["ok"] is True
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["shards"] == 2
+        assert doc["code_version"] == code_version()
+        assert doc["trace_store"]
+
+    def test_unknown_job_is_404(self, server):
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc.status("feedfacecafe")
+        assert exc.value.status == 404
+        assert exc.value.code == "not_found"
+
+    def test_unknown_route_is_404(self, server):
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc._request("GET", "/v2/everything")
+        assert exc.value.status == 404
+
+    def test_invalid_json_body_is_400(self, server):
+        app = server.app
+        conn = http.client.HTTPConnection(app.server.host,
+                                          app.server.port, timeout=30)
+        try:
+            conn.request("POST", "/v1/jobs", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            doc = json.loads(response.read().decode())
+            assert response.status == 400
+            assert doc["error"] == "bad_request"
+        finally:
+            conn.close()
+
+    def test_non_object_body_is_400(self, server):
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc._request("POST", "/v1/jobs", payload="a string")
+        assert exc.value.status == 400
+        assert exc.value.code == "bad_request"
+
+    def test_unknown_kernel_is_400_bad_request(self, server):
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc._request("POST", "/v1/jobs",
+                            payload={"kernels": ["no_such_kernel"]})
+        assert exc.value.status == 400
+        assert exc.value.code == "bad_request"
+
+    def test_unknown_spec_fields_are_tolerated(self, server):
+        """Forward compatibility on the wire: a newer client's extra
+        fields don't break submission."""
+        doc = GRID_SPEC.to_wire()
+        doc["future_hint"] = {"gpu": "st2"}
+        with ServeClient(server.address) as sc:
+            reply = sc._request("POST", "/v1/jobs", payload=doc)
+        assert reply["state"] in ("queued", "running", "done")
+
+
+class TestServedEqualsOffline:
+    def test_job_completes(self, completed):
+        status, result = completed
+        assert status.state == "done"
+        assert status.units_done == N_UNITS
+        assert len(result.units) == N_UNITS
+
+    def test_results_equal_st2_run(self, completed):
+        """The tentpole invariant: a served JobResult is
+        ``results_equal`` to what st2-run computes offline for the
+        same grid."""
+        from repro.runner import RunOptions, run_units
+        from repro.runner.units import results_equal
+        _, result = completed
+        offline = run_units(GRID_SPEC.units(),
+                            RunOptions(workers=2, use_cache=False))
+        served = {(r.kernel, r.config): r
+                  for r in result.run_results()}
+        assert len(served) == len(offline)
+        for expect in offline:
+            got = served[(expect.kernel, expect.config)]
+            assert results_equal(expect, got), \
+                f"served diverged from offline on {expect.label}"
+
+    def test_result_meta_describes_the_job(self, completed):
+        _, result = completed
+        assert result.meta["kernels"] == sorted(GRID_KERNELS)
+        assert result.meta["scale"] == GRID_SCALE
+        assert result.meta["client"] == "equiv"
+        assert result.meta["code_version"]
+
+    def test_resubmission_is_fully_cached(self, server, completed):
+        with ServeClient(server.address, client="warm") as sc:
+            status = sc.submit(GRID_SPEC)
+            final = sc.wait(status.job_id, timeout=60)
+        assert final.state == "done"
+        assert final.units_cached == N_UNITS
+
+    def test_worker_obs_merged_into_registry(self, server, completed):
+        """Worker-side instrumentation (capture, eval) travels back in
+        the result payloads and lands in the server registry."""
+        with ServeClient(server.address) as sc:
+            doc = sc.stats()
+        assert doc["counters"].get("serve.units.executed", 0) \
+            >= N_UNITS
+        assert any(not name.startswith("serve.")
+                   for name in doc["counters"])
+        assert doc["timers"]["serve.unit.wall"]["count"] >= N_UNITS
+
+    def test_events_stream_ends_terminal(self, server, completed):
+        status, _ = completed
+        with ServeClient(server.address) as sc:
+            seen = list(sc.events(status.job_id))
+        assert seen
+        assert seen[-1].terminal
+
+    def test_job_listing_filters_by_client(self, server, completed):
+        status, _ = completed
+        with ServeClient(server.address) as sc:
+            mine = sc.jobs(client="equiv")
+            everyone = sc.jobs()
+        assert status.job_id in {s.job_id for s in mine}
+        assert all(s.client == "equiv" for s in mine)
+        assert len(everyone) >= len(mine)
+
+
+class TestCoalescing:
+    def test_duplicate_inflight_submissions_coalesce(self, server):
+        """5 identical uncached jobs submitted back-to-back: the 4
+        distinct units execute exactly once, every duplicate attaches
+        to the in-flight execution (the >= 90% dedupe gate)."""
+        spec = JobSpec(kernels=GRID_KERNELS, configs=GRID_CONFIGS,
+                       scale=GRID_SCALE, seed=77, aux=False)
+        n_jobs = 5
+        with ServeClient(server.address, client="burst") as sc:
+            executed_before = _counters(sc).get(
+                "serve.units.executed", 0)
+            job_ids = [sc.submit(spec).job_id for _ in range(n_jobs)]
+            finals = [sc.wait(job_id, timeout=120)
+                      for job_id in job_ids]
+            executed_after = _counters(sc).get(
+                "serve.units.executed", 0)
+        assert all(f.state == "done" for f in finals)
+        # capture-and-execute-exactly-once, cluster-wide
+        assert executed_after - executed_before == N_UNITS
+        duplicates = (n_jobs - 1) * N_UNITS
+        coalesced = sum(f.units_coalesced for f in finals)
+        cached = sum(f.units_cached for f in finals)
+        assert coalesced + cached == duplicates
+        assert coalesced >= 0.9 * (duplicates - cached)
+
+
+class TestRejections:
+    """Quota / backpressure / pending paths on a server whose pool
+    never finishes anything (deterministic occupancy)."""
+
+    @pytest.fixture(scope="class")
+    def stuck_job(self, reject_server):
+        with ServeClient(reject_server.address, client="greedy") as sc:
+            return sc.submit(GRID_SPEC)        # 4 units, never resolve
+
+    def test_client_quota_is_429(self, reject_server, stuck_job):
+        with ServeClient(reject_server.address, client="greedy") as sc:
+            with pytest.raises(ServeError) as exc:
+                sc.submit(GRID_SPEC)
+        assert exc.value.status == 429
+        assert exc.value.code == "quota_exhausted"
+        assert exc.value.retry_after_s >= 1.0
+
+    def test_backpressure_is_429(self, reject_server, stuck_job):
+        with ServeClient(reject_server.address, client="other") as sc:
+            with pytest.raises(ServeError) as exc:
+                sc.submit(GRID_SPEC)           # 4 + 4 > 6 server-wide
+        assert exc.value.status == 429
+        assert exc.value.code == "backpressure"
+        assert exc.value.retry_after_s >= 1.0
+
+    def test_retry_after_rides_the_http_header(self, reject_server,
+                                               stuck_job):
+        app = reject_server.app
+        conn = http.client.HTTPConnection(app.server.host,
+                                          app.server.port, timeout=30)
+        try:
+            body = json.dumps(dict(GRID_SPEC.to_wire(),
+                                   client="greedy")).encode()
+            conn.request("POST", "/v1/jobs", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 429
+            assert int(response.getheader("Retry-After")) >= 1
+        finally:
+            conn.close()
+
+    def test_submit_retry_gives_up_at_deadline(self, reject_server,
+                                               stuck_job):
+        with ServeClient(reject_server.address, client="greedy") as sc:
+            with pytest.raises(ServeError) as exc:
+                sc.submit_retry(GRID_SPEC, deadline_s=0.0)
+        assert exc.value.code == "quota_exhausted"
+
+    def test_unfinished_result_is_409_pending(self, reject_server,
+                                              stuck_job):
+        with ServeClient(reject_server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc.result(stuck_job.job_id)
+        assert exc.value.status == 409
+        assert exc.value.code == "pending"
+        assert exc.value.retry_after_s >= 1.0
+
+
+class TestClientCli:
+    def test_run_round_trip_writes_a_manifest(self, server, tmp_path,
+                                              completed, capsys):
+        """``st2-client run`` against the warm server: exits 0 and
+        records the st2-run manifest format."""
+        from repro.serve.client_cli import main
+        out = tmp_path / "manifest.jsonl"
+        code = main([
+            "run", "--server", server.address, "--client", "cli",
+            "--kernels", ",".join(GRID_KERNELS),
+            "--configs", ",".join(GRID_CONFIGS),
+            "--scale", str(GRID_SCALE), "--no-aux",
+            "--out", str(out), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["units"]) == N_UNITS
+        lines = [json.loads(line)
+                 for line in out.read_text().splitlines()]
+        assert lines[0]["type"] == "run"
+        assert lines[0]["served"] is True
+        assert lines[0]["n_units"] == N_UNITS
+        assert {line["kernel"] for line in lines[1:]} \
+            == set(GRID_KERNELS)
+
+    def test_health_and_stats_against_live_server(self, server,
+                                                  capsys):
+        from repro.serve.client_cli import main
+        for argv in (["health"], ["stats"]):
+            code = main(argv + ["--server", server.address, "--json"])
+            assert code == 0
+            json.loads(capsys.readouterr().out)
+
+    def test_unreachable_server_is_a_usage_error(self, capsys):
+        from repro.serve.client_cli import main
+        code = main(["health", "--server",
+                     "http://127.0.0.1:1",       # nothing listens
+                     "--timeout", "2"])
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+
+class TestDrainOnSigterm:
+    def test_sigterm_finishes_inflight_then_exits_zero(self, tmp_path):
+        """Boot the real daemon, submit an uncached job, SIGTERM it
+        mid-flight: the job still completes (metrics prove it) and
+        the process exits 0."""
+        metrics = tmp_path / "metrics.json"
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "from repro.serve.cli import console_main; "
+             "raise SystemExit(console_main())",
+             "--json", "--workers", "1",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--trace-store", str(tmp_path / "traces"),
+             "--metrics-out", str(metrics)],
+            env=env, stdout=subprocess.PIPE, text=True)
+        try:
+            lines = []
+            while True:                     # pretty-printed announce
+                line = proc.stdout.readline()
+                assert line, "daemon exited before announcing"
+                lines.append(line)
+                if line.rstrip() == "}":
+                    break
+            address = json.loads("".join(lines))["address"]
+
+            spec = JobSpec(kernels=GRID_KERNELS,
+                           configs=GRID_CONFIGS, scale=GRID_SCALE,
+                           seed=911, aux=False)
+            with ServeClient(address, client="drainer") as sc:
+                job = sc.submit(spec)
+                proc.send_signal(signal.SIGTERM)
+                # during the drain the server still answers, but
+                # refuses new work (unless the drain already won)
+                try:
+                    sc.submit(spec)
+                    rejected = None         # probe beat the drain task
+                except ServeError as exc:
+                    rejected = exc
+                except (ConnectionError, OSError):
+                    rejected = "gone"       # drain already finished
+                if isinstance(rejected, ServeError):
+                    assert rejected.status == 503
+                    assert rejected.code == "draining"
+            assert proc.wait(timeout=180) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        doc = json.loads(metrics.read_text())
+        counters = doc["counters"]
+        assert counters["serve.drain.started"] == 1
+        # the probe job is accepted only when it beats the drain task
+        expected_jobs = 2 if rejected is None else 1
+        assert counters["serve.jobs.completed"] == expected_jobs
+        # either way each distinct unit executed exactly once: the
+        # probe's duplicates coalesce or hit the cache
+        assert counters["serve.units.executed"] == N_UNITS
+        assert job.state in ("queued", "running", "done")

@@ -1,4 +1,4 @@
-"""The typed RunResult view and its deprecated dict-style shim."""
+"""The typed RunResult view (dict-style shim removed)."""
 
 from __future__ import annotations
 
@@ -89,35 +89,34 @@ class TestSerialisation:
         assert "trace_bytes" not in repr(result)
 
 
-class TestDeprecatedShim:
-    """Dict-style access still works but warns — one release of grace."""
+class TestShimRemoved:
+    """The dict-style deprecation shim is gone: RunResult is not a
+    mapping, and pretending otherwise fails loudly instead of
+    warning."""
 
-    def test_getitem(self, result):
-        with pytest.warns(DeprecationWarning, match="dict-style"):
-            assert result["kernel"] == "qrng_K2"
+    def test_getitem_rejected(self, result):
+        with pytest.raises(TypeError):
+            result["kernel"]
 
-    def test_contains(self, result):
-        with pytest.warns(DeprecationWarning):
-            assert "kernel" in result
+    def test_contains_rejected(self, result):
+        with pytest.raises(TypeError):
+            "kernel" in result
 
-    def test_get(self, result):
-        with pytest.warns(DeprecationWarning):
-            assert result.get("missing", 42) == 42
+    def test_get_rejected(self, result):
+        with pytest.raises(AttributeError):
+            result.get("missing", 42)
 
-    def test_iteration_and_views(self, result):
-        with pytest.warns(DeprecationWarning):
-            assert set(iter(result)) == set(RAW)
-        with pytest.warns(DeprecationWarning):
-            assert set(result.keys()) == set(RAW)
-        with pytest.warns(DeprecationWarning):
-            assert list(result.items()) == list(RAW.items())
-        with pytest.warns(DeprecationWarning):
-            assert len(list(result.values())) == len(RAW)
+    def test_iteration_and_views_rejected(self, result):
+        with pytest.raises(TypeError):
+            iter(result)
+        for name in ("keys", "values", "items"):
+            with pytest.raises(AttributeError):
+                getattr(result, name)
 
-    def test_star_star_expansion_warns(self, result):
-        with pytest.warns(DeprecationWarning):
-            merged = {**result}
-        assert merged == RAW
+    def test_star_star_expansion_rejected(self, result):
+        with pytest.raises(TypeError):
+            dict(**result)
+        assert {**result.to_dict()} == RAW      # the supported spelling
 
     def test_typed_access_is_silent(self, result, recwarn):
         result.kernel

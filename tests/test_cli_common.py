@@ -21,6 +21,11 @@ CLIS = {
     "st2-fuzz": ("repro.fuzz.cli",
                  ["gen", "--seed", "1", "--count", "1"],
                  ["gen", "--seed", "1", "--count", "1", "--json"]),
+    "st2-serve": ("repro.serve.cli",
+                  ["--show-config"], ["--show-config", "--json"]),
+    "st2-client": ("repro.serve.client_cli",
+                   ["spec", "--kernels", "qrng_K2"],
+                   ["spec", "--kernels", "qrng_K2", "--json"]),
 }
 
 
@@ -55,8 +60,9 @@ def test_json_flag_emits_one_document(name, capsys):
 
 
 def test_subcommand_tools_require_a_command():
-    """st2-trace / st2-stats / st2-fuzz demand a subcommand."""
-    for name in ("st2-trace", "st2-stats", "st2-fuzz"):
+    """st2-trace / st2-stats / st2-fuzz / st2-client demand a
+    subcommand."""
+    for name in ("st2-trace", "st2-stats", "st2-fuzz", "st2-client"):
         with pytest.raises(SystemExit) as exc:
             _main(name)([])
         assert exc.value.code == EXIT_USAGE
