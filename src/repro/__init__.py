@@ -19,6 +19,9 @@ Public API highlights
 * :mod:`repro.serve` — the async sharded experiment service
   (``st2-serve`` / ``st2-client``) speaking the typed, versioned wire
   schemas of :mod:`repro.api`.
+* :mod:`repro.sweep` — declarative design-space sweeps (``st2-sweep``)
+  with incremental Pareto-frontier tracking, sound dominance pruning
+  and manifest-based resume, locally or against ``st2-serve``.
 
 See DESIGN.md for the full system inventory, EXPERIMENTS.md for the
 paper-vs-measured record of every figure, and README.md ("Public API")
@@ -46,8 +49,11 @@ _LAZY_EXPORTS = {
     "JobSpec": ("repro.api", "JobSpec"),
     "JobStatus": ("repro.api", "JobStatus"),
     "Obs": ("repro.obs", "Obs"),
+    "ParetoPoint": ("repro.sweep.pareto", "ParetoPoint"),
     "ResultCache": ("repro.runner", "ResultCache"),
     "ServeClient": ("repro.serve.client", "ServeClient"),
+    "SweepResult": ("repro.sweep.engine", "SweepResult"),
+    "SweepSpec": ("repro.api", "SweepSpec"),
     "RunMetrics": ("repro.st2.results", "RunMetrics"),
     "RunOptions": ("repro.runner", "RunOptions"),
     "RunResult": ("repro.st2.results", "RunResult"),
@@ -76,6 +82,7 @@ __all__ = [
     "KernelRun",
     "LaunchConfig",
     "Obs",
+    "ParetoPoint",
     "ReferenceAdder",
     "ResultCache",
     "RunMetrics",
@@ -86,6 +93,8 @@ __all__ = [
     "ServeClient",
     "SpeculationConfig",
     "SpeculationResult",
+    "SweepResult",
+    "SweepSpec",
     "TITAN_V",
     "TraceBundle",
     "TraceStore",

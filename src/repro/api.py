@@ -215,6 +215,222 @@ class JobSpec:
                    priority=priority, client=client)
 
 
+#: SpeculationConfig fields a :class:`SweepSpec` may place axes over,
+#: with the value domain of each (``None`` marks free integer axes).
+SWEEP_AXES: Dict[str, Optional[Tuple[Any, ...]]] = {
+    "mechanism": ("static0", "static1", "operand", "valhalla", "prev"),
+    "peek": (False, True),
+    "pc_index": ("none", "full", "mod", "xor"),
+    "pc_bits": None,
+    "thread_key": ("", "gtid", "ltid"),
+    "sm_scoped": (False, True),
+}
+
+#: Axis value assumed when a :class:`SweepSpec` omits the axis — the
+#: :class:`~repro.core.predictors.SpeculationConfig` field defaults.
+SWEEP_AXIS_DEFAULTS: Dict[str, Any] = {
+    "mechanism": "prev", "peek": False, "pc_index": "none",
+    "pc_bits": 0, "thread_key": "", "sm_scoped": False,
+}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One declarative design-space sweep: a grid of axis values over
+    :class:`~repro.core.predictors.SpeculationConfig` fields, crossed
+    with a kernel list at a fixed scale and seed.
+
+    The axes expand to the cartesian product of their values; field
+    combinations the config model rejects (``mod``/``xor`` PC indexing
+    with ``pc_bits < 1``) are dropped at expansion, not submission.
+    ``st2-sweep`` consumes these specs from YAML/JSON files; the wire
+    form follows the same ``schema_version`` skew rules as
+    :class:`JobSpec`.
+    """
+
+    kernels: Tuple[str, ...]
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    name: str = "sweep"
+    scale: float = 1.0
+    seed: int = 0
+    engine: str = "auto"
+    aux: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.runner.units import ENGINES
+        if not self.kernels \
+                or not all(isinstance(k, str) for k in self.kernels):
+            raise WireError("sweep_spec: kernels must be a non-empty "
+                            "list of strings")
+        if not self.name or not isinstance(self.name, str):
+            raise WireError("sweep_spec: name must be a non-empty "
+                            "string")
+        if self.engine not in ENGINES:
+            raise WireError(f"sweep_spec: unknown engine "
+                            f"{self.engine!r}; choose one of {ENGINES}")
+        if not (isinstance(self.scale, (int, float))
+                and not isinstance(self.scale, bool)
+                and self.scale > 0):
+            raise WireError(f"sweep_spec: scale must be positive, "
+                            f"got {self.scale!r}")
+        if not self.axes:
+            raise WireError("sweep_spec: axes must name at least one "
+                            "swept field")
+        seen = set()
+        for entry in self.axes:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                raise WireError("sweep_spec: axes must be (name, "
+                                "values) pairs")
+            axis, values = entry
+            if axis not in SWEEP_AXES:
+                raise WireError(
+                    f"sweep_spec: unknown axis {axis!r}; choose from "
+                    f"{tuple(SWEEP_AXES)}")
+            if axis in seen:
+                raise WireError(f"sweep_spec: axis {axis!r} repeats")
+            seen.add(axis)
+            if not isinstance(values, tuple) or not values:
+                raise WireError(f"sweep_spec: axis {axis!r} needs a "
+                                f"non-empty list of values")
+            if len(set(values)) != len(values):
+                raise WireError(f"sweep_spec: axis {axis!r} repeats "
+                                f"values")
+            domain = SWEEP_AXES[axis]
+            for value in values:
+                if domain is None:
+                    if isinstance(value, bool) \
+                            or not isinstance(value, int) or value < 0:
+                        raise WireError(
+                            f"sweep_spec: axis {axis!r} values must "
+                            f"be non-negative ints, got {value!r}")
+                elif value not in domain:
+                    raise WireError(
+                        f"sweep_spec: axis {axis!r} value {value!r} "
+                        f"not in {domain}")
+
+    # -- derived views --------------------------------------------------
+
+    @property
+    def axes_dict(self) -> Dict[str, Tuple[Any, ...]]:
+        """The axes as an ordered ``{field: values}`` mapping."""
+        return {axis: values for axis, values in self.axes}
+
+    @property
+    def grid_size(self) -> int:
+        """Cartesian-product size before invalid combos are dropped."""
+        size = 1
+        for _, values in self.axes:
+            size *= len(values)
+        return size
+
+    def field_grid(self) -> "List[Dict[str, Any]]":
+        """Every axis combination as a full SpeculationConfig field
+        dict (omitted axes pinned to their defaults), in deterministic
+        row-major order.  Includes combinations the config model will
+        reject — expansion filters those."""
+        import itertools
+
+        axes = self.axes_dict
+        names = list(axes)
+        rows = []
+        for combo in itertools.product(*(axes[n] for n in names)):
+            fields = dict(SWEEP_AXIS_DEFAULTS)
+            fields.update(dict(zip(names, combo)))
+            rows.append(fields)
+        return rows
+
+    def configs(self) -> "List[Any]":
+        """The grid as canonically-named
+        :class:`~repro.core.predictors.SpeculationConfig` objects:
+        field combinations the config model rejects are dropped, dead
+        ``pc_bits`` (under ``none``/``full`` PC indexing) is pinned to
+        0, and combinations that collapse to the same design point are
+        deduplicated — names and field tuples stay bijective."""
+        from repro.core.speculation import config_name
+        from repro.core.predictors import SpeculationConfig
+
+        configs = []
+        seen = set()
+        for fields in self.field_grid():
+            if fields["pc_index"] in ("none", "full"):
+                fields = dict(fields, pc_bits=0)
+            try:
+                config = SpeculationConfig(
+                    name=config_name(**fields), **fields)
+            except ValueError:
+                continue
+            if config.name in seen:
+                continue
+            seen.add(config.name)
+            configs.append(config)
+        return configs
+
+    def digest(self) -> str:
+        """Content hash of the wire form — the resume-compatibility
+        key a sweep manifest records."""
+        import hashlib
+        import json
+
+        blob = json.dumps(self.to_wire(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    # -- wire form -----------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "kernels": list(self.kernels),
+            "axes": {axis: list(values) for axis, values in self.axes},
+            "scale": self.scale,
+            "seed": self.seed,
+            "engine": self.engine,
+            "aux": self.aux,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "SweepSpec":
+        """Parse a wire document; unknown fields are ignored."""
+        if not isinstance(doc, Mapping):
+            raise WireError(f"sweep_spec: expected an object, "
+                            f"got {type(doc).__name__}")
+        _check_version(doc, "sweep_spec")
+        kernels = _string_tuple(doc, "sweep_spec", "kernels")
+        axes_doc = doc.get("axes")
+        if not isinstance(axes_doc, Mapping) or not axes_doc:
+            raise WireError("sweep_spec: axes must be a non-empty "
+                            "object of {field: [values]}")
+        axes = []
+        for axis, values in axes_doc.items():
+            if not isinstance(values, (list, tuple)):
+                raise WireError(f"sweep_spec: axis {axis!r} values "
+                                f"must be a list, got {values!r}")
+            axes.append((axis, tuple(values)))
+        name = doc.get("name", "sweep")
+        engine = doc.get("engine", "auto")
+        if not isinstance(name, str) or not isinstance(engine, str):
+            raise WireError("sweep_spec: name and engine must be "
+                            "strings")
+        return cls(
+            kernels=kernels, axes=tuple(axes), name=name,
+            scale=_number(doc.get("scale", 1.0), "sweep_spec", "scale"),
+            seed=_integer(doc.get("seed", 0), "sweep_spec", "seed"),
+            engine=engine, aux=bool(doc.get("aux", False)))
+
+    def job_spec(self, configs: Tuple[str, ...],
+                 kernels: Optional[Tuple[str, ...]] = None,
+                 priority: int = 0, client: str = "sweep") -> JobSpec:
+        """One serve-backend submission covering ``configs`` (by
+        canonical name — any design point resolves server-side) over
+        ``kernels`` (default: the sweep's full kernel list)."""
+        return JobSpec(
+            kernels=tuple(kernels) if kernels is not None
+            else self.kernels,
+            configs=configs, scale=self.scale, seed=self.seed,
+            aux=self.aux, engine=self.engine, priority=priority,
+            client=client)
+
+
 @dataclass(frozen=True)
 class JobStatus:
     """One job's lifecycle snapshot, as served by ``GET /v1/jobs/<id>``

@@ -1,0 +1,189 @@
+"""Optional refinements to the Eq. (1) power model — default-off.
+
+Two literature-inspired energy terms that the baseline GPUWattch-style
+model deliberately omits, gated behind explicit config objects so that
+the calibrated model of :mod:`repro.power.model` stays bit-identical
+unless a caller opts in:
+
+* :class:`RegFileParams` — a GREENER-style register-file refinement:
+  bank-conflict replays inflate the per-access dynamic energy, and an
+  explicit leakage term (reducible by keeping a fraction of the file
+  drowsy) is attributed to the RegFile component instead of being
+  folded into the board constant.
+* :class:`SchedulerParams` — a WaSP-style warp-scheduler term: each
+  warp instruction through fetch/decode/issue (the ``Others`` event
+  stream, the closest activity proxy for scheduler work) pays a
+  scheduling energy, partially gateable; throttling schedulers may
+  also stretch execution (``duration_scale >= 1``), which callers
+  accounting for static energy must apply themselves.
+
+Every parameter defaults to a no-op, so even an *enabled* extension
+with default parameters changes nothing — the flags only open the
+door.  :class:`PowerExtensions` bundles both and plugs into
+``GPUPowerModel.extensions`` (default ``None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.power.activity import ActivityVector
+from repro.power.components import Component
+
+
+class ExtensionError(ValueError):
+    """An extension parameter outside its physical range."""
+
+
+@dataclass(frozen=True)
+class RegFileParams:
+    """GREENER-style register-file energy refinement.
+
+    ``bank_conflict_rate`` is the fraction of register accesses that
+    replay due to operand-collector bank conflicts (each replay costs
+    one extra access energy).  ``leakage_w`` is the register file's
+    leakage power, of which the fraction kept drowsy saves
+    ``drowsy_savings`` of its share.
+    """
+
+    bank_conflict_rate: float = 0.0
+    leakage_w: float = 0.0
+    drowsy_fraction: float = 0.0
+    drowsy_savings: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bank_conflict_rate:
+            raise ExtensionError("bank_conflict_rate must be >= 0")
+        if self.leakage_w < 0.0:
+            raise ExtensionError("leakage_w must be >= 0")
+        for name in ("drowsy_fraction", "drowsy_savings"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ExtensionError(f"{name} must be in [0, 1]")
+
+    def extra_power_w(self, regfile_power_w: float) -> float:
+        """Added RegFile power: conflict replays plus residual
+        leakage."""
+        replay_w = regfile_power_w * self.bank_conflict_rate
+        leak_w = self.leakage_w * (
+            1.0 - self.drowsy_fraction * self.drowsy_savings)
+        return replay_w + leak_w
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "bank_conflict_rate": self.bank_conflict_rate,
+            "leakage_w": self.leakage_w,
+            "drowsy_fraction": self.drowsy_fraction,
+            "drowsy_savings": self.drowsy_savings,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "RegFileParams":
+        return cls(
+            bank_conflict_rate=float(
+                doc.get("bank_conflict_rate", 0.0)),
+            leakage_w=float(doc.get("leakage_w", 0.0)),
+            drowsy_fraction=float(doc.get("drowsy_fraction", 0.0)),
+            drowsy_savings=float(doc.get("drowsy_savings", 0.9)))
+
+
+@dataclass(frozen=True)
+class SchedulerParams:
+    """WaSP-style warp-scheduler energy term.
+
+    ``schedule_pj`` is the energy of scheduling one warp instruction;
+    ``gated_fraction`` of those events are clock-gated away (sleeping
+    warps).  A throttling scheduler may stretch execution by
+    ``duration_scale >= 1`` — exposed for callers that integrate
+    static energy over time; the dynamic terms here are rates and do
+    not apply it themselves.
+    """
+
+    schedule_pj: float = 0.0
+    gated_fraction: float = 0.0
+    duration_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.schedule_pj < 0.0:
+            raise ExtensionError("schedule_pj must be >= 0")
+        if not 0.0 <= self.gated_fraction <= 1.0:
+            raise ExtensionError("gated_fraction must be in [0, 1]")
+        if self.duration_scale < 1.0:
+            raise ExtensionError("duration_scale must be >= 1")
+
+    def extra_power_w(self, activity: ActivityVector) -> float:
+        """Added scheduler power on the warp-instruction stream."""
+        rate = activity.rate(Component.OTHERS)
+        return (rate * self.schedule_pj * 1e-12
+                * (1.0 - self.gated_fraction))
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "schedule_pj": self.schedule_pj,
+            "gated_fraction": self.gated_fraction,
+            "duration_scale": self.duration_scale,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "SchedulerParams":
+        return cls(
+            schedule_pj=float(doc.get("schedule_pj", 0.0)),
+            gated_fraction=float(doc.get("gated_fraction", 0.0)),
+            duration_scale=float(doc.get("duration_scale", 1.0)))
+
+
+@dataclass(frozen=True)
+class PowerExtensions:
+    """The bundle ``GPUPowerModel.extensions`` accepts.  ``None``
+    members are off; enabled members with default parameters are
+    numeric no-ops."""
+
+    regfile: Optional[RegFileParams] = None
+    scheduler: Optional[SchedulerParams] = None
+
+    @property
+    def active(self) -> bool:
+        return self.regfile is not None or self.scheduler is not None
+
+    def adjust_power_w(self, powers: Dict[Component, float],
+                       activity: ActivityVector
+                       ) -> Dict[Component, float]:
+        """Return the per-component power dict with the extension
+        terms added onto their home components."""
+        adjusted = dict(powers)
+        if self.regfile is not None:
+            adjusted[Component.REGFILE] += self.regfile.extra_power_w(
+                powers[Component.REGFILE])
+        if self.scheduler is not None:
+            adjusted[Component.OTHERS] += \
+                self.scheduler.extra_power_w(activity)
+        return adjusted
+
+    def duration_scale(self) -> float:
+        """The execution stretch a throttling scheduler imposes
+        (``1.0`` when off) — for callers integrating static energy."""
+        return 1.0 if self.scheduler is None \
+            else self.scheduler.duration_scale
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "regfile": None if self.regfile is None
+            else self.regfile.to_wire(),
+            "scheduler": None if self.scheduler is None
+            else self.scheduler.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "PowerExtensions":
+        regfile = doc.get("regfile")
+        scheduler = doc.get("scheduler")
+        return cls(
+            regfile=None if regfile is None
+            else RegFileParams.from_wire(regfile),
+            scheduler=None if scheduler is None
+            else SchedulerParams.from_wire(scheduler))
+
+
+__all__ = ["ExtensionError", "PowerExtensions", "RegFileParams",
+           "SchedulerParams"]

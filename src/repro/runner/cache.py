@@ -31,7 +31,8 @@ from repro.runner.units import RESULT_FIELDS, UnitSpec
 #: never be silently forgotten here.  ``obs`` observes the computation
 #: without influencing it, so instrumentation edits keep caches warm.
 NON_RESULT_PACKAGES = frozenset(
-    {"analysis", "report", "runner", "lint", "obs", "fuzz", "serve"})
+    {"analysis", "report", "runner", "lint", "obs", "fuzz", "serve",
+     "sweep"})
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

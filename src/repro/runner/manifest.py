@@ -15,6 +15,48 @@ from pathlib import Path
 MANIFEST_VERSION = 1
 
 
+class ManifestWriter:
+    """Incremental manifest writer: header first, then one flushed
+    unit line per :meth:`add`.
+
+    Built for long-running, killable invocations (``st2-sweep``): a
+    process killed mid-write loses at most its final partial line,
+    which :func:`read_manifest_tolerant` skips on the next start — so
+    every fully-written unit survives and is never re-executed.
+    """
+
+    def __init__(self, path, meta: dict = None, n_units: int = 0):
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"type": "run", "manifest_version": MANIFEST_VERSION,
+                  "n_units": n_units}
+        header.update(meta or {})
+        self._fh = open(self.path, "w")
+        self._fh.write(json.dumps(header) + "\n")
+        self._fh.flush()
+        self.n_written = 0
+
+    def add(self, result) -> None:
+        """Append one unit result (dict or RunResult), flushed."""
+        if hasattr(result, "to_dict"):
+            result = result.to_dict()
+        self._fh.write(json.dumps({"type": "unit", **result}) + "\n")
+        self._fh.flush()
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ManifestWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def write_manifest(path, results, meta: dict = None) -> Path:
     """Write a runner invocation's results as JSONL.
 
@@ -62,3 +104,45 @@ def read_manifest(path) -> tuple:
             f"unsupported manifest version "
             f"{header.get('manifest_version')!r} in {path}")
     return header, units
+
+
+def read_manifest_tolerant(path) -> tuple:
+    """Read back ``(header, [unit dicts], n_bad_lines)`` from a
+    manifest that may have been truncated by a kill mid-write.
+
+    Unparseable or unknown-type lines are skipped and counted instead
+    of raised; ``header`` is ``None`` when no valid run header (of a
+    supported version) survives — the caller decides whether that
+    means "start fresh" or "refuse".
+    """
+    header = None
+    units = []
+    bad = 0
+    try:
+        fh = open(path)
+    except OSError:
+        return None, [], 0
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                bad += 1
+                continue
+            if not isinstance(record, dict):
+                bad += 1
+                continue
+            kind = record.pop("type", None)
+            if kind == "run" and header is None:
+                if record.get("manifest_version") == MANIFEST_VERSION:
+                    header = record
+                else:
+                    bad += 1
+            elif kind == "unit":
+                units.append(record)
+            else:
+                bad += 1
+    return header, units, bad

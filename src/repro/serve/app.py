@@ -11,10 +11,14 @@ Request lifecycle::
 
     POST /v1/jobs            submit a JobSpec        -> 202 JobStatus
                              (429 quota/backpressure, 503 draining)
+    POST /v1/jobs:batch      submit several jobs atomically
+                             (all admitted or none) -> 202 [JobStatus]
     GET  /v1/jobs/<id>        poll                   -> 200 JobStatus
     GET  /v1/jobs/<id>/events stream NDJSON statuses until terminal
     GET  /v1/jobs/<id>/result fetch                  -> 200 JobResult
-    GET  /v1/health, /v1/stats, /v1/jobs; POST /v1/admin/drain
+                             (?cursor=&limit= pages the unit list)
+    GET  /v1/jobs[?cursor=&limit=]  list in submission order, paged
+    GET  /v1/health, /v1/stats; POST /v1/admin/drain
 
 Scheduling: each unit first consults the result cache, then the
 in-flight coalescing map, and only then costs an execution.  Units
@@ -244,6 +248,8 @@ class ServeApp:
             return self._stats()
         if path == "/v1/jobs" and method == "POST":
             return self._submit(request)
+        if path == "/v1/jobs:batch" and method == "POST":
+            return self._submit_batch(request)
         if path == "/v1/jobs" and method == "GET":
             return self._list_jobs(request)
         if path == "/v1/admin/drain" and method == "POST":
@@ -261,7 +267,7 @@ class ServeApp:
             if not tail and method == "GET":
                 return httpd.json_response(job.status().to_wire())
             if tail == "result" and method == "GET":
-                return self._result(job)
+                return self._result(job, request)
             if tail == "events" and method == "GET":
                 return httpd.Response(
                     status=200, stream=self._events(job),
@@ -315,16 +321,97 @@ class ServeApp:
         self._notify_change()
         return httpd.json_response(job.status().to_wire(), status=202)
 
-    def _list_jobs(self, request: httpd.Request) -> httpd.Response:
-        client = request.query.get("client")
-        jobs = [job.status().to_wire()
-                for job in self.state.jobs.values()
-                if client is None or job.spec.client == client]
-        jobs.sort(key=lambda s: s["submitted_s"])
-        return httpd.json_response({"schema_version": SCHEMA_VERSION,
-                                    "jobs": jobs})
+    def _submit_batch(self, request: httpd.Request) -> httpd.Response:
+        """``POST /v1/jobs:batch`` — admit several jobs atomically.
 
-    def _result(self, job) -> httpd.Response:
+        The envelope is ``{"schema_version": 1, "jobs": [JobSpec wire
+        docs, ...]}``; the whole batch is validated before any
+        admission, and admission itself is all-or-nothing
+        (:meth:`ServeState.admit_many`), so a 429/503 means no job of
+        the batch exists."""
+        try:
+            doc = request.json()
+        except httpd.BadRequest as exc:
+            return _error(400, "bad_request", str(exc))
+        entries = doc.get("jobs") if isinstance(doc, dict) else None
+        if not isinstance(entries, list) or not entries:
+            obs.add("serve.jobs.rejected.bad_request")
+            return _error(400, "bad_request",
+                          "body must be {\"jobs\": [JobSpec, ...]} "
+                          "with at least one job")
+        version = doc.get("schema_version", SCHEMA_VERSION)
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
+            obs.add("serve.jobs.rejected.bad_request")
+            return _error(400, "bad_request",
+                          f"batch: schema_version {version!r} is "
+                          f"newer than this server "
+                          f"(<= {SCHEMA_VERSION})")
+        from repro.runner.cache import unit_key
+
+        submissions = []
+        for position, entry in enumerate(entries):
+            try:
+                spec = JobSpec.from_wire(entry)
+                units = spec.units()
+            except WireError as exc:
+                obs.add("serve.jobs.rejected.bad_request")
+                return _error(400, "bad_request",
+                              f"batch job [{position}]: {exc}")
+            keys = [unit_key(u, self.code_version) for u in units]
+            submissions.append((spec, units, keys))
+        try:
+            jobs = self.state.admit_many(submissions)
+        except RejectError as exc:
+            status = 503 if exc.code == "draining" else 429
+            return _error(status, exc.code, exc.message,
+                          retry_after_s=exc.retry_after_s)
+        self._pump()
+        self._notify_change()
+        return httpd.json_response(
+            {"schema_version": SCHEMA_VERSION,
+             "jobs": [job.status().to_wire() for job in jobs]},
+            status=202)
+
+    @staticmethod
+    def _page_args(request: httpd.Request):
+        """Parse ``cursor`` / ``limit`` query params; raises
+        ``ValueError`` with a client-ready message."""
+        cursor = request.query.get("cursor")
+        limit = request.query.get("limit")
+        try:
+            start = int(cursor) if cursor is not None else 0
+            count = int(limit) if limit is not None else None
+        except ValueError:
+            raise ValueError("cursor and limit must be integers")
+        if start < 0 or (count is not None and count < 1):
+            raise ValueError("cursor must be >= 0 and limit >= 1")
+        return start, count
+
+    def _list_jobs(self, request: httpd.Request) -> httpd.Response:
+        """``GET /v1/jobs[?client=][&cursor=][&limit=]`` — jobs in
+        submission (``seq``) order.  Without ``limit`` the full list
+        is returned (the original route, unchanged); with it, one page
+        plus ``next_cursor`` (the seq to resume from; null on the last
+        page).  ``seq`` cursors stay valid across pages even while new
+        jobs arrive."""
+        client = request.query.get("client")
+        try:
+            start, count = self._page_args(request)
+        except ValueError as exc:
+            return _error(400, "bad_request", str(exc))
+        jobs = sorted((job for job in self.state.jobs.values()
+                       if client is None or job.spec.client == client),
+                      key=lambda job: job.seq)
+        jobs = [job for job in jobs if job.seq >= start]
+        page = jobs if count is None else jobs[:count]
+        next_cursor = str(page[-1].seq + 1) \
+            if count is not None and len(jobs) > count else None
+        return httpd.json_response(
+            {"schema_version": SCHEMA_VERSION,
+             "jobs": [job.status().to_wire() for job in page],
+             "next_cursor": next_cursor})
+
+    def _result(self, job, request: httpd.Request) -> httpd.Response:
         if not job.terminal:
             return _error(409, "pending",
                           f"job {job.job_id} is {job.state} "
@@ -333,6 +420,10 @@ class ServeApp:
         if job.state == "failed":
             return _error(500, "internal",
                           job.error or "job failed")
+        try:
+            start, count = self._page_args(request)
+        except ValueError as exc:
+            return _error(400, "bad_request", str(exc))
         meta = {
             "job_id": job.job_id,
             "schema_version": SCHEMA_VERSION,
@@ -346,9 +437,18 @@ class ServeApp:
             "units_cached": job.units_cached,
             "units_coalesced": job.units_coalesced,
         }
+        units = job.results if count is None \
+            else job.results[start:start + count]
         result = JobResult(job_id=job.job_id,
-                           units=tuple(job.results), meta=meta)
-        return httpd.json_response(result.to_wire())
+                           units=tuple(units), meta=meta)
+        doc = result.to_wire()
+        if count is not None:
+            # Unit-index pagination rider; readers of the full-result
+            # route never see it, and JobResult.from_wire ignores it.
+            doc["next_cursor"] = str(start + count) \
+                if start + count < len(job.results) else None
+            doc["units_total"] = len(job.results)
+        return httpd.json_response(doc)
 
     async def _events(self, job):
         """NDJSON stream of JobStatus snapshots: one line per change,

@@ -20,8 +20,8 @@ import json
 import time
 from urllib.parse import urlsplit
 
-from repro.api import (ErrorEnvelope, JobResult, JobSpec, JobStatus,
-                       WireError)
+from repro.api import (SCHEMA_VERSION, ErrorEnvelope, JobResult,
+                       JobSpec, JobStatus, WireError)
 
 #: Rejection codes worth retrying after the server-suggested delay.
 RETRYABLE_CODES = ("quota_exhausted", "backpressure")
@@ -125,11 +125,43 @@ class ServeClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    @staticmethod
+    def _query(path: str, **params) -> str:
+        from urllib.parse import urlencode
+
+        pairs = {k: v for k, v in params.items() if v is not None}
+        return f"{path}?{urlencode(pairs)}" if pairs else path
+
     def jobs(self, client: str = None) -> list:
-        path = "/v1/jobs" if client is None \
-            else f"/v1/jobs?client={client}"
         return [JobStatus.from_wire(doc)
-                for doc in self._request("GET", path)["jobs"]]
+                for doc in self._request(
+                    "GET", self._query("/v1/jobs",
+                                       client=client))["jobs"]]
+
+    def jobs_page(self, client: str = None, cursor: str = None,
+                  limit: int = 100) -> tuple:
+        """One page of the job listing in submission order:
+        ``(statuses, next_cursor)`` — ``next_cursor`` is ``None`` on
+        the last page, else the value to pass back in."""
+        doc = self._request(
+            "GET", self._query("/v1/jobs", client=client,
+                               cursor=cursor, limit=limit))
+        return ([JobStatus.from_wire(entry)
+                 for entry in doc["jobs"]], doc.get("next_cursor"))
+
+    def iter_jobs(self, client: str = None, page_size: int = 100):
+        """Every job status, newest-submission last, fetched one page
+        at a time (jobs submitted mid-iteration are included — ``seq``
+        cursors stay valid while the listing grows)."""
+        cursor = None
+        while True:
+            statuses, cursor = self.jobs_page(client=client,
+                                              cursor=cursor,
+                                              limit=page_size)
+            for status in statuses:
+                yield status
+            if cursor is None:
+                return
 
     def submit(self, spec: JobSpec) -> JobStatus:
         """Submit one job (the spec's ``client`` field is overridden
@@ -155,6 +187,38 @@ class ServeClient:
                     raise
                 time.sleep(delay)
 
+    def submit_batch(self, specs) -> list:
+        """Submit several jobs atomically via ``POST /v1/jobs:batch``
+        (all admitted or none; every spec's ``client`` is overridden
+        with this client's identity).  Returns the list of
+        :class:`JobStatus`, aligned with ``specs``."""
+        docs = []
+        for spec in specs:
+            doc = spec.to_wire()
+            doc["client"] = self.client
+            docs.append(doc)
+        out = self._request(
+            "POST", "/v1/jobs:batch",
+            payload={"schema_version": SCHEMA_VERSION, "jobs": docs})
+        return [JobStatus.from_wire(doc) for doc in out["jobs"]]
+
+    def submit_batch_retry(self, specs,
+                           deadline_s: float = 600.0) -> list:
+        """Batch submit, sleeping out ``Retry-After`` on
+        quota/backpressure rejections until ``deadline_s`` elapses.
+        Safe to retry verbatim: a rejected batch admitted nothing."""
+        t0 = time.monotonic()
+        while True:
+            try:
+                return self.submit_batch(specs)
+            except ServeError as exc:
+                if exc.code not in RETRYABLE_CODES:
+                    raise
+                delay = exc.retry_after_s or 1.0
+                if time.monotonic() - t0 + delay > deadline_s:
+                    raise
+                time.sleep(delay)
+
     def status(self, job_id: str) -> JobStatus:
         return JobStatus.from_wire(
             self._request("GET", f"/v1/jobs/{job_id}"))
@@ -162,6 +226,30 @@ class ServeClient:
     def result(self, job_id: str) -> JobResult:
         return JobResult.from_wire(
             self._request("GET", f"/v1/jobs/{job_id}/result"))
+
+    def result_page(self, job_id: str, cursor: str = None,
+                    limit: int = 200) -> tuple:
+        """One page of a finished job's unit results:
+        ``(JobResult, next_cursor)``.  The returned result carries
+        only this page's units; ``next_cursor`` is ``None`` on the
+        last page."""
+        doc = self._request(
+            "GET", self._query(f"/v1/jobs/{job_id}/result",
+                               cursor=cursor, limit=limit))
+        return JobResult.from_wire(doc), doc.get("next_cursor")
+
+    def iter_results(self, job_id: str, page_size: int = 200):
+        """Yield a finished job's unit result dicts one page at a
+        time — bounded memory on the wire no matter how large the
+        job's grid was."""
+        cursor = None
+        while True:
+            result, cursor = self.result_page(job_id, cursor=cursor,
+                                              limit=page_size)
+            for unit in result.units:
+                yield unit
+            if cursor is None:
+                return
 
     def drain(self) -> dict:
         return self._request("POST", "/v1/admin/drain")

@@ -8,6 +8,7 @@ Examples::
     st2-client watch a1b2c3d4e5f6
     st2-client result a1b2c3d4e5f6 --json
     st2-client run --kernels qrng_K2 --out manifest.jsonl
+    st2-client jobs --limit 20
     st2-client health; st2-client stats --json; st2-client drain
 
 ``run`` is the offline-compatible round trip: submit, wait, fetch,
@@ -116,6 +117,19 @@ def build_parser():
     _add_grid_args(p)
     p.add_argument("--out", default="st2_client_manifest.jsonl",
                    help="JSONL manifest path (default %(default)s)")
+    cli_common.add_json_flag(p)
+
+    p = sub.add_parser("jobs", help="list jobs on the server "
+                                    "(paginated)")
+    _add_server_args(p)
+    p.add_argument("--filter-client", default=None, metavar="NAME",
+                   help="only jobs submitted by this client identity")
+    p.add_argument("--cursor", default=None,
+                   help="resume the listing from a previous page's "
+                        "next_cursor")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="page size; one page is printed (with its "
+                        "next_cursor) instead of the whole listing")
     cli_common.add_json_flag(p)
 
     p = sub.add_parser("health", help="server health probe")
@@ -236,6 +250,28 @@ def main(argv=None) -> int:
                 else:
                     print(f"draining ({doc.get('jobs_live')} jobs "
                           f"still live)")
+                return cli_common.EXIT_OK
+            if args.command == "jobs":
+                if args.limit is not None \
+                        or args.cursor is not None:
+                    statuses, cursor = sc.jobs_page(
+                        client=args.filter_client,
+                        cursor=args.cursor,
+                        limit=args.limit or 100)
+                else:
+                    statuses = list(sc.iter_jobs(
+                        client=args.filter_client))
+                    cursor = None
+                if args.json:
+                    cli_common.emit_json({
+                        "jobs": [s.to_wire() for s in statuses],
+                        "next_cursor": cursor,
+                    })
+                else:
+                    for status in statuses:
+                        _print_status(status, False)
+                    if cursor is not None:
+                        print(f"next page: --cursor {cursor}")
                 return cli_common.EXIT_OK
             if args.command == "submit":
                 _print_status(sc.submit_retry(

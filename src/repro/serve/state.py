@@ -165,6 +165,50 @@ class ServeState:
         obs.add("serve.units.submitted", len(units))
         return job
 
+    def admit_many(self, submissions) -> list:
+        """Queue several jobs atomically — all admitted or none.
+
+        ``submissions`` is ``[(spec, units, keys), ...]``.  Aggregate
+        per-client quota and global backpressure are checked up front,
+        then each job is admitted in order; state is only mutated from
+        the event-loop thread, so once the aggregate checks pass the
+        individual :meth:`admit` calls cannot fail and the batch is
+        prefix-safe by construction.
+        """
+        if self.draining:
+            raise RejectError(
+                "draining", "server is draining; submit elsewhere")
+        if not submissions:
+            raise RejectError("bad_request", "empty batch")
+        per_client = {}
+        total = 0
+        for spec, units, _ in submissions:
+            per_client[spec.client] = \
+                per_client.get(spec.client, 0) + len(units)
+            total += len(units)
+        for client, wanted in sorted(per_client.items()):
+            held = self._client_units.get(client, 0)
+            if held + wanted > self.client_quota:
+                obs.add("serve.jobs.rejected.quota", len(submissions))
+                raise RejectError(
+                    "quota_exhausted",
+                    f"client {client!r} holds {held} unresolved "
+                    f"units; the batch asks {wanted} more, exceeding "
+                    f"the quota of {self.client_quota}",
+                    retry_after_s=self.retry_after_s())
+        if self._unresolved + total > self.max_queued_units:
+            obs.add("serve.jobs.rejected.backpressure",
+                    len(submissions))
+            raise RejectError(
+                "backpressure",
+                f"{self._unresolved} units already unresolved; the "
+                f"batch asks {total} more, exceeding the server bound "
+                f"of {self.max_queued_units}",
+                retry_after_s=self.retry_after_s())
+        obs.add("serve.jobs.batches")
+        return [self.admit(spec, units, keys)
+                for spec, units, keys in submissions]
+
     def next_job(self):
         """Pop the best queued job (lowest priority, then submission
         order); ``None`` when the queue is empty."""

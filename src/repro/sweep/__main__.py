@@ -1,0 +1,7 @@
+"""``python -m repro.sweep`` — the ``st2-sweep`` CLI."""
+
+import sys
+
+from repro.sweep.cli import console_main
+
+sys.exit(console_main())

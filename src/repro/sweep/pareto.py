@@ -1,0 +1,192 @@
+"""Incremental Pareto frontier over sweep objectives.
+
+The sweep optimises three objectives per design point, aggregated over
+the kernel list:
+
+* ``energy_saved`` — mean system energy saving (maximise),
+* ``misprediction_rate`` — mean thread misprediction rate (minimise),
+* ``perf_overhead`` — mean timing slowdown (minimise).
+
+:func:`dominates` is *strict Pareto dominance*: at least as good in
+every objective and strictly better in at least one.  It is a strict
+partial order (irreflexive, asymmetric, transitive — property-tested),
+which is what makes the frontier independent of the order points
+arrive in: :class:`ParetoFrontier.add` inserts a point unless an
+existing point dominates it and evicts every point the newcomer
+dominates, so the surviving set is exactly the non-dominated subset of
+everything ever added.
+
+Pruning hooks on :meth:`ParetoFrontier.dominated_by`: if a frontier
+point dominates a candidate's *optimistic completion bound* (the best
+final objectives it could still reach), it dominates every completion
+of the candidate — transitivity then keeps the candidate off the final
+frontier even if the dominating point is itself later evicted.  That
+is the invariant behind "pruning never changes the surviving
+frontier".
+
+This module is pure (no I/O, no observability side effects) so the
+property tests can hammer it with synthetic objective spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: The sweep's objectives and the sense each is optimised in.
+OBJECTIVES: Dict[str, str] = {
+    "energy_saved": "max",
+    "misprediction_rate": "min",
+    "perf_overhead": "min",
+}
+
+
+class ParetoError(ValueError):
+    """A malformed point (missing objectives) or a violated
+    equivalence claim (two members of one class disagreeing)."""
+
+
+def _check_objectives(objectives: Mapping[str, float],
+                      senses: Mapping[str, str]) -> None:
+    missing = [name for name in senses if name not in objectives]
+    if missing:
+        raise ParetoError(f"point is missing objectives {missing}")
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One completed design point: a config class and its aggregated
+    objectives.
+
+    ``key`` is the *canonical* config name of the point's equivalence
+    class; ``members`` lists every grid config that provably shares
+    these numbers; ``fields`` are the canonical SpeculationConfig
+    fields; ``per_kernel`` holds the unaggregated per-kernel objective
+    values the report renders.
+    """
+
+    key: str
+    objectives: Mapping[str, float]
+    fields: Mapping[str, Any] = field(default_factory=dict)
+    members: Tuple[str, ...] = ()
+    per_kernel: Mapping[str, Mapping[str, float]] = \
+        field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "objectives": dict(self.objectives),
+            "fields": dict(self.fields),
+            "members": list(self.members),
+            "per_kernel": {k: dict(v)
+                           for k, v in self.per_kernel.items()},
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "ParetoPoint":
+        key = doc.get("key")
+        objectives = doc.get("objectives")
+        if not isinstance(key, str) \
+                or not isinstance(objectives, Mapping):
+            raise ParetoError(f"malformed pareto point: {doc!r}")
+        return cls(
+            key=key, objectives=dict(objectives),
+            fields=dict(doc.get("fields", {})),
+            members=tuple(doc.get("members", ())),
+            per_kernel={k: dict(v) for k, v
+                        in doc.get("per_kernel", {}).items()})
+
+
+def dominates(a: Mapping[str, float], b: Mapping[str, float],
+              senses: Mapping[str, str] = OBJECTIVES) -> bool:
+    """Strict Pareto dominance of objective vector ``a`` over ``b``."""
+    _check_objectives(a, senses)
+    _check_objectives(b, senses)
+    strict = False
+    for name, sense in senses.items():
+        av, bv = a[name], b[name]
+        better = av > bv if sense == "max" else av < bv
+        worse = av < bv if sense == "max" else av > bv
+        if worse or av != av:       # worse, or NaN never dominates
+            return False
+        strict = strict or better
+    return strict
+
+
+class ParetoFrontier:
+    """The non-dominated subset of every point added so far.
+
+    Order-invariant: for any arrival order of the same point set the
+    surviving frontier is identical (equal-objective points from
+    different classes all survive — none dominates another).
+    """
+
+    def __init__(self, senses: Optional[Mapping[str, str]] = None):
+        self.senses: Dict[str, str] = dict(senses if senses is not None
+                                           else OBJECTIVES)
+        self._points: Dict[str, ParetoPoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._points
+
+    def points(self) -> Tuple[ParetoPoint, ...]:
+        """The frontier, deterministically ordered by key."""
+        return tuple(self._points[k] for k in sorted(self._points))
+
+    def add(self, point: ParetoPoint) -> bool:
+        """Insert a completed point.  Returns True when the point
+        survives (it is not dominated by any current member); every
+        member the newcomer dominates is evicted."""
+        _check_objectives(point.objectives, self.senses)
+        if point.key in self._points:
+            raise ParetoError(
+                f"frontier already holds a point for {point.key!r}")
+        for other in self._points.values():
+            if dominates(other.objectives, point.objectives,
+                         self.senses):
+                return False
+        evicted = [k for k, other in self._points.items()
+                   if dominates(point.objectives, other.objectives,
+                                self.senses)]
+        for k in evicted:
+            del self._points[k]
+        self._points[point.key] = point
+        return True
+
+    def dominated_by(self,
+                     objectives: Mapping[str, float]
+                     ) -> Optional[ParetoPoint]:
+        """A frontier point dominating ``objectives``, or ``None``.
+
+        Feeding a candidate's optimistic completion bound here yields
+        a *sound* prune decision: dominance of the bound implies
+        dominance of every completion (see module docstring).
+        """
+        for other in self._points.values():
+            if dominates(other.objectives, objectives, self.senses):
+                return other
+        return None
+
+
+def frontiers_equal(a: List[Any], b: List[Any]) -> bool:
+    """Exact equality of two frontier lists (wire docs or
+    :class:`ParetoPoint` objects, freely mixed): same keys, same
+    objective floats (NaN compares equal to NaN), member sets equal."""
+    def canon(points: List[Any]) -> List[Tuple[Any, ...]]:
+        rows = []
+        for doc in points:
+            point = doc if isinstance(doc, ParetoPoint) \
+                else ParetoPoint.from_wire(doc)
+            objs = tuple(sorted(
+                (name, "nan" if value != value else value)
+                for name, value in point.objectives.items()))
+            rows.append((point.key, objs, tuple(sorted(point.members))))
+        return sorted(rows)
+    return canon(list(a)) == canon(list(b))
+
+
+__all__ = ["OBJECTIVES", "ParetoError", "ParetoFrontier", "ParetoPoint",
+           "dominates", "frontiers_equal"]

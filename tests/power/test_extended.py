@@ -1,0 +1,125 @@
+"""The optional GREENER/WaSP power extensions: default-off means
+bit-identical, enabled-with-defaults is still a numeric no-op, and the
+terms land only on their home components."""
+
+import pytest
+
+from repro.power.activity import ActivityVector
+from repro.power.components import Component
+from repro.power.extended import (ExtensionError, PowerExtensions,
+                                  RegFileParams, SchedulerParams)
+from repro.power.model import GPUPowerModel
+
+
+def make_activity():
+    return ActivityVector(
+        name="ext-test",
+        counts={Component.ALU_FPU: 4e6, Component.REGFILE: 9e6,
+                Component.OTHERS: 2e6, Component.CACHES_MC: 1e5,
+                Component.DRAM: 4e4},
+        duration_s=2e-3, n_active_sms=40)
+
+
+class TestDefaultOff:
+    def test_extensions_none_is_bit_identical(self):
+        activity = make_activity()
+        plain = GPUPowerModel()
+        with_field = GPUPowerModel(extensions=None)
+        assert plain.component_power_w(activity) \
+            == with_field.component_power_w(activity)
+        assert plain.total_energy_j(activity) \
+            == with_field.total_energy_j(activity)
+
+    def test_enabled_defaults_are_numeric_noops(self):
+        """Turning the flags on without parameters changes nothing:
+        the defaults encode zero extra energy."""
+        activity = make_activity()
+        plain = GPUPowerModel()
+        extended = GPUPowerModel(extensions=PowerExtensions(
+            regfile=RegFileParams(),
+            scheduler=SchedulerParams()))
+        assert plain.component_power_w(activity) \
+            == extended.component_power_w(activity)
+        assert extended.extensions.duration_scale() == 1.0
+
+    def test_empty_bundle_inactive(self):
+        assert not PowerExtensions().active
+        assert PowerExtensions(regfile=RegFileParams()).active
+
+
+class TestRegFileTerm:
+    def test_conflicts_inflate_only_regfile(self):
+        activity = make_activity()
+        plain = GPUPowerModel()
+        extended = GPUPowerModel(extensions=PowerExtensions(
+            regfile=RegFileParams(bank_conflict_rate=0.25)))
+        base = plain.component_power_w(activity)
+        ext = extended.component_power_w(activity)
+        assert ext[Component.REGFILE] == pytest.approx(
+            base[Component.REGFILE] * 1.25)
+        for c in Component:
+            if c is not Component.REGFILE:
+                assert ext[c] == base[c]
+
+    def test_drowsy_fraction_cuts_leakage(self):
+        awake = RegFileParams(leakage_w=2.0)
+        drowsy = RegFileParams(leakage_w=2.0, drowsy_fraction=0.5,
+                               drowsy_savings=0.9)
+        assert awake.extra_power_w(0.0) == pytest.approx(2.0)
+        assert drowsy.extra_power_w(0.0) == pytest.approx(
+            2.0 * (1.0 - 0.5 * 0.9))
+
+    def test_validation(self):
+        with pytest.raises(ExtensionError):
+            RegFileParams(bank_conflict_rate=-0.1)
+        with pytest.raises(ExtensionError):
+            RegFileParams(drowsy_fraction=1.5)
+        with pytest.raises(ExtensionError):
+            RegFileParams(leakage_w=-1.0)
+
+
+class TestSchedulerTerm:
+    def test_schedule_energy_on_others(self):
+        activity = make_activity()
+        plain = GPUPowerModel()
+        params = SchedulerParams(schedule_pj=5.0)
+        extended = GPUPowerModel(extensions=PowerExtensions(
+            scheduler=params))
+        base = plain.component_power_w(activity)
+        ext = extended.component_power_w(activity)
+        expect_w = (activity.rate(Component.OTHERS) * 5.0 * 1e-12)
+        assert ext[Component.OTHERS] == pytest.approx(
+            base[Component.OTHERS] + expect_w)
+        for c in Component:
+            if c is not Component.OTHERS:
+                assert ext[c] == base[c]
+
+    def test_gating_scales_linearly(self):
+        activity = make_activity()
+        full = SchedulerParams(schedule_pj=5.0)
+        gated = SchedulerParams(schedule_pj=5.0, gated_fraction=0.4)
+        assert gated.extra_power_w(activity) == pytest.approx(
+            full.extra_power_w(activity) * 0.6)
+
+    def test_duration_scale_floor(self):
+        with pytest.raises(ExtensionError):
+            SchedulerParams(duration_scale=0.9)
+        bundle = PowerExtensions(
+            scheduler=SchedulerParams(duration_scale=1.2))
+        assert bundle.duration_scale() == pytest.approx(1.2)
+
+
+class TestWire:
+    def test_round_trip(self):
+        bundle = PowerExtensions(
+            regfile=RegFileParams(bank_conflict_rate=0.1,
+                                  leakage_w=1.5,
+                                  drowsy_fraction=0.3),
+            scheduler=SchedulerParams(schedule_pj=4.0,
+                                      gated_fraction=0.2,
+                                      duration_scale=1.05))
+        assert PowerExtensions.from_wire(bundle.to_wire()) == bundle
+
+    def test_absent_members_round_trip(self):
+        bundle = PowerExtensions()
+        assert PowerExtensions.from_wire(bundle.to_wire()) == bundle

@@ -1,0 +1,183 @@
+"""Batch submission (``POST /v1/jobs:batch``) and cursor pagination
+(``GET /v1/jobs``, ``GET /v1/jobs/<id>/result``) over real HTTP —
+the PR 9 additions; the single-job routes are covered by
+test_server.py and must behave exactly as before."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import JobSpec
+from repro.serve.client import ServeClient, ServeError
+from tests.serve.conftest import GRID_CONFIGS, GRID_KERNELS, GRID_SCALE
+
+
+def one_config_spec(config, client="batch"):
+    return JobSpec(kernels=GRID_KERNELS, configs=(config,),
+                   scale=GRID_SCALE, seed=0, aux=False, client=client)
+
+
+@pytest.fixture(scope="module")
+def batch(server):
+    """One batch of single-config jobs, submitted atomically and run
+    to completion — shared by the pagination tests."""
+    with ServeClient(server.address, client="batch") as sc:
+        statuses = sc.submit_batch(
+            [one_config_spec(c) for c in GRID_CONFIGS])
+        finals = [sc.wait(s.job_id, timeout=120) for s in statuses]
+        return statuses, finals
+
+
+class TestBatchSubmit:
+    def test_all_admitted_in_order(self, batch):
+        statuses, finals = batch
+        assert len(statuses) == len(GRID_CONFIGS)
+        assert len({s.job_id for s in statuses}) == len(statuses)
+        assert all(f.state == "done" for f in finals)
+        # submission order is preserved: listing seq grows with index
+        assert [f.units_total for f in finals] \
+            == [len(GRID_KERNELS)] * len(GRID_CONFIGS)
+
+    def test_batch_counter_ticks(self, server):
+        with ServeClient(server.address) as sc:
+            counters = sc.stats().get("counters", {})
+        assert counters.get("serve.jobs.batches", 0) >= 1
+
+    def test_results_match_single_submission(self, server, batch):
+        """A batch-submitted job's result is indistinguishable from a
+        singly-submitted one (same cache keys, so fully coalesced or
+        cached)."""
+        statuses, _ = batch
+        with ServeClient(server.address, client="batch") as sc:
+            single = sc.submit(one_config_spec(GRID_CONFIGS[0]))
+            sc.wait(single.job_id, timeout=120)
+            a = sc.result(statuses[0].job_id)
+            b = sc.result(single.job_id)
+        key = lambda u: (u["kernel"], u["config"])  # noqa: E731
+        assert sorted(map(key, a.units)) == sorted(map(key, b.units))
+
+    def test_malformed_entry_is_400_with_position(self, server):
+        with ServeClient(server.address, client="batch") as sc:
+            good = one_config_spec(GRID_CONFIGS[0]).to_wire()
+            with pytest.raises(ServeError) as exc:
+                sc._request("POST", "/v1/jobs:batch", payload={
+                    "schema_version": 1,
+                    "jobs": [good, {"kernels": ["warp_drive"]}]})
+        assert exc.value.status == 400
+        assert "batch job [1]" in str(exc.value)
+
+    def test_empty_batch_is_400(self, server):
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc._request("POST", "/v1/jobs:batch",
+                            payload={"schema_version": 1, "jobs": []})
+        assert exc.value.status == 400
+
+    def test_future_schema_is_400(self, server):
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc._request("POST", "/v1/jobs:batch", payload={
+                    "schema_version": 99,
+                    "jobs": [one_config_spec(
+                        GRID_CONFIGS[0]).to_wire()]})
+        assert exc.value.status == 400
+
+
+class TestBatchAtomicity:
+    def test_oversized_batch_admits_nothing(self, reject_server):
+        """client_quota=4 on the reject server: a batch of two 3-unit
+        jobs must be rejected whole — no partial admission."""
+        with ServeClient(reject_server.address, client="atomic") as sc:
+            before = sc.stats()["state"]["jobs"]
+            spec = JobSpec(kernels=("qrng_K2", "sortNets_K2",
+                                    "binomial"),
+                           configs=("st2",), scale=GRID_SCALE,
+                           aux=False)
+            with pytest.raises(ServeError) as exc:
+                sc.submit_batch([spec, spec])
+            assert exc.value.status == 429
+            assert exc.value.code == "quota_exhausted"
+            assert sc.stats()["state"]["jobs"] == before
+
+
+class TestJobListingPagination:
+    def test_pages_cover_the_listing_exactly(self, server, batch):
+        with ServeClient(server.address) as sc:
+            everything = sc.jobs()
+            paged = list(sc.iter_jobs(page_size=2))
+        assert [s.job_id for s in paged] \
+            == [s.job_id for s in everything]
+
+    def test_limit_slices_and_hands_back_a_cursor(self, server,
+                                                  batch):
+        with ServeClient(server.address) as sc:
+            page, cursor = sc.jobs_page(limit=1)
+            assert len(page) == 1
+            assert cursor is not None
+            rest, _ = sc.jobs_page(cursor=cursor, limit=1000)
+        assert page[0].job_id not in {s.job_id for s in rest}
+
+    def test_unpaginated_listing_has_no_cursor_riders(self, server,
+                                                      batch):
+        """The pre-PR9 shape survives: no limit means the whole
+        listing and a null cursor."""
+        with ServeClient(server.address) as sc:
+            doc = sc._request("GET", "/v1/jobs")
+        assert doc["next_cursor"] is None
+        assert len(doc["jobs"]) >= len(GRID_CONFIGS)
+
+    def test_client_filter_composes_with_pagination(self, server,
+                                                    batch):
+        with ServeClient(server.address) as sc:
+            mine = list(sc.iter_jobs(client="batch", page_size=1))
+        assert mine
+        assert all(s.client == "batch" for s in mine)
+
+    def test_bad_cursor_is_400(self, server):
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc._request("GET", "/v1/jobs?cursor=zap")
+        assert exc.value.status == 400
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc._request("GET", "/v1/jobs?limit=0")
+        assert exc.value.status == 400
+
+
+class TestResultPagination:
+    def test_pages_reassemble_the_full_result(self, server, batch):
+        statuses, _ = batch
+        job_id = statuses[0].job_id
+        with ServeClient(server.address) as sc:
+            full = sc.result(job_id)
+            units = list(sc.iter_results(job_id, page_size=1))
+        assert [u["kernel"] for u in units] \
+            == [u["kernel"] for u in full.units]
+
+    def test_page_carries_totals(self, server, batch):
+        statuses, _ = batch
+        job_id = statuses[0].job_id
+        with ServeClient(server.address) as sc:
+            doc = sc._request(
+                "GET", f"/v1/jobs/{job_id}/result?limit=1")
+        assert len(doc["units"]) == 1
+        assert doc["units_total"] == len(GRID_KERNELS)
+        assert doc["next_cursor"] is not None
+
+    def test_unpaginated_result_unchanged(self, server, batch):
+        statuses, _ = batch
+        with ServeClient(server.address) as sc:
+            doc = sc._request(
+                "GET", f"/v1/jobs/{statuses[0].job_id}/result")
+        assert "next_cursor" not in doc
+        assert "units_total" not in doc
+        assert len(doc["units"]) == len(GRID_KERNELS)
+
+    def test_bad_result_cursor_is_400(self, server, batch):
+        statuses, _ = batch
+        with ServeClient(server.address) as sc:
+            with pytest.raises(ServeError) as exc:
+                sc._request(
+                    "GET",
+                    f"/v1/jobs/{statuses[0].job_id}/result?limit=-1")
+        assert exc.value.status == 400

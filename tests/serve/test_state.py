@@ -193,3 +193,61 @@ class TestCompletion:
         assert status.priority == 2
         assert status.client == "ci"
         assert not status.terminal
+
+
+class TestAdmitMany:
+    def test_batch_admits_in_submission_order(self, registry):
+        state = ServeState(client_quota=16, max_queued_units=32)
+        jobs = state.admit_many([
+            (spec(client="a"), *units_and_keys(2, "x")),
+            (spec(client="b"), *units_and_keys(3, "y")),
+        ])
+        assert [j.seq for j in jobs] == sorted(j.seq for j in jobs)
+        assert state.stats()["clients"] == {"a": 2, "b": 3}
+        assert counters(registry)["serve.jobs.batches"] == 1
+        assert counters(registry)["serve.jobs.submitted"] == 2
+
+    def test_aggregate_quota_rejects_whole_batch(self, registry):
+        """Each job alone fits the quota; together they do not — and
+        nothing is admitted."""
+        state = ServeState(client_quota=4, max_queued_units=100)
+        with pytest.raises(RejectError) as exc:
+            state.admit_many([
+                (spec(client="a"), *units_and_keys(3, "x")),
+                (spec(client="a"), *units_and_keys(3, "y")),
+            ])
+        assert exc.value.code == "quota_exhausted"
+        assert state.stats()["jobs"] == 0
+        assert state.stats()["units_unresolved"] == 0
+
+    def test_aggregate_backpressure_rejects_whole_batch(self,
+                                                        registry):
+        state = ServeState(client_quota=100, max_queued_units=5)
+        with pytest.raises(RejectError) as exc:
+            state.admit_many([
+                (spec(client="a"), *units_and_keys(3, "x")),
+                (spec(client="b"), *units_and_keys(3, "y")),
+            ])
+        assert exc.value.code == "backpressure"
+        assert state.stats()["jobs"] == 0
+
+    def test_quota_counts_already_held_units(self, registry):
+        state = ServeState(client_quota=4, max_queued_units=100)
+        state.admit(spec(client="a"), *units_and_keys(3))
+        with pytest.raises(RejectError):
+            state.admit_many(
+                [(spec(client="a"), *units_and_keys(2, "v"))])
+        assert state.stats()["clients"] == {"a": 3}
+
+    def test_empty_batch_is_bad_request(self, registry):
+        with pytest.raises(RejectError) as exc:
+            ServeState().admit_many([])
+        assert exc.value.code == "bad_request"
+
+    def test_draining_rejects_batches(self, registry):
+        state = ServeState()
+        state.draining = True
+        with pytest.raises(RejectError) as exc:
+            state.admit_many(
+                [(spec(), *units_and_keys(1))])
+        assert exc.value.code == "draining"

@@ -1,0 +1,104 @@
+"""Grid expansion: normalisation, provable equivalence classes and
+the duplicate/invalid accounting the sweep engine reports."""
+
+import pytest
+
+from repro.api import SweepSpec
+from repro.sweep.grid import (HISTORY_FIELDS, HISTORY_FREE_MECHANISMS,
+                              canonical_fields, expand_plan,
+                              normalize_fields)
+
+
+def spec(axes, kernels=("qrng_K2",)):
+    return SweepSpec(name="g", kernels=kernels, axes=axes)
+
+
+class TestNormalisation:
+    def test_dead_pc_bits_pinned(self):
+        fields = {"mechanism": "prev", "peek": False,
+                  "pc_index": "none", "pc_bits": 4,
+                  "thread_key": "", "sm_scoped": False}
+        assert normalize_fields(fields)["pc_bits"] == 0
+        fields["pc_index"] = "mod"
+        assert normalize_fields(fields)["pc_bits"] == 4
+
+    def test_canonical_fields_for_history_free(self):
+        fields = {"mechanism": "operand", "peek": True,
+                  "pc_index": "mod", "pc_bits": 4,
+                  "thread_key": "gtid", "sm_scoped": True}
+        canon = canonical_fields(fields)
+        assert canon["mechanism"] == "operand"
+        assert canon["peek"] is True
+        assert canon["pc_index"] == "none"
+        assert canon["pc_bits"] == 0
+        assert canon["thread_key"] == ""
+        assert canon["sm_scoped"] is False
+
+
+class TestExpansion:
+    def test_duplicates_counted_not_expanded(self):
+        """pc_bits is dead under 'none': the two values collapse."""
+        plan = expand_plan(spec((("mechanism", ("prev",)),
+                                 ("pc_index", ("none",)),
+                                 ("pc_bits", (0, 4)))))
+        assert plan.n_configs == 1
+        assert plan.duplicate_configs == 1
+        assert plan.invalid_combos == 0
+
+    def test_invalid_combos_counted(self):
+        """mod indexing with pc_bits=0 is rejected by the config
+        model and dropped at expansion."""
+        plan = expand_plan(spec((("mechanism", ("prev",)),
+                                 ("pc_index", ("mod",)),
+                                 ("pc_bits", (0, 4)))))
+        assert plan.n_configs == 1
+        assert plan.invalid_combos == 1
+
+    def test_history_free_mechanisms_collapse(self):
+        """static1 never reads the history fields: the whole
+        thread_key x sm_scoped cross is one equivalence class."""
+        plan = expand_plan(spec((("mechanism", ("static1",)),
+                                 ("thread_key", ("", "gtid", "ltid")),
+                                 ("sm_scoped", (False, True)))))
+        assert len(plan.groups) == 1
+        group = plan.groups[0]
+        assert group.canon == "staticOne"
+        assert len(group.members) == 6
+        assert group.runner is group.members[0]
+        assert plan.equivalent_members == 5
+
+    def test_history_mechanism_does_not_collapse(self):
+        plan = expand_plan(spec((("mechanism", ("prev",)),
+                                 ("thread_key", ("", "gtid")))))
+        assert len(plan.groups) == 2
+        assert plan.equivalent_members == 0
+
+    def test_peek_is_always_live(self):
+        plan = expand_plan(spec((("mechanism", ("static1",)),
+                                 ("peek", (False, True)))))
+        assert sorted(g.canon for g in plan.groups) \
+            == ["staticOne", "staticOne+Peek"]
+
+    def test_canon_fields_round_trip(self):
+        plan = expand_plan(spec((("mechanism", ("operand", "prev")),
+                                 ("peek", (False, True)))))
+        for group in plan.groups:
+            assert set(group.canon_fields) \
+                >= set(HISTORY_FIELDS) | {"mechanism", "peek"}
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            expand_plan(spec((("peek", (False,)),),
+                             kernels=("warp_drive",)))
+
+    def test_kernel_groups_resolve(self):
+        plan = expand_plan(spec((("peek", (False,)),),
+                                kernels=("smoke",)))
+        assert len(plan.kernels) >= 2
+
+    def test_mechanism_partition_is_complete(self):
+        """Every swept mechanism is classified one way or the other —
+        a new mechanism must make a deliberate choice."""
+        from repro.api import SWEEP_AXES
+        for mech in SWEEP_AXES["mechanism"]:
+            assert mech in HISTORY_FREE_MECHANISMS or mech == "prev"

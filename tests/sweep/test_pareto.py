@@ -1,0 +1,163 @@
+"""Pareto-frontier properties: strict-partial-order laws of
+``dominates``, arrival-order invariance of the frontier, and the
+prune-soundness invariant on synthetic objective spaces."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep.pareto import (OBJECTIVES, ParetoError, ParetoFrontier,
+                                ParetoPoint, dominates, frontiers_equal)
+
+finite = st.floats(min_value=-4.0, max_value=4.0, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def vectors(draw):
+    return {name: draw(finite) for name in OBJECTIVES}
+
+
+def point(key, objectives):
+    return ParetoPoint(key=key, objectives=objectives, members=(key,))
+
+
+@st.composite
+def spaces(draw, max_points=24):
+    """A random objective space — coarse grid values so ties and
+    dominance chains actually occur."""
+    grid = st.sampled_from([0.0, 0.1, 0.2, 0.3, 0.5, 1.0])
+    n = draw(st.integers(1, max_points))
+    return [point(f"p{i}", {name: draw(grid) for name in OBJECTIVES})
+            for i in range(n)]
+
+
+class TestDominanceOrder:
+    @given(vectors())
+    def test_irreflexive(self, a):
+        assert not dominates(a, a)
+
+    @given(vectors(), vectors())
+    def test_asymmetric(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+    @given(vectors(), vectors(), vectors())
+    def test_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(vectors())
+    def test_nan_never_dominates(self, b):
+        a = dict(b)
+        a["energy_saved"] = float("nan")
+        assert not dominates(a, b)
+
+    def test_senses(self):
+        better = {"energy_saved": 0.2, "misprediction_rate": 0.1,
+                  "perf_overhead": 0.01}
+        worse = {"energy_saved": 0.1, "misprediction_rate": 0.2,
+                 "perf_overhead": 0.02}
+        assert dominates(better, worse)
+        assert not dominates(worse, better)
+
+    def test_missing_objective_rejected(self):
+        with pytest.raises(ParetoError):
+            dominates({"energy_saved": 1.0}, {"energy_saved": 0.0})
+
+
+class TestFrontier:
+    @given(spaces(), st.integers(0, 2**31))
+    @settings(max_examples=60)
+    def test_arrival_order_invariance(self, points, seed):
+        shuffled = list(points)
+        random.Random(seed).shuffle(shuffled)
+        a, b = ParetoFrontier(), ParetoFrontier()
+        for p in points:
+            a.add(p)
+        for p in shuffled:
+            b.add(p)
+        assert frontiers_equal(list(a.points()), list(b.points()))
+
+    @given(spaces())
+    @settings(max_examples=60)
+    def test_frontier_is_nondominated_subset(self, points):
+        frontier = ParetoFrontier()
+        for p in points:
+            frontier.add(p)
+        surviving = frontier.points()
+        keys = {p.key for p in surviving}
+        for p in points:
+            undominated = not any(
+                dominates(q.objectives, p.objectives) for q in points)
+            # every undominated point survives; ties never evict
+            if undominated:
+                assert p.key in keys
+        for p in surviving:
+            assert not any(dominates(q.objectives, p.objectives)
+                           for q in points)
+
+    @given(spaces(), st.integers(0, 2**31))
+    @settings(max_examples=60)
+    def test_prune_invariant_on_random_spaces(self, points, seed):
+        """The engine's prune rule on a synthetic space: skipping any
+        candidate whose *optimistic bound* (better-or-equal in every
+        objective than its true completion) is dominated by the
+        current frontier never changes the surviving frontier."""
+        rng = random.Random(seed)
+        exhaustive = ParetoFrontier()
+        for p in points:
+            exhaustive.add(p)
+        pruned = ParetoFrontier()
+        for p in points:
+            bound = {
+                "energy_saved":
+                    p.objectives["energy_saved"] + rng.random(),
+                "misprediction_rate": max(
+                    0.0, p.objectives["misprediction_rate"]
+                    - rng.random()),
+                "perf_overhead": max(
+                    0.0, p.objectives["perf_overhead"] - rng.random()),
+            }
+            if pruned.dominated_by(bound) is not None:
+                continue            # provably cannot join the frontier
+            pruned.add(p)
+        assert frontiers_equal(list(exhaustive.points()),
+                               list(pruned.points()))
+
+    def test_duplicate_key_rejected(self):
+        frontier = ParetoFrontier()
+        p = point("x", {"energy_saved": 0.1, "misprediction_rate": 0.1,
+                        "perf_overhead": 0.1})
+        frontier.add(p)
+        with pytest.raises(ParetoError):
+            frontier.add(p)
+
+    def test_contains_and_len(self):
+        frontier = ParetoFrontier()
+        frontier.add(point("x", {"energy_saved": 0.1,
+                                 "misprediction_rate": 0.1,
+                                 "perf_overhead": 0.1}))
+        assert "x" in frontier and len(frontier) == 1
+
+
+class TestFrontiersEqual:
+    def test_accepts_points_and_wire_docs(self):
+        p = point("x", {"energy_saved": 0.1, "misprediction_rate": 0.2,
+                        "perf_overhead": 0.3})
+        assert frontiers_equal([p], [p.to_wire()])
+
+    def test_nan_compares_equal(self):
+        p = point("x", {"energy_saved": float("nan"),
+                        "misprediction_rate": 0.2,
+                        "perf_overhead": 0.3})
+        assert frontiers_equal([p], [p.to_wire()])
+
+    def test_member_sets_matter(self):
+        objectives = {"energy_saved": 0.1, "misprediction_rate": 0.2,
+                      "perf_overhead": 0.3}
+        a = ParetoPoint(key="x", objectives=objectives, members=("x",))
+        b = ParetoPoint(key="x", objectives=objectives,
+                        members=("x", "y"))
+        assert not frontiers_equal([a], [b])

@@ -26,6 +26,8 @@ CLIS = {
     "st2-client": ("repro.serve.client_cli",
                    ["spec", "--kernels", "qrng_K2"],
                    ["spec", "--kernels", "qrng_K2", "--json"]),
+    "st2-sweep": ("repro.sweep.cli",
+                  ["example"], ["example", "--json"]),
 }
 
 
@@ -66,6 +68,13 @@ def test_subcommand_tools_require_a_command():
         with pytest.raises(SystemExit) as exc:
             _main(name)([])
         assert exc.value.code == EXIT_USAGE
+
+
+def test_sweep_requires_a_command(capsys):
+    """st2-sweep reports the missing subcommand itself (exit 2 with a
+    prog-prefixed message, not an argparse SystemExit)."""
+    assert _main("st2-sweep")([]) == EXIT_USAGE
+    assert "command is required" in capsys.readouterr().err
 
 
 class TestHelpers:

@@ -43,6 +43,37 @@ class TestTopLevelApi:
         assert np.allclose(out.data, 2.0 * x.data + y.data, rtol=1e-5)
 
 
+class TestSweepApi:
+    """The sweep surface exported at the top level (PR 9)."""
+
+    def test_sweep_names_export(self):
+        from repro import ParetoPoint, SweepResult, SweepSpec
+        assert SweepSpec is not None
+        assert ParetoPoint is not None
+        assert SweepResult is not None
+
+    def test_sweep_spec_round_trip(self):
+        from repro import SweepSpec
+        spec = SweepSpec(name="api-demo", kernels=("qrng_K2",),
+                         axes=(("mechanism", ("static1", "operand")),
+                               ("peek", (False, True))),
+                         scale=0.5, seed=3)
+        clone = SweepSpec.from_wire(spec.to_wire())
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+        assert spec.grid_size == 4
+
+    def test_pareto_point_round_trip(self):
+        from repro import ParetoPoint
+        point = ParetoPoint(
+            key="staticOne",
+            objectives={"energy_saved": 0.1,
+                        "misprediction_rate": 0.2,
+                        "perf_overhead": 0.01},
+            members=("staticOne",))
+        assert ParetoPoint.from_wire(point.to_wire()) == point
+
+
 class TestSubpackageApi:
     def test_core_exports(self):
         import repro.core as core
