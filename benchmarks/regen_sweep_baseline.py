@@ -12,12 +12,15 @@ machine-independent).  This script:
 2. seeds a baseline from the measured metrics
    (:func:`repro.obs.metrics.baseline_from_metrics` — counters pinned
    at 5 % relative tolerance, runner timers bounded at 25× measured),
-3. self-checks against the previous baseline: every counter the old
-   file pinned must come out **identical**.  The sweep's prune
-   decisions are part of the pinned surface — if
+3. self-checks against the previous baseline: when the pinned spec is
+   unchanged (same ``sweep_digest`` in the old file's ``grid`` meta),
+   every counter the old file pinned must come out **identical**.  The
+   sweep's prune decisions are part of the pinned surface — if
    ``sweep.prune.units_skipped`` or ``sweep.frontier.admitted`` moved,
    the pruning logic changed behaviour, which is a bug to explain, not
-   drift to absorb.
+   drift to absorb.  A changed digest means the spec itself was
+   intentionally edited, so the counter self-check is skipped (the
+   new counters define the new surface).
 
 Usage::
 
@@ -60,10 +63,12 @@ def run_pinned_sweep(workdir: Path) -> dict:
 def build_baseline(metrics: dict) -> dict:
     description = (
         "pinned design-space sweep baseline: st2-sweep run "
-        "benchmarks/sweep_ci.yaml --workers 2 --no-cache (12-combo "
-        "grid -> 8 equivalence classes over qrng_K2 x sortNets_K2, "
-        "vec engine); counters pin the functional totals AND the "
-        "prune/frontier decisions; regenerate with "
+        "benchmarks/sweep_ci.yaml --workers 2 --no-cache (8-combo "
+        "grid -> 4 equivalence classes over qrng_K1 x affineChain, "
+        "vec engine; the static1 classes are pruned pre-execution by "
+        "the static bounds stage); counters pin the functional "
+        "totals AND the prune/frontier decisions — including "
+        "sweep.prune.static.units_skipped >= 1 — regenerate with "
         "benchmarks/regen_sweep_baseline.py")
     return baseline_from_metrics(metrics, rel_tol=0.05,
                                  time_factor=25.0,
@@ -104,17 +109,24 @@ def main(argv=None) -> int:
     payload = build_baseline(metrics)
 
     if args.out.exists():
-        problems = check_counters_unchanged(payload,
-                                            load_baseline(args.out))
-        if problems:
-            print("regen_sweep_baseline: pinned counters moved "
-                  "(sweep determinism or pruning behaviour changed?):",
-                  file=sys.stderr)
-            for problem in problems:
-                print(f"  {problem}", file=sys.stderr)
-            return 1
-        print(f"self-check ok: every counter pinned in {args.out} "
-              "is unchanged")
+        old = load_baseline(args.out)
+        old_digest = old.get("grid", {}).get("sweep_digest")
+        new_digest = payload.get("grid", {}).get("sweep_digest")
+        if old_digest != new_digest:
+            print(f"spec changed ({old_digest} -> {new_digest}): "
+                  "counter self-check skipped, new counters define "
+                  "the pinned surface")
+        else:
+            problems = check_counters_unchanged(payload, old)
+            if problems:
+                print("regen_sweep_baseline: pinned counters moved "
+                      "(sweep determinism or pruning behaviour "
+                      "changed?):", file=sys.stderr)
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
+                return 1
+            print(f"self-check ok: every counter pinned in "
+                  f"{args.out} is unchanged")
 
     counters = metrics.get("counters", {})
     print(f"pinning {len(payload['metrics'])} metric(s); "

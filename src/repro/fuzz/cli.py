@@ -3,7 +3,7 @@
 Subcommands:
 
 * ``run`` — generate ``--budget`` kernels from ``--seed`` and drive
-  the three-way oracle over each; failures are delta-debugged to
+  the five-way oracle over each; failures are delta-debugged to
   minimal reproducers and optionally saved as corpus fixtures.
 * ``replay`` — re-check committed corpus fixtures (all oracles; a
   healthy corpus is green).
@@ -77,7 +77,8 @@ def _make_predicate(kernel: GeneratedKernel, failed_keys: set,
     # sanitizer-contract pass, which cross-checks flow-proven claims)
     producers = {"engine": ("engine",), "adder": ("adder",),
                  "static": ("static", "sanitizer"),
-                 "sanitizer": ("sanitizer",)}
+                 "sanitizer": ("sanitizer",),
+                 "bounds": ("bounds",)}
     oracles = tuple(sorted({pass_ for key in failed_keys
                             for pass_ in producers.get(key[0], ORACLES)
                             })) or ORACLES
@@ -279,7 +280,8 @@ def parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     parser = build_parser(
         PROG, "Differential fuzzing of the ST2 reproduction: "
               "generated DSL kernels cross-checked by the engine, "
-              "static-facts and adder oracles.")
+              "static-facts, adder, sanitizer-contract and "
+              "static-bounds oracles.")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="fuzz a seeded kernel batch")

@@ -1,4 +1,4 @@
-"""The three-way differential oracle over one generated kernel.
+"""The five-way differential oracle over one generated kernel.
 
 Every kernel is executed once (unsanitized) to capture its trace, then
 cross-examined by independent implementations of the same claims:
@@ -25,6 +25,15 @@ cross-examined by independent implementations of the same claims:
   :func:`~repro.core.predictors.evaluate_trace` report, across
   predictor configs; the speculative result must equal the exact
   wrapped add.
+
+* **bounds oracle** — the static speculation-outcome bounds of
+  :mod:`repro.lint.bounds` must *contain* the dynamically observed
+  metrics: aggregate adder-row count within the per-thread count box
+  scaled by the launch, and per config class the observed
+  misprediction rate, recompute-per-row, slowdown and system energy
+  saving inside the report's intervals.  A bailed analysis must
+  export trivial bounds only (a bail that still claims something is
+  itself a soundness bug).
 """
 
 from __future__ import annotations
@@ -41,7 +50,7 @@ from repro.fuzz.harness import KernelBundle, execute
 from repro.sim.sanitizer import BarrierDivergenceError, SanitizerError
 
 #: oracle names, in report order
-ORACLES = ("engine", "static", "adder", "sanitizer")
+ORACLES = ("engine", "static", "adder", "sanitizer", "bounds")
 
 #: configs the oracles default to — the design point, the plain shared
 #: history, an operand predictor and VaLHALLA cover every prediction
@@ -426,6 +435,100 @@ def check_adder(run: Any, configs: Sequence[Any],
 
 
 # ----------------------------------------------------------------------
+# bounds oracle
+# ----------------------------------------------------------------------
+
+def check_bounds(bundle: KernelBundle, run: Any,
+                 configs: Sequence[Any], models: Any,
+                 verdict: KernelVerdict) -> None:
+    """Every static bound must contain the observed value.
+
+    The soundness contract of :mod:`repro.lint.bounds`: for any launch
+    geometry and any input data, the aggregate adder-row count lies in
+    the per-thread count box scaled by the thread count, and the
+    headline ``interp`` metrics of every config lie inside that
+    config's class bounds.  Trivial (bailed) reports must claim
+    nothing beyond the trivial template.
+    """
+    from repro.lint.bounds import (bound_constants,
+                                   module_bounds_from_source,
+                                   trivial_report)
+    from repro.runner.units import evaluation_payload
+
+    models.ensure()
+    bound_constants(models.power_model, models.adder_model)
+    reports = module_bounds_from_source(bundle.source, bundle.path)
+    report = reports.get(bundle.fn.__name__)
+    if report is None:
+        verdict.failures.append(OracleFailure(
+            "bounds",
+            f"no bounds report for kernel function "
+            f"{bundle.fn.__name__!r} — every kernel must yield a "
+            f"report (trivial at worst)",
+            {"function": bundle.fn.__name__,
+             "reports": sorted(reports)}))
+        return
+    checked = 0
+    if report.trivial:
+        # a bail is fine; a bail that still claims something is not
+        template = trivial_report(report.function, report.path,
+                                  report.lineno, report.bail_reason)
+        checked += 1
+        if report.classes != template.classes \
+                or report.rows != template.rows or report.sites:
+            verdict.failures.append(OracleFailure(
+                "bounds",
+                f"bailed analysis of {report.function!r} "
+                f"({report.bail_reason}) exports non-trivial bounds "
+                f"— bail must mean no claims",
+                {"function": report.function,
+                 "bail_reason": report.bail_reason}))
+        verdict.checks["bounds"] = \
+            verdict.checks.get("bounds", 0) + checked
+        return
+    threads = bundle.blocks * bundle.threads
+    total = report.rows.scaled(threads)
+    n_rows = len(run.trace)
+    checked += 1
+    if not (total.lo <= n_rows
+            and (total.hi is None or n_rows <= total.hi)):
+        verdict.failures.append(OracleFailure(
+            "bounds",
+            f"observed {n_rows} adder row(s) outside the static "
+            f"count bound [{total.lo}, {total.hi}] "
+            f"({threads} thread(s) x per-thread {report.rows.lo}.."
+            f"{report.rows.hi})",
+            {"rows": n_rows, "threads": threads,
+             "lo": total.lo, "hi": total.hi}))
+    for config in configs:
+        cls = report.bounds_for_config(config)
+        payload = evaluation_payload(run, config, models=models,
+                                     engine="interp", facts=None)
+        metrics = payload["metrics"]
+        mis = float(metrics["misprediction_rate"])
+        mrec = mis * float(metrics["recomputed_per_misprediction"])
+        observed = (
+            ("misprediction_rate", mis, cls.mis),
+            ("recompute_per_row", mrec, cls.mrec),
+            ("perf_overhead", float(metrics["slowdown"]), cls.over),
+            ("energy_saved", float(metrics["system_saving"]),
+             cls.saved),
+        )
+        for name, value, bound in observed:
+            checked += 1
+            if not bound.contains(value):
+                verdict.failures.append(OracleFailure(
+                    "bounds",
+                    f"static bound violated under {config.name} "
+                    f"(class {cls.key}): {name} observed "
+                    f"{value:.6g}, bound [{bound.lo}, {bound.hi}]",
+                    {"config": config.name, "class": cls.key,
+                     "metric": name, "observed": value,
+                     "lo": bound.lo, "hi": bound.hi}))
+    verdict.checks["bounds"] = verdict.checks.get("bounds", 0) + checked
+
+
+# ----------------------------------------------------------------------
 # top level
 # ----------------------------------------------------------------------
 
@@ -454,6 +557,8 @@ def check_kernel(bundle: KernelBundle, configs: Sequence[Any],
     if "adder" in oracles:
         check_adder(run, configs, verdict, limit=adder_limit,
                     seed=adder_seed)
+    if "bounds" in oracles:
+        check_bounds(bundle, run, configs, models, verdict)
     return verdict
 
 
@@ -473,7 +578,8 @@ def verdict_for_kernel(kernel: Any, directory: str,
 
 __all__ = [
     "ADDER_SAMPLE_ROWS", "DEFAULT_CONFIGS", "KernelVerdict",
-    "ORACLES", "OracleFailure", "check_adder", "check_engines",
+    "ORACLES", "OracleFailure", "check_adder", "check_bounds",
+    "check_engines",
     "check_kernel", "check_sanitizer_contract", "check_static_facts",
     "facts_as_json", "lint_is_clean", "payload_diff",
     "reference_outcome", "sample_rows", "verdict_for_kernel",

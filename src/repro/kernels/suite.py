@@ -73,8 +73,8 @@ KERNEL_NAMES = tuple(spec.name for spec in SUITE)
 #: Extension kernels: the secondary kernels of suite workloads (and the
 #: tensor-core workload the paper lists but does not plot).  Not part of
 #: the 23-kernel evaluation; usable through the same machinery.
-from repro.kernels import (dp_stencil, hotspot, needle,  # noqa: E402
-                           reduction, tensor_gemm)
+from repro.kernels import (affine_chain, dp_stencil, hotspot,  # noqa: E402
+                           needle, reduction, tensor_gemm)
 
 EXTENDED_SUITE = (
     KernelSpec("sradv1_K2", "sradv1", "Rodinia",
@@ -95,6 +95,9 @@ EXTENDED_SUITE = (
                hotspot.prepare, "thermal simulation stencil"),
     KernelSpec("needle", "nw", "Rodinia",
                needle.prepare, "Needleman-Wunsch wavefront DP"),
+    KernelSpec("affineChain", "affineChain", "Microbenchmark",
+               affine_chain.prepare,
+               "statically-pinned affine index chains (bounds witness)"),
 )
 
 EXTENDED_NAMES = tuple(spec.name for spec in EXTENDED_SUITE)

@@ -1,4 +1,4 @@
-"""Front-end tying the L1–L8 rules together over files and trees.
+"""Front-end tying the L1–L10 rules together over files and trees.
 
 A *kernel function* is any function whose first parameter is named
 ``k`` — the repo-wide convention for the :class:`BlockContext`
@@ -13,6 +13,11 @@ L6–L8 are flow-sensitive: they lower each kernel function to the
 proves uniformly-masked (or unreachable) also *retract* their
 syntactic L4 findings — running ``--rules L4`` alone keeps the purely
 syntactic behaviour.
+
+L9–L10 ride on the bounds tier (:mod:`repro.lint.bounds`): sound
+per-kernel speculation-outcome bounds composed from the same abstract
+interpretation, flagging kernels where speculation is provably never
+(L9) or always (L10) profitable.  Informational only.
 """
 
 from __future__ import annotations
@@ -26,8 +31,10 @@ from repro.lint.rules import (check_l1, check_l2, check_l3_l4,
 from repro.lint.suppress import line_suppresses
 from repro.lint.taint import Taint
 
-ALL_RULES = ("L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8")
+ALL_RULES = ("L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8",
+             "L9", "L10")
 FLOW_RULES = ("L6", "L7", "L8")
+BOUNDS_RULES = ("L9", "L10")
 
 
 def _is_kernel_fn(fn: ast.FunctionDef) -> bool:
@@ -101,6 +108,13 @@ def lint_source(src: str, path: str = "<string>", rules=None,
         if "L7" in active and l4_clean:
             raw = [f for f in raw
                    if not (f.rule == "L4" and f.line in l4_clean)]
+
+    bounds = active & set(BOUNDS_RULES)
+    if bounds:
+        # imported lazily: the bounds tier additionally pulls in the
+        # circuit/power constants for its profitability statements
+        from repro.lint.rules_bounds import check_bounds
+        raw.extend(check_bounds(tree, str(path), bounds))
 
     lines = src.splitlines()
     seen, findings = set(), []

@@ -9,6 +9,12 @@ the findings as one machine-readable document.
 interpreter and exports the statically proven per-PC slice-carry
 facts — the table :class:`repro.core.predictors.StaticPeekPredictor`
 consumes.
+
+``st2-lint bounds [paths...] [--json]`` runs the bounds tier
+(:mod:`repro.lint.bounds`) and exports sound per-kernel,
+per-config-class bounds on misprediction rate, recompute, perf
+overhead and energy saving.  Like ``facts`` it is a report, not a
+gate: it always exits 0.
 """
 
 from __future__ import annotations
@@ -38,7 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = cli_common.build_parser(
         "st2-lint",
         "Static correctness analyzer for the ST2 kernel DSL "
-        "(rules L1-L8; `st2-lint facts` exports static carry facts).")
+        "(rules L1-L10; `st2-lint facts` exports static carry facts, "
+        "`st2-lint bounds` exports static speculation-outcome "
+        "bounds).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
@@ -55,8 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also print suppressed findings")
     parser.add_argument("--show-info", action="store_true",
                         help="also print informational findings "
-                             "(L6/L8 — they never affect the exit "
-                             "code or baselines)")
+                             "(L6/L8/L9/L10 — they never affect the "
+                             "exit code or baselines)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     parser.add_argument("--fact-dump", metavar="FILE",
@@ -81,6 +89,57 @@ def build_facts_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bounds_parser() -> argparse.ArgumentParser:
+    parser = cli_common.build_parser(
+        "st2-lint bounds",
+        "Export sound static per-kernel speculation-outcome bounds "
+        "(misprediction rate, recompute, perf overhead, energy "
+        "saving per config class).")
+    parser.add_argument("paths", nargs="*",
+                        default=["src/repro/kernels"],
+                        help="files or directories to analyze "
+                             "(default: src/repro/kernels)")
+    cli_common.add_json_flag(parser)
+    return parser
+
+
+def bounds_main(argv, out) -> int:
+    """``st2-lint bounds`` — always exits 0 (the export is a report,
+    not a gate; bailed kernels export trivial bounds only)."""
+    from repro.lint.bounds import collect_bounds_payload
+    args = build_bounds_parser().parse_args(argv)
+    payload = collect_bounds_payload(args.paths)
+    if args.json:
+        cli_common.emit_json(payload, out=out)
+        return cli_common.EXIT_OK
+    modules = payload["modules"]
+    for path in sorted(modules):
+        for name, rec in sorted(modules[path].items()):
+            rows = rec["rows"]
+            if rec["trivial"]:
+                print(f"{path}:{rec['line']}: {name}: trivial "
+                      f"(bailed: {rec['bail_reason']})", file=out)
+                continue
+            print(f"{path}:{rec['line']}: {name}: rows in "
+                  f"[{rows[0]}, "
+                  f"{'inf' if rows[1] is None else rows[1]}], "
+                  f"{len(rec['sites'])} site(s)", file=out)
+            for key, cls in sorted(rec["bounds"].items()):
+
+                def _fmt(pair):
+                    lo = "-inf" if pair[0] is None else f"{pair[0]:.4g}"
+                    hi = "inf" if pair[1] is None else f"{pair[1]:.4g}"
+                    return f"[{lo}, {hi}]"
+
+                print(f"  {key}: mis {_fmt(cls['misprediction_rate'])}"
+                      f" rec/row {_fmt(cls['recompute_per_row'])}"
+                      f" overhead {_fmt(cls['perf_overhead'])}"
+                      f" saved {_fmt(cls['energy_saved'])}", file=out)
+    print(f"st2-lint bounds: {payload['kernels']} kernel(s), "
+          f"{payload['trivial']} trivial", file=out)
+    return cli_common.EXIT_OK
+
+
 def facts_main(argv, out) -> int:
     """``st2-lint facts`` — always exits 0 (the export is a report,
     not a gate; parse failures simply export no facts)."""
@@ -98,8 +157,14 @@ def facts_main(argv, out) -> int:
             print(f"{path}:{rec['line']}: {label} "
                   f"[w{rec['width']}, {rec['sites']} site(s)] "
                   f"{pinned}", file=out)
+    bails = payload["bails"]
+    for path in sorted(bails):
+        for name, rec in bails[path].items():
+            print(f"{path}:{rec['line']}: {name}: bailed — "
+                  f"{rec['bail_reason']}", file=out)
     print(f"st2-lint facts: {payload['facts']} PC label(s), "
-          f"{payload['pinned_carries']} pinned carry boundary(ies)",
+          f"{payload['pinned_carries']} pinned carry boundary(ies), "
+          f"{payload['bailed']} bailed function(s)",
           file=out)
     return cli_common.EXIT_OK
 
@@ -114,6 +179,8 @@ def main(argv=None, out=None) -> int:
     arg_list = list(sys.argv[1:] if argv is None else argv)
     if arg_list and arg_list[0] == "facts":
         return facts_main(arg_list[1:], out)
+    if arg_list and arg_list[0] == "bounds":
+        return bounds_main(arg_list[1:], out)
     parser = build_parser()
     args = parser.parse_args(arg_list)
 

@@ -215,6 +215,27 @@ def module_facts_from_source(src: str, path: str = "<string>"
     return out
 
 
+def module_bails_from_source(src: str, path: str = "<string>"
+                             ) -> Dict[str, Dict[str, object]]:
+    """Per-function bail records of one module source.
+
+    ``{function: {"bail_reason": ..., "line": ...}}`` for every kernel
+    function whose abstract interpretation bailed.  The reason is the
+    :class:`~repro.lint.ir.LoweringError` message, which names the
+    offending construct and its location — a bailed function exports
+    no facts, and this record says *why*.
+    """
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError:
+        return {}
+    return {
+        name: {"bail_reason": summary.reason, "line": summary.lineno}
+        for name, summary in sorted(analyze_module(tree, path).items())
+        if summary.bailed
+    }
+
+
 def facts_to_json(facts: Mapping[str, CarryFact]) -> Dict[str, dict]:
     """JSON-serialisable form of a fact table (sorted, stable)."""
     return {
@@ -237,6 +258,12 @@ def collect_facts_payload(paths) -> Dict[str, object]:
     byte-stable for fixed inputs (the golden-file contract external
     consumers and the fuzzer's static-facts oracle rely on).
     Unreadable files are skipped; unparsable ones export no facts.
+
+    Bailed functions appear under the separate ``bails`` section
+    (``{module: {function: {"bail_reason", "line"}}}``), never inside
+    the fact records themselves: a bail exports no facts, only the
+    LoweringError message explaining which construct stopped the
+    analysis.
     """
     from pathlib import Path
 
@@ -248,6 +275,7 @@ def collect_facts_payload(paths) -> Dict[str, object]:
         else:
             files.append(p)
     modules: Dict[str, Dict[str, dict]] = {}
+    bails: Dict[str, Dict[str, Dict[str, object]]] = {}
     n_facts = n_bits = 0
     for file in sorted(set(files), key=str):
         try:
@@ -255,13 +283,16 @@ def collect_facts_payload(paths) -> Dict[str, object]:
         except OSError:
             continue
         facts = module_facts_from_source(src, str(file))
-        if not facts:
-            continue
-        modules[str(file)] = facts_to_json(facts)
-        n_facts += len(facts)
-        n_bits += sum(len(f.carries) for f in facts.values())
+        fn_bails = module_bails_from_source(src, str(file))
+        if facts:
+            modules[str(file)] = facts_to_json(facts)
+            n_facts += len(facts)
+            n_bits += sum(len(f.carries) for f in facts.values())
+        if fn_bails:
+            bails[str(file)] = fn_bails
     return {"version": 1, "facts": n_facts, "pinned_carries": n_bits,
-            "modules": modules}
+            "bailed": sum(len(b) for b in bails.values()),
+            "bails": bails, "modules": modules}
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +350,7 @@ __all__ = [
     "CarryFact", "N_BOUNDARIES", "SLICE_BITS", "WIDTH",
     "collect_facts_payload",
     "facts_for_kernel", "facts_for_module", "facts_to_json",
-    "function_facts", "module_constants", "module_facts_from_source",
+    "function_facts", "module_bails_from_source", "module_constants",
+    "module_facts_from_source",
     "site_carries", "site_label",
 ]

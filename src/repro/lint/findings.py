@@ -1,4 +1,4 @@
-"""Finding records and the L1–L5 rule registry."""
+"""Finding records and the L1–L10 rule registry."""
 
 from __future__ import annotations
 
@@ -26,12 +26,20 @@ RULES = {
     "L8": "range-proven dead speculation: every boundary carry of an "
           "adder site is static, so ST2 speculation can never "
           "mispredict there (informational)",
+    "L9": "speculation provably never profitable: the static bounds "
+          "tier proves the kernel has adder sites but can never "
+          "execute an adder row, so no config class can save energy "
+          "(informational; exported by `st2-lint bounds`)",
+    "L10": "speculation provably always profitable: some config class "
+           "has statically zero mispredictions, zero slowdown and a "
+           "non-negative energy saving on at least one guaranteed "
+           "adder row (informational)",
     "E0": "file could not be parsed",
 }
 
 #: informational rules: reported on request, never fail the run and
 #: never enter baselines.
-INFO_RULES = frozenset({"L6", "L8"})
+INFO_RULES = frozenset({"L6", "L8", "L9", "L10"})
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,68 @@
+"""Bounds-tier rules L9–L10 on top of :mod:`repro.lint.bounds`.
+
+Both rules are **informational** — like L6/L8 they never affect the
+exit code and never enter baselines.  They consume the per-kernel
+:class:`~repro.lint.bounds.KernelBoundsReport`:
+
+* **L9** — speculation provably *never* profitable: a non-bailed
+  kernel that *contains* adder sites whose row-count upper bound is
+  zero can never execute an adder-class instruction, so every config
+  class's energy-saved upper bound is 0 and the ST2 datapath is dead
+  weight on this kernel.  Site-free functions (helpers that never
+  speculate at all) are vacuously unprofitable and stay silent.
+* **L10** — speculation provably *always* profitable: some config
+  class has a statically-zero misprediction rate, hence exactly zero
+  slowdown, and a proven non-negative energy saving with at least one
+  guaranteed adder row.  The message names every such class.
+
+Bailed (trivial) reports claim nothing and emit neither rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.bounds import KernelBoundsReport, module_bounds
+from repro.lint.findings import Finding
+
+
+def _never_profitable(report: KernelBoundsReport) -> bool:
+    if report.trivial or not report.sites:
+        return False
+    return all(c.saved.hi is not None and c.saved.hi <= 0.0
+               for c in report.classes.values())
+
+
+def _always_profitable_classes(report: KernelBoundsReport) -> List[str]:
+    if report.trivial or report.rows.lo < 1:
+        return []
+    return sorted(
+        key for key, c in report.classes.items()
+        if c.mis.hi == 0.0 and c.over.hi == 0.0
+        and c.saved.lo is not None and c.saved.lo >= 0.0)
+
+
+def check_bounds(tree: ast.Module, path: str,
+                 active: Set[str]) -> List[Finding]:
+    """Run the requested bounds rules over one parsed module."""
+    findings: List[Finding] = []
+    for name, report in sorted(module_bounds(tree, path).items()):
+        if "L9" in active and _never_profitable(report):
+            findings.append(Finding(
+                path, report.lineno, "L9",
+                f"speculation provably never profitable in `{name}`: "
+                f"no adder row can ever execute (row bound "
+                f"{report.rows.to_json()}), so no config class can "
+                f"save energy"))
+        if "L10" in active:
+            classes = _always_profitable_classes(report)
+            if classes:
+                findings.append(Finding(
+                    path, report.lineno, "L10",
+                    f"speculation provably always profitable in "
+                    f"`{name}` under {', '.join(classes)}: zero "
+                    f"mispredictions, zero slowdown, non-negative "
+                    f"energy saving on >= {report.rows.lo} "
+                    f"guaranteed adder row(s)"))
+    return findings

@@ -55,6 +55,15 @@ def build_parser():
                           "(equivalence classes are verified "
                           "bit-for-bit instead of skipped; the "
                           "frontier is invariant either way)")
+    run.add_argument("--no-static-bounds", action="store_true",
+                     help="disable the static bounds pruning stage "
+                          "(repro.lint.bounds pre-execution "
+                          "intersection; the frontier is invariant "
+                          "either way)")
+    run.add_argument("--explain-prunes", action="store_true",
+                     help="print one line per pruned config with the "
+                          "bound and the frontier point that "
+                          "dominated it")
     run.add_argument("--via-serve", metavar="ADDR", default=None,
                      help="execute through an st2-serve daemon at "
                           "ADDR (batch submission + paginated "
@@ -126,6 +135,7 @@ def _cmd_run(args) -> int:
     quiet = args.quiet or args.json
     options = SweepOptions(
         prune=not args.no_prune,
+        static_bounds=not args.no_static_bounds,
         backend="serve" if args.via_serve else "local",
         server=args.via_serve,
         workers=args.workers,
@@ -179,7 +189,25 @@ def _cmd_run(args) -> int:
           f"{result.skipped_units} pruned away "
           f"(counters: {snapshot.get('sweep.prune.equivalent', 0)} "
           f"equivalent, {snapshot.get('sweep.prune.dominated', 0)} "
-          f"dominated configs)")
+          f"dominated configs, "
+          f"{snapshot.get('sweep.prune.static', 0)} via static "
+          f"bounds)")
+    if args.explain_prunes:
+        for name in sorted(result.pruned):
+            info = result.pruned[name]
+            if info.get("reason") == "equivalent":
+                print(f"  pruned {name}: provably equivalent to "
+                      f"{info.get('canon')}")
+                continue
+            bound = info.get("bound") or {}
+            objs = ", ".join(
+                f"{key}{'<=' if key == 'energy_saved' else '>='}"
+                f"{value:.4f}"
+                for key, value in sorted(bound.items()))
+            print(f"  pruned {name}: dominated by "
+                  f"{info.get('dominated_by')} "
+                  f"[{info.get('via', 'completion')} bound: {objs}; "
+                  f"{info.get('units_skipped', 0)} unit(s) skipped]")
     if not result.complete:
         print(f"INCOMPLETE: unit budget reached; rerun the same "
               f"command to resume from {result.manifest}")

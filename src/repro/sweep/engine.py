@@ -29,6 +29,19 @@ tiers, both logged to obs counters and both frontier-preserving:
   so the config is dropped (``sweep.prune.dominated``) without ever
   appearing on the frontier — in pruned *or* exhaustive runs.
 
+When the plain completion bound fails, a second, *static* stage
+(default on; ``--no-static-bounds`` disables it) intersects it with
+the sound per-kernel speculation-outcome bounds of
+:mod:`repro.lint.bounds`: every remaining kernel's saving ceiling
+shrinks by the statically proven recompute floor of this config
+class, and its misprediction floor joins the bound — so a config
+class that provably mispredicts can be discarded *before its first
+unit executes*.  Static prunes are recorded with ``"via":
+"static_bounds"`` and the ``sweep.prune.static`` /
+``sweep.prune.static.units_skipped`` counters.  Kernels whose static
+report is trivial (bailed analysis) or unresolvable claim nothing
+and fall back to the dynamic ceiling alone.
+
 **Resume**: every finished unit is appended (flushed) to a JSONL
 manifest stamped with the spec digest.  A restarted sweep replays
 those units — tolerating a torn final line from a mid-write kill —
@@ -121,6 +134,34 @@ class SavedCeiling:
                               * self.s_max / (s_obs - self.rho))
         return min(bounds) if bounds else None
 
+
+class StaticBoundsIndex:
+    """Per-kernel static speculation-outcome bounds for pruning.
+
+    Wraps :func:`repro.lint.bounds.bounds_for_kernel` together with
+    the sweep's model bundle, so the energy constants in the static
+    intersection match the models the units actually evaluate under.
+    Kernels whose report is trivial (bailed analysis) or whose kernel
+    function cannot be resolved claim nothing (``None``).
+    """
+
+    def __init__(self) -> None:
+        from repro.lint.bounds import bound_constants
+        from repro.runner.units import ModelBundle
+
+        models = ModelBundle().ensure()
+        self.constants = bound_constants(models.power_model,
+                                         models.adder_model)
+
+    def class_bounds(self, kernel: str, config: Any) -> Optional[Any]:
+        from repro.lint.bounds import bounds_for_kernel
+
+        report = bounds_for_kernel(kernel)
+        if report is None or report.trivial:
+            return None
+        return report.bounds_for_config(config)
+
+
 #: Version of the ``sweep.json`` result document.
 SWEEP_RESULT_VERSION = 1
 
@@ -190,6 +231,7 @@ class SweepOptions:
     """How a sweep executes (never what it computes)."""
 
     prune: bool = True
+    static_bounds: bool = True      # static pruning stage (if prune)
     backend: str = "local"          # local | serve
     server: Optional[str] = None    # serve backend address
     workers: Optional[int] = None
@@ -414,6 +456,7 @@ class _SweepRun:
         self.complete = True
         self.writer: Optional[ManifestWriter] = None
         self._ceiling: Optional[SavedCeiling] = None
+        self._static: Optional[StaticBoundsIndex] = None
 
     # -- helpers -------------------------------------------------------
 
@@ -433,6 +476,11 @@ class _SweepRun:
         if self._ceiling is None:
             self._ceiling = SavedCeiling()
         return self._ceiling
+
+    def static_index(self) -> "StaticBoundsIndex":
+        if self._static is None:
+            self._static = StaticBoundsIndex()
+        return self._static
 
     def record_unit(self, unit: Dict[str, Any]) -> None:
         cell = (unit["config"], unit["kernel"])
@@ -562,23 +610,83 @@ class _SweepRun:
             self.count("sweep.prune.units_skipped",
                        len(self.plan.kernels))
 
+    def static_bound(self, config: Any
+                     ) -> Optional[Dict[str, float]]:
+        """The optimistic completion bound intersected with the
+        static bounds tier: every remaining kernel's saving ceiling
+        shrinks by this config class's statically proven recompute
+        floor, and its statically proven misprediction floor joins
+        the bound.  Works *pre-execution* — a kernel with a
+        non-trivial static report needs no completed unit to bound.
+        """
+        per_kernel = self.config_per_kernel(config)
+        kernels = list(self.plan.kernels)
+        remaining = [k for k in kernels if k not in per_kernel]
+        index = self.static_index()
+        consts = index.constants
+        saved_sum = 0.0
+        mis_floor = 0.0
+        for kernel in remaining:
+            cls = index.class_bounds(kernel, config)
+            share = self.saved_max.get(kernel)
+            if cls is None:
+                if share is None:
+                    return None     # nothing sound to say yet
+                saved_sum += share
+                continue
+            mrec_lo = cls.mrec.lo if cls.mrec.lo is not None else 0.0
+            # the report's own absolute ceiling
+            # (frac_max * max(0, s_max - mrec_lo * delta); 0 when the
+            # kernel provably emits no adder rows)
+            ceil = cls.saved.hi if cls.saved.hi is not None else 1.0
+            if share is not None and consts.s_max > 0:
+                # dynamic share ceiling, shrunk by the static
+                # recompute floor: achievable <= A_k * s(mrec_lo)
+                # = (A_k * s_max) * s(mrec_lo)/s_max <= share * ratio
+                ratio = max(0.0, consts.s_max
+                            - mrec_lo * consts.delta) / consts.s_max
+                ceil = min(ceil, share * ratio, share)
+            saved_sum += ceil
+            mis_floor += cls.mis.lo if cls.mis.lo is not None else 0.0
+        n = len(kernels)
+        done = [per_kernel[k] for k in kernels if k in per_kernel]
+        saved = (sum(p["energy_saved"] for p in done) + saved_sum) / n
+        mis = (sum(p["misprediction_rate"] for p in done)
+               + mis_floor) / n
+        over = sum(p["perf_overhead"] for p in done) / n
+        return {
+            "energy_saved": saved + BOUND_SLACK,
+            "misprediction_rate": max(0.0, mis - BOUND_SLACK),
+            "perf_overhead": max(0.0, over - BOUND_SLACK),
+        }
+
     def try_domination_prune(self, group: ConfigGroup, config: Any,
                              n_remaining: int) -> bool:
         bound = optimistic_bound(self.config_per_kernel(config),
                                  self.plan.kernels, self.saved_max)
-        if bound is None:
-            return False
-        by = self.frontier.dominated_by(bound)
+        by = self.frontier.dominated_by(bound) \
+            if bound is not None else None
+        via = "completion"
+        if by is None and self.options.static_bounds:
+            static = self.static_bound(config)
+            if static is not None:
+                by = self.frontier.dominated_by(static)
+                if by is not None:
+                    bound, via = static, "static_bounds"
+                    self.count("sweep.prune.static")
+                    self.count("sweep.prune.static.units_skipped",
+                               n_remaining)
         if by is None:
             return False
         self.pruned[config.name] = {
             "reason": "dominated", "canon": group.canon,
-            "dominated_by": by.key, "bound": bound,
+            "dominated_by": by.key, "bound": bound, "via": via,
             "units_skipped": n_remaining}
         self.count("sweep.prune.dominated")
         self.count("sweep.prune.units_skipped", n_remaining)
         self.skipped += n_remaining
-        self.say(f"pruned {config.name} (dominated by {by.key})")
+        self.say(f"pruned {config.name} "
+                 f"(dominated by {by.key}, {via} bound)")
         return True
 
 
@@ -697,6 +805,7 @@ def _run_exhaustive(run: _SweepRun, backend: Any) -> None:
 
 
 __all__ = ["BOUND_SLACK", "LocalBackend", "ResumeMismatch",
-           "SavedCeiling", "ServeBackend", "SweepError",
-           "SweepOptions", "SweepResult", "aggregate_objectives",
-           "optimistic_bound", "run_sweep", "unit_objectives"]
+           "SavedCeiling", "ServeBackend", "StaticBoundsIndex",
+           "SweepError", "SweepOptions", "SweepResult",
+           "aggregate_objectives", "optimistic_bound", "run_sweep",
+           "unit_objectives"]

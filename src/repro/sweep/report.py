@@ -56,7 +56,15 @@ def axis_sensitivity(result: SweepResult
 
     ``{axis: {value: {objective: mean}}}``, axes in spec order,
     values in spec order.  The spread of the per-value means is the
-    axis's first-order sensitivity."""
+    axis's first-order sensitivity.
+
+    Every swept axis appears in the output, including *collapsed*
+    (dead) axes — axes whose every config landed in a single
+    equivalence class, so at most one value has any completed config
+    (e.g. the history axes under history-free mechanisms).  Such an
+    axis maps to fewer than two values; the report renders it as an
+    explicit "collapsed (dead axis)" row instead of a table.
+    """
     rows = member_rows(result)
     out: Dict[str, Dict[Any, Dict[str, float]]] = {}
     for axis, values in result.spec.axes:
@@ -69,8 +77,7 @@ def axis_sensitivity(result: SweepResult
             per_value[value] = {
                 name: sum(o[name] for o in picked) / len(picked)
                 for name in OBJECTIVES}
-        if per_value:
-            out[axis] = per_value
+        out[axis] = per_value
     return out
 
 
@@ -103,9 +110,21 @@ def _sensitivity_section(result: SweepResult) -> List[str]:
              "axis value (other axes marginalised).",
              ""]
     if not sensitivity:
-        return lines + ["(no completed configs)", ""]
+        return lines + ["(no swept axes)", ""]
     for axis, per_value in sensitivity.items():
         lines += [f"### `{axis}`", ""]
+        if len(per_value) < 2:
+            # every completed config holds one value of this axis
+            # (or none at all): there is nothing to compare, but
+            # silence would read as "axis not swept" — say so.
+            survivor = next(iter(per_value), None)
+            tail = (f"every completed config holds "
+                    f"`{survivor!r}`" if per_value
+                    else "no completed config exposes this axis")
+            lines += [f"collapsed (dead axis): {tail} — the axis "
+                      f"cannot affect the objectives on this grid",
+                      ""]
+            continue
         header = "| value | " \
             + " | ".join(label for _, label in _COLUMNS) + " |"
         lines += [header, "|---" * (len(_COLUMNS) + 1) + "|"]

@@ -14,9 +14,10 @@ SCALE = 0.2
 
 class TestRegistry:
     def test_extension_kernels_registered(self):
-        assert len(EXTENDED_SUITE) == 9
+        assert len(EXTENDED_SUITE) == 10
         assert "tensorGemm" in EXTENDED_NAMES
         assert "reduction" in EXTENDED_NAMES
+        assert "affineChain" in EXTENDED_NAMES
 
     def test_run_kernel_reaches_extensions(self):
         run = run_kernel("mri-q_K2", scale=SCALE, use_cache=False)

@@ -10,3 +10,9 @@ def golden_kernel(k, data, out):
     x = k.iand(acc, 255)
     y = k.iadd(x, 1)
     k.st_global(out, t, y)
+
+
+def golden_bailer(k, data, out):
+    t = k.thread_id()
+    bump = lambda v: k.iadd(v, 1)  # noqa: E731 — the bail under test
+    k.st_global(out, t, bump(t))

@@ -1,0 +1,124 @@
+"""Property suite for the SpecBound interval arithmetic
+(:mod:`repro.lint.bounds`): ratio composition is monotone and
+genuinely bounds the reachable ratios, widening only loosens, and
+count products stay sound."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.bounds import Bound, Count, ratio_inf, ratio_sup
+
+# values are rates/recompute counts: small non-negative floats
+_value = st.floats(min_value=0.0, max_value=8.0, allow_nan=False,
+                   allow_infinity=False, width=32)
+_count = st.integers(min_value=0, max_value=20)
+
+
+@st.composite
+def entries(draw, min_size=0, bounded=False):
+    """A list of (lo, hi, v) ratio-composition entries, lo <= hi."""
+    n = draw(st.integers(min_value=min_size, max_value=6))
+    out = []
+    for _ in range(n):
+        lo = draw(_count)
+        if not bounded and draw(st.booleans()) and draw(st.booleans()):
+            hi = None
+        else:
+            hi = lo + draw(_count)
+        out.append((lo, hi, draw(_value)))
+    return out
+
+
+@st.composite
+def bounds(draw):
+    a = draw(st.one_of(st.none(), _value))
+    b = draw(st.one_of(st.none(), _value))
+    if a is not None and b is not None and a > b:
+        a, b = b, a
+    return Bound(a, b)
+
+
+class TestRatioComposition:
+    @given(entries())
+    def test_sup_dominates_inf(self, es):
+        assert ratio_inf(es) <= ratio_sup(es) + 1e-12
+
+    @given(entries(bounded=True), st.randoms(use_true_random=False))
+    @settings(max_examples=200)
+    def test_bounds_contain_every_concrete_ratio(self, es, rng):
+        """Any concrete choice of per-site counts inside the boxes
+        yields a ratio inside [inf, sup] — the core soundness claim
+        the fuzz oracle enforces dynamically."""
+        counts = [rng.randint(lo, hi) for lo, hi, _ in es]
+        num = sum(c * v for c, (_, _, v) in zip(counts, es))
+        den = sum(counts)
+        observed = num / den if den else 0.0
+        assert ratio_inf(es) - 1e-9 <= observed <= ratio_sup(es) + 1e-9
+
+    @given(entries(min_size=1), _count, _count)
+    @settings(max_examples=200)
+    def test_monotone_under_box_loosening(self, es, widen_lo,
+                                          widen_hi):
+        """Loosening any count box can only loosen the ratio bounds
+        (sup grows or stays, inf shrinks or stays)."""
+        idx = random.Random(widen_lo + widen_hi).randrange(len(es))
+        lo, hi, v = es[idx]
+        loose = list(es)
+        loose[idx] = (max(0, lo - widen_lo),
+                      None if hi is None else hi + widen_hi, v)
+        assert ratio_sup(loose) >= ratio_sup(es) - 1e-12
+        if ratio_inf(es) > 0:
+            assert ratio_inf(loose) <= ratio_inf(es) + 1e-12
+
+    @given(_value, _count.filter(bool))
+    def test_single_site_is_tight(self, v, c):
+        es = [(c, c, v)]
+        assert ratio_sup(es) == ratio_inf(es) == v
+
+
+class TestBound:
+    @given(bounds(), _value)
+    def test_join_contains_both_operands_points(self, b, x):
+        other = Bound(x, x)
+        joined = b.join(other)
+        assert joined.contains(x)
+        if b.contains(x):
+            assert joined.contains(x)
+
+    @given(bounds(), bounds(), _value)
+    def test_join_is_an_upper_bound(self, a, b, x):
+        joined = a.join(b)
+        if a.contains(x) or b.contains(x):
+            assert joined.contains(x)
+
+    @given(bounds(), bounds(), _value)
+    def test_widen_only_loosens(self, old, new, x):
+        """Widening never claims more than the original: everything
+        the old bound contains, the widened bound contains."""
+        widened = old.widen(new)
+        if old.contains(x):
+            assert widened.contains(x)
+
+    @given(bounds(), bounds())
+    def test_widen_reaches_a_fixpoint(self, old, new):
+        widened = old.widen(new)
+        assert widened.widen(new) == widened
+
+
+class TestCount:
+    @given(_count, _count, _count, _count)
+    def test_times_contains_products(self, alo, aw, blo, bw):
+        a = Count(alo, alo + aw)
+        b = Count(blo, blo + bw)
+        prod = a.times(b)
+        for x in (alo, alo + aw):
+            for y in (blo, blo + bw):
+                assert prod.lo <= x * y
+                assert prod.hi is None or x * y <= prod.hi
+
+    @given(_count, _count)
+    def test_unbounded_times_zero_is_zero(self, lo, n):
+        assert Count(lo, None).times(Count(0, 0)) == Count(0, 0)
+        assert Count(lo, None).scaled(n).hi == (0 if n == 0 else None)

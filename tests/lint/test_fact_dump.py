@@ -65,6 +65,24 @@ def test_golden_document_shape():
         for label, fact in module.items():
             assert set(fact) == {"width", "carries", "sites", "line"}
             assert all(v in (0, 1) for v in fact["carries"].values())
+    assert doc["bailed"] == sum(len(b) for b in doc["bails"].values())
+    for module in doc["bails"].values():
+        for name, rec in module.items():
+            assert set(rec) == {"bail_reason", "line"}
+            assert rec["bail_reason"]        # names the construct
+
+
+def test_bail_reason_names_offending_construct():
+    """The sample module's bailing function is reported with the
+    LoweringError message, and exports no facts."""
+    doc = json.loads(golden_text())
+    [module] = doc["bails"].values()
+    assert "golden_bailer" in module
+    reason = module["golden_bailer"]["bail_reason"]
+    assert "Lambda" in reason and ":17" in reason
+    facts = next(iter(doc["modules"].values()))
+    assert not any(label.startswith("golden_bailer:")
+                   for label in facts)
 
 
 def test_dump_consumable_by_static_peek():

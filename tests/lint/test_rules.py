@@ -306,4 +306,4 @@ class TestAnalyzerFrontEnd:
 
     def test_rule_table_covers_all_rules(self):
         assert set(RULES) == {"L1", "L2", "L3", "L4", "L5",
-                              "L6", "L7", "L8", "E0"}
+                              "L6", "L7", "L8", "L9", "L10", "E0"}

@@ -122,5 +122,5 @@ class TestL6L8:
         assert rules_of(l6) == ["L6"]
         assert rules_of(l8) == []
 
-    def test_info_rules_are_exactly_l6_l8(self):
-        assert INFO_RULES == {"L6", "L8"}
+    def test_info_rules_are_exactly_l6_l8_l9_l10(self):
+        assert INFO_RULES == {"L6", "L8", "L9", "L10"}

@@ -100,3 +100,69 @@ class TestRender:
         import dataclasses
         partial = dataclasses.replace(result, complete=False)
         assert "incomplete" in render_report(partial).lower()
+
+
+class TestCollapsedAxis:
+    """Dead axes stay visible: an axis whose every *completed* config
+    holds one value must appear as an explicit "collapsed (dead
+    axis)" row, never be silently omitted."""
+
+    @pytest.fixture
+    def collapsed(self):
+        spec = SweepSpec(name="dead-axis", kernels=("qrng_K2",),
+                         axes=(("mechanism", ("static1", "operand")),
+                               ("thread_key", ("", "ltid"))))
+        points = (
+            ParetoPoint(key="staticOne",
+                        objectives=objectives(0.10, 0.30, 0.02),
+                        fields=fields("static1", False),
+                        members=("staticOne",),
+                        per_kernel={"qrng_K2":
+                                    objectives(0.10, 0.30, 0.02)}),
+            ParetoPoint(key="CASA",
+                        objectives=objectives(0.14, 0.20, 0.01),
+                        fields=fields("operand", False),
+                        members=("CASA",),
+                        per_kernel={"qrng_K2":
+                                    objectives(0.14, 0.20, 0.01)}),
+        )
+        # both ltid members were domination-pruned: no completed
+        # config exposes thread_key="ltid"
+        return SweepResult(
+            spec=spec, kernels=("qrng_K2",), frontier=points[1:],
+            points=points,
+            pruned={"Ltid+staticOne": {"reason": "dominated",
+                                       "dominated_by": "CASA",
+                                       "units_skipped": 1},
+                    "Ltid+CASA": {"reason": "dominated",
+                                  "dominated_by": "CASA",
+                                  "units_skipped": 1}},
+            backend="local", prune=True, complete=True,
+            executed_units=2, reused_units=0, skipped_units=2,
+            invalid_combos=0, duplicate_configs=0,
+            manifest="sweep.manifest.jsonl", wall_time_s=1.0)
+
+    def test_axis_present_in_sensitivity(self, collapsed):
+        sens = axis_sensitivity(collapsed)
+        assert set(sens) == {"mechanism", "thread_key"}
+        assert len(sens["thread_key"]) == 1      # only "" completed
+
+    def test_render_emits_collapsed_row(self, collapsed):
+        text = render_report(collapsed)
+        assert "### `thread_key`" in text
+        assert "collapsed (dead axis)" in text
+        assert "every completed config holds `''`" in text
+        # the live axis still gets a real table
+        assert "### `mechanism`" in text
+        assert "energy-saved spread across `mechanism`" in text
+
+    def test_fully_dead_axis_renders_without_crash(self, collapsed):
+        """Zero completed values on an axis (everything pruned) must
+        render the no-completed-config variant, not divide by zero."""
+        import dataclasses
+        spec = SweepSpec(name="dead-axis", kernels=("qrng_K2",),
+                         axes=(("pc_index", ("full", "mod")),))
+        empty = dataclasses.replace(collapsed, spec=spec,
+                                    frontier=(), points=())
+        text = render_report(empty)
+        assert "no completed config exposes this axis" in text

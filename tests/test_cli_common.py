@@ -17,6 +17,10 @@ CLIS = {
     "st2-trace": ("repro.runner.trace_cli", None, None),
     "st2-lint": ("repro.lint.cli",
                  ["--list-rules"], ["--list-rules", "--json"]),
+    "st2-lint-bounds": ("repro.lint.cli",
+                        ["bounds", "tests/lint/data/golden_kernel.py"],
+                        ["bounds", "tests/lint/data/golden_kernel.py",
+                         "--json"]),
     "st2-stats": ("repro.obs.cli", None, None),
     "st2-fuzz": ("repro.fuzz.cli",
                  ["gen", "--seed", "1", "--count", "1"],
